@@ -1,0 +1,358 @@
+//! The generic Metropolis annealing engine.
+//!
+//! The algorithm is characterized by (1) the `generate` function, (2) the
+//! acceptance function, (3) the updating function, (4) the inner-loop
+//! criterion, and (5) the stopping criterion (paper §2.1). This module
+//! provides the loop; problem-specific state (placement, pin assignment,
+//! …) plugs in through [`AnnealState`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{CoolingSchedule, RangeLimiter};
+
+/// Per-temperature context handed to the state on every proposal.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealContext {
+    /// Current temperature `T`.
+    pub temperature: f64,
+    /// Horizontal range-limiter window span `W_x(T)` (eq. 12).
+    pub window_x: f64,
+    /// Vertical range-limiter window span `W_y(T)` (eq. 13).
+    pub window_y: f64,
+    /// Temperature step index (0-based).
+    pub step: usize,
+    /// Temperature scale factor `S_T`.
+    pub s_t: f64,
+}
+
+/// A problem that can be annealed.
+///
+/// Implementations keep their own pending-move bookkeeping: a successful
+/// [`AnnealState::propose`] leaves exactly one move pending, which the
+/// engine then either [`AnnealState::commit`]s or [`AnnealState::abandon`]s.
+pub trait AnnealState {
+    /// Generates one candidate move and returns its cost change `ΔC`, or
+    /// `None` if no move could be generated this iteration.
+    fn propose(&mut self, ctx: &AnnealContext, rng: &mut StdRng) -> Option<f64>;
+
+    /// Applies the pending move.
+    fn commit(&mut self);
+
+    /// Discards the pending move.
+    fn abandon(&mut self);
+
+    /// Current total cost (used for stopping criteria and statistics).
+    fn cost(&self) -> f64;
+
+    /// Hook invoked at the start of every inner loop (each temperature).
+    fn begin_temperature(&mut self, _ctx: &AnnealContext) {}
+}
+
+/// When to stop the outer loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoppingCriterion {
+    /// Stop after an inner loop performed with the range-limiter window at
+    /// its minimum span (stage 1 and the first refinement steps).
+    WindowAtMinimum,
+    /// Stop once the cost is unchanged for this many consecutive inner
+    /// loops (the paper's final refinement step uses 3).
+    CostUnchanged {
+        /// Number of consecutive unchanged inner loops required.
+        inner_loops: usize,
+    },
+}
+
+/// Configuration of one annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealConfig {
+    /// Cooling schedule (Tables 1/2 or geometric).
+    pub schedule: CoolingSchedule,
+    /// Temperature scale `S_T` (eq. 20).
+    pub s_t: f64,
+    /// Starting temperature.
+    pub t_start: f64,
+    /// Hard floor; the run stops if `T` falls below it regardless of the
+    /// stopping criterion (safety net, default 1e-6 · S_T is sensible).
+    pub t_floor: f64,
+    /// Attempts per item per temperature (`A_c`; eq. 17 multiplies by the
+    /// item count).
+    pub attempts_per_item: usize,
+    /// Item count `N_c` (cells for placement).
+    pub items: usize,
+    /// Range limiter controlling window spans.
+    pub limiter: RangeLimiter,
+    /// Stopping criterion.
+    pub stop: StoppingCriterion,
+}
+
+impl AnnealConfig {
+    /// Number of inner-loop iterations per temperature, `A = A_c · N_c`
+    /// (eq. 17).
+    pub fn inner_iterations(&self) -> usize {
+        self.attempts_per_item * self.items.max(1)
+    }
+}
+
+/// Statistics for one temperature step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureStats {
+    /// The temperature of this inner loop.
+    pub temperature: f64,
+    /// New-state attempts made.
+    pub attempts: usize,
+    /// Attempts accepted.
+    pub accepts: usize,
+    /// Cost after the inner loop.
+    pub cost_after: f64,
+    /// Window span `W_x(T)` during the loop.
+    pub window_x: f64,
+}
+
+impl TemperatureStats {
+    /// Fraction of attempts accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Aggregate statistics of an annealing run.
+#[derive(Debug, Clone, Default)]
+pub struct AnnealStats {
+    /// Per-temperature records, in execution order.
+    pub steps: Vec<TemperatureStats>,
+    /// Total attempts across all temperatures.
+    pub total_attempts: usize,
+    /// Total acceptances.
+    pub total_accepts: usize,
+    /// Cost at the end of the run.
+    pub final_cost: f64,
+}
+
+impl AnnealStats {
+    /// Overall acceptance rate.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.total_attempts == 0 {
+            0.0
+        } else {
+            self.total_accepts as f64 / self.total_attempts as f64
+        }
+    }
+}
+
+/// Hard cap on temperature steps, far above the ≈120 of a paper run.
+const MAX_TEMPERATURE_STEPS: usize = 2000;
+
+/// Runs the annealing loop to completion.
+///
+/// Acceptance is standard Metropolis: `ΔC ≤ 0` always accepts, otherwise
+/// accept with probability `exp(−ΔC / T)`.
+pub fn anneal<S: AnnealState>(config: &AnnealConfig, state: &mut S, rng: &mut StdRng) -> AnnealStats {
+    let mut stats = AnnealStats::default();
+    let mut t = config.t_start;
+    let inner = config.inner_iterations();
+    let mut unchanged = 0usize;
+    let mut last_cost = f64::NAN;
+
+    for step in 0..MAX_TEMPERATURE_STEPS {
+        let ctx = AnnealContext {
+            temperature: t,
+            window_x: config.limiter.window_x(t),
+            window_y: config.limiter.window_y(t),
+            step,
+            s_t: config.s_t,
+        };
+        state.begin_temperature(&ctx);
+
+        let mut attempts = 0;
+        let mut accepts = 0;
+        for _ in 0..inner {
+            let Some(delta) = state.propose(&ctx, rng) else {
+                continue;
+            };
+            attempts += 1;
+            let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
+            if accept {
+                state.commit();
+                accepts += 1;
+            } else {
+                state.abandon();
+            }
+        }
+
+        let cost_after = state.cost();
+        stats.steps.push(TemperatureStats {
+            temperature: t,
+            attempts,
+            accepts,
+            cost_after,
+            window_x: ctx.window_x,
+        });
+        stats.total_attempts += attempts;
+        stats.total_accepts += accepts;
+
+        // Stopping criteria (evaluated after the inner loop, per §3.3).
+        match config.stop {
+            StoppingCriterion::WindowAtMinimum => {
+                if config.limiter.at_minimum(t) {
+                    break;
+                }
+            }
+            StoppingCriterion::CostUnchanged { inner_loops } => {
+                if (cost_after - last_cost).abs() <= 1e-9 * cost_after.abs().max(1.0) {
+                    unchanged += 1;
+                    if unchanged >= inner_loops {
+                        break;
+                    }
+                } else {
+                    unchanged = 0;
+                }
+                last_cost = cost_after;
+                // The window floor also ends refinement runs eventually.
+                if t < config.t_floor {
+                    break;
+                }
+            }
+        }
+        if t < config.t_floor {
+            break;
+        }
+        t = config.schedule.next(t, config.s_t);
+    }
+
+    stats.final_cost = state.cost();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Toy problem: minimize Σ |x_i| by nudging coordinates; the nudge
+    /// magnitude follows the range-limiter window (L1 keeps ΔC on the
+    /// same scale as T_∞, as the paper's S_T normalization arranges).
+    struct Quadratic {
+        xs: Vec<f64>,
+        pending: Option<(usize, f64)>,
+    }
+
+    impl Quadratic {
+        fn new(n: usize) -> Self {
+            Quadratic {
+                xs: (0..n).map(|i| 500.0 * ((i as f64) - (n as f64) / 2.0)).collect(),
+                pending: None,
+            }
+        }
+    }
+
+    impl AnnealState for Quadratic {
+        fn propose(&mut self, ctx: &AnnealContext, rng: &mut StdRng) -> Option<f64> {
+            let i = rng.random_range(0..self.xs.len());
+            let step = (rng.random::<f64>() - 0.5) * ctx.window_x;
+            // Confine to a bounded domain, as the core boundary confines
+            // cells in the real problem.
+            let new = (self.xs[i] + step).clamp(-5000.0, 5000.0);
+            let delta = new.abs() - self.xs[i].abs();
+            self.pending = Some((i, new));
+            Some(delta)
+        }
+
+        fn commit(&mut self) {
+            let (i, v) = self.pending.take().expect("pending move");
+            self.xs[i] = v;
+        }
+
+        fn abandon(&mut self) {
+            self.pending = None;
+        }
+
+        fn cost(&self) -> f64 {
+            self.xs.iter().map(|x| x.abs()).sum()
+        }
+    }
+
+    fn config() -> AnnealConfig {
+        AnnealConfig {
+            schedule: CoolingSchedule::geometric(0.85),
+            s_t: 1.0,
+            t_start: 1.0e5,
+            t_floor: 1.0e-6,
+            attempts_per_item: 20,
+            items: 10,
+            limiter: RangeLimiter::paper(1.0e4, 1.0e4, 1.0e5),
+            stop: StoppingCriterion::WindowAtMinimum,
+        }
+    }
+
+    #[test]
+    fn optimizes_quadratic() {
+        let mut state = Quadratic::new(10);
+        let initial = state.cost();
+        let mut rng = StdRng::seed_from_u64(7);
+        let stats = anneal(&config(), &mut state, &mut rng);
+        assert!(stats.final_cost < initial / 10.0, "{} -> {}", initial, stats.final_cost);
+        assert_eq!(stats.final_cost, state.cost());
+        assert!(!stats.steps.is_empty());
+    }
+
+    #[test]
+    fn nearly_all_accepted_at_t_infinity() {
+        // §3.3: T_∞ is chosen so virtually every new state is accepted.
+        let mut state = Quadratic::new(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let stats = anneal(&config(), &mut state, &mut rng);
+        let first = stats.steps.first().expect("at least one step");
+        assert!(
+            first.acceptance_rate() > 0.95,
+            "first-step acceptance {}",
+            first.acceptance_rate()
+        );
+        // Acceptance falls as T drops.
+        let last = stats.steps.last().expect("steps");
+        assert!(last.acceptance_rate() < first.acceptance_rate());
+    }
+
+    #[test]
+    fn window_at_minimum_stops_run() {
+        let mut state = Quadratic::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let stats = anneal(&config(), &mut state, &mut rng);
+        // Stopped by the window, not the step cap.
+        assert!(stats.steps.len() < MAX_TEMPERATURE_STEPS);
+        let last = stats.steps.last().expect("steps");
+        assert_eq!(last.window_x, crate::MIN_WINDOW_SPAN);
+    }
+
+    #[test]
+    fn cost_unchanged_stop() {
+        let mut cfg = config();
+        cfg.stop = StoppingCriterion::CostUnchanged { inner_loops: 3 };
+        cfg.t_start = 1.0e-9; // effectively greedy: converges, then stalls
+        cfg.t_floor = 1.0e-30;
+        let mut state = Quadratic::new(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = anneal(&cfg, &mut state, &mut rng);
+        assert!(stats.steps.len() < MAX_TEMPERATURE_STEPS);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut state = Quadratic::new(10);
+            let mut rng = StdRng::seed_from_u64(seed);
+            anneal(&config(), &mut state, &mut rng).final_cost
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn inner_iterations_follow_eq17() {
+        let cfg = config();
+        assert_eq!(cfg.inner_iterations(), 200);
+    }
+}

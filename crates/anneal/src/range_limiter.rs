@@ -1,0 +1,178 @@
+//! The range-limiter window (paper §3.2.2, eqs. 12–14).
+//!
+//! Large-distance moves at low temperature almost always increase the cost
+//! and are rejected; the range limiter prohibits them by restricting the
+//! displacement target to a window centered on the moving cell. The window
+//! span shrinks as a function of `log₁₀(T)`:
+//!
+//! ```text
+//! W_x(T) = W_x^∞ · ρ^{log₁₀ T} / λ,     λ = ρ^{log₁₀ T_∞}
+//! ```
+//!
+//! The paper chose ρ = 4: final TEIL was flat for ρ ∈ [1, 4], and larger ρ
+//! lowered the residual cell overlap by forcing more local moves at low T.
+
+/// The paper's chosen range-limiter exponent.
+pub const DEFAULT_RHO: f64 = 4.0;
+
+/// Minimum window span, in grid units: the end-of-stage-1 condition is the
+/// window reaching a span of 6 units (paper §3.2.3).
+pub const MIN_WINDOW_SPAN: f64 = 6.0;
+
+/// Computes the log-T window control of eqs. 12–14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeLimiter {
+    w_inf_x: f64,
+    w_inf_y: f64,
+    t_inf: f64,
+    rho: f64,
+    lambda: f64,
+    min_span: f64,
+}
+
+impl RangeLimiter {
+    /// Creates a limiter with full-span windows `(w_inf_x, w_inf_y)` at
+    /// temperature `t_inf`, shrinking with exponent `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho < 1`, or any span/temperature is non-positive.
+    pub fn new(w_inf_x: f64, w_inf_y: f64, t_inf: f64, rho: f64) -> Self {
+        assert!(rho >= 1.0, "rho must be >= 1 (paper tests 1..=10), got {rho}");
+        assert!(w_inf_x > 0.0 && w_inf_y > 0.0, "window spans must be positive");
+        assert!(t_inf > 0.0, "T_infinity must be positive");
+        RangeLimiter {
+            w_inf_x,
+            w_inf_y,
+            t_inf,
+            rho,
+            lambda: rho.powf(t_inf.log10()),
+            min_span: MIN_WINDOW_SPAN,
+        }
+    }
+
+    /// The limiter with the paper's ρ = 4.
+    pub fn paper(w_inf_x: f64, w_inf_y: f64, t_inf: f64) -> Self {
+        RangeLimiter::new(w_inf_x, w_inf_y, t_inf, DEFAULT_RHO)
+    }
+
+    /// The raw shrink factor `ρ^{log₁₀ T} / λ ∈ (0, 1]` (1 at `T = T_∞`).
+    pub fn fraction(&self, t: f64) -> f64 {
+        if self.rho == 1.0 {
+            // ρ = 1 never shrinks (a degenerate limiter the paper tested).
+            return 1.0;
+        }
+        (self.rho.powf(t.max(f64::MIN_POSITIVE).log10()) / self.lambda).min(1.0)
+    }
+
+    /// Horizontal window span at temperature `t` (eq. 12), floored at the
+    /// minimum span.
+    pub fn window_x(&self, t: f64) -> f64 {
+        (self.w_inf_x * self.fraction(t)).max(self.min_span)
+    }
+
+    /// Vertical window span at temperature `t` (eq. 13).
+    pub fn window_y(&self, t: f64) -> f64 {
+        (self.w_inf_y * self.fraction(t)).max(self.min_span)
+    }
+
+    /// Whether both window spans have reached the minimum — the stage-1
+    /// stopping condition.
+    pub fn at_minimum(&self, t: f64) -> bool {
+        self.w_inf_x * self.fraction(t) <= self.min_span
+            && self.w_inf_y * self.fraction(t) <= self.min_span
+    }
+
+    /// The temperature `T'` at which the window is fraction `μ` of the full
+    /// span — the stage-2 starting temperature (eq. 28):
+    /// `T' = μ^{log_ρ 10} · T_∞`.
+    pub fn temperature_for_fraction(&self, mu: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&mu) && mu > 0.0, "mu must be in (0, 1]");
+        if self.rho == 1.0 {
+            return self.t_inf;
+        }
+        mu.powf(std::f64::consts::LN_10 / self.rho.ln()) * self.t_inf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_span_at_t_infinity() {
+        let rl = RangeLimiter::paper(1000.0, 800.0, 1.0e5);
+        assert!((rl.window_x(1.0e5) - 1000.0).abs() < 1e-9);
+        assert!((rl.window_y(1.0e5) - 800.0).abs() < 1e-9);
+        assert!((rl.fraction(1.0e5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinks_monotonically_with_t() {
+        let rl = RangeLimiter::paper(1000.0, 1000.0, 1.0e5);
+        let mut last = f64::INFINITY;
+        let mut t = 1.0e5;
+        while t > 1.0e-2 {
+            let w = rl.window_x(t);
+            assert!(w <= last + 1e-9, "window grew at T={t}");
+            last = w;
+            t *= 0.8;
+        }
+        assert_eq!(last, MIN_WINDOW_SPAN);
+    }
+
+    #[test]
+    fn each_decade_divides_by_rho() {
+        let rl = RangeLimiter::new(4096.0, 4096.0, 1.0e5, 4.0);
+        // One decade below T_inf the span is 1/4 of full.
+        assert!((rl.window_x(1.0e4) - 1024.0).abs() < 1e-6);
+        assert!((rl.window_x(1.0e3) - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rho_one_never_shrinks() {
+        let rl = RangeLimiter::new(500.0, 500.0, 1.0e5, 1.0);
+        assert_eq!(rl.window_x(1.0e-3), 500.0);
+        assert!(!rl.at_minimum(1.0e-3));
+    }
+
+    #[test]
+    fn at_minimum_threshold() {
+        let rl = RangeLimiter::paper(6000.0, 6000.0, 1.0e5);
+        // Need fraction <= 6/6000 = 1e-3, i.e. rho^(log10 T - 5) <= 1e-3:
+        // log10 T <= 5 - 3*ln10/ln4 ≈ 0.017.
+        assert!(!rl.at_minimum(10.0));
+        assert!(rl.at_minimum(1.0e-1));
+    }
+
+    #[test]
+    fn stage2_start_temperature_matches_eq28() {
+        let rl = RangeLimiter::paper(1.0, 1.0, 1.0e5);
+        let mu = 0.03f64;
+        let t = rl.temperature_for_fraction(mu);
+        // Eq. 28: T' = mu^(log_4 10) * T_inf.
+        let expect = mu.powf(10f64.log(4.0)) * 1.0e5;
+        assert!((t - expect).abs() / expect < 1e-12);
+        // And indeed the window at T' is mu of full span.
+        assert!((rl.fraction(t) - mu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_rho_gives_smaller_windows_at_same_t() {
+        // §3.2.2: for a given T, as ρ increases the window size is smaller.
+        let t = 1.0e3;
+        let spans: Vec<f64> = [1.5, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&rho| RangeLimiter::new(1.0e4, 1.0e4, 1.0e5, rho).window_x(t))
+            .collect();
+        for pair in spans.windows(2) {
+            assert!(pair[0] > pair[1], "{spans:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be >= 1")]
+    fn rejects_bad_rho() {
+        let _ = RangeLimiter::new(10.0, 10.0, 1.0e5, 0.5);
+    }
+}

@@ -1,0 +1,202 @@
+//! Cooling schedules and temperature scaling.
+//!
+//! The paper's cooling schedule was determined experimentally: a fast
+//! high-temperature regime, a slow middle regime where the TEIC drops
+//! steadily, and a fast convergence regime (§3.3). Tables 1 and 2 give the
+//! multiplier `α(T_old)` as a function of `T_old`, with thresholds scaled
+//! by `S_T = c̄_a / c̄*_a` (eqs. 19–21) to normalize for circuit and grid
+//! size.
+
+/// Reference average cell area `c̄*_a` of the paper's calibration circuits.
+pub const REF_AVG_CELL_AREA: f64 = 1.0e4;
+
+/// Reference starting temperature `T*_∞` yielding ≈100% initial acceptance
+/// on the calibration circuits.
+pub const REF_T_INFINITY: f64 = 1.0e5;
+
+/// Temperature scale factor `S_T = c̄_a / c̄*_a` (eq. 20).
+///
+/// `avg_cell_area` should include the estimated interconnect area, per the
+/// paper's calibration.
+pub fn temperature_scale(avg_cell_area: f64) -> f64 {
+    (avg_cell_area / REF_AVG_CELL_AREA).max(f64::MIN_POSITIVE)
+}
+
+/// Starting temperature `T_∞ = S_T · T*_∞` (eq. 21).
+pub fn t_infinity(s_t: f64) -> f64 {
+    s_t * REF_T_INFINITY
+}
+
+/// A piecewise-constant cooling schedule: `T_new = α(T_old) · T_old`
+/// (eq. 18), with thresholds expressed in units of `S_T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingSchedule {
+    /// `(threshold, α)` pairs, descending by threshold: the first entry
+    /// whose threshold is `<= T/S_T` supplies α. A final catch-all entry
+    /// with threshold 0 is required.
+    entries: Vec<(f64, f64)>,
+}
+
+impl CoolingSchedule {
+    /// Builds a schedule from `(threshold, alpha)` pairs in descending
+    /// threshold order, ending with a threshold-0 catch-all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs are not descending, the last threshold is not
+    /// zero, or any α is outside `(0, 1)`.
+    pub fn new(entries: Vec<(f64, f64)>) -> Self {
+        assert!(!entries.is_empty(), "schedule needs at least one entry");
+        assert_eq!(
+            entries.last().expect("nonempty").0,
+            0.0,
+            "last threshold must be 0"
+        );
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].0 > pair[1].0,
+                "thresholds must be strictly descending"
+            );
+        }
+        for &(_, a) in &entries {
+            assert!(0.0 < a && a < 1.0, "alpha must be in (0, 1), got {a}");
+        }
+        CoolingSchedule { entries }
+    }
+
+    /// The stage-1 schedule of the paper's Table 1.
+    ///
+    /// | for `T_old ≥`    | α    |
+    /// |------------------|------|
+    /// | `S_T · 7000`     | 0.85 |
+    /// | `S_T · 200`      | 0.92 |
+    /// | `S_T · 10`       | 0.85 |
+    /// | 0                | 0.80 |
+    pub fn stage1() -> Self {
+        CoolingSchedule::new(vec![(7000.0, 0.85), (200.0, 0.92), (10.0, 0.85), (0.0, 0.80)])
+    }
+
+    /// The stage-2 (placement refinement) schedule of Table 2.
+    ///
+    /// | for `T_old ≥` | α    |
+    /// |---------------|------|
+    /// | `S_T · 10`    | 0.82 |
+    /// | 0             | 0.70 |
+    pub fn stage2() -> Self {
+        CoolingSchedule::new(vec![(10.0, 0.82), (0.0, 0.70)])
+    }
+
+    /// A plain geometric schedule with constant α (used by the Fig. 3
+    /// move-ratio experiment, which cooled with α = 0.90).
+    pub fn geometric(alpha: f64) -> Self {
+        CoolingSchedule::new(vec![(0.0, alpha)])
+    }
+
+    /// The multiplier `α(T_old)` for the given temperature and scale.
+    pub fn alpha(&self, t_old: f64, s_t: f64) -> f64 {
+        let scaled = t_old / s_t;
+        self.entries
+            .iter()
+            .find(|&&(thr, _)| scaled >= thr)
+            .map(|&(_, a)| a)
+            .unwrap_or_else(|| self.entries.last().expect("nonempty").1)
+    }
+
+    /// One update step: `T_new = α(T_old) · T_old`.
+    pub fn next(&self, t_old: f64, s_t: f64) -> f64 {
+        t_old * self.alpha(t_old, s_t)
+    }
+
+    /// Number of temperature steps from `t_start` down to `t_floor`.
+    pub fn steps_between(&self, t_start: f64, t_floor: f64, s_t: f64) -> usize {
+        let mut t = t_start;
+        let mut n = 0;
+        while t > t_floor && n < 100_000 {
+            t = self.next(t, s_t);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_thresholds() {
+        let s = CoolingSchedule::stage1();
+        // Unit scale.
+        assert_eq!(s.alpha(8000.0, 1.0), 0.85);
+        assert_eq!(s.alpha(7000.0, 1.0), 0.85);
+        assert_eq!(s.alpha(6999.0, 1.0), 0.92);
+        assert_eq!(s.alpha(200.0, 1.0), 0.92);
+        assert_eq!(s.alpha(199.0, 1.0), 0.85);
+        assert_eq!(s.alpha(10.0, 1.0), 0.85);
+        assert_eq!(s.alpha(9.0, 1.0), 0.80);
+    }
+
+    #[test]
+    fn table2_thresholds() {
+        let s = CoolingSchedule::stage2();
+        assert_eq!(s.alpha(11.0, 1.0), 0.82);
+        assert_eq!(s.alpha(10.0, 1.0), 0.82);
+        assert_eq!(s.alpha(1.0, 1.0), 0.70);
+    }
+
+    #[test]
+    fn scale_shifts_thresholds() {
+        let s = CoolingSchedule::stage1();
+        // With S_T = 2 the 7000 threshold sits at 14000.
+        assert_eq!(s.alpha(13999.0, 2.0), 0.92);
+        assert_eq!(s.alpha(14000.0, 2.0), 0.85);
+    }
+
+    #[test]
+    fn paper_says_about_120_temperatures() {
+        // "approximately 120 temperature values were to be considered in a
+        // typical execution" (§3.3): T from 1e5 down to ~1e-1 at unit S_T.
+        let s = CoolingSchedule::stage1();
+        let n = s.steps_between(1.0e5, 1.0e-2, 1.0);
+        assert!(
+            (90..=150).contains(&n),
+            "expected ≈120 steps over six-plus decades, got {n}"
+        );
+    }
+
+    #[test]
+    fn temperature_scaling() {
+        assert_eq!(temperature_scale(1.0e4), 1.0);
+        assert_eq!(temperature_scale(2.0e4), 2.0);
+        assert_eq!(t_infinity(temperature_scale(1.0e4)), 1.0e5);
+    }
+
+    #[test]
+    fn cooling_is_monotone() {
+        let s = CoolingSchedule::stage1();
+        let mut t = t_infinity(1.0);
+        for _ in 0..200 {
+            let n = s.next(t, 1.0);
+            assert!(n < t && n > 0.0);
+            t = n;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn rejects_unsorted_thresholds() {
+        let _ = CoolingSchedule::new(vec![(10.0, 0.9), (20.0, 0.8), (0.0, 0.8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last threshold")]
+    fn rejects_missing_catch_all() {
+        let _ = CoolingSchedule::new(vec![(10.0, 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = CoolingSchedule::new(vec![(0.0, 1.5)]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the cooling schedules and the range limiter.
+
+use proptest::prelude::*;
+
+use twmc_anneal::{
+    t_infinity, temperature_scale, CoolingSchedule, RangeLimiter, MIN_WINDOW_SPAN,
+};
+
+proptest! {
+    #[test]
+    fn cooling_is_strictly_decreasing_and_positive(
+        t0 in 1.0f64..1.0e7,
+        s_t in 0.01f64..100.0,
+        steps in 1usize..200,
+    ) {
+        for schedule in [CoolingSchedule::stage1(), CoolingSchedule::stage2()] {
+            let mut t = t0;
+            for _ in 0..steps {
+                let next = schedule.next(t, s_t);
+                prop_assert!(next < t);
+                prop_assert!(next > 0.0);
+                // Alpha bounds from the tables.
+                let a = next / t;
+                prop_assert!((0.69..=0.93).contains(&a), "alpha {a}");
+                t = next;
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_is_scale_covariant(t in 1.0f64..1.0e6, s_t in 0.01f64..100.0) {
+        // alpha(T, S_T) depends only on T / S_T (eq. 19's normalization).
+        let s = CoolingSchedule::stage1();
+        prop_assert_eq!(s.alpha(t, s_t), s.alpha(t / s_t, 1.0));
+    }
+
+    #[test]
+    fn window_shrinks_monotonically(
+        w in 10.0f64..1.0e5,
+        rho in 1.0f64..10.0,
+        decades in 1usize..8,
+    ) {
+        let t_inf = 1.0e5;
+        let rl = RangeLimiter::new(w, w, t_inf, rho);
+        let mut last = rl.window_x(t_inf);
+        prop_assert!((last - w.max(MIN_WINDOW_SPAN)).abs() < 1e-6);
+        let mut t = t_inf;
+        for _ in 0..decades * 4 {
+            t *= 0.56; // ~4 steps per decade
+            let wx = rl.window_x(t);
+            prop_assert!(wx <= last + 1e-9);
+            prop_assert!(wx >= MIN_WINDOW_SPAN);
+            last = wx;
+        }
+    }
+
+    #[test]
+    fn window_never_exceeds_full_span(
+        w in 10.0f64..1.0e5,
+        rho in 1.0f64..10.0,
+        t in 1.0e-3f64..1.0e9,
+    ) {
+        let rl = RangeLimiter::new(w, w, 1.0e5, rho);
+        // Even above T_inf the fraction clamps at 1.
+        prop_assert!(rl.window_x(t) <= w.max(MIN_WINDOW_SPAN) + 1e-9);
+    }
+
+    #[test]
+    fn fraction_inverse_roundtrip(mu in 0.001f64..1.0, rho in 1.1f64..10.0) {
+        // temperature_for_fraction is the inverse of fraction (eq. 28).
+        let rl = RangeLimiter::new(1.0e4, 1.0e4, 1.0e5, rho);
+        let t = rl.temperature_for_fraction(mu);
+        prop_assert!((rl.fraction(t) - mu).abs() < 1e-6, "{} vs {mu}", rl.fraction(t));
+    }
+
+    #[test]
+    fn temperature_scale_is_linear(a in 1.0f64..1.0e8, k in 0.1f64..10.0) {
+        let s1 = temperature_scale(a);
+        let s2 = temperature_scale(k * a);
+        prop_assert!((s2 / s1 - k).abs() < 1e-9);
+        prop_assert!((t_infinity(s1) / s1 - 1.0e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn steps_between_is_monotone_in_floor(
+        floor_hi in 1.0f64..100.0,
+        ratio in 1.5f64..100.0,
+    ) {
+        let s = CoolingSchedule::stage1();
+        let hi = s.steps_between(1.0e5, floor_hi, 1.0);
+        let lo = s.steps_between(1.0e5, floor_hi / ratio, 1.0);
+        prop_assert!(lo >= hi);
+    }
+}

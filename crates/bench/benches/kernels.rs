@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the hot kernels: the operations executed
+//! millions of times inside the stage-1 inner loop (the paper's §2.2
+//! notes the estimator update must be cheap enough for exactly this).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use twmc_estimator::{determine_core, EstimatorParams};
+use twmc_geom::{boundary_edges, decompose_rectilinear, Orientation, Point, Rect, TileSet};
+use twmc_netlist::{synthesize, SynthParams};
+
+fn bench_overlap(c: &mut Criterion) {
+    let a = TileSet::new(vec![Rect::from_wh(0, 0, 40, 16), Rect::from_wh(0, 16, 18, 14)])
+        .expect("tiles");
+    let b = TileSet::rect(30, 25);
+    c.bench_function("geom/expanded_overlap_L_vs_rect", |bench| {
+        bench.iter(|| {
+            black_box(a.expanded_overlap_area_at(
+                black_box(Point::new(0, 0)),
+                (3, 3, 2, 2),
+                &b,
+                black_box(Point::new(35, 5)),
+                (2, 2, 2, 2),
+            ))
+        })
+    });
+}
+
+fn bench_orientation(c: &mut Criterion) {
+    c.bench_function("geom/orientation_apply_all8", |bench| {
+        bench.iter(|| {
+            let mut acc = 0i64;
+            for o in Orientation::ALL {
+                let p = o.apply(black_box(Point::new(13, 7)), 40, 30);
+                acc += p.x + p.y;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_boundary(c: &mut Criterion) {
+    let plus = decompose_rectilinear(&[
+        Point::new(2, 0),
+        Point::new(4, 0),
+        Point::new(4, 2),
+        Point::new(6, 2),
+        Point::new(6, 4),
+        Point::new(4, 4),
+        Point::new(4, 6),
+        Point::new(2, 6),
+        Point::new(2, 4),
+        Point::new(0, 4),
+        Point::new(0, 2),
+        Point::new(2, 2),
+    ])
+    .expect("plus shape");
+    c.bench_function("geom/boundary_edges_12edge_cell", |bench| {
+        bench.iter(|| black_box(boundary_edges(black_box(&plus))))
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let nl = synthesize(&SynthParams {
+        cells: 25,
+        nets: 70,
+        pins: 280,
+        ..Default::default()
+    });
+    let est = determine_core(&nl, &EstimatorParams::default()).estimator;
+    c.bench_function("estimator/edge_allowance", |bench| {
+        bench.iter(|| black_box(est.edge_allowance(black_box(37.0), black_box(-12.0), 1.5)))
+    });
+    c.bench_function("estimator/side_expansions", |bench| {
+        let r = Rect::from_wh(-20, -10, 40, 30);
+        bench.iter(|| black_box(est.side_expansions(black_box(r), |_| 1.0)))
+    });
+    c.bench_function("estimator/determine_core_25cells", |bench| {
+        bench.iter_batched(
+            || &nl,
+            |nl| black_box(determine_core(nl, &EstimatorParams::default())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_overlap,
+    bench_orientation,
+    bench_boundary,
+    bench_estimator
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Figure 4**: the range-limiter window versus temperature.
+//!
+//! The paper's figure is illustrative: the window spans the whole core at
+//! `T_∞`, shrinks as a function of `log₁₀ T` (ρ = 4: a factor of 4 per
+//! temperature decade), and reaches its minimum span of 6 grid units at
+//! `T₀`, which ends stage 1. This binary prints the window-span series
+//! for a representative core.
+//!
+//! ```sh
+//! cargo run --release -p twmc-bench --bin fig4_range_limiter
+//! ```
+
+use serde::Serialize;
+use twmc_anneal::{RangeLimiter, MIN_WINDOW_SPAN};
+use twmc_bench::ExpOptions;
+
+#[derive(Serialize)]
+struct Row {
+    temperature: f64,
+    window_x: f64,
+    window_y: f64,
+    fraction_of_full: f64,
+}
+
+fn main() {
+    let opts = ExpOptions::parse(0);
+    // A 1000 x 800 core, window spanning twice the core at T_inf = 1e5
+    // (the paper's nominal T_inf, §3.2.2).
+    let (w_inf_x, w_inf_y, t_inf) = (2000.0, 1600.0, 1.0e5);
+    let limiter = RangeLimiter::paper(w_inf_x, w_inf_y, t_inf);
+
+    println!("Figure 4 — range-limiter window vs temperature (rho = 4)");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "T", "W_x(T)", "W_y(T)", "fraction"
+    );
+    let mut rows = Vec::new();
+    let mut t = t_inf;
+    while t > 1.0e-2 {
+        let row = Row {
+            temperature: t,
+            window_x: limiter.window_x(t),
+            window_y: limiter.window_y(t),
+            fraction_of_full: limiter.fraction(t),
+        };
+        println!(
+            "{:>12.3} {:>12.1} {:>12.1} {:>10.5}",
+            row.temperature, row.window_x, row.window_y, row.fraction_of_full
+        );
+        if limiter.at_minimum(t) {
+            println!(
+                "{:>12} window at minimum span ({MIN_WINDOW_SPAN}) -> end of stage 1",
+                "^^^"
+            );
+            rows.push(row);
+            break;
+        }
+        rows.push(row);
+        t /= 10.0; // one decade per printed row
+    }
+    println!("\npaper: span shrinks by a factor of rho = 4 per temperature decade;");
+    println!("       minimum span 6 (step sizes reach one grid unit, §3.2.3)");
+    opts.dump_json(&rows);
+}

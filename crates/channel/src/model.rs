@@ -1,0 +1,133 @@
+//! The channel-routing problem model.
+//!
+//! A *channel* is a rectangular routing region with terminals on its two
+//! long edges. Positions along the channel are *columns*; the router
+//! assigns each net's horizontal trunk to a *track* (tracks are numbered
+//! from the Lo edge side upward... in this crate, track 0 is adjacent to
+//! the **Hi** edge, growing toward Lo, matching the classic top-to-bottom
+//! left-edge formulation with Hi = "top").
+
+use std::collections::BTreeMap;
+
+/// Which edge of the channel a terminal sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelSide {
+    /// The low edge (bottom of a horizontal channel / left of a vertical
+    /// one).
+    Lo,
+    /// The high edge (top / right).
+    Hi,
+}
+
+/// One terminal of the problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Terminal {
+    /// Column along the channel.
+    pub column: i64,
+    /// Net identifier (opaque to the router).
+    pub net: u32,
+    /// Edge the terminal enters from, or `None` for a floating
+    /// connection point (e.g. a crossing into an adjacent channel):
+    /// it extends the net's span but imposes no vertical constraint.
+    pub side: Option<ChannelSide>,
+}
+
+/// A channel-routing instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelProblem {
+    terminals: Vec<Terminal>,
+}
+
+impl ChannelProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a terminal.
+    pub fn add(&mut self, column: i64, net: u32, side: Option<ChannelSide>) -> &mut Self {
+        self.terminals.push(Terminal { column, net, side });
+        self
+    }
+
+    /// All terminals.
+    pub fn terminals(&self) -> &[Terminal] {
+        &self.terminals
+    }
+
+    /// Nets with at least one terminal, with their column spans
+    /// `[lo, hi]`, in net-id order. Single-terminal nets are kept (zero
+    /// span): they still occupy a point on a track.
+    pub fn net_spans(&self) -> Vec<(u32, i64, i64)> {
+        let mut spans: BTreeMap<u32, (i64, i64)> = BTreeMap::new();
+        for t in &self.terminals {
+            let e = spans.entry(t.net).or_insert((t.column, t.column));
+            e.0 = e.0.min(t.column);
+            e.1 = e.1.max(t.column);
+        }
+        spans.into_iter().map(|(n, (l, h))| (n, l, h)).collect()
+    }
+
+    /// The local density at a column: nets whose span covers it.
+    pub fn density_at(&self, column: i64) -> usize {
+        self.net_spans()
+            .iter()
+            .filter(|&&(_, l, h)| l <= column && column <= h)
+            .count()
+    }
+
+    /// The channel density `d`: the maximum local density over all
+    /// columns (attained at some terminal column).
+    pub fn density(&self) -> usize {
+        self.net_spans()
+            .iter()
+            .flat_map(|&(_, l, h)| [l, h])
+            .map(|c| self.density_at(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the problem has no terminals.
+    pub fn is_empty(&self) -> bool {
+        self.terminals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_net_problem() -> ChannelProblem {
+        let mut p = ChannelProblem::new();
+        p.add(0, 1, Some(ChannelSide::Hi))
+            .add(4, 1, Some(ChannelSide::Lo))
+            .add(2, 2, Some(ChannelSide::Hi))
+            .add(6, 2, Some(ChannelSide::Lo));
+        p
+    }
+
+    #[test]
+    fn spans_and_density() {
+        let p = two_net_problem();
+        assert_eq!(p.net_spans(), vec![(1, 0, 4), (2, 2, 6)]);
+        assert_eq!(p.density_at(0), 1);
+        assert_eq!(p.density_at(3), 2);
+        assert_eq!(p.density_at(6), 1);
+        assert_eq!(p.density(), 2);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = ChannelProblem::new();
+        assert!(p.is_empty());
+        assert_eq!(p.density(), 0);
+        assert!(p.net_spans().is_empty());
+    }
+
+    #[test]
+    fn floating_terminals_extend_spans() {
+        let mut p = ChannelProblem::new();
+        p.add(3, 7, Some(ChannelSide::Hi)).add(10, 7, None);
+        assert_eq!(p.net_spans(), vec![(7, 3, 10)]);
+    }
+}

@@ -1,0 +1,464 @@
+//! The constrained left-edge channel router.
+//!
+//! The classic two-layer channel-routing algorithm: horizontal trunks on
+//! one layer (assigned to tracks by the left-edge rule), vertical stubs
+//! to the terminals on the other. Terminals facing each other in the
+//! same column impose *vertical constraints* (the Hi-side net's trunk
+//! must be nearer the Hi edge); constraint cycles are broken by
+//! *doglegs* (splitting a net's trunk at an interior column).
+//!
+//! TimberWolfMC's channel-width model (eq. 22) rests on the observation
+//! that such routers "routinely route a channel in t ≤ d + 1 tracks";
+//! [`crate::route_channel`] lets the reproduction check that claim on
+//! its own channels.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{ChannelProblem, ChannelSide, Terminal};
+
+/// One horizontal trunk segment on a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackSegment {
+    /// The (original) net this trunk belongs to.
+    pub net: u32,
+    /// Leftmost column.
+    pub lo: i64,
+    /// Rightmost column.
+    pub hi: i64,
+}
+
+/// A routed channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelRoute {
+    /// Track contents, track 0 adjacent to the Hi edge.
+    pub tracks: Vec<Vec<TrackSegment>>,
+    /// The problem's density `d`.
+    pub density: usize,
+    /// Doglegs introduced to break vertical-constraint cycles.
+    pub doglegs: usize,
+}
+
+impl ChannelRoute {
+    /// Number of tracks used `t` (the quantity eq. 22 bounds by `d + 1`).
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelRouteError {
+    /// Vertical constraints remained cyclic after the dogleg budget.
+    CyclicConstraints,
+}
+
+impl core::fmt::Display for ChannelRouteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelRouteError::CyclicConstraints => {
+                write!(f, "vertical constraint cycle not resolvable by doglegs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelRouteError {}
+
+/// A routable item: a net or a dogleg-split piece of one.
+#[derive(Debug, Clone)]
+struct Item {
+    net: u32,
+    terminals: Vec<Terminal>,
+    lo: i64,
+    hi: i64,
+}
+
+impl Item {
+    fn from_terminals(net: u32, terminals: Vec<Terminal>) -> Item {
+        let lo = terminals.iter().map(|t| t.column).min().expect("nonempty");
+        let hi = terminals.iter().map(|t| t.column).max().expect("nonempty");
+        Item {
+            net,
+            terminals,
+            lo,
+            hi,
+        }
+    }
+}
+
+/// Builds the vertical constraint edges `a -> b` (`a` must be strictly
+/// nearer the Hi edge than `b`) between items.
+fn constraints(items: &[Item]) -> Vec<BTreeSet<usize>> {
+    // column -> (hi items, lo items)
+    let mut cols: BTreeMap<i64, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (k, item) in items.iter().enumerate() {
+        for t in &item.terminals {
+            match t.side {
+                Some(ChannelSide::Hi) => cols.entry(t.column).or_default().0.push(k),
+                Some(ChannelSide::Lo) => cols.entry(t.column).or_default().1.push(k),
+                None => {}
+            }
+        }
+    }
+    let mut succ = vec![BTreeSet::new(); items.len()];
+    for (his, los) in cols.values() {
+        for &a in his {
+            for &b in los {
+                // Pieces of the same net connect freely; only distinct
+                // nets facing each other in a column are ordered.
+                if a != b && items[a].net != items[b].net {
+                    succ[a].insert(b);
+                }
+            }
+        }
+    }
+    succ
+}
+
+/// Finds one cycle (as a vector of item indices) in the constraint
+/// graph, if any.
+fn find_cycle(succ: &[BTreeSet<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let n = succ.len();
+    let mut mark = vec![Mark::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        // Iterative DFS.
+        let mut stack = vec![(start, false)];
+        while let Some((u, processed)) = stack.pop() {
+            if processed {
+                mark[u] = Mark::Black;
+                continue;
+            }
+            if mark[u] == Mark::Black {
+                continue;
+            }
+            mark[u] = Mark::Gray;
+            stack.push((u, true));
+            for &v in &succ[u] {
+                match mark[v] {
+                    Mark::White => {
+                        parent[v] = u;
+                        stack.push((v, false));
+                    }
+                    Mark::Gray => {
+                        // Cycle: walk parents from u back to v.
+                        let mut cycle = vec![v, u];
+                        let mut cur = u;
+                        while parent[cur] != usize::MAX && cur != v {
+                            cur = parent[cur];
+                            if cur != v {
+                                cycle.push(cur);
+                            } else {
+                                break;
+                            }
+                        }
+                        return Some(cycle);
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Splits the given item at column `c` into two items joined by a
+/// floating terminal (the dogleg column).
+fn split_item(item: &Item, c: i64) -> (Item, Item) {
+    let mut left: Vec<Terminal> = item
+        .terminals
+        .iter()
+        .copied()
+        .filter(|t| t.column <= c)
+        .collect();
+    let mut right: Vec<Terminal> = item
+        .terminals
+        .iter()
+        .copied()
+        .filter(|t| t.column > c)
+        .collect();
+    left.push(Terminal {
+        column: c,
+        net: item.net,
+        side: None,
+    });
+    right.push(Terminal {
+        column: c,
+        net: item.net,
+        side: None,
+    });
+    (
+        Item::from_terminals(item.net, left),
+        Item::from_terminals(item.net, right),
+    )
+}
+
+/// Routes a channel with the constrained left-edge algorithm, breaking
+/// vertical-constraint cycles with doglegs.
+///
+/// # Errors
+///
+/// Returns [`ChannelRouteError::CyclicConstraints`] if cycles survive
+/// the dogleg budget (pathological same-column ping-pong patterns).
+pub fn route_channel(problem: &ChannelProblem) -> Result<ChannelRoute, ChannelRouteError> {
+    if problem.is_empty() {
+        return Ok(ChannelRoute {
+            tracks: Vec::new(),
+            density: 0,
+            doglegs: 0,
+        });
+    }
+
+    // Group terminals into initial items (one per net).
+    let mut by_net: BTreeMap<u32, Vec<Terminal>> = BTreeMap::new();
+    for t in problem.terminals() {
+        by_net.entry(t.net).or_default().push(*t);
+    }
+    let mut items: Vec<Item> = by_net
+        .into_iter()
+        .map(|(net, ts)| Item::from_terminals(net, ts))
+        .collect();
+
+    // Break cycles with doglegs.
+    let mut doglegs = 0;
+    let budget = 2 * items.len() + 8;
+    loop {
+        let succ = constraints(&items);
+        let Some(cycle) = find_cycle(&succ) else {
+            break;
+        };
+        if doglegs >= budget {
+            return Err(ChannelRouteError::CyclicConstraints);
+        }
+        // Split the widest item in the cycle at an interior column.
+        let &widest = cycle
+            .iter()
+            .max_by_key(|&&k| items[k].hi - items[k].lo)
+            .expect("cycles are nonempty");
+        let item = &items[widest];
+        if item.hi - item.lo < 2 {
+            return Err(ChannelRouteError::CyclicConstraints);
+        }
+        // Choose a split column strictly inside, avoiding the item's own
+        // terminal columns when possible.
+        let used: BTreeSet<i64> = item.terminals.iter().map(|t| t.column).collect();
+        let c = (item.lo + 1..item.hi)
+            .find(|c| !used.contains(c))
+            .unwrap_or(item.lo + (item.hi - item.lo) / 2);
+        let (a, b) = split_item(item, c);
+        items[widest] = a;
+        items.push(b);
+        doglegs += 1;
+    }
+
+    // Constrained left-edge: fill tracks from the Hi edge downward.
+    let succ = constraints(&items);
+    let mut pred_count = vec![0usize; items.len()];
+    for s in &succ {
+        for &v in s {
+            pred_count[v] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&k| (items[k].lo, items[k].hi, items[k].net));
+
+    let mut placed = vec![false; items.len()];
+    let mut remaining = items.len();
+    let mut tracks: Vec<Vec<TrackSegment>> = Vec::new();
+    while remaining > 0 {
+        let mut track: Vec<TrackSegment> = Vec::new();
+        let mut placed_this_track: Vec<usize> = Vec::new();
+        let mut rightmost = i64::MIN;
+        for &k in &order {
+            if placed[k] || pred_count[k] > 0 {
+                continue;
+            }
+            let item = &items[k];
+            // No overlap with trunks already on this track (touching
+            // columns conflict: the vertical stubs would collide).
+            if item.lo <= rightmost {
+                continue;
+            }
+            track.push(TrackSegment {
+                net: item.net,
+                lo: item.lo,
+                hi: item.hi,
+            });
+            rightmost = item.hi;
+            placed[k] = true;
+            placed_this_track.push(k);
+            remaining -= 1;
+        }
+        // Release constraints only after the track closes: successors
+        // must sit strictly below.
+        for &k in &placed_this_track {
+            for &v in &succ[k] {
+                pred_count[v] -= 1;
+            }
+        }
+        debug_assert!(
+            !track.is_empty(),
+            "acyclic constraints guarantee progress"
+        );
+        tracks.push(track);
+    }
+
+    Ok(ChannelRoute {
+        tracks,
+        density: problem.density(),
+        doglegs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(terms: &[(i64, u32, Option<ChannelSide>)]) -> ChannelProblem {
+        let mut prob = ChannelProblem::new();
+        for &(c, n, s) in terms {
+            prob.add(c, n, s);
+        }
+        prob
+    }
+
+    use ChannelSide::{Hi, Lo};
+
+    #[test]
+    fn disjoint_nets_share_one_track() {
+        // Spans [0,2] and [4,6] are column-disjoint with no shared
+        // terminal columns: the left-edge rule packs both trunks into a
+        // single track.
+        let prob = p(&[
+            (0, 1, Some(Hi)),
+            (2, 1, Some(Lo)),
+            (4, 2, Some(Hi)),
+            (6, 2, Some(Lo)),
+        ]);
+        let r = route_channel(&prob).expect("routable");
+        assert_eq!(r.track_count(), 1, "{:?}", r.tracks);
+        assert_eq!(r.tracks[0].len(), 2);
+    }
+
+    #[test]
+    fn overlapping_nets_need_two_tracks() {
+        let prob = p(&[
+            (0, 1, Some(Hi)),
+            (5, 1, Some(Lo)),
+            (2, 2, Some(Hi)),
+            (7, 2, Some(Lo)),
+        ]);
+        let r = route_channel(&prob).expect("routable");
+        assert_eq!(r.density, 2);
+        assert_eq!(r.track_count(), 2);
+    }
+
+    #[test]
+    fn vertical_constraint_orders_tracks() {
+        // Column 3: net 1 on Hi, net 2 on Lo -> net 1's trunk above.
+        let prob = p(&[
+            (0, 1, Some(Hi)),
+            (3, 1, Some(Hi)),
+            (3, 2, Some(Lo)),
+            (6, 2, Some(Lo)),
+        ]);
+        let r = route_channel(&prob).expect("routable");
+        let track_of = |net: u32| {
+            r.tracks
+                .iter()
+                .position(|t| t.iter().any(|s| s.net == net))
+                .expect("placed")
+        };
+        assert!(
+            track_of(1) < track_of(2),
+            "net 1 must be nearer the Hi edge: {:?}",
+            r.tracks
+        );
+    }
+
+    #[test]
+    fn constraint_cycle_broken_by_dogleg() {
+        // Classic 2-net cycle: col 2 has 1(Hi) over 2(Lo); col 6 has
+        // 2(Hi) over 1(Lo). Unroutable without a dogleg.
+        let prob = p(&[
+            (2, 1, Some(Hi)),
+            (6, 1, Some(Lo)),
+            (2, 2, Some(Lo)),
+            (6, 2, Some(Hi)),
+        ]);
+        let r = route_channel(&prob).expect("dogleg resolves the cycle");
+        assert!(r.doglegs >= 1);
+        // All terminals still covered: each net appears in some track
+        // and the union of its segments spans [2, 6].
+        for net in [1u32, 2] {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for t in &r.tracks {
+                for s in t.iter().filter(|s| s.net == net) {
+                    lo = lo.min(s.lo);
+                    hi = hi.max(s.hi);
+                }
+            }
+            assert!(lo <= 2 && hi >= 6, "net {net} span [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn track_count_close_to_density() {
+        // A dense ladder: k nested intervals -> density k, t == k.
+        let mut terms = Vec::new();
+        for k in 0..6i64 {
+            terms.push((k, (k + 1) as u32, Some(Hi)));
+            terms.push((20 - k, (k + 1) as u32, Some(Lo)));
+        }
+        let prob = p(&terms);
+        let r = route_channel(&prob).expect("routable");
+        assert_eq!(r.density, 6);
+        assert!(
+            r.track_count() <= r.density + 1,
+            "t = {} vs d = {}",
+            r.track_count(),
+            r.density
+        );
+    }
+
+    #[test]
+    fn empty_channel() {
+        let r = route_channel(&ChannelProblem::new()).expect("trivial");
+        assert_eq!(r.track_count(), 0);
+    }
+
+    #[test]
+    fn trunks_on_a_track_never_overlap() {
+        let prob = p(&[
+            (0, 1, Some(Hi)),
+            (4, 1, Some(Lo)),
+            (4, 2, Some(Hi)),
+            (9, 2, Some(Lo)),
+            (1, 3, Some(Lo)),
+            (2, 3, Some(Hi)),
+            (6, 4, Some(Hi)),
+            (8, 4, Some(Lo)),
+        ]);
+        let r = route_channel(&prob).expect("routable");
+        for t in &r.tracks {
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    assert!(
+                        t[i].hi < t[j].lo || t[j].hi < t[i].lo,
+                        "overlap in track: {t:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the channel router.
+
+use proptest::prelude::*;
+
+use twmc_channel::{route_channel, ChannelProblem, ChannelSide};
+
+/// Random problems: up to 10 nets, each with 2–4 terminals on random
+/// sides/columns.
+fn arb_problem() -> impl Strategy<Value = ChannelProblem> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0i64..40, 0u8..3), 2..5),
+            any::<u8>(),
+        ),
+        1..10,
+    )
+    .prop_map(|nets| {
+        let mut p = ChannelProblem::new();
+        for (net_id, (terms, _)) in nets.into_iter().enumerate() {
+            for (col, side) in terms {
+                let side = match side {
+                    0 => Some(ChannelSide::Lo),
+                    1 => Some(ChannelSide::Hi),
+                    _ => None,
+                };
+                p.add(col, net_id as u32, side);
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn routed_channels_are_well_formed(p in arb_problem()) {
+        let Ok(route) = route_channel(&p) else {
+            // Cyclic constraints beyond the dogleg budget: acceptable
+            // failure mode, just must not panic.
+            return Ok(());
+        };
+        // t >= d always (density is a lower bound).
+        prop_assert!(route.track_count() >= min_tracks_lower_bound(&p));
+        // Per-track trunks are disjoint (strictly: no shared columns).
+        for t in &route.tracks {
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    prop_assert!(
+                        t[i].hi < t[j].lo || t[j].hi < t[i].lo,
+                        "overlap {t:?}"
+                    );
+                }
+            }
+        }
+        // Every net's terminals are covered by its trunk segments.
+        for (net, lo, hi) in p.net_spans() {
+            let mut cover_lo = i64::MAX;
+            let mut cover_hi = i64::MIN;
+            for t in &route.tracks {
+                for s in t.iter().filter(|s| s.net == net) {
+                    cover_lo = cover_lo.min(s.lo);
+                    cover_hi = cover_hi.max(s.hi);
+                }
+            }
+            prop_assert!(cover_lo <= lo && cover_hi >= hi, "net {net} uncovered");
+        }
+        // Vertical constraints respected: at every column where distinct
+        // nets face each other, the Hi net's covering segment is on an
+        // earlier (nearer-Hi) track than the Lo net's.
+        for a in p.terminals() {
+            if a.side != Some(ChannelSide::Hi) {
+                continue;
+            }
+            for b in p.terminals() {
+                if b.side != Some(ChannelSide::Lo) || b.column != a.column || b.net == a.net {
+                    continue;
+                }
+                // Doglegged nets can have two pieces covering the
+                // column; the necessary condition is that A's highest
+                // covering piece sits above B's lowest covering piece.
+                let ta = covering_tracks(&route, a.net, a.column).into_iter().min();
+                let tb = covering_tracks(&route, b.net, b.column).into_iter().max();
+                if let (Some(ta), Some(tb)) = (ta, tb) {
+                    prop_assert!(
+                        ta < tb,
+                        "column {}: Hi net {} (track {ta}) not above Lo net {} (track {tb})",
+                        a.column,
+                        a.net,
+                        b.net
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_sound(p in arb_problem()) {
+        let d = p.density();
+        // Density is attained at some terminal column and bounded by the
+        // net count.
+        prop_assert!(d <= p.net_spans().len());
+        if !p.is_empty() {
+            prop_assert!(d >= 1);
+        }
+    }
+}
+
+/// All tracks whose segments of `net` cover `column` (doglegs give a net
+/// several pieces, and two may touch at the split column).
+fn covering_tracks(route: &twmc_channel::ChannelRoute, net: u32, column: i64) -> Vec<usize> {
+    route
+        .tracks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            t.iter()
+                .any(|s| s.net == net && s.lo <= column && column <= s.hi)
+        })
+        .map(|(k, _)| k)
+        .collect()
+}
+
+/// Density is a lower bound on tracks.
+fn min_tracks_lower_bound(p: &ChannelProblem) -> usize {
+    p.density().min(1)
+}

@@ -1,0 +1,374 @@
+//! Baseline placement methods for Table-4-style comparisons.
+//!
+//! The paper compares TimberWolfMC against "a variety of other placement
+//! methods": the Cheng–Kuh resistive-network optimizer, the Gould-AMI
+//! CIPAR package, and manual layouts. None of these are available, so we
+//! implement three stand-ins with the same input/output contract (see
+//! DESIGN.md §2):
+//!
+//! * [`quadratic_placement`] — resistive-network/quadratic optimization:
+//!   clique net model, conjugate-gradient solve of the two independent
+//!   linear systems, then order-preserving legalization;
+//! * [`greedy_placement`] — random start plus zero-temperature
+//!   first-improvement descent over the same move set TimberWolfMC uses;
+//! * [`shelf_placement`] — deterministic row packing in size order, a
+//!   conservative area-first layout.
+//!
+//! All baselines are evaluated with exactly the same metrics as the
+//! annealer (TEIL over the same pin model, chip bbox including the same
+//! interconnect allowances), so comparisons isolate placement quality.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams};
+use twmc_geom::{Point, Rect};
+use twmc_netlist::Netlist;
+use twmc_place::{generate, MoveSet, MoveStats, PlaceParams, PlacementState};
+use twmc_route::RouterParams;
+
+use crate::finalize_chip;
+
+/// Outcome of a baseline placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Method name (for reports).
+    pub method: &'static str,
+    /// Total estimated interconnect length of the final routed-and-spread
+    /// placement.
+    pub teil: f64,
+    /// Chip bounding box with every channel at its routed width (the
+    /// [`finalize_chip`] yardstick).
+    pub chip: Rect,
+    /// Globally-routed total length.
+    pub routed_length: i64,
+    /// Final cell bounding boxes.
+    pub cells: Vec<Rect>,
+}
+
+impl BaselineResult {
+    /// Chip area.
+    pub fn chip_area(&self) -> i64 {
+        self.chip.area()
+    }
+}
+
+fn fresh_state<'a>(
+    nl: &'a Netlist,
+    est_params: &EstimatorParams,
+    seed: u64,
+) -> (PlacementState<'a>, StdRng) {
+    let det = determine_core(nl, est_params);
+    let density = cell_density_factors(nl, nl.stats().avg_pin_density);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state = PlacementState::random(nl, det.estimator, density, 5.0, &mut rng);
+    (state, rng)
+}
+
+fn finish(
+    nl: &Netlist,
+    mut state: PlacementState<'_>,
+    method: &'static str,
+    seed: u64,
+) -> BaselineResult {
+    let fin = finalize_chip(nl, &mut state, &RouterParams::default(), seed ^ 0xba5e);
+    BaselineResult {
+        method,
+        teil: fin.teil,
+        chip: fin.chip,
+        routed_length: fin.routed_length,
+        cells: state.cells().iter().map(|c| c.placed_bbox()).collect(),
+    }
+}
+
+/// Quadratic (resistive-network) placement after Cheng–Kuh: minimize
+/// `Σ w_ij ((x_i−x_j)² + (y_i−y_j)²)` over cell centers with a clique net
+/// model and weak grid anchors (the resistive network's pad connections),
+/// then legalize preserving the solved ordering.
+pub fn quadratic_placement(
+    nl: &Netlist,
+    est_params: &EstimatorParams,
+    seed: u64,
+) -> BaselineResult {
+    let (mut state, _rng) = fresh_state(nl, est_params, seed);
+    let n = nl.cells().len();
+    let core = state.estimator().core();
+
+    // Clique model: weight 2/deg between each pair of a net's cells.
+    let mut weights: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for net in nl.nets() {
+        let cells: Vec<usize> = net
+            .primary_pins()
+            .map(|p| nl.pin(p).cell.index())
+            .collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let w = 2.0 / cells.len() as f64;
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                let (a, b) = (cells[i].min(cells[j]), cells[i].max(cells[j]));
+                if a != b {
+                    *weights.entry((a, b)).or_insert(0.0) += w;
+                }
+            }
+        }
+    }
+
+    // Weak anchors on a grid (stand-ins for the resistive network's pad
+    // terminals) prevent the all-cells-collapse solution.
+    let side = (n as f64).sqrt().ceil() as usize;
+    let anchor = |i: usize, span: i64, along: usize| -> f64 {
+        let k = (along % side) as f64 + 0.5;
+        let _ = i;
+        -(span as f64) / 2.0 + k * span as f64 / side as f64
+    };
+    let lambda = 0.1;
+    let solve = |coord: &dyn Fn(usize) -> f64| -> Vec<f64> {
+        // CG on (L + λI) x = λ a.
+        let mut x: Vec<f64> = (0..n).map(coord).collect();
+        let apply = |v: &[f64]| -> Vec<f64> {
+            let mut out: Vec<f64> = v.iter().map(|vi| lambda * vi).collect();
+            for (&(i, j), &w) in &weights {
+                out[i] += w * (v[i] - v[j]);
+                out[j] += w * (v[j] - v[i]);
+            }
+            out
+        };
+        let b: Vec<f64> = (0..n).map(|i| lambda * coord(i)).collect();
+        let mut r: Vec<f64> = {
+            let ax = apply(&x);
+            b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect()
+        };
+        let mut p = r.clone();
+        let mut rs: f64 = r.iter().map(|v| v * v).sum();
+        for _ in 0..200 {
+            if rs < 1e-9 {
+                break;
+            }
+            let ap = apply(&p);
+            let denom: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if denom.abs() < 1e-18 {
+                break;
+            }
+            let alpha = rs / denom;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rs2: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs2 / rs;
+            rs = rs2;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        x
+    };
+
+    let xs = solve(&|i| anchor(i, core.width(), i));
+    let ys = solve(&|i| anchor(i, core.height(), i / side));
+    for i in 0..n {
+        state.set_cell_center(i, Point::new(xs[i].round() as i64, ys[i].round() as i64));
+    }
+    state.rebuild_all();
+    finish(nl, state, "quadratic", seed)
+}
+
+/// Greedy placement: random start, then zero-temperature descent with the
+/// full TimberWolfMC move set (first-improvement hill climbing).
+pub fn greedy_placement(
+    nl: &Netlist,
+    est_params: &EstimatorParams,
+    moves_per_cell: usize,
+    seed: u64,
+) -> BaselineResult {
+    let (mut state, mut rng) = fresh_state(nl, est_params, seed);
+    let core = state.estimator().core();
+    let params = PlaceParams::default();
+    let mut stats = MoveStats::default();
+    let iterations = moves_per_cell * nl.cells().len();
+    for _ in 0..iterations {
+        generate(
+            &mut state,
+            &params,
+            MoveSet::Full,
+            core.width() as f64,
+            core.height() as f64,
+            1e-12, // effectively greedy: uphill moves are rejected
+            &mut rng,
+            &mut stats,
+        );
+    }
+    finish(nl, state, "greedy", seed)
+}
+
+/// Shelf placement: cells sorted by decreasing height, packed left to
+/// right into rows of the core width — a conservative, area-first layout
+/// with no interconnect awareness.
+pub fn shelf_placement(nl: &Netlist, est_params: &EstimatorParams, seed: u64) -> BaselineResult {
+    let (mut state, _rng) = fresh_state(nl, est_params, seed);
+    let core = state.estimator().core();
+    let n = nl.cells().len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let bb = state.cell(i).placed_bbox();
+        (-bb.height(), -bb.width(), i)
+    });
+    let gap = 2i64;
+    // A manual layout targets a roughly square die: wrap rows at the
+    // square-packing width (never wider than the core, never narrower
+    // than the widest cell).
+    let total: i64 = (0..n)
+        .map(|i| {
+            let bb = state.cell(i).placed_bbox();
+            (bb.width() + gap) * (bb.height() + gap)
+        })
+        .sum();
+    let widest = (0..n)
+        .map(|i| state.cell(i).placed_bbox().width() + gap)
+        .max()
+        .unwrap_or(1);
+    let max_w = ((total as f64 * 1.1).sqrt().ceil() as i64)
+        .max(widest)
+        .min(core.width().max(widest));
+    let (mut x, mut y, mut shelf_h) = (0i64, 0i64, 0i64);
+    let mut placements = Vec::new();
+    for &i in &order {
+        let bb = state.cell(i).placed_bbox();
+        if x > 0 && x + bb.width() + gap > max_w {
+            y += shelf_h;
+            x = 0;
+            shelf_h = 0;
+        }
+        placements.push((i, Point::new(x, y)));
+        x += bb.width() + gap;
+        shelf_h = shelf_h.max(bb.height() + gap);
+    }
+    let total_h = y + shelf_h;
+    for (i, p) in placements {
+        state.set_cell_pos(i, p + Point::new(core.lo().x, -total_h / 2));
+    }
+    state.rebuild_all();
+    finish(nl, state, "shelf", seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twmc_netlist::{synthesize, SynthParams};
+
+    fn circuit() -> Netlist {
+        synthesize(&SynthParams {
+            cells: 10,
+            nets: 25,
+            pins: 80,
+            custom_fraction: 0.2,
+            seed: 6,
+            avg_cell_dim: 20,
+            ..Default::default()
+        })
+    }
+
+    fn assert_legal(r: &BaselineResult) {
+        for i in 0..r.cells.len() {
+            for j in (i + 1)..r.cells.len() {
+                assert_eq!(
+                    r.cells[i].overlap_area(r.cells[j]),
+                    0,
+                    "{} cells {i},{j} overlap",
+                    r.method
+                );
+            }
+        }
+        assert!(r.teil > 0.0);
+        assert!(r.chip_area() > 0);
+    }
+
+    #[test]
+    fn quadratic_is_legal_and_deterministic() {
+        let nl = circuit();
+        let a = quadratic_placement(&nl, &EstimatorParams::default(), 3);
+        assert_legal(&a);
+        let b = quadratic_placement(&nl, &EstimatorParams::default(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_improves_over_random() {
+        let nl = circuit();
+        let est = EstimatorParams::default();
+        let zero_moves = greedy_placement(&nl, &est, 0, 7);
+        let many_moves = greedy_placement(&nl, &est, 60, 7);
+        assert_legal(&zero_moves);
+        assert_legal(&many_moves);
+        assert!(
+            many_moves.teil < zero_moves.teil,
+            "greedy {} vs random {}",
+            many_moves.teil,
+            zero_moves.teil
+        );
+    }
+
+    #[test]
+    fn shelf_is_legal_and_compact() {
+        let nl = circuit();
+        let r = shelf_placement(&nl, &EstimatorParams::default(), 1);
+        assert_legal(&r);
+        // Shelves pack within about the core width.
+        let core_w = {
+            let det = determine_core(&nl, &EstimatorParams::default());
+            det.estimator.core().width()
+        };
+        let bbox = r
+            .cells
+            .iter()
+            .skip(1)
+            .fold(r.cells[0], |acc, c| acc.hull(*c));
+        assert!(bbox.width() <= core_w + 40, "{} > {}", bbox.width(), core_w);
+    }
+
+    #[test]
+    fn quadratic_solution_balances_spring_forces() {
+        // Analytic check of the resistive-network solve: two cells tied
+        // by one 2-pin net (clique weight 1.0 each way) plus the weak
+        // grid anchors. At the optimum, for each coordinate the net force
+        // w(x_i - x_j) + lambda (x_i - a_i) is zero; with symmetric
+        // anchors the cells meet near the anchor midpoint. We verify the
+        // produced placement is legal and the two cells end up adjacent
+        // (within a couple of cell widths), which only holds if the CG
+        // solve actually converged toward the coupled optimum rather
+        // than the anchors alone.
+        let mut b = twmc_netlist::NetlistBuilder::new();
+        let c0 = b.add_macro("a", twmc_geom::TileSet::rect(10, 10));
+        let c1 = b.add_macro("b", twmc_geom::TileSet::rect(10, 10));
+        let p0 = b.add_fixed_pin(c0, "p", Point::new(10, 5)).expect("pin");
+        let p1 = b.add_fixed_pin(c1, "p", Point::new(0, 5)).expect("pin");
+        b.add_simple_net("n", &[p0, p1]).expect("net");
+        let nl = b.build().expect("valid");
+        let r = quadratic_placement(&nl, &EstimatorParams::default(), 1);
+        assert_legal(&r);
+        // Strong spring (w = 1) vs weak anchors (lambda = 0.1): the cells
+        // gravitate together before legalization separates them minimally.
+        let gap = (r.cells[0].center().x - r.cells[1].center().x).abs()
+            + (r.cells[0].center().y - r.cells[1].center().y).abs();
+        assert!(gap < 60, "cells ended {gap} apart — CG did not couple them");
+    }
+
+    #[test]
+    fn quadratic_beats_shelf_on_wirelength() {
+        // The interconnect-aware baseline should beat the area-only one
+        // on TEIL (the relative ordering Table 4 presumes).
+        let nl = circuit();
+        let est = EstimatorParams::default();
+        let q = quadratic_placement(&nl, &est, 3);
+        let s = shelf_placement(&nl, &est, 3);
+        assert!(
+            q.teil < s.teil * 1.2,
+            "quadratic {} vs shelf {}",
+            q.teil,
+            s.teil
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Human-readable reports in the style of the paper's tables.
+
+use crate::{BaselineResult, TimberWolfResult};
+
+/// One comparison row of a Table-4-style report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Cells / nets / pins.
+    pub cells: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Pin count.
+    pub pins: usize,
+    /// TimberWolfMC TEIL.
+    pub teil: f64,
+    /// TimberWolfMC chip dimensions.
+    pub area: (i64, i64),
+    /// TEIL reduction versus the comparison method, in percent.
+    pub teil_reduction_pct: f64,
+    /// Area reduction versus the comparison method, in percent.
+    pub area_reduction_pct: f64,
+    /// Name of the comparison method.
+    pub versus: &'static str,
+}
+
+/// Builds a comparison row between a TimberWolfMC run and a baseline.
+pub fn compare(
+    circuit: &str,
+    stats: &twmc_netlist::CircuitStats,
+    twmc: &TimberWolfResult,
+    baseline: &BaselineResult,
+) -> ComparisonRow {
+    let teil_red = 100.0 * (1.0 - twmc.teil / baseline.teil.max(1e-9));
+    let area_red = 100.0 * (1.0 - twmc.chip_area() as f64 / baseline.chip_area().max(1) as f64);
+    ComparisonRow {
+        circuit: circuit.to_owned(),
+        cells: stats.cells,
+        nets: stats.nets,
+        pins: stats.pins,
+        teil: twmc.teil,
+        area: (twmc.chip.width(), twmc.chip.height()),
+        teil_reduction_pct: teil_red,
+        area_reduction_pct: area_red,
+        versus: baseline.method,
+    }
+}
+
+/// Formats rows as the paper's Table 4 (fixed-width text).
+pub fn format_table4(rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Circuit  Cells  Nets  Pins      TEIL        Area (x*y)   TEIL Red.%  Area Red.%  vs\n",
+    );
+    let mut teil_sum = 0.0;
+    let mut area_sum = 0.0;
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>5} {:>5} {:>5} {:>9.0}  {:>7} x {:<7} {:>9.1}  {:>9.1}  {}\n",
+            r.circuit,
+            r.cells,
+            r.nets,
+            r.pins,
+            r.teil,
+            r.area.0,
+            r.area.1,
+            r.teil_reduction_pct,
+            r.area_reduction_pct,
+            r.versus,
+        ));
+        teil_sum += r.teil_reduction_pct;
+        area_sum += r.area_reduction_pct;
+    }
+    if !rows.is_empty() {
+        out.push_str(&format!(
+            "{:<8} {:>30} {:>21} {:>9.1}  {:>9.1}\n",
+            "Avg.",
+            "",
+            "",
+            teil_sum / rows.len() as f64,
+            area_sum / rows.len() as f64,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twmc_geom::Rect;
+
+    fn fake_row(teil_red: f64) -> ComparisonRow {
+        ComparisonRow {
+            circuit: "i1".into(),
+            cells: 33,
+            nets: 121,
+            pins: 452,
+            teil: 7431.0,
+            area: (236, 223),
+            teil_reduction_pct: teil_red,
+            area_reduction_pct: 14.0,
+            versus: "quadratic",
+        }
+    }
+
+    #[test]
+    fn table_formats_rows_and_average() {
+        let t = format_table4(&[fake_row(26.0), fake_row(10.0)]);
+        assert!(t.contains("i1"));
+        assert!(t.contains("236"));
+        assert!(t.contains("Avg."));
+        assert!(t.contains("18.0"), "{t}");
+    }
+
+    #[test]
+    fn reductions_signed_correctly() {
+        let stats = twmc_netlist::CircuitStats {
+            cells: 2,
+            nets: 1,
+            pins: 2,
+            total_area: 10,
+            avg_area: 5.0,
+            total_perimeter: 20,
+            avg_pin_density: 0.1,
+        };
+        let baseline = BaselineResult {
+            method: "greedy",
+            teil: 200.0,
+            chip: Rect::from_wh(0, 0, 20, 20),
+            routed_length: 0,
+            cells: vec![],
+        };
+        // A result with half the TEIL and a quarter of the area.
+        let twmc = TimberWolfResult {
+            stage1: fake_stage1(),
+            stage2: fake_stage2(),
+            placement: vec![],
+            teil: 100.0,
+            chip: Rect::from_wh(0, 0, 10, 10),
+            routed_length: 1,
+        };
+        let row = compare("c", &stats, &twmc, &baseline);
+        assert!((row.teil_reduction_pct - 50.0).abs() < 1e-9);
+        assert!((row.area_reduction_pct - 75.0).abs() < 1e-9);
+    }
+
+    fn fake_stage1() -> twmc_place::Stage1Result {
+        twmc_place::Stage1Result {
+            teil: 120.0,
+            c1: 120.0,
+            residual_overlap: 0,
+            c3: 0.0,
+            chip: Rect::from_wh(0, 0, 10, 10),
+            t_infinity: 1e5,
+            s_t: 1.0,
+            history: vec![],
+            moves: Default::default(),
+        }
+    }
+
+    fn fake_stage2() -> twmc_refine::Stage2Result {
+        twmc_refine::Stage2Result {
+            records: vec![],
+            final_routing: twmc_route::GlobalRouting {
+                graph: Default::default(),
+                routes: vec![],
+                assignment: twmc_route::Assignment {
+                    choice: vec![],
+                    total_length: 0,
+                    overflow: 0,
+                    edge_usage: vec![],
+                    attempts: 0,
+                },
+                node_density: vec![],
+                pin_attachments: vec![],
+                reserved_tracks: 0.0,
+                unrouted: 0,
+            },
+            teil: 100.0,
+            chip: Rect::from_wh(0, 0, 10, 10),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Relative pin density factors `f_rp` (paper §2.2, factor 3).
+//!
+//! The pin density of a cell edge is its pin count divided by its length;
+//! dividing by the circuit-average density `D̄_p` gives the relative
+//! density `d_rp`, and the allowance factor is `f_rp = max(1, d_rp)` — an
+//! edge gets at least the average allowance even with few or no pins.
+
+use twmc_geom::{boundary_edges, Orientation, Point, Side, TileSet};
+
+/// Per-side relative pin density factors for one cell, in its unoriented
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinDensityFactors {
+    factors: [f64; 4],
+}
+
+/// Fixed indexing of sides into the factor array.
+fn side_index(side: Side) -> usize {
+    match side {
+        Side::Left => 0,
+        Side::Right => 1,
+        Side::Bottom => 2,
+        Side::Top => 3,
+    }
+}
+
+impl PinDensityFactors {
+    /// Unit factors (average density on every side).
+    pub const UNIT: PinDensityFactors = PinDensityFactors { factors: [1.0; 4] };
+
+    /// The factor `f_rp` for a side of the unoriented cell.
+    #[inline]
+    pub fn factor(&self, side: Side) -> f64 {
+        self.factors[side_index(side)]
+    }
+
+    /// The factor for the side that *appears* as `placed_side` once the
+    /// cell is oriented by `orientation`: orientation moves the pins with
+    /// the geometry, so the factors move too.
+    pub fn factor_oriented(&self, orientation: Orientation, placed_side: Side) -> f64 {
+        // placed_side = orientation.apply_side(original); invert.
+        let original = orientation.inverse().apply_side(placed_side);
+        self.factor(original)
+    }
+
+    /// Computes the per-side factors of a cell from its geometry and fixed
+    /// cell-local pin positions.
+    ///
+    /// A pin is attributed to every boundary edge it lies on (corner pins
+    /// count toward both adjacent sides). `avg_density` is the circuit
+    /// average `D̄_p`; non-positive values yield unit factors.
+    pub fn from_pins(shape: &TileSet, pins: &[Point], avg_density: f64) -> PinDensityFactors {
+        if avg_density <= 0.0 {
+            return PinDensityFactors::UNIT;
+        }
+        let edges = boundary_edges(shape);
+        let mut count = [0usize; 4];
+        let mut length = [0i64; 4];
+        for e in &edges {
+            length[side_index(e.side)] += e.len();
+        }
+        for &p in pins {
+            for e in &edges {
+                let on = if e.side.is_vertical() {
+                    p.x == e.coord && e.span.contains(p.y)
+                } else {
+                    p.y == e.coord && e.span.contains(p.x)
+                };
+                if on {
+                    count[side_index(e.side)] += 1;
+                }
+            }
+        }
+        let mut factors = [1.0f64; 4];
+        for i in 0..4 {
+            if length[i] > 0 {
+                let d = count[i] as f64 / length[i] as f64;
+                factors[i] = (d / avg_density).max(1.0);
+            }
+        }
+        PinDensityFactors { factors }
+    }
+
+    /// Uniform factors for a custom cell whose pins are not yet placed:
+    /// the cell's total pin count spread over its perimeter.
+    pub fn uniform(pin_count: usize, perimeter: i64, avg_density: f64) -> PinDensityFactors {
+        if avg_density <= 0.0 || perimeter <= 0 {
+            return PinDensityFactors::UNIT;
+        }
+        let d = pin_count as f64 / perimeter as f64;
+        let f = (d / avg_density).max(1.0);
+        PinDensityFactors { factors: [f; 4] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_concentrated_on_one_side() {
+        let shape = TileSet::rect(10, 10);
+        // 5 pins on the right edge, none elsewhere. Average density such
+        // that uniform spread would be 0.1 pins/unit.
+        let pins: Vec<Point> = (1..=5).map(|i| Point::new(10, 2 * i)).collect();
+        let f = PinDensityFactors::from_pins(&shape, &pins, 0.1);
+        // Right density = 0.5, relative = 5.
+        assert!((f.factor(Side::Right) - 5.0).abs() < 1e-12);
+        // Other sides floor at 1.
+        assert_eq!(f.factor(Side::Left), 1.0);
+        assert_eq!(f.factor(Side::Top), 1.0);
+        assert_eq!(f.factor(Side::Bottom), 1.0);
+    }
+
+    #[test]
+    fn factor_never_below_one() {
+        let shape = TileSet::rect(10, 10);
+        let f = PinDensityFactors::from_pins(&shape, &[], 0.5);
+        for side in Side::ALL {
+            assert_eq!(f.factor(side), 1.0);
+        }
+    }
+
+    #[test]
+    fn orientation_moves_factors_with_pins() {
+        let shape = TileSet::rect(10, 4);
+        let pins: Vec<Point> = (1..=3).map(|i| Point::new(0, i)).collect(); // left side
+        let f = PinDensityFactors::from_pins(&shape, &pins, 0.05);
+        assert!(f.factor(Side::Left) > 1.0);
+        // Rotated 90° CCW, the left side becomes the bottom.
+        let got = f.factor_oriented(Orientation::R90, Side::Bottom);
+        assert_eq!(got, f.factor(Side::Left));
+        // And the new left (old top) is at the floor.
+        assert_eq!(f.factor_oriented(Orientation::R90, Side::Left), 1.0);
+    }
+
+    #[test]
+    fn uniform_factors_for_custom_cells() {
+        let f = PinDensityFactors::uniform(40, 80, 0.25);
+        // density 0.5 / avg 0.25 = 2 on all sides.
+        for side in Side::ALL {
+            assert!((f.factor(side) - 2.0).abs() < 1e-12);
+        }
+        // Sparse custom cell floors at one.
+        let f = PinDensityFactors::uniform(2, 80, 0.25);
+        assert_eq!(f.factor(Side::Left), 1.0);
+    }
+
+    #[test]
+    fn corner_pin_counts_both_sides() {
+        let shape = TileSet::rect(4, 4);
+        let f = PinDensityFactors::from_pins(&shape, &[Point::new(0, 0)], 0.01);
+        assert!(f.factor(Side::Left) > 1.0);
+        assert!(f.factor(Side::Bottom) > 1.0);
+        assert_eq!(f.factor(Side::Top), 1.0);
+    }
+
+    #[test]
+    fn l_shape_side_lengths_aggregate() {
+        // L-shape: two top edges; pins on either count toward Top.
+        let shape = TileSet::new(vec![
+            twmc_geom::Rect::from_wh(0, 0, 4, 2),
+            twmc_geom::Rect::from_wh(0, 2, 2, 2),
+        ])
+        .unwrap();
+        let pins = vec![Point::new(1, 4), Point::new(3, 2)]; // both on Top edges
+        let f = PinDensityFactors::from_pins(&shape, &pins, 0.1);
+        // Top total length = 2 + 2 = 4; density = 0.5; relative = 5.
+        assert!((f.factor(Side::Top) - 5.0).abs() < 1e-12);
+    }
+}

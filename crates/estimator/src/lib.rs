@@ -1,0 +1,53 @@
+//! The dynamic interconnect-area estimator of TimberWolfMC (paper §2.2–2.3).
+//!
+//! Macro/custom cells have pins on all edges, so interconnect space must
+//! be allocated *around* each cell; allocating the wrong amount forces
+//! placement alteration during routing. This crate implements the paper's
+//! three-factor estimate of the allowance along every cell edge:
+//!
+//! 1. **Average net traffic** — the expected channel width
+//!    `C_w = (N_L / C_L) · t_s` (eq. 1), from an interconnect-length
+//!    model ([`estimate_total_interconnect_length`]);
+//! 2. **Position on chip** — tent-shaped modulation `f_x(x) · f_y(y)`
+//!    with normalization α ([`Modulation`], eqs. 3–4): channels near the
+//!    core center are ≈4× wider than corner channels;
+//! 3. **Relative pin density** — `f_rp = max(1, d_rp)` per cell side
+//!    ([`PinDensityFactors`]).
+//!
+//! [`determine_core`] resolves the circular dependency between core size
+//! and allowance by fixed-point iteration (paper §2.3), yielding an
+//! [`Estimator`] whose [`Estimator::side_expansions`] is what the stage-1
+//! placement updates each time a cell moves.
+//!
+//! # Examples
+//!
+//! ```
+//! use twmc_estimator::{determine_core, EstimatorParams};
+//! use twmc_netlist::{synthesize, SynthParams};
+//!
+//! let circuit = synthesize(&SynthParams::default());
+//! let det = determine_core(&circuit, &EstimatorParams::default());
+//! let est = &det.estimator;
+//! // Cells near the center get more interconnect room than at corners.
+//! let center = est.edge_allowance(0.0, 0.0, 1.0);
+//! let corner = est.edge_allowance(
+//!     est.core().hi().x as f64, est.core().hi().y as f64, 1.0);
+//! assert!(center > corner);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod density;
+mod estimator;
+mod modulation;
+mod traffic;
+
+pub use density::PinDensityFactors;
+pub use estimator::{
+    cell_density_factors, determine_core, CoreDetermination, Estimator, EstimatorParams,
+};
+pub use modulation::Modulation;
+pub use traffic::{
+    channel_width, estimate_channel_length, estimate_total_interconnect_length, DEFAULT_GAMMA,
+};

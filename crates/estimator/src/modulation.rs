@@ -1,0 +1,149 @@
+//! Position modulation functions `f_x`, `f_y` and their normalization
+//! (paper §2.2, factor 2, eqs. 3–4).
+//!
+//! Channels near the center of the core carry more traffic than channels
+//! near the edges: in manual two-layer layouts the paper observed center
+//! channels ≈2× wider than mid-side channels and ≈4× wider than corner
+//! channels, hence the default `M = 2`, `B = 1` tent functions.
+
+/// The tent-shaped modulation profile over a `W × H` core centered at the
+/// origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Modulation {
+    m_x: f64,
+    b_x: f64,
+    m_y: f64,
+    b_y: f64,
+    half_w: f64,
+    half_h: f64,
+}
+
+impl Modulation {
+    /// Creates a profile for a core of width `w` and height `h` with peak
+    /// values `m_x`/`m_y` at the center and `b_x`/`b_y` at the borders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is not positive, or any peak/border value is
+    /// not positive, or a border value exceeds its peak.
+    pub fn new(w: f64, h: f64, m_x: f64, b_x: f64, m_y: f64, b_y: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0, "core dimensions must be positive");
+        assert!(
+            m_x > 0.0 && b_x > 0.0 && m_y > 0.0 && b_y > 0.0,
+            "modulation values must be positive"
+        );
+        assert!(b_x <= m_x && b_y <= m_y, "border value must not exceed peak");
+        Modulation {
+            m_x,
+            b_x,
+            m_y,
+            b_y,
+            half_w: w / 2.0,
+            half_h: h / 2.0,
+        }
+    }
+
+    /// The paper's typical selection `M_x = M_y = 2`, `B_x = B_y = 1`.
+    pub fn paper_default(w: f64, h: f64) -> Self {
+        Modulation::new(w, h, 2.0, 1.0, 2.0, 1.0)
+    }
+
+    /// Horizontal modulation `f_x(x) = M_x − |x| (M_x − B_x) / (0.5 W)`,
+    /// clamped to `[B_x, M_x]` outside the core.
+    pub fn fx(&self, x: f64) -> f64 {
+        (self.m_x - x.abs() * (self.m_x - self.b_x) / self.half_w).max(self.b_x)
+    }
+
+    /// Vertical modulation `f_y(y)`.
+    pub fn fy(&self, y: f64) -> f64 {
+        (self.m_y - y.abs() * (self.m_y - self.b_y) / self.half_h).max(self.b_y)
+    }
+
+    /// The combined modulation `f_x(x) · f_y(y)` at a chip position.
+    pub fn at(&self, x: f64, y: f64) -> f64 {
+        self.fx(x) * self.fy(y)
+    }
+
+    /// The normalization constant `α = (1/HW) ∫∫ f_x f_y dx dy`
+    /// (eq. 3) — in closed form `((M_x+B_x)/2) · ((M_y+B_y)/2)`, which for
+    /// `M_x = M_y = M`, `B_x = B_y = B` reduces to eq. 4's `((M+B)/2)²`.
+    ///
+    /// Note on the paper's eq. 2: dividing the per-edge estimate by α (as
+    /// done here) is what makes the *expected* edge allowance equal
+    /// `0.5 C_w`; multiplying, as eq. 2 reads literally, would scale the
+    /// expectation by α² — an apparent typo we correct (see DESIGN.md).
+    pub fn alpha(&self) -> f64 {
+        ((self.m_x + self.b_x) / 2.0) * ((self.m_y + self.b_y) / 2.0)
+    }
+
+    /// Peak combined modulation at the core center (`M_x · M_y`), used by
+    /// the initial core-area estimate (eq. 5).
+    pub fn peak(&self) -> f64 {
+        self.m_x * self.m_y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tent_shape() {
+        let m = Modulation::paper_default(100.0, 80.0);
+        assert_eq!(m.fx(0.0), 2.0);
+        assert_eq!(m.fx(50.0), 1.0);
+        assert_eq!(m.fx(-50.0), 1.0);
+        assert_eq!(m.fx(25.0), 1.5);
+        assert_eq!(m.fy(0.0), 2.0);
+        assert_eq!(m.fy(40.0), 1.0);
+        // Clamped outside the core.
+        assert_eq!(m.fx(70.0), 1.0);
+    }
+
+    #[test]
+    fn figure1_edge_weights() {
+        // Paper Fig. 1: center edge ≈ MxMy, mid-side ≈ MxBy (or BxMy),
+        // corner ≈ BxBy.
+        let m = Modulation::paper_default(100.0, 100.0);
+        assert_eq!(m.at(0.0, 0.0), 4.0); // e2: center
+        assert_eq!(m.at(0.0, 50.0), 2.0); // e3-like: mid-top
+        assert_eq!(m.at(50.0, 50.0), 1.0); // e5: corner
+        assert_eq!(m.at(50.0, 0.0), 2.0); // mid-right
+    }
+
+    #[test]
+    fn alpha_matches_eq4() {
+        let m = Modulation::paper_default(10.0, 10.0);
+        assert!((m.alpha() - 2.25).abs() < 1e-12);
+        let asym = Modulation::new(10.0, 10.0, 2.0, 1.0, 3.0, 1.0);
+        assert!((asym.alpha() - 1.5 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_matches_numeric_integral() {
+        let m = Modulation::new(64.0, 32.0, 1.7, 0.6, 2.3, 0.9);
+        let (w, h) = (64.0, 32.0);
+        let n = 400;
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let x = -w / 2.0 + (i as f64 + 0.5) * w / n as f64;
+                let y = -h / 2.0 + (j as f64 + 0.5) * h / n as f64;
+                sum += m.at(x, y);
+            }
+        }
+        let mean = sum / (n * n) as f64;
+        assert!((mean - m.alpha()).abs() < 1e-3, "{mean} vs {}", m.alpha());
+    }
+
+    #[test]
+    fn peak_is_center_product() {
+        assert_eq!(Modulation::paper_default(10.0, 10.0).peak(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "border value")]
+    fn rejects_border_above_peak() {
+        let _ = Modulation::new(10.0, 10.0, 1.0, 2.0, 1.0, 1.0);
+    }
+}

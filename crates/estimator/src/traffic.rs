@@ -1,0 +1,125 @@
+//! Average net traffic and the expected channel width `C_w` (paper §2.2
+//! factor 1, eq. 1).
+//!
+//! `C_w = (N_L / C_L) · t_s` where `N_L` estimates the final total
+//! interconnect length, `C_L` estimates the total channel length, and
+//! `t_s` is the center-to-center wiring-track separation.
+
+use twmc_netlist::Netlist;
+
+/// Default optimized-placement length factor γ.
+///
+/// For i.i.d.-uniform pin positions the expected per-axis span of an
+/// `n`-pin net is `(n−1)/(n+1)` of the core span; an *optimized* placement
+/// reaches a roughly constant fraction of that random-placement length
+/// (Sechen, ICCAD'87). γ ≈ 0.45 reproduces the paper's channel widths on
+/// mid-size circuits; it is exposed as a knob.
+pub const DEFAULT_GAMMA: f64 = 0.45;
+
+/// Estimates the final total interconnect length `N_L` for a circuit
+/// placed on a `w × h` core.
+///
+/// Per net of degree `n`: expected half-perimeter of the bounding box of
+/// `n` uniform points is `(W + H)(n−1)/(n+1)`, scaled by the optimized
+/// placement factor `gamma` and the net's direction weights.
+pub fn estimate_total_interconnect_length(nl: &Netlist, w: f64, h: f64, gamma: f64) -> f64 {
+    nl.nets()
+        .iter()
+        .map(|net| {
+            let n = net.degree() as f64;
+            let frac = (n - 1.0) / (n + 1.0);
+            gamma * frac * (w * net.weight_h + h * net.weight_v)
+        })
+        .sum()
+}
+
+/// Estimates the total channel length `C_L`.
+///
+/// Every channel is bordered by exactly two cell (or core-boundary) edges,
+/// so the total channel length is approximately half of the total edge
+/// length: half the sum of cell perimeters plus half the core perimeter.
+pub fn estimate_channel_length(nl: &Netlist, w: f64, h: f64) -> f64 {
+    let cell_perims: i64 = nl.cells().iter().map(|c| c.perimeter()).sum();
+    cell_perims as f64 / 2.0 + (w + h)
+}
+
+/// The expected average channel width `C_w = (N_L / C_L) · t_s` (eq. 1).
+pub fn channel_width(n_l: f64, c_l: f64, t_s: f64) -> f64 {
+    assert!(c_l > 0.0, "channel length estimate must be positive");
+    (n_l / c_l) * t_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twmc_geom::{Point, TileSet};
+    use twmc_netlist::{NetlistBuilder, SynthParams};
+
+    fn two_cell_netlist(degree: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_macro("a", TileSet::rect(10, 10));
+        let c = b.add_macro("b", TileSet::rect(10, 10));
+        let mut pins = Vec::new();
+        for i in 0..degree {
+            let on_a = i % 2 == 0;
+            let cell = if on_a { a } else { c };
+            pins.push(
+                b.add_fixed_pin(cell, &format!("p{i}"), Point::new(0, (i as i64) % 10))
+                    .unwrap(),
+            );
+        }
+        b.add_simple_net("n", &pins).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_pin_net_length() {
+        let nl = two_cell_netlist(2);
+        // (n-1)/(n+1) = 1/3 for n=2.
+        let est = estimate_total_interconnect_length(&nl, 300.0, 300.0, 1.0);
+        assert!((est - (600.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_nets_span_more() {
+        let small = two_cell_netlist(2);
+        let large = two_cell_netlist(10);
+        let e_small = estimate_total_interconnect_length(&small, 100.0, 100.0, 1.0);
+        let e_large = estimate_total_interconnect_length(&large, 100.0, 100.0, 1.0);
+        assert!(e_large > e_small);
+        // And bounded by the full half-perimeter.
+        assert!(e_large < 200.0);
+    }
+
+    #[test]
+    fn channel_length_counts_half_the_edges() {
+        let nl = two_cell_netlist(2);
+        // Two 10x10 cells: perimeters 40+40; core 100x100.
+        let c_l = estimate_channel_length(&nl, 100.0, 100.0);
+        assert!((c_l - (40.0 + 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_width_eq1() {
+        assert!((channel_width(1000.0, 250.0, 2.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_scales_linearly() {
+        let nl = twmc_netlist::synthesize(&SynthParams {
+            cells: 10,
+            nets: 30,
+            pins: 90,
+            ..Default::default()
+        });
+        let a = estimate_total_interconnect_length(&nl, 500.0, 400.0, 0.45);
+        let b = estimate_total_interconnect_length(&nl, 500.0, 400.0, 0.9);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_channel_length_rejected() {
+        let _ = channel_width(10.0, 0.0, 1.0);
+    }
+}

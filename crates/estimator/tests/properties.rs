@@ -1,0 +1,140 @@
+//! Property-based tests of the interconnect-area estimator.
+
+use proptest::prelude::*;
+
+use twmc_estimator::{
+    cell_density_factors, channel_width, determine_core, estimate_channel_length,
+    estimate_total_interconnect_length, EstimatorParams, Modulation,
+};
+use twmc_netlist::{synthesize, SynthParams};
+
+fn arb_modulation() -> impl Strategy<Value = (Modulation, f64, f64)> {
+    (
+        20.0f64..500.0,
+        20.0f64..500.0,
+        1.0f64..4.0,
+        0.2f64..1.0,
+        1.0f64..4.0,
+        0.2f64..1.0,
+    )
+        .prop_map(|(w, h, mx, bxf, my, byf)| {
+            // Border values as fractions of the peaks keep b <= m.
+            (Modulation::new(w, h, mx, mx * bxf, my, my * byf), w, h)
+        })
+}
+
+proptest! {
+    #[test]
+    fn modulation_bounds_and_symmetry((m, w, h) in arb_modulation(), fx in -1.5f64..1.5, fy in -1.5f64..1.5) {
+        let x = fx * w / 2.0;
+        let y = fy * h / 2.0;
+        let v = m.at(x, y);
+        // Bounded by the corner and center products.
+        prop_assert!(v <= m.peak() + 1e-9);
+        prop_assert!(v > 0.0);
+        // Even symmetry.
+        prop_assert!((m.at(-x, y) - v).abs() < 1e-9);
+        prop_assert!((m.at(x, -y) - v).abs() < 1e-9);
+        // Monotone decrease away from the center along each axis.
+        prop_assert!(m.fx(x.abs() + 1.0) <= m.fx(x.abs()) + 1e-12);
+    }
+
+    #[test]
+    fn alpha_equals_numeric_mean((m, w, h) in arb_modulation()) {
+        let n = 120;
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let x = -w / 2.0 + (i as f64 + 0.5) * w / n as f64;
+                let y = -h / 2.0 + (j as f64 + 0.5) * h / n as f64;
+                sum += m.at(x, y);
+            }
+        }
+        let mean = sum / (n * n) as f64;
+        prop_assert!((mean - m.alpha()).abs() < 0.01 * m.alpha(), "{mean} vs {}", m.alpha());
+    }
+
+    #[test]
+    fn interconnect_length_scales_with_core(
+        seed in 0u64..500,
+        w in 100.0f64..1000.0,
+        h in 100.0f64..1000.0,
+        k in 1.2f64..4.0,
+    ) {
+        let nl = synthesize(&SynthParams {
+            cells: 10,
+            nets: 25,
+            pins: 80,
+            seed,
+            ..Default::default()
+        });
+        let a = estimate_total_interconnect_length(&nl, w, h, 0.45);
+        let b = estimate_total_interconnect_length(&nl, k * w, k * h, 0.45);
+        // N_L is linear in the core span.
+        prop_assert!((b / a - k).abs() < 1e-9);
+        // And C_w = N_L/C_L * t_s is positive and finite.
+        let c_l = estimate_channel_length(&nl, w, h);
+        let cw = channel_width(a, c_l, 2.0);
+        prop_assert!(cw.is_finite() && cw > 0.0);
+    }
+
+    #[test]
+    fn core_determination_invariants(seed in 0u64..500, custom in 0.0f64..0.5) {
+        let nl = synthesize(&SynthParams {
+            cells: 12,
+            nets: 30,
+            pins: 100,
+            custom_fraction: custom,
+            seed,
+            ..Default::default()
+        });
+        let det = determine_core(&nl, &EstimatorParams::default());
+        let core = det.estimator.core();
+        // The core always exceeds the bare cell area (wiring space).
+        let cell_area: i64 = nl.cells().iter().map(|c| c.area()).sum();
+        prop_assert!(core.area() >= cell_area);
+        prop_assert!(det.effective_area >= cell_area as f64);
+        // Allowance positivity and center dominance.
+        let e0 = det.estimator.initial_allowance();
+        prop_assert!(e0 > 0.0);
+        let corner = det
+            .estimator
+            .edge_allowance(core.hi().x as f64, core.hi().y as f64, 1.0);
+        prop_assert!(e0 >= corner);
+        // Expected allowance at f_rp = 1 equals 0.5 C_w (sampled coarsely).
+        let n = 60;
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let x = core.lo().x as f64 + (i as f64 + 0.5) * core.width() as f64 / n as f64;
+                let y = core.lo().y as f64 + (j as f64 + 0.5) * core.height() as f64 / n as f64;
+                sum += det.estimator.edge_allowance(x, y, 1.0);
+            }
+        }
+        let mean = sum / (n * n) as f64;
+        prop_assert!(
+            (mean - 0.5 * det.estimator.c_w()).abs() < 0.05 * det.estimator.c_w(),
+            "{mean} vs {}",
+            0.5 * det.estimator.c_w()
+        );
+    }
+
+    #[test]
+    fn density_factors_floor_at_one(seed in 0u64..500) {
+        let nl = synthesize(&SynthParams {
+            cells: 10,
+            nets: 25,
+            pins: 90,
+            custom_fraction: 0.3,
+            seed,
+            ..Default::default()
+        });
+        let f = cell_density_factors(&nl, nl.stats().avg_pin_density);
+        for (cell, fac) in nl.cells().iter().zip(&f) {
+            for side in twmc_geom::Side::ALL {
+                prop_assert!(fac.factor(side) >= 1.0, "{}", cell.name);
+                prop_assert!(fac.factor(side).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Rectilinear polygon decomposition into tiles.
+//!
+//! Netlists describe rectilinear cell outlines as vertex loops; the
+//! placement engine wants them as non-overlapping rectangular tiles
+//! (paper §3.1.2). This module performs the horizontal-slab decomposition.
+
+use crate::{Point, Rect, Span, TileSet, TileSetError};
+
+/// Error decomposing a rectilinear polygon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than four vertices.
+    TooFewVertices,
+    /// Two consecutive vertices are neither horizontally nor vertically
+    /// aligned (the polygon is not rectilinear), at the given vertex index.
+    NotRectilinear(usize),
+    /// Two consecutive vertices coincide, at the given vertex index.
+    ZeroLengthEdge(usize),
+    /// A horizontal slab had an odd number of crossing edges — the outline
+    /// self-intersects or is not closed.
+    SelfIntersecting,
+    /// The decomposition produced an invalid tile set.
+    BadTiles(TileSetError),
+}
+
+impl core::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least 4 vertices"),
+            PolygonError::NotRectilinear(i) => {
+                write!(f, "edge after vertex {i} is neither horizontal nor vertical")
+            }
+            PolygonError::ZeroLengthEdge(i) => write!(f, "edge after vertex {i} has zero length"),
+            PolygonError::SelfIntersecting => {
+                write!(f, "polygon outline self-intersects or is not closed")
+            }
+            PolygonError::BadTiles(e) => write!(f, "decomposition produced bad tiles: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+impl From<TileSetError> for PolygonError {
+    fn from(e: TileSetError) -> Self {
+        PolygonError::BadTiles(e)
+    }
+}
+
+/// Decomposes a simple rectilinear polygon (given as a closed vertex loop,
+/// last edge implicit) into a [`TileSet`] of horizontal-slab tiles.
+///
+/// Vertices may wind in either direction. The resulting tile set is
+/// normalized so its bounding box starts at the origin.
+///
+/// # Errors
+///
+/// Returns a [`PolygonError`] for degenerate, non-rectilinear, or
+/// self-intersecting outlines.
+///
+/// # Examples
+///
+/// ```
+/// use twmc_geom::{decompose_rectilinear, Point};
+///
+/// // An L-shape.
+/// let ts = decompose_rectilinear(&[
+///     Point::new(0, 0),
+///     Point::new(4, 0),
+///     Point::new(4, 2),
+///     Point::new(2, 2),
+///     Point::new(2, 4),
+///     Point::new(0, 4),
+/// ])?;
+/// assert_eq!(ts.area(), 12);
+/// # Ok::<(), twmc_geom::PolygonError>(())
+/// ```
+pub fn decompose_rectilinear(vertices: &[Point]) -> Result<TileSet, PolygonError> {
+    if vertices.len() < 4 {
+        return Err(PolygonError::TooFewVertices);
+    }
+
+    // Collect vertical edges (x, y-span); validate rectilinearity.
+    let mut vertical: Vec<(i64, Span)> = Vec::new();
+    for (i, &a) in vertices.iter().enumerate() {
+        let b = vertices[(i + 1) % vertices.len()];
+        if a == b {
+            return Err(PolygonError::ZeroLengthEdge(i));
+        }
+        if a.x == b.x {
+            vertical.push((a.x, Span::new(a.y, b.y)));
+        } else if a.y != b.y {
+            return Err(PolygonError::NotRectilinear(i));
+        }
+    }
+
+    // Horizontal slabs between consecutive distinct y coordinates.
+    let mut ys: Vec<i64> = vertices.iter().map(|p| p.y).collect();
+    ys.sort_unstable();
+    ys.dedup();
+
+    let mut tiles = Vec::new();
+    for win in ys.windows(2) {
+        let (y0, y1) = (win[0], win[1]);
+        let slab = Span::new(y0, y1);
+        // Edges fully crossing this slab, sorted by x.
+        let mut xs: Vec<i64> = vertical
+            .iter()
+            .filter(|(_, s)| s.contains_span(slab))
+            .map(|(x, _)| *x)
+            .collect();
+        xs.sort_unstable();
+        if xs.len() % 2 != 0 {
+            return Err(PolygonError::SelfIntersecting);
+        }
+        for pair in xs.chunks(2) {
+            if pair[0] == pair[1] {
+                return Err(PolygonError::SelfIntersecting);
+            }
+            tiles.push(Rect::from_spans(Span::new(pair[0], pair[1]), slab));
+        }
+    }
+
+    Ok(TileSet::new(tiles)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(i64, i64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn rectangle() {
+        let ts = decompose_rectilinear(&pts(&[(0, 0), (5, 0), (5, 3), (0, 3)])).unwrap();
+        assert_eq!(ts.area(), 15);
+        assert_eq!(ts.tiles().len(), 1);
+    }
+
+    #[test]
+    fn rectangle_reverse_winding() {
+        let ts = decompose_rectilinear(&pts(&[(0, 0), (0, 3), (5, 3), (5, 0)])).unwrap();
+        assert_eq!(ts.area(), 15);
+    }
+
+    #[test]
+    fn l_shape() {
+        let ts = decompose_rectilinear(&pts(&[(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]))
+            .unwrap();
+        assert_eq!(ts.area(), 12);
+        assert_eq!(ts.tiles().len(), 2);
+        assert_eq!(ts.bbox(), Rect::from_wh(0, 0, 4, 4));
+    }
+
+    #[test]
+    fn t_shape() {
+        // T-shape: stem 2 wide under a 6-wide top bar.
+        let ts = decompose_rectilinear(&pts(&[
+            (2, 0),
+            (4, 0),
+            (4, 2),
+            (6, 2),
+            (6, 4),
+            (0, 4),
+            (0, 2),
+            (2, 2),
+        ]))
+        .unwrap();
+        assert_eq!(ts.area(), 2 * 2 + 6 * 2);
+        assert_eq!(ts.tiles().len(), 2);
+    }
+
+    #[test]
+    fn twelve_edge_cell_like_paper_figure8() {
+        // The paper's Fig. 8 shows a rectilinear cell C4 with 12 edges;
+        // build a plus-shaped 12-edge outline.
+        let ts = decompose_rectilinear(&pts(&[
+            (2, 0),
+            (4, 0),
+            (4, 2),
+            (6, 2),
+            (6, 4),
+            (4, 4),
+            (4, 6),
+            (2, 6),
+            (2, 4),
+            (0, 4),
+            (0, 2),
+            (2, 2),
+        ]))
+        .unwrap();
+        assert_eq!(ts.area(), 2 * 6 + 2 * 2 + 2 * 2);
+        // 3 horizontal slabs.
+        assert_eq!(ts.tiles().len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            decompose_rectilinear(&pts(&[(0, 0), (1, 0), (1, 1)])),
+            Err(PolygonError::TooFewVertices)
+        );
+        assert_eq!(
+            decompose_rectilinear(&pts(&[(0, 0), (2, 1), (2, 2), (0, 2)])),
+            Err(PolygonError::NotRectilinear(0))
+        );
+        assert_eq!(
+            decompose_rectilinear(&pts(&[(0, 0), (0, 0), (2, 0), (2, 2), (0, 2)])),
+            Err(PolygonError::ZeroLengthEdge(0))
+        );
+    }
+
+    #[test]
+    fn decomposition_matches_boundary_perimeter() {
+        let ts = decompose_rectilinear(&pts(&[(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]))
+            .unwrap();
+        assert_eq!(ts.perimeter(), 16);
+    }
+}

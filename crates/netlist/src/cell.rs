@@ -1,0 +1,262 @@
+//! Cells: fixed-geometry macro cells and resizable custom cells.
+//!
+//! TimberWolfMC is applicable to circuits containing cells of any
+//! rectilinear shape; cells may have fixed geometry including pin
+//! locations (*macro* cells) or an estimated area with a specified
+//! aspect-ratio range and pins that need to be placed (*custom* cells).
+//! Cells may also have several possible instances, of which the most
+//! suitable is selected during annealing (paper §1).
+
+use twmc_geom::{Point, TileSet};
+
+use crate::{CellId, PinId};
+
+/// Permitted aspect ratios (width / height) for a custom cell.
+///
+/// The paper permits custom cells to have aspect ratios in a continuous
+/// *or* discrete range (§1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AspectRange {
+    /// Any ratio within `[min, max]`.
+    Continuous {
+        /// Smallest permitted width/height ratio.
+        min: f64,
+        /// Largest permitted width/height ratio.
+        max: f64,
+    },
+    /// One of an explicit list of ratios.
+    Discrete(Vec<f64>),
+}
+
+impl AspectRange {
+    /// A range containing exactly one ratio.
+    pub fn fixed(ratio: f64) -> AspectRange {
+        AspectRange::Discrete(vec![ratio])
+    }
+
+    /// Whether `ratio` is permitted (within 1e-9 for discrete ranges).
+    pub fn contains(&self, ratio: f64) -> bool {
+        match self {
+            AspectRange::Continuous { min, max } => *min <= ratio && ratio <= *max,
+            AspectRange::Discrete(rs) => rs.iter().any(|r| (r - ratio).abs() < 1e-9),
+        }
+    }
+
+    /// The permitted ratio closest to `ratio`.
+    pub fn clamp(&self, ratio: f64) -> f64 {
+        match self {
+            AspectRange::Continuous { min, max } => ratio.clamp(*min, *max),
+            AspectRange::Discrete(rs) => rs
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    (a - ratio)
+                        .abs()
+                        .partial_cmp(&(b - ratio).abs())
+                        .expect("aspect ratios are finite")
+                })
+                .unwrap_or(1.0),
+        }
+    }
+
+    /// A representative default ratio (geometric mean of the bounds, or the
+    /// first discrete option).
+    pub fn default_ratio(&self) -> f64 {
+        match self {
+            AspectRange::Continuous { min, max } => (min * max).sqrt(),
+            AspectRange::Discrete(rs) => rs.first().copied().unwrap_or(1.0),
+        }
+    }
+
+    /// Maps a uniform sample `u ∈ [0, 1)` to a permitted ratio; used by the
+    /// aspect-ratio move of the `generate` function.
+    pub fn sample(&self, u: f64) -> f64 {
+        match self {
+            AspectRange::Continuous { min, max } => {
+                // Sample uniformly in log space so 0.5 and 2.0 are
+                // symmetric choices around 1.0.
+                (min.ln() + u * (max.ln() - min.ln())).exp()
+            }
+            AspectRange::Discrete(rs) => {
+                if rs.is_empty() {
+                    1.0
+                } else {
+                    rs[((u * rs.len() as f64) as usize).min(rs.len() - 1)]
+                }
+            }
+        }
+    }
+}
+
+/// One selectable fixed geometry of a macro cell.
+#[derive(Debug, Clone)]
+pub struct CellInstance {
+    /// Instance name (unique within the cell).
+    pub name: String,
+    /// Cell-local geometry (bounding box anchored at the origin).
+    pub tiles: TileSet,
+    /// Fixed cell-local pin positions, one entry per pin of the owning
+    /// cell, in the cell's pin order.
+    pub pin_positions: Vec<Point>,
+}
+
+/// The geometric description of a cell.
+#[derive(Debug, Clone)]
+pub enum CellGeometry {
+    /// Macro cell: one or more fixed-geometry instances.
+    Fixed {
+        /// The selectable instances (at least one).
+        instances: Vec<CellInstance>,
+    },
+    /// Custom cell: estimated area, realized as a rectangle whose aspect
+    /// ratio the annealer chooses within `aspect`.
+    Flexible {
+        /// Estimated cell area in grid units².
+        area: i64,
+        /// Permitted aspect ratios.
+        aspect: AspectRange,
+    },
+}
+
+/// Computes the rectangle dimensions `(w, h)` realizing `area` at
+/// width/height ratio `aspect`, with both dimensions at least 1.
+///
+/// The realized area can differ slightly from `area` due to grid rounding;
+/// `h` is chosen so `w × h` is as close to `area` as the grid permits.
+///
+/// # Examples
+///
+/// ```
+/// use twmc_netlist::flexible_dims;
+///
+/// assert_eq!(flexible_dims(400, 1.0), (20, 20));
+/// assert_eq!(flexible_dims(400, 4.0), (40, 10));
+/// ```
+pub fn flexible_dims(area: i64, aspect: f64) -> (i64, i64) {
+    let a = (area.max(1)) as f64;
+    let w = (a * aspect).sqrt().round().max(1.0) as i64;
+    let h = ((a / w as f64).round().max(1.0)) as i64;
+    (w, h)
+}
+
+/// A cell of the circuit.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub(crate) id: CellId,
+    /// Cell name (unique within the netlist).
+    pub name: String,
+    /// Geometry: fixed instances (macro) or resizable rectangle (custom).
+    pub geometry: CellGeometry,
+    /// Pins belonging to this cell, in declaration order.
+    pub pins: Vec<PinId>,
+    /// Number of pin sites defined along each edge of a custom cell
+    /// (paper §2.4); unused for macro cells.
+    pub sites_per_edge: u32,
+}
+
+impl Cell {
+    /// The cell's id.
+    #[inline]
+    pub fn id(&self) -> CellId {
+        self.id
+    }
+
+    /// Whether this is a custom (resizable, pin-placeable) cell.
+    #[inline]
+    pub fn is_custom(&self) -> bool {
+        matches!(self.geometry, CellGeometry::Flexible { .. })
+    }
+
+    /// Number of selectable instances (1 for custom cells).
+    pub fn instance_count(&self) -> usize {
+        match &self.geometry {
+            CellGeometry::Fixed { instances } => instances.len(),
+            CellGeometry::Flexible { .. } => 1,
+        }
+    }
+
+    /// The instances of a macro cell (empty slice for custom cells).
+    pub fn instances(&self) -> &[CellInstance] {
+        match &self.geometry {
+            CellGeometry::Fixed { instances } => instances,
+            CellGeometry::Flexible { .. } => &[],
+        }
+    }
+
+    /// The default shape: instance 0 for macro cells, or the rectangle at
+    /// the default aspect ratio for custom cells.
+    pub fn default_shape(&self) -> TileSet {
+        match &self.geometry {
+            CellGeometry::Fixed { instances } => instances[0].tiles.clone(),
+            CellGeometry::Flexible { area, aspect } => {
+                let (w, h) = flexible_dims(*area, aspect.default_ratio());
+                TileSet::rect(w, h)
+            }
+        }
+    }
+
+    /// The cell area of the default shape.
+    pub fn area(&self) -> i64 {
+        match &self.geometry {
+            CellGeometry::Fixed { instances } => instances[0].tiles.area(),
+            CellGeometry::Flexible { area, .. } => *area,
+        }
+    }
+
+    /// Perimeter of the default shape, for the circuit-average pin density.
+    pub fn perimeter(&self) -> i64 {
+        self.default_shape().perimeter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aspect_range_continuous() {
+        let r = AspectRange::Continuous { min: 0.5, max: 2.0 };
+        assert!(r.contains(1.0) && r.contains(0.5) && r.contains(2.0));
+        assert!(!r.contains(0.4) && !r.contains(2.5));
+        assert_eq!(r.clamp(3.0), 2.0);
+        assert_eq!(r.clamp(0.1), 0.5);
+        assert!((r.default_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aspect_range_discrete() {
+        let r = AspectRange::Discrete(vec![0.5, 1.0, 2.0]);
+        assert!(r.contains(1.0));
+        assert!(!r.contains(0.75));
+        assert_eq!(r.clamp(0.8), 1.0);
+        assert_eq!(r.clamp(0.6), 0.5);
+        assert_eq!(r.default_ratio(), 0.5);
+    }
+
+    #[test]
+    fn aspect_sampling_stays_in_range() {
+        let r = AspectRange::Continuous { min: 0.5, max: 2.0 };
+        for i in 0..10 {
+            let u = i as f64 / 10.0;
+            assert!(r.contains(r.sample(u)), "u={u}");
+        }
+        let d = AspectRange::Discrete(vec![0.25, 4.0]);
+        assert_eq!(d.sample(0.0), 0.25);
+        assert_eq!(d.sample(0.99), 4.0);
+    }
+
+    #[test]
+    fn flexible_dims_respects_area_and_ratio() {
+        let (w, h) = flexible_dims(400, 1.0);
+        assert_eq!((w, h), (20, 20));
+        let (w, h) = flexible_dims(400, 0.25);
+        assert_eq!((w, h), (10, 40));
+        // Degenerate inputs still give positive dims.
+        let (w, h) = flexible_dims(1, 100.0);
+        assert!(w >= 1 && h >= 1);
+        // Realized area close to requested.
+        let (w, h) = flexible_dims(1000, 1.7);
+        let realized = w * h;
+        assert!((realized - 1000).abs() <= (w.max(h)), "{w}x{h}");
+    }
+}

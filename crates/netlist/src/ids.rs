@@ -1,0 +1,72 @@
+//! Typed indices for cells, pins, nets, and pin groups.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+
+            /// The raw index (usable into the owning [`crate::Netlist`] slices).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a cell within a [`crate::Netlist`].
+    CellId,
+    "c"
+);
+id_type!(
+    /// Identifier of a pin within a [`crate::Netlist`].
+    PinId,
+    "p"
+);
+id_type!(
+    /// Identifier of a net within a [`crate::Netlist`].
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a pin group within a [`crate::Netlist`].
+    GroupId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let c = CellId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(format!("{c}"), "c7");
+        assert_eq!(format!("{}", NetId::from_index(3)), "n3");
+        assert_eq!(format!("{}", PinId::from_index(0)), "p0");
+        assert_eq!(format!("{}", GroupId::from_index(1)), "g1");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+}

@@ -1,0 +1,58 @@
+//! Circuit model for the TimberWolfMC reproduction.
+//!
+//! This crate models the netlists TimberWolfMC places and routes:
+//!
+//! * [`Cell`] — fixed-geometry **macro** cells (rectilinear tile sets,
+//!   fixed pin locations, optionally several selectable instances) and
+//!   resizable **custom** cells (estimated area, aspect-ratio range, pin
+//!   sites along each edge);
+//! * [`Pin`] / [`PinGroup`] — the paper's four pin-placement cases:
+//!   fixed location, edge-restricted, grouped, and sequenced groups
+//!   (§2.4);
+//! * [`Net`] — nets with per-direction weights `h(n)`/`v(n)` (eq. 6) and
+//!   electrically-equivalent pins for the global router (§4.2);
+//! * [`Netlist`] / [`NetlistBuilder`] — a validated container with
+//!   circuit statistics (`D̄_p`, `c̄_a`, …);
+//! * [`parse_netlist`] / [`write_netlist`] — a round-trippable text
+//!   format;
+//! * [`synthesize`] / [`PAPER_CIRCUITS`] — seeded synthetic circuits
+//!   matching the published sizes of the paper's nine industrial test
+//!   cases.
+//!
+//! # Examples
+//!
+//! ```
+//! use twmc_netlist::{synthesize_profile, paper_circuit};
+//!
+//! let profile = paper_circuit("i3").unwrap();
+//! let circuit = synthesize_profile(profile, 42);
+//! let stats = circuit.stats();
+//! assert_eq!((stats.cells, stats.nets, stats.pins), (18, 38, 102));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cell;
+mod ids;
+mod net;
+mod netlist;
+mod parser;
+mod pin;
+mod sideset;
+mod synth;
+mod writer;
+mod yal;
+
+pub use cell::{flexible_dims, AspectRange, Cell, CellGeometry, CellInstance};
+pub use ids::{CellId, GroupId, NetId, PinId};
+pub use net::{Net, NetPin};
+pub use netlist::{CircuitStats, Netlist, NetlistBuilder, NetlistError};
+pub use parser::{parse_netlist, ParseError};
+pub use pin::{Pin, PinGroup, PinPlacement};
+pub use sideset::SideSet;
+pub use synth::{
+    paper_circuit, synthesize, synthesize_profile, CircuitProfile, SynthParams, PAPER_CIRCUITS,
+};
+pub use writer::write_netlist;
+pub use yal::parse_yal;

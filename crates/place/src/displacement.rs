@@ -1,0 +1,135 @@
+//! Displacement-point selection within the range-limiter window
+//! (paper §3.2.3, eqs. 15–16).
+//!
+//! `D_s` restricts the step in each direction to multiples of
+//! `s = W(T)/6` with multipliers in `{−3 … 3}` (excluding the null move),
+//! giving 48 evenly-dispersed candidate points. Compared with uniformly
+//! random selection (`D_r`) this gave slightly better TEIL and 22% lower
+//! residual overlap. (Eq. 16 prints `W_y/4`; with the stated 48 points and
+//! the symmetric ±half-window reach, both axes divide by 6 — we take the
+//! printed 4 as a typo.)
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use twmc_geom::Point;
+
+use crate::DisplacementSelector;
+
+/// Number of quantized steps per half-axis in `D_s`.
+const STEPS: i64 = 3;
+
+/// Picks a displacement target for a cell centered at `center`, within a
+/// window of spans `(window_x, window_y)`.
+///
+/// Returns the new center. The null displacement is excluded.
+pub fn select_displacement(
+    selector: DisplacementSelector,
+    center: Point,
+    window_x: f64,
+    window_y: f64,
+    rng: &mut StdRng,
+) -> Point {
+    match selector {
+        DisplacementSelector::Quantized => {
+            // s_x = W_x/6, steps in {-3..3}, not both zero.
+            let sx = (window_x / 6.0).max(1.0);
+            let sy = (window_y / 6.0).max(1.0);
+            loop {
+                let ix = rng.random_range(-STEPS..=STEPS);
+                let iy = rng.random_range(-STEPS..=STEPS);
+                if ix == 0 && iy == 0 {
+                    continue;
+                }
+                let dx = (ix as f64 * sx).round() as i64;
+                let dy = (iy as f64 * sy).round() as i64;
+                return Point::new(center.x + dx, center.y + dy);
+            }
+        }
+        DisplacementSelector::Random => {
+            let hx = (window_x / 2.0).max(1.0) as i64;
+            let hy = (window_y / 2.0).max(1.0) as i64;
+            loop {
+                let dx = rng.random_range(-hx..=hx);
+                let dy = rng.random_range(-hy..=hy);
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                return Point::new(center.x + dx, center.y + dy);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn quantized_targets_form_48_points() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            let p = select_displacement(
+                DisplacementSelector::Quantized,
+                Point::ORIGIN,
+                60.0,
+                60.0,
+                &mut rng,
+            );
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 48);
+        // Never the null move.
+        assert!(!seen.contains(&Point::ORIGIN));
+        // Max reach is half the window.
+        assert!(seen.iter().all(|p| p.x.abs() <= 30 && p.y.abs() <= 30));
+    }
+
+    #[test]
+    fn quantized_minimum_step_is_one_unit() {
+        // At the minimum window span of 6 the step sizes are 1 (paper
+        // §3.2.3): targets are the 48 integer points around the center.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let p = select_displacement(
+                DisplacementSelector::Quantized,
+                Point::ORIGIN,
+                6.0,
+                6.0,
+                &mut rng,
+            );
+            assert!(p.x.abs() <= 3 && p.y.abs() <= 3);
+            assert_ne!(p, Point::ORIGIN);
+        }
+    }
+
+    #[test]
+    fn random_covers_window_continuously() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            let p = select_displacement(
+                DisplacementSelector::Random,
+                Point::ORIGIN,
+                60.0,
+                60.0,
+                &mut rng,
+            );
+            assert!(p.x.abs() <= 30 && p.y.abs() <= 30);
+            seen.insert(p);
+        }
+        // Far more distinct points than D_s's 48.
+        assert!(seen.len() > 500);
+    }
+
+    #[test]
+    fn offsets_center() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let c = Point::new(100, -40);
+        let p = select_displacement(DisplacementSelector::Quantized, c, 12.0, 12.0, &mut rng);
+        assert!((p.x - c.x).abs() <= 6 && (p.y - c.y).abs() <= 6);
+    }
+}

@@ -1,0 +1,599 @@
+//! The `generate` function: TimberWolfMC's new-state move machine
+//! (paper §3.2.1).
+//!
+//! A single `generate` call performs a cascade of individually
+//! Metropolis-judged attempts:
+//!
+//! * with probability `p = r/(r+1)`: a **single-cell displacement** to a
+//!   point chosen by `D_s` within the range-limiter window; if rejected,
+//!   the same displacement with the cell's **aspect ratio inverted**; if
+//!   that is rejected too, a **random orientation change** in place. For
+//!   custom cells, follow-up attempts reassign **pin groups/sequences**
+//!   to new sites and try an **aspect-ratio change**; macro cells with
+//!   alternatives may switch **instance**.
+//! * otherwise: a **pairwise interchange** of two cells; if rejected, the
+//!   interchange with both aspect ratios inverted.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use twmc_geom::{Orientation, Point, Side};
+use twmc_netlist::{NetId, PinPlacement};
+
+use crate::{select_displacement, PlaceParams, PlacementState, SiteRef};
+
+/// Attempt/accept counters per move class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveStats {
+    /// Single-cell displacements (first attempt of the cascade).
+    pub displacements: (usize, usize),
+    /// Aspect-inverted displacement retries.
+    pub inverted_displacements: (usize, usize),
+    /// In-place orientation changes.
+    pub orientations: (usize, usize),
+    /// Pairwise interchanges.
+    pub interchanges: (usize, usize),
+    /// Aspect-inverted interchange retries.
+    pub inverted_interchanges: (usize, usize),
+    /// Pin/group/sequence reassignments.
+    pub pin_moves: (usize, usize),
+    /// Custom-cell aspect-ratio changes.
+    pub aspect_moves: (usize, usize),
+    /// Macro-cell instance selections.
+    pub instance_moves: (usize, usize),
+}
+
+impl MoveStats {
+    /// Total attempts across all classes.
+    pub fn attempts(&self) -> usize {
+        let MoveStats {
+            displacements,
+            inverted_displacements,
+            orientations,
+            interchanges,
+            inverted_interchanges,
+            pin_moves,
+            aspect_moves,
+            instance_moves,
+        } = self;
+        displacements.0
+            + inverted_displacements.0
+            + orientations.0
+            + interchanges.0
+            + inverted_interchanges.0
+            + pin_moves.0
+            + aspect_moves.0
+            + instance_moves.0
+    }
+
+    /// Total acceptances across all classes.
+    pub fn accepts(&self) -> usize {
+        let MoveStats {
+            displacements,
+            inverted_displacements,
+            orientations,
+            interchanges,
+            inverted_interchanges,
+            pin_moves,
+            aspect_moves,
+            instance_moves,
+        } = self;
+        displacements.1
+            + inverted_displacements.1
+            + orientations.1
+            + interchanges.1
+            + inverted_interchanges.1
+            + pin_moves.1
+            + aspect_moves.1
+            + instance_moves.1
+    }
+
+    fn add(counter: &mut (usize, usize), accepted: bool) {
+        counter.0 += 1;
+        if accepted {
+            counter.1 += 1;
+        }
+    }
+}
+
+/// The Metropolis acceptance function.
+#[inline]
+pub fn metropolis(delta: f64, t: f64, rng: &mut StdRng) -> bool {
+    delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp()
+}
+
+/// What a `generate` call may do — stage 2 restricts the move set
+/// (paper §4.3: displacements and pin moves only; orientations and aspect
+/// ratios stay fixed so the static edge expansions remain valid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveSet {
+    /// Full stage-1 move set.
+    Full,
+    /// Stage-2 refinement: single-cell displacements and pin placement
+    /// alterations only.
+    Refinement,
+}
+
+/// One saved cell configuration for undo.
+struct CellSnapshot {
+    idx: usize,
+    pos: Point,
+    orientation: Orientation,
+    aspect: f64,
+    instance: usize,
+}
+
+impl CellSnapshot {
+    fn take(st: &PlacementState<'_>, idx: usize) -> Self {
+        let c = st.cell(idx);
+        CellSnapshot {
+            idx,
+            pos: c.pos,
+            orientation: c.orientation,
+            aspect: c.aspect,
+            instance: c.instance,
+        }
+    }
+
+    fn restore(&self, st: &mut PlacementState<'_>) {
+        let (cur_instance, cur_aspect) = {
+            let c = st.cell(self.idx);
+            (c.instance, c.aspect)
+        };
+        if cur_instance != self.instance {
+            st.set_cell_instance(self.idx, self.instance);
+        }
+        if cur_aspect != self.aspect && st.netlist().cells()[self.idx].is_custom() {
+            st.set_cell_aspect(self.idx, self.aspect);
+        }
+        if st.cell(self.idx).orientation != self.orientation {
+            st.set_cell_orientation(self.idx, self.orientation);
+        }
+        st.set_cell_pos(self.idx, self.pos);
+    }
+}
+
+/// Runs one cell-geometry attempt: mutate via `apply`, Metropolis-test,
+/// undo on rejection. Returns whether the move was accepted.
+fn attempt_cells(
+    st: &mut PlacementState<'_>,
+    involved: &[usize],
+    t: f64,
+    rng: &mut StdRng,
+    apply: impl FnOnce(&mut PlacementState<'_>),
+) -> bool {
+    let snapshots: Vec<CellSnapshot> = involved
+        .iter()
+        .map(|&i| CellSnapshot::take(st, i))
+        .collect();
+    let nets = st.nets_touching(involved);
+    let before = st.move_cost(involved, &nets);
+    apply(st);
+    let after = st.move_cost(involved, &nets);
+    let delta = st.weighted_delta(before, after);
+    if metropolis(delta, t, rng) {
+        st.commit_cost(before, after, &nets);
+        true
+    } else {
+        for s in snapshots.iter().rev() {
+            s.restore(st);
+        }
+        false
+    }
+}
+
+/// A pin-reassignment attempt (geometry unchanged, so only `C₁` of the
+/// touched nets and the cell's `C₃` are at stake).
+fn attempt_pins(
+    st: &mut PlacementState<'_>,
+    cell: usize,
+    moves: &[(usize, SiteRef)],
+    t: f64,
+    rng: &mut StdRng,
+) -> bool {
+    let old: Vec<(usize, SiteRef)> = moves
+        .iter()
+        .map(|&(pin, _)| (pin, st.pin_site(pin).expect("moving a sited pin")))
+        .collect();
+    let mut nets: Vec<NetId> = moves
+        .iter()
+        .filter_map(|&(pin, _)| st.netlist().pins()[pin].net)
+        .collect();
+    nets.sort();
+    nets.dedup();
+    let pin_cost = |s: &PlacementState<'_>| crate::MoveCost {
+        c1: nets.iter().map(|n| s.net_cost_live(n.index())).sum(),
+        overlap: 0,
+        c3: s.cells_c3(&[cell]),
+    };
+    let before = pin_cost(st);
+    for &(pin, site) in moves {
+        st.set_pin_site(pin, site);
+    }
+    let after = pin_cost(st);
+    let delta = st.weighted_delta(before, after);
+    if metropolis(delta, t, rng) {
+        st.commit_cost(before, after, &nets);
+        true
+    } else {
+        for &(pin, site) in old.iter().rev() {
+            st.set_pin_site(pin, site);
+        }
+        false
+    }
+}
+
+/// One uncommitted pin unit of a custom cell: a lone sited pin or a group.
+enum PinUnit {
+    Single(usize),
+    Group(usize),
+}
+
+fn pin_units(st: &PlacementState<'_>, cell: usize) -> Vec<PinUnit> {
+    let nl = st.netlist();
+    let mut units = Vec::new();
+    for &pid in &nl.cells()[cell].pins {
+        if let PinPlacement::Sites(_) = nl.pin(pid).placement {
+            units.push(PinUnit::Single(pid.index()));
+        }
+    }
+    for (gi, g) in nl.groups().iter().enumerate() {
+        if g.cell.index() == cell && !g.pins.is_empty() {
+            units.push(PinUnit::Group(gi));
+        }
+    }
+    units
+}
+
+fn random_allowed_side(sides: twmc_netlist::SideSet, rng: &mut StdRng) -> Side {
+    let opts: Vec<Side> = if sides.is_empty() {
+        Side::ALL.to_vec()
+    } else {
+        sides.iter().collect()
+    };
+    opts[rng.random_range(0..opts.len())]
+}
+
+/// Attempts one pin-unit reassignment on a custom cell.
+fn try_pin_move(
+    st: &mut PlacementState<'_>,
+    cell: usize,
+    t: f64,
+    rng: &mut StdRng,
+) -> Option<bool> {
+    let units = pin_units(st, cell);
+    if units.is_empty() {
+        return None;
+    }
+    let layout = st.cell(cell).sites.as_ref()?;
+    let n_slots = layout.sites_per_edge();
+    let unit = &units[rng.random_range(0..units.len())];
+    let nl = st.netlist();
+    let moves: Vec<(usize, SiteRef)> = match unit {
+        PinUnit::Single(pin) => {
+            let sides = match nl.pins()[*pin].placement {
+                PinPlacement::Sites(s) => s,
+                _ => unreachable!("single units are sited pins"),
+            };
+            let side = random_allowed_side(sides, rng);
+            let slot = rng.random_range(0..n_slots);
+            vec![(*pin, SiteRef { side, slot })]
+        }
+        PinUnit::Group(gi) => {
+            let g = &nl.groups()[*gi];
+            if g.sequenced {
+                // Move the whole sequence to a new side/start, keeping
+                // order.
+                let side = random_allowed_side(g.sides, rng);
+                let start = rng.random_range(0..n_slots);
+                g.pins
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &p)| {
+                        (
+                            p.index(),
+                            SiteRef {
+                                side,
+                                slot: (start + k as u32).min(n_slots - 1),
+                            },
+                        )
+                    })
+                    .collect()
+            } else {
+                // Move one member within the group's sides.
+                let member = g.pins[rng.random_range(0..g.pins.len())];
+                let side = random_allowed_side(g.sides, rng);
+                let slot = rng.random_range(0..n_slots);
+                vec![(member.index(), SiteRef { side, slot })]
+            }
+        }
+    };
+    Some(attempt_pins(st, cell, &moves, t, rng))
+}
+
+/// Executes one `generate` call of the paper's §3.2.1 cascade and updates
+/// `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn generate(
+    st: &mut PlacementState<'_>,
+    params: &PlaceParams,
+    move_set: MoveSet,
+    window_x: f64,
+    window_y: f64,
+    t: f64,
+    rng: &mut StdRng,
+    stats: &mut MoveStats,
+) {
+    let n = st.cells().len();
+    let single = n < 2 || rng.random::<f64>() < params.displacement_probability();
+    if single {
+        let i = rng.random_range(0..n);
+        // The paper's generate() draws the new location from within the
+        // core area (R(c_l, c_r) × R(c_b, c_t)); the range limiter further
+        // restricts it to the window. Clamp the selected point to the core.
+        let core = st.estimator().core();
+        let raw = select_displacement(
+            params.selector,
+            st.cell(i).center(),
+            window_x,
+            window_y,
+            rng,
+        );
+        let target = Point::new(
+            raw.x.clamp(core.lo().x, core.hi().x),
+            raw.y.clamp(core.lo().y, core.hi().y),
+        );
+
+        let mut accepted =
+            attempt_cells(st, &[i], t, rng, |s| s.set_cell_center(i, target));
+        MoveStats::add(&mut stats.displacements, accepted);
+
+        if !accepted && move_set == MoveSet::Full {
+            // Retry with the aspect ratio inverted (paper Fig. 2).
+            let inverted = st.cell(i).orientation.aspect_inverted();
+            accepted = attempt_cells(st, &[i], t, rng, |s| {
+                s.set_cell_orientation(i, inverted);
+                s.set_cell_center(i, target);
+            });
+            MoveStats::add(&mut stats.inverted_displacements, accepted);
+
+            if !accepted {
+                // Random orientation change in place.
+                let cur = st.cell(i).orientation;
+                let mut o = Orientation::ALL[rng.random_range(0..8)];
+                if o == cur {
+                    o = o.aspect_inverted();
+                }
+                let acc = attempt_cells(st, &[i], t, rng, |s| s.set_cell_orientation(i, o));
+                MoveStats::add(&mut stats.orientations, acc);
+            }
+        }
+
+        let cell = &st.netlist().cells()[i];
+        if cell.is_custom() {
+            // Pin placement attempts: one per uncommitted unit, capped.
+            let units = pin_units(st, i).len().min(params.pin_moves_cap);
+            for _ in 0..units {
+                if let Some(acc) = try_pin_move(st, i, t, rng) {
+                    MoveStats::add(&mut stats.pin_moves, acc);
+                }
+            }
+            if move_set == MoveSet::Full {
+                // Aspect-ratio change within the specified bounds.
+                if let twmc_netlist::CellGeometry::Flexible { aspect, .. } = &cell.geometry {
+                    let ratio = aspect.sample(rng.random::<f64>());
+                    let acc =
+                        attempt_cells(st, &[i], t, rng, |s| s.set_cell_aspect(i, ratio));
+                    MoveStats::add(&mut stats.aspect_moves, acc);
+                }
+            }
+        } else if move_set == MoveSet::Full && cell.instance_count() > 1 {
+            // Instance selection for multi-instance macro cells.
+            let k = rng.random_range(0..cell.instance_count());
+            if k != st.cell(i).instance {
+                let acc = attempt_cells(st, &[i], t, rng, |s| s.set_cell_instance(i, k));
+                MoveStats::add(&mut stats.instance_moves, acc);
+            }
+        }
+    } else {
+        // Pairwise interchange (not range-limited, §3.2.2).
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n);
+        if j == i {
+            j = (j + 1) % n;
+        }
+        let ci = st.cell(i).center();
+        let cj = st.cell(j).center();
+        let mut accepted = attempt_cells(st, &[i, j], t, rng, |s| {
+            s.set_cell_center(i, cj);
+            s.set_cell_center(j, ci);
+        });
+        MoveStats::add(&mut stats.interchanges, accepted);
+
+        if !accepted && move_set == MoveSet::Full {
+            // Retry with both aspect ratios inverted.
+            let oi = st.cell(i).orientation.aspect_inverted();
+            let oj = st.cell(j).orientation.aspect_inverted();
+            accepted = attempt_cells(st, &[i, j], t, rng, |s| {
+                s.set_cell_orientation(i, oi);
+                s.set_cell_orientation(j, oj);
+                s.set_cell_center(i, cj);
+                s.set_cell_center(j, ci);
+            });
+            MoveStats::add(&mut stats.inverted_interchanges, accepted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams};
+    use twmc_netlist::{synthesize, Netlist, SynthParams};
+
+    fn circuit() -> Netlist {
+        synthesize(&SynthParams {
+            cells: 8,
+            nets: 20,
+            pins: 64,
+            custom_fraction: 0.25,
+            seed: 5,
+            ..Default::default()
+        })
+    }
+
+    fn state(nl: &Netlist) -> PlacementState<'_> {
+        let det = determine_core(nl, &EstimatorParams::default());
+        let density = cell_density_factors(nl, nl.stats().avg_pin_density);
+        let mut rng = StdRng::seed_from_u64(3);
+        PlacementState::random(nl, det.estimator, density, 5.0, &mut rng)
+    }
+
+    #[test]
+    fn bookkeeping_survives_many_generates() {
+        let nl = circuit();
+        let mut st = state(&nl);
+        let mut rng = StdRng::seed_from_u64(77);
+        let params = PlaceParams::default();
+        let mut stats = MoveStats::default();
+        for step in 0..500 {
+            let t = 1.0e5 * 0.97f64.powi(step);
+            generate(
+                &mut st,
+                &params,
+                MoveSet::Full,
+                200.0,
+                200.0,
+                t,
+                &mut rng,
+                &mut stats,
+            );
+        }
+        assert!(stats.attempts() >= 500);
+        let (c1, ov, c3) = st.recompute_totals();
+        assert!(
+            (st.c1() - c1).abs() < 1e-6 * c1.max(1.0),
+            "c1 cache {} vs scratch {}",
+            st.c1(),
+            c1
+        );
+        assert_eq!(st.raw_overlap(), ov, "overlap cache drifted");
+        assert!((st.c3() - c3).abs() < 1e-6, "c3 cache drifted");
+    }
+
+    #[test]
+    fn rejected_moves_leave_state_unchanged() {
+        let nl = circuit();
+        let mut st = state(&nl);
+        // At T ≈ 0 and a huge overlap penalty, stacking moves get
+        // rejected and must restore everything.
+        st.set_p2(1.0e9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let before_cost = st.cost();
+        let before_pos: Vec<Point> = st.cells().iter().map(|c| c.pos).collect();
+        // Force a move onto cell 1's position: guaranteed overlap spike.
+        let target = st.cell(1).center();
+        let acc = attempt_cells(&mut st, &[0], 1.0e-12, &mut rng, |s| {
+            s.set_cell_center(0, target)
+        });
+        assert!(!acc);
+        assert_eq!(st.cost(), before_cost);
+        let after_pos: Vec<Point> = st.cells().iter().map(|c| c.pos).collect();
+        assert_eq!(before_pos, after_pos);
+    }
+
+    #[test]
+    fn refinement_move_set_preserves_orientations_and_aspects() {
+        let nl = circuit();
+        let mut st = state(&nl);
+        let orients: Vec<Orientation> = st.cells().iter().map(|c| c.orientation).collect();
+        let aspects: Vec<f64> = st.cells().iter().map(|c| c.aspect).collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = PlaceParams::default();
+        let mut stats = MoveStats::default();
+        for _ in 0..300 {
+            generate(
+                &mut st,
+                &params,
+                MoveSet::Refinement,
+                50.0,
+                50.0,
+                100.0,
+                &mut rng,
+                &mut stats,
+            );
+        }
+        let orients_after: Vec<Orientation> = st.cells().iter().map(|c| c.orientation).collect();
+        let aspects_after: Vec<f64> = st.cells().iter().map(|c| c.aspect).collect();
+        assert_eq!(orients, orients_after);
+        assert_eq!(aspects, aspects_after);
+        assert_eq!(stats.orientations.0, 0);
+        assert_eq!(stats.aspect_moves.0, 0);
+        assert_eq!(stats.inverted_interchanges.0, 0);
+    }
+
+    #[test]
+    fn pin_moves_touch_only_custom_cells() {
+        let nl = circuit();
+        let mut st = state(&nl);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Direct pin move attempts on a macro cell return None.
+        let macro_idx = nl
+            .cells()
+            .iter()
+            .position(|c| !c.is_custom())
+            .expect("circuit has macros");
+        assert!(try_pin_move(&mut st, macro_idx, 100.0, &mut rng).is_none());
+        let custom_idx = nl
+            .cells()
+            .iter()
+            .position(|c| c.is_custom())
+            .expect("circuit has customs");
+        // Custom cells with uncommitted pins yield Some.
+        if !pin_units(&st, custom_idx).is_empty() {
+            assert!(try_pin_move(&mut st, custom_idx, 1.0e9, &mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn high_temperature_accepts_most() {
+        let nl = circuit();
+        let mut st = state(&nl);
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = PlaceParams::default();
+        let mut stats = MoveStats::default();
+        let core = st.estimator().core();
+        for _ in 0..300 {
+            generate(
+                &mut st,
+                &params,
+                MoveSet::Full,
+                core.width() as f64,
+                core.height() as f64,
+                1.0e7,
+                &mut rng,
+                &mut stats,
+            );
+        }
+        let rate = stats.accepts() as f64 / stats.attempts() as f64;
+        assert!(rate > 0.9, "acceptance at huge T should be ≈1, got {rate}");
+    }
+
+    #[test]
+    fn metropolis_properties() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(metropolis(-1.0, 1.0, &mut rng));
+        assert!(metropolis(0.0, 1.0, &mut rng));
+        // At tiny T, uphill moves are rejected.
+        let ups = (0..100)
+            .filter(|_| metropolis(10.0, 1e-9, &mut rng))
+            .count();
+        assert_eq!(ups, 0);
+        // At huge T, uphill moves are mostly accepted.
+        let ups = (0..1000)
+            .filter(|_| metropolis(10.0, 1e9, &mut rng))
+            .count();
+        assert!(ups > 950);
+    }
+}

@@ -1,0 +1,913 @@
+//! The mutable placement configuration and its cost bookkeeping.
+//!
+//! Holds, for every cell: position, orientation, selected instance,
+//! aspect ratio (custom cells), the cached oriented geometry, and the
+//! dynamic per-side interconnect expansions; for every pin: its absolute
+//! position and (for uncommitted pins) its site assignment. Maintains the
+//! three cost terms incrementally:
+//!
+//! * `C₁` — the TEIC over net bounding-box spans (eq. 6);
+//! * `C₂` — the expanded-tile overlap penalty with the `p₂`
+//!   normalization (eqs. 7–9), including the four conceptual dummy cells
+//!   beyond the core boundary;
+//! * `C₃` — the pin-site over-capacity penalty (eqs. 10–11).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use twmc_estimator::{Estimator, PinDensityFactors};
+use twmc_geom::{Orientation, Point, Rect, Side, Span, TileSet};
+use twmc_netlist::{flexible_dims, CellGeometry, NetId, Netlist, PinPlacement};
+
+use crate::{SiteLayout, SiteRef};
+
+/// Placement data of one cell.
+#[derive(Debug, Clone)]
+pub struct CellPlace {
+    /// Lower-left corner of the *oriented* bounding box (absolute).
+    pub pos: Point,
+    /// Current orientation.
+    pub orientation: Orientation,
+    /// Selected instance (macro cells).
+    pub instance: usize,
+    /// Current aspect ratio (custom cells; 0 for macros).
+    pub aspect: f64,
+    /// Unoriented bounding-box dimensions of the current geometry.
+    pub dims: (i64, i64),
+    /// Cached oriented tile geometry.
+    pub shape: TileSet,
+    /// Dynamic per-side expansions `(left, right, bottom, top)` of the
+    /// oriented shape (paper eq. 2).
+    pub expansions: (i64, i64, i64, i64),
+    /// Pin-site layout (custom cells only).
+    pub sites: Option<SiteLayout>,
+}
+
+impl CellPlace {
+    /// The placed (oriented) bounding box.
+    pub fn placed_bbox(&self) -> Rect {
+        self.shape.bbox().translate(self.pos)
+    }
+
+    /// The center of the placed bounding box.
+    pub fn center(&self) -> Point {
+        self.placed_bbox().center()
+    }
+}
+
+/// Cost pieces touched by a move, for delta evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveCost {
+    /// Sum of the affected nets' `C₁` contributions.
+    pub c1: f64,
+    /// Overlap area attributable to the involved cells (pairwise overlaps
+    /// among them counted once) plus their core-boundary overlap.
+    pub overlap: i64,
+    /// Sum of the involved cells' `C₃` contributions.
+    pub c3: f64,
+}
+
+/// The full placement state.
+#[derive(Debug, Clone)]
+pub struct PlacementState<'a> {
+    nl: &'a Netlist,
+    estimator: Estimator,
+    density: Vec<PinDensityFactors>,
+    cells: Vec<CellPlace>,
+    pin_pos: Vec<Point>,
+    pin_site: Vec<Option<SiteRef>>,
+    /// Fractional position of fixed pins on custom cells (scaled on
+    /// aspect change).
+    fixed_frac: Vec<Option<(f64, f64)>>,
+    /// Index of each pin within its cell's pin list.
+    pin_slot: Vec<usize>,
+    nets_of_cell: Vec<Vec<NetId>>,
+    net_cost: Vec<f64>,
+    total_c1: f64,
+    total_overlap: i64,
+    total_c3: f64,
+    p2: f64,
+    /// When set, per-cell expansions are frozen to these values instead
+    /// of being dynamically re-estimated — stage 2 derives them from the
+    /// routed channel densities (paper §4.3: "the amount of outward
+    /// expansion of the cell edges is a static quantity" per refinement).
+    static_expansions: Option<Vec<(i64, i64, i64, i64)>>,
+}
+
+impl<'a> PlacementState<'a> {
+    /// Creates a random initial placement inside the estimator's core.
+    ///
+    /// The initial configuration has no influence on the final TEIC
+    /// (paper §3.2.1), so cells get uniformly random centers; uncommitted
+    /// pins get random sites on their allowed sides.
+    pub fn random(
+        nl: &'a Netlist,
+        estimator: Estimator,
+        density: Vec<PinDensityFactors>,
+        kappa: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        let n_pins = nl.pins().len();
+        let mut pin_slot = vec![0usize; n_pins];
+        for cell in nl.cells() {
+            for (slot, &pid) in cell.pins.iter().enumerate() {
+                pin_slot[pid.index()] = slot;
+            }
+        }
+        let nets_of_cell = nl
+            .cells()
+            .iter()
+            .map(|c| nl.nets_of_cell(c.id()))
+            .collect();
+
+        let mut fixed_frac = vec![None; n_pins];
+        let mut cells = Vec::with_capacity(nl.cells().len());
+        for cell in nl.cells() {
+            let (dims, shape, aspect, sites) = match &cell.geometry {
+                CellGeometry::Fixed { instances } => {
+                    let t = &instances[0].tiles;
+                    ((t.width(), t.height()), t.clone(), 0.0, None)
+                }
+                CellGeometry::Flexible { area, aspect } => {
+                    let r = aspect.default_ratio();
+                    let (w, h) = flexible_dims(*area, r);
+                    // Record fractional positions of fixed custom pins.
+                    for &pid in &cell.pins {
+                        if let PinPlacement::Fixed(p) = nl.pin(pid).placement {
+                            fixed_frac[pid.index()] =
+                                Some((p.x as f64 / w.max(1) as f64, p.y as f64 / h.max(1) as f64));
+                        }
+                    }
+                    let layout = SiteLayout::new(
+                        w,
+                        h,
+                        cell.sites_per_edge,
+                        estimator.track_spacing(),
+                        kappa,
+                    );
+                    ((w, h), TileSet::rect(w, h), r, Some(layout))
+                }
+            };
+            cells.push(CellPlace {
+                pos: Point::ORIGIN,
+                orientation: Orientation::R0,
+                instance: 0,
+                aspect,
+                dims,
+                shape,
+                expansions: (0, 0, 0, 0),
+                sites,
+            });
+        }
+
+        let mut state = PlacementState {
+            nl,
+            estimator,
+            density,
+            cells,
+            pin_pos: vec![Point::ORIGIN; n_pins],
+            pin_site: vec![None; n_pins],
+            fixed_frac,
+            pin_slot,
+            nets_of_cell,
+            net_cost: vec![0.0; nl.nets().len()],
+            total_c1: 0.0,
+            total_overlap: 0,
+            total_c3: 0.0,
+            p2: 1.0,
+            static_expansions: None,
+        };
+
+        // Random sites for uncommitted pins.
+        state.assign_initial_sites(rng);
+        // Random positions.
+        state.randomize_positions(rng);
+        state.rebuild_all();
+        state
+    }
+
+    /// Assigns every uncommitted pin to a random site on its allowed
+    /// sides (sequenced groups get consecutive slots).
+    fn assign_initial_sites(&mut self, rng: &mut StdRng) {
+        // Single sited pins.
+        for pin in self.nl.pins() {
+            if let PinPlacement::Sites(sides) = pin.placement {
+                let cell = pin.cell.index();
+                if let Some(layout) = &self.cells[cell].sites {
+                    let side = random_side(sides, rng);
+                    let slot = rng.random_range(0..layout.sites_per_edge());
+                    self.occupy(pin.id().index(), SiteRef { side, slot });
+                }
+            }
+        }
+        // Groups.
+        for group in self.nl.groups() {
+            let cell = group.cell.index();
+            let Some(layout) = self.cells[cell].sites.clone() else {
+                continue;
+            };
+            let n = layout.sites_per_edge();
+            if group.sequenced {
+                let side = random_side(group.sides, rng);
+                let start = rng.random_range(0..n);
+                for (k, &pid) in group.pins.iter().enumerate() {
+                    let slot = (start + k as u32).min(n - 1);
+                    self.occupy(pid.index(), SiteRef { side, slot });
+                }
+            } else {
+                for &pid in &group.pins {
+                    let side = random_side(group.sides, rng);
+                    let slot = rng.random_range(0..n);
+                    self.occupy(pid.index(), SiteRef { side, slot });
+                }
+            }
+        }
+    }
+
+    fn occupy(&mut self, pin_idx: usize, site: SiteRef) {
+        let cell = self.nl.pins()[pin_idx].cell.index();
+        if let Some(old) = self.pin_site[pin_idx] {
+            self.cells[cell]
+                .sites
+                .as_mut()
+                .expect("sited pin on custom cell")
+                .vacate(old);
+        }
+        self.cells[cell]
+            .sites
+            .as_mut()
+            .expect("sited pin on custom cell")
+            .occupy(site);
+        self.pin_site[pin_idx] = Some(site);
+    }
+
+    /// Places every cell center uniformly at random inside the core.
+    pub fn randomize_positions(&mut self, rng: &mut StdRng) {
+        let core = self.estimator.core();
+        for i in 0..self.cells.len() {
+            let bb = self.cells[i].shape.bbox();
+            let cx = rng.random_range(core.lo().x..=core.hi().x);
+            let cy = rng.random_range(core.lo().y..=core.hi().y);
+            let pos = Point::new(cx - bb.width() / 2, cy - bb.height() / 2);
+            self.set_cell_pos(i, pos);
+        }
+    }
+
+    // --- accessors ------------------------------------------------------
+
+    /// The netlist being placed.
+    #[inline]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// The estimator (core, `C_w`, allowances).
+    #[inline]
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Per-cell placement data.
+    #[inline]
+    pub fn cells(&self) -> &[CellPlace] {
+        &self.cells
+    }
+
+    /// One cell's placement data.
+    #[inline]
+    pub fn cell(&self, i: usize) -> &CellPlace {
+        &self.cells[i]
+    }
+
+    /// Absolute position of a pin.
+    #[inline]
+    pub fn pin_position(&self, pin: usize) -> Point {
+        self.pin_pos[pin]
+    }
+
+    /// Site assignment of a pin, if any.
+    #[inline]
+    pub fn pin_site(&self, pin: usize) -> Option<SiteRef> {
+        self.pin_site[pin]
+    }
+
+    /// The overlap normalization factor `p₂`.
+    #[inline]
+    pub fn p2(&self) -> f64 {
+        self.p2
+    }
+
+    /// Sets the overlap normalization factor directly.
+    pub fn set_p2(&mut self, p2: f64) {
+        self.p2 = p2;
+    }
+
+    /// Current `C₁` (the TEIC, eq. 6).
+    #[inline]
+    pub fn c1(&self) -> f64 {
+        self.total_c1
+    }
+
+    /// Current raw overlap area (the sum in eq. 7, before `p₂`).
+    #[inline]
+    pub fn raw_overlap(&self) -> i64 {
+        self.total_overlap
+    }
+
+    /// Current `C₃` (eq. 11).
+    #[inline]
+    pub fn c3(&self) -> f64 {
+        self.total_c3
+    }
+
+    /// Total cost `C = C₁ + p₂·C₂ + C₃`.
+    pub fn cost(&self) -> f64 {
+        self.total_c1 + self.p2 * self.total_overlap as f64 + self.total_c3
+    }
+
+    /// Total estimated interconnect *length* (TEIL): the eq. 6 sum with
+    /// unit weights, the figure the paper reports.
+    pub fn teil(&self) -> f64 {
+        self.nl
+            .nets()
+            .iter()
+            .map(|n| {
+                let (xs, ys) = self.net_spans(n.id().index());
+                (xs.len() + ys.len()) as f64
+            })
+            .sum()
+    }
+
+    /// Bounding box of all placed cells (without expansions).
+    pub fn placement_bbox(&self) -> Rect {
+        let mut it = self.cells.iter().map(|c| c.placed_bbox());
+        let first = it.next().expect("netlists have cells");
+        it.fold(first, |acc, r| acc.hull(r))
+    }
+
+    /// Bounding box including the interconnect expansions — the effective
+    /// chip area estimate.
+    pub fn effective_bbox(&self) -> Rect {
+        let mut it = self.cells.iter().map(|c| {
+            let (l, r, b, t) = c.expansions;
+            c.placed_bbox().expand_sides(l, r, b, t)
+        });
+        let first = it.next().expect("netlists have cells");
+        it.fold(first, |acc, r| acc.hull(r))
+    }
+
+    // --- geometry mutation primitives ------------------------------------
+
+    /// Moves a cell so its oriented bbox lower-left corner is `pos`,
+    /// refreshing expansions and pin positions.
+    pub fn set_cell_pos(&mut self, i: usize, pos: Point) {
+        self.cells[i].pos = pos;
+        self.refresh_expansions(i);
+        self.refresh_pins(i);
+    }
+
+    /// Moves a cell so its center lands (up to rounding) on `center`.
+    pub fn set_cell_center(&mut self, i: usize, center: Point) {
+        let bb = self.cells[i].shape.bbox();
+        self.set_cell_pos(
+            i,
+            Point::new(center.x - bb.width() / 2, center.y - bb.height() / 2),
+        );
+    }
+
+    /// Re-orients a cell in place (center preserved up to rounding).
+    pub fn set_cell_orientation(&mut self, i: usize, o: Orientation) {
+        let center = self.cells[i].center();
+        let base = self.base_tiles(i);
+        let cell = &mut self.cells[i];
+        cell.orientation = o;
+        cell.shape = base.oriented(o);
+        drop(base);
+        self.set_cell_center(i, center);
+    }
+
+    /// Selects another instance of a macro cell (center preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is custom or the instance index is out of range.
+    pub fn set_cell_instance(&mut self, i: usize, instance: usize) {
+        let center = self.cells[i].center();
+        let tiles = match &self.nl.cells()[i].geometry {
+            CellGeometry::Fixed { instances } => instances[instance].tiles.clone(),
+            CellGeometry::Flexible { .. } => panic!("custom cells have no instances"),
+        };
+        let o = self.cells[i].orientation;
+        let cell = &mut self.cells[i];
+        cell.instance = instance;
+        cell.dims = (tiles.width(), tiles.height());
+        cell.shape = tiles.oriented(o);
+        self.set_cell_center(i, center);
+    }
+
+    /// Changes a custom cell's aspect ratio (center preserved); pin sites
+    /// are re-spaced on the new edges and fixed pins keep their fractional
+    /// positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is a macro cell.
+    pub fn set_cell_aspect(&mut self, i: usize, ratio: f64) {
+        let area = match &self.nl.cells()[i].geometry {
+            CellGeometry::Flexible { area, .. } => *area,
+            CellGeometry::Fixed { .. } => panic!("macro cells have a fixed aspect"),
+        };
+        let center = self.cells[i].center();
+        let (w, h) = flexible_dims(area, ratio);
+        let ts = self.estimator.track_spacing();
+        let o = self.cells[i].orientation;
+        let cell = &mut self.cells[i];
+        cell.aspect = ratio;
+        cell.dims = (w, h);
+        cell.shape = TileSet::rect(w, h).oriented(o);
+        cell.sites = cell.sites.as_ref().map(|s| s.resized(w, h, ts));
+        self.set_cell_center(i, center);
+    }
+
+    /// Reassigns an uncommitted pin to another site.
+    pub fn set_pin_site(&mut self, pin: usize, site: SiteRef) {
+        self.occupy(pin, site);
+        let cell = self.nl.pins()[pin].cell.index();
+        self.refresh_pin(cell, pin);
+    }
+
+    /// The unoriented tile geometry of a cell's current instance/aspect.
+    fn base_tiles(&self, i: usize) -> TileSet {
+        match &self.nl.cells()[i].geometry {
+            CellGeometry::Fixed { instances } => instances[self.cells[i].instance].tiles.clone(),
+            CellGeometry::Flexible { .. } => {
+                let (w, h) = self.cells[i].dims;
+                TileSet::rect(w, h)
+            }
+        }
+    }
+
+    /// Recomputes a cell's dynamic per-side expansions from its current
+    /// position (the estimator update performed every time a cell
+    /// participates in a move — paper §2.2). When static expansions are
+    /// installed (stage 2), those are used unchanged.
+    pub fn refresh_expansions(&mut self, i: usize) {
+        if let Some(fixed) = &self.static_expansions {
+            self.cells[i].expansions = fixed[i];
+            return;
+        }
+        let bbox = self.cells[i].placed_bbox();
+        let o = self.cells[i].orientation;
+        let d = &self.density[i];
+        let exp = self
+            .estimator
+            .side_expansions(bbox, |side| d.factor_oriented(o, side));
+        self.cells[i].expansions = exp;
+    }
+
+    /// Freezes per-cell expansions to the given values (stage-2 mode) and
+    /// rebuilds the cost totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the cell count.
+    pub fn set_static_expansions(&mut self, expansions: Vec<(i64, i64, i64, i64)>) {
+        assert_eq!(
+            expansions.len(),
+            self.cells.len(),
+            "one expansion tuple per cell"
+        );
+        self.static_expansions = Some(expansions);
+        self.rebuild_all();
+    }
+
+    /// Returns to dynamic (stage-1) expansion estimation and rebuilds the
+    /// cost totals.
+    pub fn clear_static_expansions(&mut self) {
+        self.static_expansions = None;
+        self.rebuild_all();
+    }
+
+    /// The placed geometry in the form the channel definer consumes:
+    /// every cell's oriented tiles plus position, and the core.
+    pub fn placed_cells(&self) -> Vec<(TileSet, Point)> {
+        self.cells.iter().map(|c| (c.shape.clone(), c.pos)).collect()
+    }
+
+    /// Recomputes the absolute positions of all pins of cell `i`.
+    pub fn refresh_pins(&mut self, i: usize) {
+        let pins: Vec<usize> = self.nl.cells()[i].pins.iter().map(|p| p.index()).collect();
+        for pin in pins {
+            self.refresh_pin(i, pin);
+        }
+    }
+
+    fn refresh_pin(&mut self, cell_idx: usize, pin: usize) {
+        let cell = &self.cells[cell_idx];
+        let (w, h) = cell.dims;
+        let o = cell.orientation;
+        let at = cell.pos;
+        let local = match (&self.nl.pins()[pin].placement, self.pin_site[pin]) {
+            (PinPlacement::Fixed(_), _) => {
+                if let Some((fx, fy)) = self.fixed_frac[pin] {
+                    // Fixed pin on a resizable cell: fractional position.
+                    Point::new(
+                        (fx * w as f64).round() as i64,
+                        (fy * h as f64).round() as i64,
+                    )
+                } else {
+                    // Macro: per-instance position.
+                    let slot = self.pin_slot[pin];
+                    match &self.nl.cells()[cell_idx].geometry {
+                        CellGeometry::Fixed { instances } => {
+                            instances[cell.instance].pin_positions[slot]
+                        }
+                        CellGeometry::Flexible { .. } => unreachable!("frac recorded at init"),
+                    }
+                }
+            }
+            (_, Some(site)) => cell
+                .sites
+                .as_ref()
+                .expect("sited pin on custom cell")
+                .position(site),
+            (_, None) => Point::ORIGIN, // unconnected uncommitted pin on a macro never occurs
+        };
+        self.pin_pos[pin] = o.apply(local, w, h) + at;
+    }
+
+    // --- cost machinery ---------------------------------------------------
+
+    /// The spans of a net over its primary pins.
+    pub fn net_spans(&self, net: usize) -> (Span, Span) {
+        let mut xs: Option<Span> = None;
+        let mut ys: Option<Span> = None;
+        for pid in self.nl.nets()[net].primary_pins() {
+            let p = self.pin_pos[pid.index()];
+            xs = Some(match xs {
+                Some(s) => s.hull(Span::new(p.x, p.x)),
+                None => Span::new(p.x, p.x),
+            });
+            ys = Some(match ys {
+                Some(s) => s.hull(Span::new(p.y, p.y)),
+                None => Span::new(p.y, p.y),
+            });
+        }
+        (
+            xs.expect("nets have pins"),
+            ys.expect("nets have pins"),
+        )
+    }
+
+    /// One net's `C₁` contribution: `x(n)·h(n) + y(n)·v(n)`.
+    pub fn net_cost_live(&self, net: usize) -> f64 {
+        let n = &self.nl.nets()[net];
+        let (xs, ys) = self.net_spans(net);
+        xs.len() as f64 * n.weight_h + ys.len() as f64 * n.weight_v
+    }
+
+    /// Expanded overlap between two cells (the `O(i,j)` of eq. 8 on
+    /// estimator-expanded tiles).
+    pub fn pair_overlap(&self, i: usize, j: usize) -> i64 {
+        let a = &self.cells[i];
+        let b = &self.cells[j];
+        a.shape
+            .expanded_overlap_area_at(a.pos, a.expansions, &b.shape, b.pos, b.expansions)
+    }
+
+    /// Overlap of a cell's expanded tiles with the area beyond the core
+    /// boundary — the four conceptual dummy cells of the paper (ref. 16).
+    pub fn boundary_overlap(&self, i: usize) -> i64 {
+        let core = self.estimator.core();
+        let c = &self.cells[i];
+        let (l, r, b, t) = c.expansions;
+        c.shape
+            .tiles()
+            .iter()
+            .map(|tile| {
+                let e = tile.translate(c.pos).expand_sides(l, r, b, t);
+                e.area() - e.intersect(core).map_or(0, |x| x.area())
+            })
+            .sum()
+    }
+
+    /// Overlap area attributable to a set of cells: each involved cell
+    /// against every outside cell, plus pairwise overlaps among the
+    /// involved counted once, plus boundary overlaps.
+    pub fn group_overlap(&self, involved: &[usize]) -> i64 {
+        let mut total = 0;
+        for (k, &i) in involved.iter().enumerate() {
+            for j in 0..self.cells.len() {
+                if j == i {
+                    continue;
+                }
+                // Among involved, count each unordered pair once.
+                if let Some(kj) = involved.iter().position(|&x| x == j) {
+                    if kj < k {
+                        continue;
+                    }
+                }
+                total += self.pair_overlap(i, j);
+            }
+            total += self.boundary_overlap(i);
+        }
+        total
+    }
+
+    /// Nets touching any of the given cells (deduplicated).
+    pub fn nets_touching(&self, involved: &[usize]) -> Vec<NetId> {
+        let mut out: Vec<NetId> = involved
+            .iter()
+            .flat_map(|&i| self.nets_of_cell[i].iter().copied())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// `C₃` contribution of the given cells.
+    pub fn cells_c3(&self, involved: &[usize]) -> f64 {
+        involved
+            .iter()
+            .filter_map(|&i| self.cells[i].sites.as_ref())
+            .map(|s| s.penalty())
+            .sum()
+    }
+
+    /// Evaluates the cost pieces a move over `involved` cells would
+    /// touch, using the *live* geometry (call before and after mutating).
+    pub fn move_cost(&self, involved: &[usize], nets: &[NetId]) -> MoveCost {
+        MoveCost {
+            c1: nets.iter().map(|n| self.net_cost_live(n.index())).sum(),
+            overlap: self.group_overlap(involved),
+            c3: self.cells_c3(involved),
+        }
+    }
+
+    /// The weighted cost delta between two [`MoveCost`] evaluations.
+    pub fn weighted_delta(&self, before: MoveCost, after: MoveCost) -> f64 {
+        (after.c1 - before.c1)
+            + self.p2 * (after.overlap - before.overlap) as f64
+            + (after.c3 - before.c3)
+    }
+
+    /// Commits a move's cost delta to the running totals and refreshes
+    /// the affected nets' cached costs.
+    pub fn commit_cost(&mut self, before: MoveCost, after: MoveCost, nets: &[NetId]) {
+        self.total_c1 += after.c1 - before.c1;
+        self.total_overlap += after.overlap - before.overlap;
+        self.total_c3 += after.c3 - before.c3;
+        for n in nets {
+            self.net_cost[n.index()] = self.net_cost_live(n.index());
+        }
+    }
+
+    /// Recomputes every cached quantity from scratch (initialization and
+    /// verification).
+    pub fn rebuild_all(&mut self) {
+        for i in 0..self.cells.len() {
+            self.refresh_expansions(i);
+            self.refresh_pins(i);
+        }
+        let (c1, ov, c3) = self.recompute_totals();
+        self.total_c1 = c1;
+        self.total_overlap = ov;
+        self.total_c3 = c3;
+        for n in 0..self.net_cost.len() {
+            self.net_cost[n] = self.net_cost_live(n);
+        }
+    }
+
+    /// From-scratch totals `(C₁, raw overlap, C₃)` — the ground truth the
+    /// incremental bookkeeping must match.
+    pub fn recompute_totals(&self) -> (f64, i64, f64) {
+        let c1 = (0..self.nl.nets().len())
+            .map(|n| self.net_cost_live(n))
+            .sum();
+        let mut ov = 0;
+        for i in 0..self.cells.len() {
+            for j in (i + 1)..self.cells.len() {
+                ov += self.pair_overlap(i, j);
+            }
+            ov += self.boundary_overlap(i);
+        }
+        let c3 = (0..self.cells.len())
+            .filter_map(|i| self.cells[i].sites.as_ref())
+            .map(|s| s.penalty())
+            .sum();
+        (c1, ov, c3)
+    }
+
+    /// Calibrates `p₂` so that `p₂ · C₂ = η · C₁` on average over random
+    /// configurations — the `T = T_∞` normalization of eq. 9. Leaves the
+    /// state at the last sampled random placement.
+    pub fn calibrate_p2(&mut self, eta: f64, samples: usize, rng: &mut StdRng) {
+        let mut sum_c1 = 0.0;
+        let mut sum_ov = 0.0;
+        for _ in 0..samples.max(1) {
+            self.randomize_positions(rng);
+            let (c1, ov, _) = self.recompute_totals();
+            sum_c1 += c1;
+            sum_ov += ov as f64;
+        }
+        self.p2 = if sum_ov > 0.0 {
+            eta * sum_c1 / sum_ov
+        } else {
+            1.0
+        };
+        self.rebuild_all();
+    }
+}
+
+fn random_side(sides: twmc_netlist::SideSet, rng: &mut StdRng) -> Side {
+    let options: Vec<Side> = if sides.is_empty() {
+        Side::ALL.to_vec()
+    } else {
+        sides.iter().collect()
+    };
+    options[rng.random_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams};
+    use twmc_netlist::{synthesize, SynthParams};
+
+    fn make_state(nl: &Netlist, seed: u64) -> PlacementState<'_> {
+        let det = determine_core(nl, &EstimatorParams::default());
+        let density = cell_density_factors(nl, nl.stats().avg_pin_density);
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlacementState::random(nl, det.estimator, density, 5.0, &mut rng)
+    }
+
+    fn circuit() -> Netlist {
+        synthesize(&SynthParams {
+            cells: 10,
+            nets: 25,
+            pins: 80,
+            custom_fraction: 0.3,
+            seed: 11,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn initial_state_is_consistent() {
+        let nl = circuit();
+        let st = make_state(&nl, 1);
+        let (c1, ov, c3) = st.recompute_totals();
+        assert!((st.c1() - c1).abs() < 1e-6);
+        assert_eq!(st.raw_overlap(), ov);
+        assert!((st.c3() - c3).abs() < 1e-6);
+        assert!(st.cost() > 0.0);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_after_moves() {
+        let nl = circuit();
+        let mut st = make_state(&nl, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for step in 0..200 {
+            let i = rng.random_range(0..nl.cells().len());
+            let involved = [i];
+            let nets = st.nets_touching(&involved);
+            let before = st.move_cost(&involved, &nets);
+            // Random mutation mix.
+            match step % 4 {
+                0 => {
+                    let p = Point::new(rng.random_range(-200..200), rng.random_range(-200..200));
+                    st.set_cell_center(i, p);
+                }
+                1 => {
+                    let o = Orientation::ALL[rng.random_range(0..8)];
+                    st.set_cell_orientation(i, o);
+                }
+                2 if nl.cells()[i].is_custom() => {
+                    st.set_cell_aspect(i, if step % 8 < 4 { 0.5 } else { 2.0 });
+                }
+                _ => {
+                    let p = Point::new(rng.random_range(-100..100), rng.random_range(-100..100));
+                    st.set_cell_center(i, p);
+                }
+            }
+            let after = st.move_cost(&involved, &nets);
+            st.commit_cost(before, after, &nets);
+        }
+        let (c1, ov, c3) = st.recompute_totals();
+        assert!((st.c1() - c1).abs() < 1e-6 * c1.max(1.0), "{} vs {c1}", st.c1());
+        assert_eq!(st.raw_overlap(), ov);
+        assert!((st.c3() - c3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orientation_preserves_center_and_cost_symmetry() {
+        let nl = circuit();
+        let mut st = make_state(&nl, 3);
+        let c_before = st.cell(0).center();
+        st.set_cell_orientation(0, Orientation::R180);
+        let c_after = st.cell(0).center();
+        assert!((c_before.x - c_after.x).abs() <= 1);
+        assert!((c_before.y - c_after.y).abs() <= 1);
+    }
+
+    #[test]
+    fn overlap_responds_to_stacking() {
+        let nl = circuit();
+        let mut st = make_state(&nl, 4);
+        // Stack everything at the origin: overlap should be large.
+        for i in 0..nl.cells().len() {
+            let involved = [i];
+            let nets = st.nets_touching(&involved);
+            let before = st.move_cost(&involved, &nets);
+            st.set_cell_center(i, Point::ORIGIN);
+            let after = st.move_cost(&involved, &nets);
+            st.commit_cost(before, after, &nets);
+        }
+        assert!(st.raw_overlap() > 0);
+        // Spread far apart outside each other: pairwise overlap falls to
+        // boundary-only.
+        for i in 0..nl.cells().len() {
+            let involved = [i];
+            let nets = st.nets_touching(&involved);
+            let before = st.move_cost(&involved, &nets);
+            st.set_cell_center(i, Point::new((i as i64) * 500 - 2000, 0));
+            let after = st.move_cost(&involved, &nets);
+            st.commit_cost(before, after, &nets);
+        }
+        let pairwise: i64 = (0..nl.cells().len())
+            .flat_map(|i| ((i + 1)..nl.cells().len()).map(move |j| (i, j)))
+            .map(|(i, j)| st.pair_overlap(i, j))
+            .sum();
+        assert_eq!(pairwise, 0);
+    }
+
+    #[test]
+    fn boundary_overlap_detects_escapes() {
+        let nl = circuit();
+        let mut st = make_state(&nl, 5);
+        let core = st.estimator().core();
+        st.set_cell_center(0, Point::new(core.hi().x + 1000, 0));
+        assert!(st.boundary_overlap(0) > 0);
+        st.set_cell_center(0, Point::ORIGIN);
+        // Fully interior (center of a reasonably sized core): only the
+        // expansions could poke out, and at the center they cannot.
+        assert_eq!(st.boundary_overlap(0), 0);
+    }
+
+    #[test]
+    fn pin_positions_follow_cell() {
+        let nl = circuit();
+        let mut st = make_state(&nl, 6);
+        let cell0_pins: Vec<usize> = nl.cells()[0].pins.iter().map(|p| p.index()).collect();
+        let before: Vec<Point> = cell0_pins.iter().map(|&p| st.pin_position(p)).collect();
+        st.set_cell_pos(0, st.cell(0).pos + Point::new(17, -5));
+        for (k, &p) in cell0_pins.iter().enumerate() {
+            assert_eq!(st.pin_position(p), before[k] + Point::new(17, -5));
+        }
+    }
+
+    #[test]
+    fn teil_equals_c1_with_unit_weights() {
+        // The synthesized circuits use unit weights, so TEIL == C1.
+        let nl = circuit();
+        let st = make_state(&nl, 7);
+        assert!((st.teil() - st.c1()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_balances_eta() {
+        let nl = circuit();
+        let mut st = make_state(&nl, 8);
+        let mut rng = StdRng::seed_from_u64(21);
+        st.calibrate_p2(0.5, 32, &mut rng);
+        // After calibration, on random configurations p2*C2 ≈ 0.5*C1.
+        let mut ratio_sum = 0.0;
+        let n = 16;
+        for _ in 0..n {
+            st.randomize_positions(&mut rng);
+            let (c1, ov, _) = st.recompute_totals();
+            ratio_sum += st.p2() * ov as f64 / c1;
+        }
+        let avg = ratio_sum / n as f64;
+        assert!((avg - 0.5).abs() < 0.2, "avg p2*C2/C1 = {avg}");
+    }
+
+    #[test]
+    fn custom_pin_sites_respect_allowed_sides() {
+        let nl = circuit();
+        let st = make_state(&nl, 9);
+        for pin in nl.pins() {
+            if let PinPlacement::Sites(sides) = pin.placement {
+                if let Some(site) = st.pin_site(pin.id().index()) {
+                    assert!(
+                        sides.is_empty() || sides.contains(site.side),
+                        "pin {} on disallowed side",
+                        pin.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of the placement state: the incremental cost
+//! bookkeeping must match a from-scratch recomputation under arbitrary
+//! move sequences, and legalization must terminate in a legal state.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams};
+use twmc_geom::{Orientation, Point};
+use twmc_netlist::{synthesize, Netlist, PinPlacement, SynthParams};
+use twmc_place::{legalize, separated, PlacementState, SiteRef};
+
+fn circuit(seed: u64, custom: bool) -> Netlist {
+    synthesize(&SynthParams {
+        cells: 8,
+        nets: 18,
+        pins: 60,
+        custom_fraction: if custom { 0.4 } else { 0.0 },
+        seed,
+        avg_cell_dim: 18,
+        ..Default::default()
+    })
+}
+
+fn state(nl: &Netlist, seed: u64) -> PlacementState<'_> {
+    let det = determine_core(nl, &EstimatorParams::default());
+    let density = cell_density_factors(nl, nl.stats().avg_pin_density);
+    let mut rng = StdRng::seed_from_u64(seed);
+    PlacementState::random(nl, det.estimator, density, 5.0, &mut rng)
+}
+
+/// An arbitrary state mutation.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Move(usize, i64, i64),
+    Orient(usize, usize),
+    Aspect(usize, u8),
+    PinSite(usize, u8, u32),
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0usize..8, -150i64..150, -150i64..150).prop_map(|(i, x, y)| Mutation::Move(i, x, y)),
+        (0usize..8, 0usize..8).prop_map(|(i, o)| Mutation::Orient(i, o)),
+        (0usize..8, 0u8..4).prop_map(|(i, a)| Mutation::Aspect(i, a)),
+        (0usize..60, 0u8..4, 0u32..8).prop_map(|(p, s, k)| Mutation::PinSite(p, s, k)),
+    ]
+}
+
+fn apply(st: &mut PlacementState<'_>, nl: &Netlist, m: &Mutation) {
+    match *m {
+        Mutation::Move(i, x, y) => {
+            let i = i % nl.cells().len();
+            let involved = [i];
+            let nets = st.nets_touching(&involved);
+            let before = st.move_cost(&involved, &nets);
+            st.set_cell_center(i, Point::new(x, y));
+            let after = st.move_cost(&involved, &nets);
+            st.commit_cost(before, after, &nets);
+        }
+        Mutation::Orient(i, o) => {
+            let i = i % nl.cells().len();
+            let involved = [i];
+            let nets = st.nets_touching(&involved);
+            let before = st.move_cost(&involved, &nets);
+            st.set_cell_orientation(i, Orientation::ALL[o % 8]);
+            let after = st.move_cost(&involved, &nets);
+            st.commit_cost(before, after, &nets);
+        }
+        Mutation::Aspect(i, a) => {
+            let i = i % nl.cells().len();
+            if !nl.cells()[i].is_custom() {
+                return;
+            }
+            let ratio = [0.5, 1.0, 1.5, 2.0][a as usize % 4];
+            let involved = [i];
+            let nets = st.nets_touching(&involved);
+            let before = st.move_cost(&involved, &nets);
+            st.set_cell_aspect(i, ratio);
+            let after = st.move_cost(&involved, &nets);
+            st.commit_cost(before, after, &nets);
+        }
+        Mutation::PinSite(p, s, k) => {
+            let p = p % nl.pins().len();
+            // Only reassign sited pins, respecting their side constraint.
+            let pin = &nl.pins()[p];
+            let PinPlacement::Sites(sides) = pin.placement else {
+                return;
+            };
+            let cell = pin.cell.index();
+            let Some(layout) = st.cell(cell).sites.as_ref() else {
+                return;
+            };
+            let allowed: Vec<twmc_geom::Side> = if sides.is_empty() {
+                twmc_geom::Side::ALL.to_vec()
+            } else {
+                sides.iter().collect()
+            };
+            let site = SiteRef {
+                side: allowed[s as usize % allowed.len()],
+                slot: k % layout.sites_per_edge(),
+            };
+            let nets: Vec<twmc_netlist::NetId> = pin.net.into_iter().collect();
+            let before = twmc_place::MoveCost {
+                c1: nets.iter().map(|n| st.net_cost_live(n.index())).sum(),
+                overlap: 0,
+                c3: st.cells_c3(&[cell]),
+            };
+            st.set_pin_site(p, site);
+            let after = twmc_place::MoveCost {
+                c1: nets.iter().map(|n| st.net_cost_live(n.index())).sum(),
+                overlap: 0,
+                c3: st.cells_c3(&[cell]),
+            };
+            st.commit_cost(before, after, &nets);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bookkeeping_matches_scratch(
+        seed in 0u64..1000,
+        muts in prop::collection::vec(arb_mutation(), 1..60),
+    ) {
+        let nl = circuit(seed, true);
+        let mut st = state(&nl, seed ^ 0xabc);
+        for m in &muts {
+            apply(&mut st, &nl, m);
+        }
+        let (c1, ov, c3) = st.recompute_totals();
+        prop_assert!((st.c1() - c1).abs() < 1e-6 * c1.max(1.0), "C1 {} vs {}", st.c1(), c1);
+        prop_assert_eq!(st.raw_overlap(), ov, "overlap drifted");
+        prop_assert!((st.c3() - c3).abs() < 1e-6, "C3 {} vs {}", st.c3(), c3);
+    }
+
+    #[test]
+    fn site_occupancy_is_conserved(
+        seed in 0u64..1000,
+        muts in prop::collection::vec(arb_mutation(), 1..60),
+    ) {
+        let nl = circuit(seed, true);
+        let mut st = state(&nl, seed);
+        let sited = nl
+            .pins()
+            .iter()
+            .filter(|p| p.is_uncommitted() && nl.cell(p.cell).is_custom())
+            .count() as u32;
+        for m in &muts {
+            apply(&mut st, &nl, m);
+        }
+        let total: u32 = (0..nl.cells().len())
+            .filter_map(|i| st.cell(i).sites.as_ref())
+            .map(|s| s.total_occupancy())
+            .sum();
+        prop_assert_eq!(total, sited, "pins lost or duplicated in site bookkeeping");
+    }
+
+    #[test]
+    fn legalize_reaches_separation(
+        seed in 0u64..1000,
+        muts in prop::collection::vec(arb_mutation(), 0..30),
+    ) {
+        let nl = circuit(seed, false);
+        let mut st = state(&nl, seed);
+        for m in &muts {
+            apply(&mut st, &nl, m);
+        }
+        let ok = legalize(&mut st, 2, 500);
+        prop_assert!(ok);
+        prop_assert!(separated(&st, 2));
+        // Bookkeeping intact after legalization.
+        let (c1, ov, c3) = st.recompute_totals();
+        prop_assert!((st.c1() - c1).abs() < 1e-6 * c1.max(1.0));
+        prop_assert_eq!(st.raw_overlap(), ov);
+        prop_assert!((st.c3() - c3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn teil_is_translation_invariant(seed in 0u64..1000, dx in -500i64..500, dy in -500i64..500) {
+        let nl = circuit(seed, false);
+        let mut st = state(&nl, seed);
+        let before = st.teil();
+        for i in 0..nl.cells().len() {
+            let pos = st.cell(i).pos + Point::new(dx, dy);
+            st.set_cell_pos(i, pos);
+        }
+        st.rebuild_all();
+        prop_assert!((st.teil() - before).abs() < 1e-9, "{} vs {before}", st.teil());
+    }
+
+    #[test]
+    fn orientation_roundtrip_restores_pins(seed in 0u64..1000, o in 0usize..8) {
+        let nl = circuit(seed, false);
+        let mut st = state(&nl, seed);
+        let orientation = Orientation::ALL[o];
+        let pins_before: Vec<Point> = (0..nl.pins().len()).map(|p| st.pin_position(p)).collect();
+        let pos_before = st.cell(0).pos;
+        st.set_cell_orientation(0, orientation);
+        st.set_cell_orientation(0, Orientation::R0);
+        st.set_cell_pos(0, pos_before);
+        let pins_after: Vec<Point> = (0..nl.pins().len()).map(|p| st.pin_position(p)).collect();
+        prop_assert_eq!(pins_before, pins_after);
+    }
+}

@@ -1,0 +1,310 @@
+//! Phase two of the global router: route selection by random interchange
+//! (paper §4.2.2).
+//!
+//! Phase one stored up to `M` alternative routes per net; phase two picks
+//! one per net, minimizing total length `L` (eq. 23) subject to the
+//! channel-edge capacity constraints, by driving the overflow
+//! `X = Σ max(0, D_j − C_j)` (eq. 24) to zero. Starting from every net on
+//! its shortest route, the interchange repeatedly picks a random
+//! over-capacity edge, a random net through it, and a random alternative
+//! with `ΔX ≤ 0`, accepting when `ΔX < 0`, or `ΔX = 0 ∧ ΔL ≤ 0`. This
+//! avoids the classical net-routing-order dependence problem.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{ChannelGraph, RouteTree};
+
+/// The outcome of route selection.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Chosen alternative index per net (into the per-net alternatives).
+    pub choice: Vec<usize>,
+    /// Total routed length `L`.
+    pub total_length: i64,
+    /// Remaining overflow `X` (0 when all capacities are met).
+    pub overflow: i64,
+    /// Per-graph-edge usage `D_j`.
+    pub edge_usage: Vec<u32>,
+    /// Interchange attempts performed.
+    pub attempts: usize,
+}
+
+fn usage_of(graph: &ChannelGraph, alternatives: &[Vec<RouteTree>], choice: &[usize]) -> Vec<u32> {
+    let mut usage = vec![0u32; graph.edges.len()];
+    for (net, &k) in choice.iter().enumerate() {
+        if alternatives[net].is_empty() {
+            continue;
+        }
+        for &(a, b) in &alternatives[net][k].edges {
+            let e = graph.edge_between(a, b).expect("routes follow graph edges");
+            usage[e] += 1;
+        }
+    }
+    usage
+}
+
+fn overflow_of(graph: &ChannelGraph, usage: &[u32]) -> i64 {
+    usage
+        .iter()
+        .zip(&graph.edges)
+        .map(|(&d, e)| (d as i64 - e.capacity as i64).max(0))
+        .sum()
+}
+
+fn length_of(alternatives: &[Vec<RouteTree>], choice: &[usize]) -> i64 {
+    choice
+        .iter()
+        .enumerate()
+        .filter(|(net, _)| !alternatives[*net].is_empty())
+        .map(|(net, &k)| alternatives[net][k].length)
+        .sum()
+}
+
+/// Selects one route per net from the phase-one alternatives.
+///
+/// `alternatives[net]` must be sorted by length (index 0 = shortest), as
+/// produced by [`crate::enumerate_route_trees`]; empty lists (unroutable
+/// nets) are skipped. The stall bound is `M · N` new-state attempts
+/// without change, per the paper's stopping criterion.
+pub fn assign_routes(
+    graph: &ChannelGraph,
+    alternatives: &[Vec<RouteTree>],
+    rng: &mut StdRng,
+) -> Assignment {
+    let n_nets = alternatives.len();
+    let mut choice = vec![0usize; n_nets];
+    let mut usage = usage_of(graph, alternatives, &choice);
+    let mut x = overflow_of(graph, &usage);
+    let mut l = length_of(alternatives, &choice);
+    let m_max = alternatives.iter().map(|a| a.len()).max().unwrap_or(1);
+    let stall_limit = (m_max * n_nets).max(64);
+
+    let mut attempts = 0usize;
+    let mut stall = 0usize;
+    while x > 0 && stall < stall_limit {
+        attempts += 1;
+        stall += 1;
+        // Random over-capacity edge.
+        let overfull: Vec<usize> = usage
+            .iter()
+            .zip(&graph.edges)
+            .enumerate()
+            .filter(|(_, (&d, e))| d > e.capacity)
+            .map(|(i, _)| i)
+            .collect();
+        let Some(&edge) = pick(&overfull, rng) else {
+            break;
+        };
+        // Random net with a segment on that edge.
+        let (ea, eb) = (graph.edges[edge].a, graph.edges[edge].b);
+        let key = (ea.min(eb), ea.max(eb));
+        let users: Vec<usize> = (0..n_nets)
+            .filter(|&net| {
+                !alternatives[net].is_empty()
+                    && alternatives[net][choice[net]].edges.binary_search(&key).is_ok()
+            })
+            .collect();
+        let Some(&net) = pick(&users, rng) else {
+            continue;
+        };
+        // Alternatives with ΔX <= 0.
+        let cur = choice[net];
+        let candidates: Vec<(usize, i64, i64)> = (0..alternatives[net].len())
+            .filter(|&k| k != cur)
+            .map(|k| {
+                let (dx, dl) = delta(graph, alternatives, &usage, net, cur, k);
+                (k, dx, dl)
+            })
+            .filter(|&(_, dx, _)| dx <= 0)
+            .collect();
+        let Some(&(k, dx, dl)) = pick(&candidates, rng) else {
+            continue;
+        };
+        let accept = dx < 0 || dl <= 0;
+        if accept && (dx != 0 || dl != 0) {
+            apply(graph, alternatives, &mut usage, net, cur, k);
+            choice[net] = k;
+            x += dx;
+            l += dl;
+            stall = 0;
+        }
+    }
+
+    debug_assert_eq!(x, overflow_of(graph, &usage));
+    debug_assert_eq!(l, length_of(alternatives, &choice));
+    Assignment {
+        choice,
+        total_length: l,
+        overflow: x,
+        edge_usage: usage,
+        attempts,
+    }
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+/// `(ΔX, ΔL)` of switching `net` from alternative `cur` to `k`.
+fn delta(
+    graph: &ChannelGraph,
+    alternatives: &[Vec<RouteTree>],
+    usage: &[u32],
+    net: usize,
+    cur: usize,
+    k: usize,
+) -> (i64, i64) {
+    let mut delta_x = 0i64;
+    let over = |edge: usize, d: i64| -> i64 { (d - graph.edges[edge].capacity as i64).max(0) };
+    // Removing the current tree then adding the new one; handle shared
+    // edges by net change per edge.
+    let mut per_edge: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
+    for &(a, b) in &alternatives[net][cur].edges {
+        let e = graph.edge_between(a, b).expect("route edges exist");
+        *per_edge.entry(e).or_insert(0) -= 1;
+    }
+    for &(a, b) in &alternatives[net][k].edges {
+        let e = graph.edge_between(a, b).expect("route edges exist");
+        *per_edge.entry(e).or_insert(0) += 1;
+    }
+    for (&e, &change) in &per_edge {
+        if change == 0 {
+            continue;
+        }
+        let before = usage[e] as i64;
+        delta_x += over(e, before + change) - over(e, before);
+    }
+    let delta_l = alternatives[net][k].length - alternatives[net][cur].length;
+    (delta_x, delta_l)
+}
+
+fn apply(
+    graph: &ChannelGraph,
+    alternatives: &[Vec<RouteTree>],
+    usage: &mut [u32],
+    net: usize,
+    cur: usize,
+    k: usize,
+) {
+    for &(a, b) in &alternatives[net][cur].edges {
+        let e = graph.edge_between(a, b).expect("route edges exist");
+        usage[e] -= 1;
+    }
+    for &(a, b) in &alternatives[net][k].edges {
+        let e = graph.edge_between(a, b).expect("route edges exist");
+        usage[e] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_channel_graph, enumerate_route_trees, PlacedGeometry};
+    use rand::SeedableRng;
+    use twmc_geom::{Point, Rect, TileSet};
+
+    fn grid_graph() -> ChannelGraph {
+        let mut cells = Vec::new();
+        for gy in 0..3 {
+            for gx in 0..3 {
+                cells.push((
+                    TileSet::rect(10, 10),
+                    Point::new(gx * 20 - 25, gy * 20 - 25),
+                ));
+            }
+        }
+        build_channel_graph(
+            &PlacedGeometry {
+                cells,
+                core: Rect::from_wh(-30, -30, 60, 60),
+            },
+            2.0,
+        )
+    }
+
+    fn nets_for(g: &ChannelGraph, n: usize, seed: u64) -> Vec<Vec<RouteTree>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let s = rng.random_range(0..g.len());
+                let mut t = rng.random_range(0..g.len());
+                if t == s {
+                    t = (t + 1) % g.len();
+                }
+                enumerate_route_trees(g, &[vec![s], vec![t]], 8, 4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_congestion_keeps_shortest_routes() {
+        let g = grid_graph();
+        let alts = nets_for(&g, 3, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = assign_routes(&g, &alts, &mut rng);
+        // Few nets on a capacious grid: no overflow and every net keeps
+        // its k=1 (index 0) shortest route; the algorithm terminates
+        // immediately.
+        assert_eq!(a.overflow, 0);
+        assert!(a.choice.iter().all(|&k| k == 0));
+        assert_eq!(a.attempts, 0);
+    }
+
+    #[test]
+    fn congestion_is_traded_for_length() {
+        let g = grid_graph();
+        // Build a capacity-1 version of the same graph to force conflicts.
+        let mut tight = g.clone();
+        for e in &mut tight.edges {
+            e.capacity = 1;
+        }
+        let alts = nets_for(&tight, 12, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = assign_routes(&tight, &alts, &mut rng);
+        let shortest_l: i64 = alts
+            .iter()
+            .filter(|a| !a.is_empty())
+            .map(|a| a[0].length)
+            .sum();
+        // Either overflow is fully resolved (usually) or at least reduced
+        // versus the all-shortest start.
+        let start_usage = usage_of(&tight, &alts, &vec![0; alts.len()]);
+        let start_x = overflow_of(&tight, &start_usage);
+        assert!(start_x > 0, "test premise: congestion exists");
+        assert!(a.overflow < start_x, "overflow {} not reduced from {start_x}", a.overflow);
+        // Length can only grow relative to all-shortest.
+        assert!(a.total_length >= shortest_l);
+        // Bookkeeping consistent.
+        assert_eq!(a.edge_usage, usage_of(&tight, &alts, &a.choice));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid_graph();
+        let mut tight = g.clone();
+        for e in &mut tight.edges {
+            e.capacity = 1;
+        }
+        let alts = nets_for(&tight, 10, 7);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assign_routes(&tight, &alts, &mut rng).choice
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn empty_alternatives_are_skipped() {
+        let g = grid_graph();
+        let alts = vec![Vec::new(), nets_for(&g, 1, 9).remove(0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = assign_routes(&g, &alts, &mut rng);
+        assert_eq!(a.overflow, 0);
+        assert_eq!(a.choice.len(), 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! M-shortest-path enumeration (paper §4.2.1).
+//!
+//! For two-pin nets the paper uses Lawler's algorithm for the M shortest
+//! paths between two vertices; we implement the equivalent deviation
+//! scheme (Yen's algorithm) over the channel graph, generalized to
+//! multiple sources (the already-connected tree) and multiple targets
+//! (electrically-equivalent pins) via virtual terminals.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::ChannelGraph;
+
+/// A simple path through the channel graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Node sequence (first is a source, last is a target).
+    pub nodes: Vec<usize>,
+    /// Total length.
+    pub length: i64,
+}
+
+/// Multi-source Dijkstra over the channel graph; returns per-node
+/// distance (`i64::MAX` when unreachable).
+pub fn dijkstra(graph: &ChannelGraph, sources: &[usize]) -> Vec<i64> {
+    let mut dist = vec![i64::MAX; graph.len()];
+    let mut heap = BinaryHeap::new();
+    for &s in sources {
+        dist[s] = 0;
+        heap.push(Reverse((0i64, s)));
+    }
+    while let Some(Reverse((d, n))) = heap.pop() {
+        if d > dist[n] {
+            continue;
+        }
+        for &(m, e) in graph.neighbors(n) {
+            let nd = d + graph.edges[e].length;
+            if nd < dist[m] {
+                dist[m] = nd;
+                heap.push(Reverse((nd, m)));
+            }
+        }
+    }
+    dist
+}
+
+/// Internal adjacency with virtual terminals appended.
+struct AugGraph {
+    adj: Vec<Vec<(usize, i64)>>,
+}
+
+impl AugGraph {
+    /// Builds plain adjacency plus virtual source (index `n`) linked to
+    /// `sources` and virtual target (index `n + 1`) linked from `targets`,
+    /// all with zero length.
+    fn new(graph: &ChannelGraph, sources: &[usize], targets: &[usize]) -> AugGraph {
+        let n = graph.len();
+        let mut adj = vec![Vec::new(); n + 2];
+        for (i, row) in adj.iter_mut().enumerate().take(n) {
+            for &(m, e) in graph.neighbors(i) {
+                row.push((m, graph.edges[e].length));
+            }
+        }
+        for &s in sources {
+            adj[n].push((s, 0));
+        }
+        for &t in targets {
+            adj[t].push((n + 1, 0));
+        }
+        AugGraph { adj }
+    }
+
+    fn shortest(
+        &self,
+        s: usize,
+        t: usize,
+        banned_nodes: &[bool],
+        banned_edges: &HashSet<(usize, usize)>,
+    ) -> Option<(Vec<usize>, i64)> {
+        let n = self.adj.len();
+        let mut dist = vec![i64::MAX; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        if banned_nodes[s] {
+            return None;
+        }
+        dist[s] = 0;
+        heap.push(Reverse((0i64, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == t {
+                break;
+            }
+            for &(v, len) in &self.adj[u] {
+                if banned_nodes[v] || banned_edges.contains(&(u, v)) {
+                    continue;
+                }
+                let nd = d + len;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[t] == i64::MAX {
+            return None;
+        }
+        let mut nodes = vec![t];
+        let mut cur = t;
+        while cur != s {
+            cur = prev[cur];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some((nodes, dist[t]))
+    }
+}
+
+/// Yen's deviation algorithm over the augmented graph.
+fn yen(aug: &AugGraph, s: usize, t: usize, k: usize) -> Vec<(Vec<usize>, i64)> {
+    let n = aug.adj.len();
+    let mut found: Vec<(Vec<usize>, i64)> = Vec::new();
+    let mut candidates: BinaryHeap<Reverse<(i64, Vec<usize>)>> = BinaryHeap::new();
+    let no_nodes = vec![false; n];
+    let no_edges = HashSet::new();
+
+    let Some(first) = aug.shortest(s, t, &no_nodes, &no_edges) else {
+        return found;
+    };
+    found.push((first.0, first.1));
+
+    while found.len() < k {
+        let (last_path, _) = found.last().expect("nonempty").clone();
+        // Deviate at every spur node of the previous path.
+        for spur_idx in 0..last_path.len() - 1 {
+            let spur = last_path[spur_idx];
+            let root = &last_path[..=spur_idx];
+            let root_len: i64 = root
+                .windows(2)
+                .map(|w| {
+                    aug.adj[w[0]]
+                        .iter()
+                        .find(|&&(v, _)| v == w[1])
+                        .map(|&(_, l)| l)
+                        .expect("root follows existing edges")
+                })
+                .sum();
+            // Ban edges used by found paths sharing this root.
+            let mut banned_edges = HashSet::new();
+            for (p, _) in &found {
+                if p.len() > spur_idx && p[..=spur_idx] == *root {
+                    banned_edges.insert((p[spur_idx], p[spur_idx + 1]));
+                }
+            }
+            // Ban root nodes except the spur.
+            let mut banned_nodes = vec![false; n];
+            for &r in &root[..spur_idx] {
+                banned_nodes[r] = true;
+            }
+            if let Some((tail, tail_len)) = aug.shortest(spur, t, &banned_nodes, &banned_edges) {
+                let mut nodes = root[..spur_idx].to_vec();
+                nodes.extend(tail);
+                let total = root_len + tail_len;
+                candidates.push(Reverse((total, nodes)));
+            }
+        }
+        // Pop the best unseen candidate.
+        let mut next = None;
+        while let Some(Reverse((len, nodes))) = candidates.pop() {
+            if !found.iter().any(|(p, _)| *p == nodes) {
+                next = Some((nodes, len));
+                break;
+            }
+        }
+        match next {
+            Some(p) => found.push(p),
+            None => break,
+        }
+    }
+    found
+}
+
+/// The `k` shortest simple paths between two channel-graph nodes, sorted
+/// by length (Lawler/Yen).
+pub fn k_shortest_paths(graph: &ChannelGraph, s: usize, t: usize, k: usize) -> Vec<Path> {
+    k_shortest_from_set(graph, &[s], &[t], k)
+}
+
+/// The `k` shortest simple paths from any of `sources` to any of
+/// `targets` (used to connect the next pin group to the growing tree;
+/// `targets` holds electrically-equivalent alternatives).
+pub fn k_shortest_from_set(
+    graph: &ChannelGraph,
+    sources: &[usize],
+    targets: &[usize],
+    k: usize,
+) -> Vec<Path> {
+    if graph.is_empty() || sources.is_empty() || targets.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    // Degenerate: a target is already a source.
+    if let Some(&t) = targets.iter().find(|t| sources.contains(t)) {
+        let mut out = vec![Path {
+            nodes: vec![t],
+            length: 0,
+        }];
+        out.extend(
+            k_shortest_from_set_nontrivial(graph, sources, targets, k - 1)
+                .into_iter()
+                .filter(|p| p.nodes.len() > 1),
+        );
+        return out;
+    }
+    k_shortest_from_set_nontrivial(graph, sources, targets, k)
+}
+
+fn k_shortest_from_set_nontrivial(
+    graph: &ChannelGraph,
+    sources: &[usize],
+    targets: &[usize],
+    k: usize,
+) -> Vec<Path> {
+    let n = graph.len();
+    let aug = AugGraph::new(graph, sources, targets);
+    yen(&aug, n, n + 1, k)
+        .into_iter()
+        .map(|(nodes, length)| Path {
+            // Strip the virtual terminals.
+            nodes: nodes[1..nodes.len() - 1].to_vec(),
+            length,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_channel_graph, PlacedGeometry};
+    use twmc_geom::{Point, Rect, TileSet};
+
+    /// A 3x3 grid of cells: a rich channel network with many alternative
+    /// routes.
+    fn grid_graph() -> ChannelGraph {
+        let mut cells = Vec::new();
+        for gy in 0..3 {
+            for gx in 0..3 {
+                cells.push((
+                    TileSet::rect(10, 10),
+                    Point::new(gx * 20 - 25, gy * 20 - 25),
+                ));
+            }
+        }
+        build_channel_graph(
+            &PlacedGeometry {
+                cells,
+                core: Rect::from_wh(-30, -30, 60, 60),
+            },
+            2.0,
+        )
+    }
+
+    #[test]
+    fn dijkstra_distances_are_consistent() {
+        let g = grid_graph();
+        let d = dijkstra(&g, &[0]);
+        assert_eq!(d[0], 0);
+        // Triangle inequality along every edge.
+        for e in &g.edges {
+            if d[e.a] < i64::MAX && d[e.b] < i64::MAX {
+                assert!(d[e.b] <= d[e.a] + e.length);
+                assert!(d[e.a] <= d[e.b] + e.length);
+            }
+        }
+    }
+
+    #[test]
+    fn k_paths_sorted_and_simple() {
+        let g = grid_graph();
+        let (s, t) = (0, g.len() - 1);
+        let paths = k_shortest_paths(&g, s, t, 8);
+        assert!(!paths.is_empty());
+        for pair in paths.windows(2) {
+            assert!(pair[0].length <= pair[1].length, "not sorted");
+        }
+        for p in &paths {
+            // Simple: no repeated nodes.
+            let mut seen = std::collections::HashSet::new();
+            assert!(p.nodes.iter().all(|&n| seen.insert(n)), "cycle in path");
+            assert_eq!(*p.nodes.first().expect("nonempty"), s);
+            assert_eq!(*p.nodes.last().expect("nonempty"), t);
+            // Consecutive nodes are adjacent and lengths add up.
+            let mut len = 0;
+            for w in p.nodes.windows(2) {
+                let e = g.edge_between(w[0], w[1]).expect("adjacent");
+                len += g.edges[e].length;
+            }
+            assert_eq!(len, p.length);
+        }
+        // All distinct.
+        let set: std::collections::HashSet<&Vec<usize>> =
+            paths.iter().map(|p| &p.nodes).collect();
+        assert_eq!(set.len(), paths.len());
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let g = grid_graph();
+        let (s, t) = (1, g.len() - 2);
+        let d = dijkstra(&g, &[s]);
+        let paths = k_shortest_paths(&g, s, t, 3);
+        assert_eq!(paths[0].length, d[t]);
+    }
+
+    #[test]
+    fn multi_source_reaches_nearest() {
+        let g = grid_graph();
+        let sources = [0, 1, 2];
+        let t = g.len() - 1;
+        let paths = k_shortest_from_set(&g, &sources, &[t], 4);
+        assert!(!paths.is_empty());
+        // Starts at one of the sources.
+        assert!(sources.contains(paths[0].nodes.first().expect("nonempty")));
+        // Not longer than any single-source shortest.
+        let best_single = sources
+            .iter()
+            .map(|&s| dijkstra(&g, &[s])[t])
+            .min()
+            .expect("nonempty");
+        assert_eq!(paths[0].length, best_single);
+    }
+
+    #[test]
+    fn equivalent_targets_pick_closer() {
+        let g = grid_graph();
+        let s = 0;
+        let d = dijkstra(&g, &[s]);
+        // Choose two targets with different distances.
+        let mut far = 0;
+        let mut near = 0;
+        for i in 0..g.len() {
+            if d[i] > d[far] {
+                far = i;
+            }
+        }
+        for i in 0..g.len() {
+            if d[i] > 0 && d[i] < d[near] || d[near] == 0 {
+                near = i;
+            }
+        }
+        let paths = k_shortest_from_set(&g, &[s], &[near, far], 2);
+        assert_eq!(paths[0].length, d[near].min(d[far]));
+    }
+
+    #[test]
+    fn target_in_source_set_is_zero_length() {
+        let g = grid_graph();
+        let paths = k_shortest_from_set(&g, &[3, 4], &[4], 3);
+        assert_eq!(paths[0].length, 0);
+        assert_eq!(paths[0].nodes, vec![4]);
+    }
+
+    #[test]
+    fn k_larger_than_path_count_saturates() {
+        // A hand-built chain of three touching regions has exactly one
+        // simple path end to end; asking for 50 must return just it.
+        use crate::{ChannelGraph, ChannelKind, CriticalRegion, EdgeRef};
+        use twmc_geom::{Side, Span};
+        let strip = |x0: i64| CriticalRegion {
+            rect: Rect::from_wh(x0, 0, 2, 10),
+            kind: ChannelKind::Vertical,
+            lo_edge: EdgeRef {
+                cell: None,
+                side: Side::Right,
+                coord: x0,
+                span: Span::new(0, 10),
+            },
+            hi_edge: EdgeRef {
+                cell: None,
+                side: Side::Left,
+                coord: x0 + 2,
+                span: Span::new(0, 10),
+            },
+        };
+        let g = ChannelGraph::build(vec![strip(0), strip(2), strip(4)], 2.0);
+        assert_eq!(g.len(), 3);
+        let paths = k_shortest_paths(&g, 0, 2, 50);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Chip planning: a mixed macro/custom circuit exercising the features
+//! no prior simulated-annealing placer combined (paper §1): custom-cell
+//! pin placement, aspect-ratio selection, instance selection, rectilinear
+//! macro geometry, and all eight orientations — simultaneously.
+//!
+//! ```sh
+//! cargo run --release --example chip_planning
+//! ```
+
+use timberwolfmc::core::{run_timberwolf, TimberWolfConfig};
+use timberwolfmc::geom::{Point, Rect, Side, TileSet};
+use timberwolfmc::netlist::{AspectRange, NetPin, NetlistBuilder, SideSet};
+use timberwolfmc::place::PlaceParams;
+
+fn main() {
+    let mut b = NetlistBuilder::new();
+
+    // An L-shaped fixed macro (controller) with pins on several edges.
+    let ctl = b.add_macro(
+        "ctl",
+        TileSet::new(vec![Rect::from_wh(0, 0, 40, 16), Rect::from_wh(0, 16, 18, 14)])
+            .expect("L tiles disjoint"),
+    );
+    let ctl_pins: Vec<_> = [
+        ("clk", Point::new(0, 8)),
+        ("d0", Point::new(40, 4)),
+        ("d1", Point::new(40, 10)),
+        ("a0", Point::new(18, 22)),
+        ("a1", Point::new(10, 30)),
+        ("en", Point::new(20, 0)),
+    ]
+    .iter()
+    .map(|(n, p)| b.add_fixed_pin(ctl, n, *p).expect("pin on boundary"))
+    .collect();
+
+    // A macro with two selectable instances (wide and tall datapath).
+    let dp = b.add_macro("dp", TileSet::rect(50, 20));
+    let dp_in = b.add_fixed_pin(dp, "in", Point::new(0, 10)).expect("pin");
+    let dp_out = b.add_fixed_pin(dp, "out", Point::new(50, 10)).expect("pin");
+    let dp_clk = b.add_fixed_pin(dp, "clk", Point::new(25, 0)).expect("pin");
+    b.add_instance(
+        dp,
+        "tall",
+        TileSet::rect(20, 50),
+        vec![Point::new(0, 25), Point::new(20, 25), Point::new(10, 0)],
+    )
+    .expect("instance pins");
+
+    // Two custom cells with estimated area, continuous aspect range, and
+    // uncommitted pins: a register file with a sequenced data bus, and a
+    // RAM with edge-restricted pins.
+    let rf = b.add_custom("rf", 1200, AspectRange::Continuous { min: 0.5, max: 2.0 }, 8);
+    let rf_bus: Vec<_> = (0..4)
+        .map(|i| {
+            b.add_site_pin(rf, &format!("q{i}"), SideSet::ALL)
+                .expect("custom pin")
+        })
+        .collect();
+    b.add_group(
+        rf,
+        "qbus",
+        SideSet::of(&[Side::Left, Side::Right]),
+        true, // sequenced: q0..q3 keep their order along the edge
+        rf_bus.clone(),
+    )
+    .expect("group");
+    let rf_clk = b.add_site_pin(rf, "clk", SideSet::single(Side::Bottom)).expect("pin");
+
+    let ram = b.add_custom(
+        "ram",
+        2000,
+        AspectRange::Discrete(vec![0.5, 1.0, 2.0]),
+        8,
+    );
+    let ram_d: Vec<_> = (0..4)
+        .map(|i| {
+            b.add_site_pin(ram, &format!("d{i}"), SideSet::of(&[Side::Left, Side::Top]))
+                .expect("custom pin")
+        })
+        .collect();
+    let ram_en = b.add_site_pin(ram, "en", SideSet::ALL).expect("pin");
+    let ram_a = b.add_site_pin(ram, "a", SideSet::of(&[Side::Bottom, Side::Right])).expect("pin");
+
+    // Nets: clock tree, data buses, control. The dp "in" has an
+    // electrically-equivalent alternative on the controller (d0/d1 pair).
+    b.add_simple_net("clk", &[ctl_pins[0], dp_clk, rf_clk]).expect("net");
+    b.add_net(
+        "dbus0",
+        vec![
+            NetPin {
+                primary: ctl_pins[1],
+                equivalents: vec![ctl_pins[2]],
+            },
+            NetPin::simple(dp_in),
+            NetPin::simple(ram_d[0]),
+        ],
+        1.0,
+        1.0,
+    )
+    .expect("net");
+    b.add_simple_net("dbus1", &[dp_out, rf_bus[0], ram_d[1]]).expect("net");
+    b.add_simple_net("dbus2", &[rf_bus[1], ram_d[2]]).expect("net");
+    b.add_simple_net("dbus3", &[rf_bus[2], ram_d[3]]).expect("net");
+    b.add_simple_net("abus", &[ctl_pins[3], rf_bus[3]]).expect("net");
+    b.add_simple_net("en", &[ctl_pins[5], ram_en]).expect("net");
+    b.add_simple_net("a1", &[ctl_pins[4], ram_a]).expect("net");
+
+    let circuit = b.build().expect("valid netlist");
+    println!(
+        "chip plan: {} cells ({} custom), {} nets, {} pins",
+        circuit.stats().cells,
+        circuit.cells().iter().filter(|c| c.is_custom()).count(),
+        circuit.stats().nets,
+        circuit.stats().pins
+    );
+
+    let config = TimberWolfConfig {
+        place: PlaceParams {
+            attempts_per_cell: 120,
+            ..Default::default()
+        },
+        seed: 7,
+        ..Default::default()
+    };
+    let result = run_timberwolf(&circuit, &config);
+
+    println!("\nfinal chip plan ({} x {}):", result.chip.width(), result.chip.height());
+    for cell in &result.placement {
+        let c = circuit.cell_by_name(&cell.name).expect("cell exists");
+        let kind = if c.is_custom() {
+            format!("custom, aspect {:.2}", cell.aspect)
+        } else if c.instance_count() > 1 {
+            format!("macro, instance {}", cell.instance)
+        } else {
+            "macro".to_owned()
+        };
+        println!(
+            "  {:<4} {:>4}x{:<4} at ({:>5},{:>5}) {:>5?}  [{kind}]",
+            cell.name,
+            cell.bbox.width(),
+            cell.bbox.height(),
+            cell.pos.x,
+            cell.pos.y,
+            cell.orientation,
+        );
+    }
+    println!("\nTEIL {:.0}, routed length {}", result.teil, result.routed_length);
+    println!(
+        "stage-2 drift: TEIL {:+.1}%, area {:+.1}%",
+        100.0 * result.stage2_teil_change(),
+        100.0 * result.stage2_area_change()
+    );
+}

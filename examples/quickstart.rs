@@ -1,0 +1,87 @@
+//! Quickstart: place and globally route a small macro-cell circuit
+//! end-to-end, printing the numbers the paper reports (TEIL, chip area,
+//! stage-2 stability).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use timberwolfmc::core::{run_timberwolf, TimberWolfConfig};
+use timberwolfmc::netlist::{synthesize, SynthParams};
+use timberwolfmc::place::PlaceParams;
+
+fn main() {
+    // A 15-cell macro circuit, the scale of the paper's smaller tests.
+    let circuit = synthesize(&SynthParams {
+        cells: 15,
+        nets: 40,
+        pins: 150,
+        custom_fraction: 0.0,
+        seed: 42,
+        ..Default::default()
+    });
+    let stats = circuit.stats();
+    println!(
+        "circuit: {} cells, {} nets, {} pins",
+        stats.cells, stats.nets, stats.pins
+    );
+
+    let config = TimberWolfConfig {
+        place: PlaceParams {
+            attempts_per_cell: 50,
+            ..Default::default()
+        },
+        seed: 42,
+        ..Default::default()
+    };
+    let result = run_timberwolf(&circuit, &config);
+
+    println!("\n== stage 1 (annealing placement) ==");
+    println!("TEIL              : {:>10.0}", result.stage1.teil);
+    println!("chip bbox         : {:>6} x {}", result.stage1.chip.width(), result.stage1.chip.height());
+    println!("residual overlap  : {:>10}", result.stage1.residual_overlap);
+    println!("temperatures      : {:>10}", result.stage1.history.len());
+    println!(
+        "move acceptance   : {:>9.1}%",
+        100.0 * result.stage1.moves.accepts() as f64 / result.stage1.moves.attempts().max(1) as f64
+    );
+
+    println!("\n== stage 2 (channel definition + global routing + refinement) ==");
+    for (k, r) in result.stage2.records.iter().enumerate() {
+        println!(
+            "refinement {}: routed length {:>7}, overflow {:>3}, max channel density {:>3}, TEIL {:.0} -> {:.0}",
+            k + 1,
+            r.routed_length,
+            r.overflow,
+            r.max_density,
+            r.teil_before,
+            r.teil_after,
+        );
+    }
+
+    println!("\n== final ==");
+    println!("TEIL              : {:>10.0}", result.teil);
+    println!("chip bbox         : {:>6} x {}", result.chip.width(), result.chip.height());
+    println!("routed length     : {:>10}", result.routed_length);
+    println!(
+        "stage-2 TEIL drift: {:>9.1}%  (Table 3 reports small values — the estimator was accurate)",
+        100.0 * result.stage2_teil_change()
+    );
+    println!(
+        "stage-2 area drift: {:>9.1}%",
+        100.0 * result.stage2_area_change()
+    );
+
+    println!("\nfinal placement:");
+    for cell in &result.placement {
+        println!(
+            "  {:<6} at ({:>5}, {:>5})  {:>3?}  {}x{}",
+            cell.name,
+            cell.pos.x,
+            cell.pos.y,
+            cell.orientation,
+            cell.bbox.width(),
+            cell.bbox.height(),
+        );
+    }
+}

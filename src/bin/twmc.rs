@@ -1,0 +1,213 @@
+//! `twmc` — command-line front end to the TimberWolfMC reproduction.
+//!
+//! ```text
+//! twmc synth --circuit i3 --seed 42 --out i3.twn     # synthesize a netlist
+//! twmc place i3.twn --ac 100 --svg chip.svg          # full place & route flow
+//! twmc compare i3.twn --ac 100                       # vs the three baselines
+//! ```
+
+use std::process::ExitCode;
+
+use timberwolfmc::core::{
+    compare, format_table4, greedy_placement, quadratic_placement, render_svg, run_timberwolf,
+    shelf_placement, RenderOptions, TimberWolfConfig,
+};
+use timberwolfmc::estimator::EstimatorParams;
+use timberwolfmc::netlist::{
+    paper_circuit, parse_netlist, synthesize, synthesize_profile, write_netlist, Netlist,
+    SynthParams,
+};
+use timberwolfmc::place::PlaceParams;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         twmc synth [--circuit NAME | --cells N --nets N --pins N] [--seed N] [--custom F] --out FILE\n  \
+         twmc place FILE [--seed N] [--ac N] [--svg FILE] [--placement FILE]\n  \
+         twmc compare FILE [--seed N] [--ac N]\n\n\
+         NAME is one of the paper's circuits: i1 p1 x1 i2 i3 l1 d2 d1 d3"
+    );
+    ExitCode::FAILURE
+}
+
+struct Flags {
+    values: std::collections::HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut values = std::collections::HashMap::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    values.insert(name.to_owned(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    values.insert(name.to_owned(), "true".to_owned());
+                    i += 1;
+                }
+            } else {
+                positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Flags { values, positional }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+}
+
+fn load_netlist(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.to_ascii_lowercase().ends_with(".yal") {
+        timberwolfmc::netlist::parse_yal(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        parse_netlist(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_synth(flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flags.get("seed", 42);
+    let nl = if let Some(name) = flags.get_str("circuit") {
+        let profile =
+            paper_circuit(name).ok_or_else(|| format!("unknown paper circuit `{name}`"))?;
+        synthesize_profile(profile, seed)
+    } else {
+        synthesize(&SynthParams {
+            cells: flags.get("cells", 20),
+            nets: flags.get("nets", 60),
+            pins: flags.get("pins", 240),
+            custom_fraction: flags.get("custom", 0.0),
+            seed,
+            ..Default::default()
+        })
+    };
+    let out = flags
+        .get_str("out")
+        .ok_or_else(|| "synth needs --out FILE".to_owned())?;
+    std::fs::write(out, write_netlist(&nl)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let s = nl.stats();
+    println!("wrote {out}: {} cells, {} nets, {} pins", s.cells, s.nets, s.pins);
+    Ok(())
+}
+
+fn config_from(flags: &Flags) -> TimberWolfConfig {
+    TimberWolfConfig {
+        place: PlaceParams {
+            attempts_per_cell: flags.get("ac", 60),
+            ..Default::default()
+        },
+        seed: flags.get("seed", 42),
+        ..Default::default()
+    }
+}
+
+fn cmd_place(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "place needs a netlist file".to_owned())?;
+    let nl = load_netlist(path)?;
+    let config = config_from(flags);
+    eprintln!(
+        "placing {} ({} cells, {} nets, A_c = {})...",
+        path,
+        nl.stats().cells,
+        nl.stats().nets,
+        config.place.attempts_per_cell
+    );
+    let t0 = std::time::Instant::now();
+    let result = run_timberwolf(&nl, &config);
+    println!(
+        "TEIL {:.0}  chip {} x {} (area {})  routed length {}  [{:.1}s]",
+        result.teil,
+        result.chip.width(),
+        result.chip.height(),
+        result.chip_area(),
+        result.routed_length,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "stage-2 drift: TEIL {:+.1}%, area {:+.1}% (paper Table 3: small values)",
+        100.0 * result.stage2_teil_change(),
+        100.0 * result.stage2_area_change()
+    );
+    if let Some(svg_path) = flags.get_str("svg") {
+        let svg = render_svg(
+            &result.placement,
+            Some(&result.stage2.final_routing),
+            result.chip,
+            &RenderOptions::default(),
+        );
+        std::fs::write(svg_path, svg).map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+        println!("wrote {svg_path}");
+    }
+    if let Some(pl_path) = flags.get_str("placement") {
+        let mut text = String::new();
+        for c in &result.placement {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                text,
+                "{} {} {} {:?} instance={} aspect={:.3}",
+                c.name, c.pos.x, c.pos.y, c.orientation, c.instance, c.aspect
+            );
+        }
+        std::fs::write(pl_path, text).map_err(|e| format!("cannot write {pl_path}: {e}"))?;
+        println!("wrote {pl_path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "compare needs a netlist file".to_owned())?;
+    let nl = load_netlist(path)?;
+    let stats = nl.stats();
+    let config = config_from(flags);
+    let est = EstimatorParams::default();
+    let seed = config.seed;
+    eprintln!("running TimberWolfMC and three baselines...");
+    let twmc = run_timberwolf(&nl, &config);
+    let rows = vec![
+        compare(path, &stats, &twmc, &quadratic_placement(&nl, &est, seed)),
+        compare(path, &stats, &twmc, &greedy_placement(&nl, &est, 60, seed)),
+        compare(path, &stats, &twmc, &shelf_placement(&nl, &est, seed)),
+    ];
+    println!("{}", format_table4(&rows));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "synth" => cmd_synth(&flags),
+        "place" => cmd_place(&flags),
+        "compare" => cmd_compare(&flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! TimberWolfMC reproduction — umbrella crate.
+//!
+//! A from-scratch Rust reproduction of Carl Sechen's *"Chip-Planning,
+//! Placement, and Global Routing of Macro/Custom Cell Integrated
+//! Circuits Using Simulated Annealing"* (DAC 1988). This crate re-exports
+//! the workspace's public API under one roof:
+//!
+//! * [`geom`] — grid geometry, orientations, rectilinear tile sets;
+//! * [`netlist`] — macro/custom cells, pins, nets, netlist I/O,
+//!   synthetic circuits matching the paper's nine test cases;
+//! * [`anneal`] — the annealing engine, cooling schedules (Tables 1–2),
+//!   range limiter;
+//! * [`estimator`] — the dynamic interconnect-area estimator (eqs. 1–5);
+//! * [`place`] — stage-1 annealing placement (§3);
+//! * [`route`] — channel definition and the two-phase global router (§4.1–4.2);
+//! * [`refine`] — stage-2 placement refinement (§4.3);
+//! * [`channel`] — a detailed channel router (constrained left-edge
+//!   with doglegs) validating the `t ≤ d+1` assumption behind eq. 22;
+//! * [`core`] — the full pipeline, baselines, and reports.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use timberwolfmc::core::{run_timberwolf, TimberWolfConfig};
+//! use timberwolfmc::netlist::{paper_circuit, synthesize_profile};
+//!
+//! let circuit = synthesize_profile(paper_circuit("i3").unwrap(), 42);
+//! let result = run_timberwolf(&circuit, &TimberWolfConfig::fast(42));
+//! println!("TEIL {:.0}  chip area {}", result.teil, result.chip_area());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use twmc_anneal as anneal;
+pub use twmc_channel as channel;
+pub use twmc_core as core;
+pub use twmc_estimator as estimator;
+pub use twmc_geom as geom;
+pub use twmc_netlist as netlist;
+pub use twmc_place as place;
+pub use twmc_refine as refine;
+pub use twmc_route as route;

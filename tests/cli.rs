@@ -1,0 +1,83 @@
+//! End-user test of the `twmc` command-line tool: synth → place → svg.
+
+use std::process::Command;
+
+fn twmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_twmc"))
+}
+
+#[test]
+fn synth_place_compare_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("twmc-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let netlist = dir.join("tiny.twn");
+    let svg = dir.join("tiny.svg");
+    let placement = dir.join("tiny.place");
+
+    // Synthesize a small circuit.
+    let out = twmc()
+        .args([
+            "synth", "--cells", "6", "--nets", "12", "--pins", "40", "--seed", "3", "--out",
+        ])
+        .arg(&netlist)
+        .output()
+        .expect("run twmc synth");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(netlist.exists());
+
+    // Place it with SVG and placement outputs.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "3", "--svg"])
+        .arg(&svg)
+        .arg("--placement")
+        .arg(&placement)
+        .output()
+        .expect("run twmc place");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TEIL"), "{stdout}");
+    let svg_text = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(svg_text.starts_with("<svg"));
+    let place_text = std::fs::read_to_string(&placement).expect("placement written");
+    assert_eq!(place_text.lines().count(), 6, "{place_text}");
+
+    // Errors are reported cleanly, not as panics.
+    let out = twmc()
+        .args(["place", "/nonexistent/file.twn"])
+        .output()
+        .expect("run twmc place");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    // No-args prints usage.
+    let out = twmc().output().expect("run twmc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn yal_input_is_accepted() {
+    let dir = std::env::temp_dir().join(format!("twmc-cli-yal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let yal = dir.join("toy.yal");
+    std::fs::write(
+        &yal,
+        "MODULE a;\nTYPE GENERAL;\nDIMENSIONS 0 0 0 40 40 40 40 0;\n\
+         IOLIST;\np B 0 20 4 m2;\nq B 40 20 4 m2;\nENDIOLIST;\nENDMODULE;\n\
+         MODULE top;\nTYPE PARENT;\nNETWORK;\nu1 a n1 n2;\nu2 a n2 n1;\nENDNETWORK;\nENDMODULE;\n",
+    )
+    .expect("write yal");
+    let out = twmc()
+        .arg("place")
+        .arg(&yal)
+        .args(["--ac", "8", "--seed", "1"])
+        .output()
+        .expect("run twmc place on yal");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,77 @@
+//! Integration: netlist serialization round-trips every synthetic
+//! circuit, including all nine paper profiles, and parsed circuits place
+//! identically to the originals.
+
+use timberwolfmc::netlist::{
+    parse_netlist, synthesize, synthesize_profile, write_netlist, SynthParams, PAPER_CIRCUITS,
+};
+
+#[test]
+fn all_paper_profiles_roundtrip() {
+    for profile in PAPER_CIRCUITS {
+        let nl = synthesize_profile(profile, 7);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text)
+            .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", profile.name));
+        assert_eq!(back.stats(), nl.stats(), "{}", profile.name);
+        assert_eq!(back.groups().len(), nl.groups().len());
+        // Net structure preserved (degrees and equivalents).
+        for (a, b) in nl.nets().iter().zip(back.nets()) {
+            assert_eq!(a.degree(), b.degree());
+            assert_eq!(a.all_pins().count(), b.all_pins().count());
+        }
+    }
+}
+
+#[test]
+fn roundtrip_with_equivalent_pins_and_customs() {
+    let nl = synthesize(&SynthParams {
+        cells: 12,
+        nets: 30,
+        pins: 120,
+        custom_fraction: 0.5,
+        equiv_pin_fraction: 0.2,
+        seed: 99,
+        ..Default::default()
+    });
+    let text = write_netlist(&nl);
+    let back = parse_netlist(&text).expect("reparse");
+    assert_eq!(back.stats(), nl.stats());
+    let equivs = |n: &timberwolfmc::netlist::Netlist| -> usize {
+        n.nets()
+            .iter()
+            .flat_map(|net| net.pins.iter())
+            .map(|np| np.equivalents.len())
+            .sum()
+    };
+    assert_eq!(equivs(&nl), equivs(&back));
+}
+
+#[test]
+fn parsed_circuit_places_identically() {
+    use timberwolfmc::core::{run_timberwolf, TimberWolfConfig};
+    use timberwolfmc::place::PlaceParams;
+
+    let nl = synthesize(&SynthParams {
+        cells: 6,
+        nets: 12,
+        pins: 40,
+        seed: 5,
+        avg_cell_dim: 16,
+        ..Default::default()
+    });
+    let back = parse_netlist(&write_netlist(&nl)).expect("reparse");
+    let config = TimberWolfConfig {
+        place: PlaceParams {
+            attempts_per_cell: 8,
+            normalization_samples: 4,
+            ..Default::default()
+        },
+        seed: 77,
+        ..Default::default()
+    };
+    let a = run_timberwolf(&nl, &config);
+    let b = run_timberwolf(&back, &config);
+    assert_eq!(a.teil, b.teil);
+    assert_eq!(a.chip, b.chip);
+}

@@ -1,0 +1,163 @@
+//! Property-based integration tests of channel definition and global
+//! routing over randomly generated *legal* placements.
+
+use proptest::prelude::*;
+
+use timberwolfmc::geom::{Point, Rect, TileSet};
+use timberwolfmc::route::{
+    build_channel_graph, critical_regions, global_route, NetPins, PlacedGeometry, RouterParams,
+};
+
+/// A random legal placement: cells shelf-packed with random sizes and a
+/// random gap, inside a fitted core.
+fn arb_geometry() -> impl Strategy<Value = PlacedGeometry> {
+    (
+        prop::collection::vec((6i64..30, 6i64..30), 2..10),
+        2i64..8,
+    )
+        .prop_map(|(sizes, gap)| {
+            let max_w: i64 = 90;
+            let mut cells = Vec::new();
+            let (mut x, mut y, mut shelf) = (0i64, 0i64, 0i64);
+            for (w, h) in sizes {
+                if x > 0 && x + w + gap > max_w {
+                    y += shelf;
+                    x = 0;
+                    shelf = 0;
+                }
+                cells.push((TileSet::rect(w, h), Point::new(x, y)));
+                x += w + gap;
+                shelf = shelf.max(h + gap);
+            }
+            let bbox = cells
+                .iter()
+                .map(|(t, p)| t.bbox().translate(*p))
+                .reduce(|a, b| a.hull(b))
+                .expect("at least two cells");
+            PlacedGeometry {
+                core: bbox.expand(gap.max(4)),
+                cells,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn critical_regions_are_empty_and_in_core(geometry in arb_geometry()) {
+        for r in critical_regions(&geometry) {
+            // Region interiors contain no cell area.
+            prop_assert!(geometry.is_empty_region(r.rect), "{:?}", r.rect);
+            // Regions have positive separation and extent.
+            prop_assert!(r.separation() > 0);
+            prop_assert!(r.extent() > 0);
+        }
+    }
+
+    #[test]
+    fn channel_graph_is_connected(geometry in arb_geometry()) {
+        let g = build_channel_graph(&geometry, 2.0);
+        prop_assert!(!g.is_empty());
+        let mut seen = vec![false; g.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for &(m, _) in g.neighbors(n) {
+                if !seen[m] {
+                    seen[m] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        prop_assert!(
+            seen.iter().all(|&s| s),
+            "channel graph of a legal gapped placement must be connected"
+        );
+    }
+
+    #[test]
+    fn every_boundary_pin_routes(geometry in arb_geometry(), seed in 0u64..1000) {
+        // Nets between pins on the first and last cells' edges.
+        let first = geometry.cells.first().expect("cells");
+        let last = geometry.cells.last().expect("cells");
+        let p1 = Point::new(
+            first.1.x + first.0.width(),
+            first.1.y + first.0.height() / 2,
+        );
+        let p2 = Point::new(last.1.x, last.1.y + last.0.height() / 2);
+        let nets = vec![NetPins { points: vec![vec![p1], vec![p2]] }];
+        let routing = global_route(&geometry, &nets, &RouterParams::default(), seed);
+        prop_assert_eq!(routing.unrouted, 0);
+        let tree = routing.routes[0].as_ref().expect("routed");
+        // Tree edges exist in the graph.
+        for &(a, b) in &tree.edges {
+            prop_assert!(routing.graph.edge_between(a, b).is_some());
+        }
+        // Densities are consistent with the single net.
+        prop_assert!(routing.node_density.iter().all(|&d| d <= 1));
+    }
+
+    #[test]
+    fn required_widths_follow_eq22(geometry in arb_geometry()) {
+        let routing = global_route(&geometry, &[], &RouterParams::default(), 1);
+        for node in 0..routing.graph.len() {
+            // Unused channels still need (0+2)*t_s.
+            let w = routing.required_width(node, 2.0);
+            prop_assert_eq!(w, 4.0);
+        }
+    }
+
+    #[test]
+    fn region_count_scales_with_cells(geometry in arb_geometry()) {
+        // Sanity: at least one region per cell side facing another cell
+        // or the core (coarse lower bound: 4 regions total).
+        let regions = critical_regions(&geometry);
+        prop_assert!(regions.len() >= 4);
+        // And all regions lie within the expanded core hull.
+        let hull = geometry.core.expand(1);
+        for r in &regions {
+            prop_assert!(hull.contains_rect(r.rect), "{:?} outside {hull:?}", r.rect);
+        }
+    }
+}
+
+#[test]
+fn routed_length_reacts_to_congestion() {
+    // A narrow corridor forces detours once capacity is exceeded.
+    let geometry = PlacedGeometry {
+        cells: vec![
+            (TileSet::rect(30, 30), Point::new(-35, -15)),
+            (TileSet::rect(30, 30), Point::new(5, -15)),
+        ],
+        core: Rect::from_wh(-45, -25, 90, 50),
+    };
+    // Many nets crossing the central channel.
+    let nets: Vec<NetPins> = (0..12)
+        .map(|k| NetPins {
+            points: vec![
+                vec![Point::new(-5, -13 + 2 * k)],
+                vec![Point::new(5, -13 + 2 * k)],
+            ],
+        })
+        .collect();
+    let routing = global_route(&geometry, &nets, &RouterParams::default(), 3);
+    assert_eq!(routing.unrouted, 0);
+    // The crossing nets all pass through the central channel: its density
+    // reaches 12, and eq. 22 demands a (12+2)*t_s-wide channel — the
+    // signal stage 2 uses to spread the cells.
+    let (node, &density) = routing
+        .node_density
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, d)| d)
+        .expect("nonempty graph");
+    assert_eq!(density, 12, "central channel must carry every net");
+    assert_eq!(routing.required_width(node, 2.0), 28.0);
+    // The channel is only 10 wide: the required width exceeds the
+    // separation, which is exactly what forces refinement to expand it.
+    assert!(
+        routing.required_width(node, 2.0)
+            > routing.graph.nodes[node].region.separation() as f64
+    );
+}
