@@ -45,6 +45,15 @@ pub trait AnnealState {
     /// Current total cost (used for stopping criteria and statistics).
     fn cost(&self) -> f64;
 
+    /// Energy used in replica-exchange (parallel tempering) swap tests.
+    ///
+    /// Defaults to [`AnnealState::cost`]. Override when the annealing
+    /// cost contains temperature- or replica-dependent terms that must
+    /// not enter the exchange Metropolis rule.
+    fn swap_energy(&self) -> f64 {
+        self.cost()
+    }
+
     /// Hook invoked at the start of every inner loop (each temperature).
     fn begin_temperature(&mut self, _ctx: &AnnealContext) {}
 }
@@ -147,11 +156,52 @@ impl AnnealStats {
 /// Hard cap on temperature steps, far above the ≈120 of a paper run.
 const MAX_TEMPERATURE_STEPS: usize = 2000;
 
+/// Runs one Metropolis inner loop at an externally driven temperature.
+///
+/// This is the engine's building block for orchestrators that own the
+/// temperature themselves — parallel tempering pins each replica to a
+/// fixed rung and calls this between swap rounds, while [`anneal`] calls
+/// it per step of a cooling schedule.
+pub fn anneal_inner_loop<S: AnnealState>(
+    ctx: &AnnealContext,
+    state: &mut S,
+    iterations: usize,
+    rng: &mut StdRng,
+) -> TemperatureStats {
+    state.begin_temperature(ctx);
+    let mut attempts = 0;
+    let mut accepts = 0;
+    for _ in 0..iterations {
+        let Some(delta) = state.propose(ctx, rng) else {
+            continue;
+        };
+        attempts += 1;
+        let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / ctx.temperature).exp();
+        if accept {
+            state.commit();
+            accepts += 1;
+        } else {
+            state.abandon();
+        }
+    }
+    TemperatureStats {
+        temperature: ctx.temperature,
+        attempts,
+        accepts,
+        cost_after: state.cost(),
+        window_x: ctx.window_x,
+    }
+}
+
 /// Runs the annealing loop to completion.
 ///
 /// Acceptance is standard Metropolis: `ΔC ≤ 0` always accepts, otherwise
 /// accept with probability `exp(−ΔC / T)`.
-pub fn anneal<S: AnnealState>(config: &AnnealConfig, state: &mut S, rng: &mut StdRng) -> AnnealStats {
+pub fn anneal<S: AnnealState>(
+    config: &AnnealConfig,
+    state: &mut S,
+    rng: &mut StdRng,
+) -> AnnealStats {
     let mut stats = AnnealStats::default();
     let mut t = config.t_start;
     let inner = config.inner_iterations();
@@ -166,34 +216,11 @@ pub fn anneal<S: AnnealState>(config: &AnnealConfig, state: &mut S, rng: &mut St
             step,
             s_t: config.s_t,
         };
-        state.begin_temperature(&ctx);
-
-        let mut attempts = 0;
-        let mut accepts = 0;
-        for _ in 0..inner {
-            let Some(delta) = state.propose(&ctx, rng) else {
-                continue;
-            };
-            attempts += 1;
-            let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
-            if accept {
-                state.commit();
-                accepts += 1;
-            } else {
-                state.abandon();
-            }
-        }
-
-        let cost_after = state.cost();
-        stats.steps.push(TemperatureStats {
-            temperature: t,
-            attempts,
-            accepts,
-            cost_after,
-            window_x: ctx.window_x,
-        });
-        stats.total_attempts += attempts;
-        stats.total_accepts += accepts;
+        let step_stats = anneal_inner_loop(&ctx, state, inner, rng);
+        let cost_after = step_stats.cost_after;
+        stats.total_attempts += step_stats.attempts;
+        stats.total_accepts += step_stats.accepts;
+        stats.steps.push(step_stats);
 
         // Stopping criteria (evaluated after the inner loop, per §3.3).
         match config.stop {
@@ -244,7 +271,9 @@ mod tests {
     impl Quadratic {
         fn new(n: usize) -> Self {
             Quadratic {
-                xs: (0..n).map(|i| 500.0 * ((i as f64) - (n as f64) / 2.0)).collect(),
+                xs: (0..n)
+                    .map(|i| 500.0 * ((i as f64) - (n as f64) / 2.0))
+                    .collect(),
                 pending: None,
             }
         }
@@ -295,7 +324,12 @@ mod tests {
         let initial = state.cost();
         let mut rng = StdRng::seed_from_u64(7);
         let stats = anneal(&config(), &mut state, &mut rng);
-        assert!(stats.final_cost < initial / 10.0, "{} -> {}", initial, stats.final_cost);
+        assert!(
+            stats.final_cost < initial / 10.0,
+            "{} -> {}",
+            initial,
+            stats.final_cost
+        );
         assert_eq!(stats.final_cost, state.cost());
         assert!(!stats.steps.is_empty());
     }

@@ -29,13 +29,15 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod parallel;
 mod range_limiter;
 mod schedule;
 
 pub use engine::{
-    anneal, AnnealConfig, AnnealContext, AnnealState, AnnealStats, StoppingCriterion,
-    TemperatureStats,
+    anneal, anneal_inner_loop, AnnealConfig, AnnealContext, AnnealState, AnnealStats,
+    StoppingCriterion, TemperatureStats,
 };
+pub use parallel::{derive_seed, swap_probability, temperature_rungs};
 pub use range_limiter::{RangeLimiter, DEFAULT_RHO, MIN_WINDOW_SPAN};
 pub use schedule::{
     t_infinity, temperature_scale, CoolingSchedule, REF_AVG_CELL_AREA, REF_T_INFINITY,

@@ -38,8 +38,14 @@ impl RangeLimiter {
     ///
     /// Panics if `rho < 1`, or any span/temperature is non-positive.
     pub fn new(w_inf_x: f64, w_inf_y: f64, t_inf: f64, rho: f64) -> Self {
-        assert!(rho >= 1.0, "rho must be >= 1 (paper tests 1..=10), got {rho}");
-        assert!(w_inf_x > 0.0 && w_inf_y > 0.0, "window spans must be positive");
+        assert!(
+            rho >= 1.0,
+            "rho must be >= 1 (paper tests 1..=10), got {rho}"
+        );
+        assert!(
+            w_inf_x > 0.0 && w_inf_y > 0.0,
+            "window spans must be positive"
+        );
         assert!(t_inf > 0.0, "T_infinity must be positive");
         RangeLimiter {
             w_inf_x,
@@ -87,7 +93,10 @@ impl RangeLimiter {
     /// span — the stage-2 starting temperature (eq. 28):
     /// `T' = μ^{log_ρ 10} · T_∞`.
     pub fn temperature_for_fraction(&self, mu: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&mu) && mu > 0.0, "mu must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&mu) && mu > 0.0,
+            "mu must be in (0, 1]"
+        );
         if self.rho == 1.0 {
             return self.t_inf;
         }

@@ -73,7 +73,12 @@ impl CoolingSchedule {
     /// | `S_T · 10`       | 0.85 |
     /// | 0                | 0.80 |
     pub fn stage1() -> Self {
-        CoolingSchedule::new(vec![(7000.0, 0.85), (200.0, 0.92), (10.0, 0.85), (0.0, 0.80)])
+        CoolingSchedule::new(vec![
+            (7000.0, 0.85),
+            (200.0, 0.92),
+            (10.0, 0.85),
+            (0.0, 0.80),
+        ])
     }
 
     /// The stage-2 (placement refinement) schedule of Table 2.

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use twmc_anneal::{
-    t_infinity, temperature_scale, CoolingSchedule, RangeLimiter, MIN_WINDOW_SPAN,
-};
+use twmc_anneal::{t_infinity, temperature_scale, CoolingSchedule, RangeLimiter, MIN_WINDOW_SPAN};
 
 proptest! {
     #[test]

@@ -10,8 +10,11 @@ use twmc_geom::{boundary_edges, decompose_rectilinear, Orientation, Point, Rect,
 use twmc_netlist::{synthesize, SynthParams};
 
 fn bench_overlap(c: &mut Criterion) {
-    let a = TileSet::new(vec![Rect::from_wh(0, 0, 40, 16), Rect::from_wh(0, 16, 18, 14)])
-        .expect("tiles");
+    let a = TileSet::new(vec![
+        Rect::from_wh(0, 0, 40, 16),
+        Rect::from_wh(0, 16, 18, 14),
+    ])
+    .expect("tiles");
     let b = TileSet::rect(30, 25);
     c.bench_function("geom/expanded_overlap_L_vs_rect", |bench| {
         bench.iter(|| {

@@ -1,0 +1,129 @@
+//! Benchmarks of the multi-replica stage-1 orchestrator: wall-clock and
+//! best TEIL versus replica count on a mid-size synthetic circuit.
+//!
+//! Besides the criterion timings, a measurement run (`cargo bench`)
+//! writes a `BENCH_parallel.json` scaling summary at the workspace root
+//! — one row per replica count and strategy with the wall-clock and the
+//! best-of-N stage-1 TEIL.
+
+use criterion::{criterion_group, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+
+use twmc_anneal::CoolingSchedule;
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::{synthesize, Netlist, SynthParams};
+use twmc_parallel::{parallel_stage1, ParallelParams, Strategy};
+use twmc_place::PlaceParams;
+
+fn midsize_circuit() -> Netlist {
+    synthesize(&SynthParams {
+        cells: 30,
+        nets: 90,
+        pins: 360,
+        custom_fraction: 0.2,
+        seed: 11,
+        avg_cell_dim: 30,
+        ..Default::default()
+    })
+}
+
+fn params(ac: usize) -> PlaceParams {
+    PlaceParams {
+        attempts_per_cell: ac,
+        normalization_samples: 8,
+        ..Default::default()
+    }
+}
+
+fn run(nl: &Netlist, ac: usize, replicas: usize, strategy: Strategy) -> f64 {
+    let pp = ParallelParams {
+        replicas,
+        threads: 0, // one worker per replica
+        strategy,
+        ..Default::default()
+    };
+    let (_, result, _) = parallel_stage1(
+        nl,
+        &params(ac),
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        &pp,
+        42,
+    );
+    result.teil
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    replicas: usize,
+    strategy: String,
+    wall_seconds: f64,
+    best_teil: f64,
+}
+
+/// Wall-clock/quality scaling sweep, dumped as `BENCH_parallel.json`.
+fn scaling_summary(test_mode: bool) {
+    let nl = midsize_circuit();
+    let ac = if test_mode { 2 } else { 10 };
+    let counts: &[usize] = if test_mode { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut rows = Vec::new();
+    for &replicas in counts {
+        for strategy in [Strategy::MultiStart, Strategy::Tempering] {
+            if replicas == 1 && strategy == Strategy::Tempering {
+                continue; // degenerates to a single run
+            }
+            let t0 = std::time::Instant::now();
+            let best_teil = run(&nl, ac, replicas, strategy);
+            rows.push(ScalingRow {
+                replicas,
+                strategy: strategy.to_string(),
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                best_teil,
+            });
+        }
+    }
+    for r in &rows {
+        eprintln!(
+            "parallel/scaling {} x{}: {:.2}s, best TEIL {:.0}",
+            r.strategy, r.replicas, r.wall_seconds, r.best_teil
+        );
+    }
+    if !test_mode {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+        let text = serde_json::to_string_pretty(&rows).expect("serializable rows");
+        std::fs::write(out, text).expect("writable workspace root");
+        eprintln!("wrote {out}");
+    }
+}
+
+fn bench_multistart(c: &mut Criterion) {
+    let nl = midsize_circuit();
+    let mut group = c.benchmark_group("parallel/multistart");
+    group.sample_size(10);
+    for replicas in [1usize, 2, 4] {
+        group.bench_function(format!("x{replicas}_30cells"), |bench| {
+            bench.iter(|| black_box(run(&nl, 5, replicas, Strategy::MultiStart)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tempering(c: &mut Criterion) {
+    let nl = midsize_circuit();
+    let mut group = c.benchmark_group("parallel/tempering");
+    group.sample_size(10);
+    for replicas in [2usize, 4] {
+        group.bench_function(format!("x{replicas}_30cells"), |bench| {
+            bench.iter(|| black_box(run(&nl, 5, replicas, Strategy::Tempering)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multistart, bench_tempering);
+
+fn main() {
+    scaling_summary(!criterion::bench_mode());
+    benches();
+}

@@ -5,8 +5,8 @@ use std::hint::black_box;
 
 use twmc_geom::{Point, Rect, TileSet};
 use twmc_route::{
-    assign_routes, build_channel_graph, critical_regions, enumerate_route_trees,
-    global_route, k_shortest_paths, NetPins, PlacedGeometry, RouteTree, RouterParams,
+    assign_routes, build_channel_graph, critical_regions, enumerate_route_trees, global_route,
+    k_shortest_paths, NetPins, PlacedGeometry, RouteTree, RouterParams,
 };
 
 /// A 4x4 grid of cells: a realistic mid-size channel network.

@@ -47,12 +47,7 @@ enum Mode {
     Uniform,
 }
 
-fn run_one(
-    nl: &twmc_netlist::Netlist,
-    mode: Mode,
-    ac: usize,
-    seed: u64,
-) -> (f64, f64, f64, f64) {
+fn run_one(nl: &twmc_netlist::Netlist, mode: Mode, ac: usize, seed: u64) -> (f64, f64, f64, f64) {
     let est_params = EstimatorParams::default();
     let det = determine_core(nl, &est_params);
     let density = cell_density_factors(nl, nl.stats().avg_pin_density);

@@ -91,7 +91,10 @@ fn main() {
     }
 
     println!("\nAblation — full generate cascade vs displacement-only moves");
-    println!("{:<20} {:>12} {:>18}", "mode", "avg TEIL", "residual overlap");
+    println!(
+        "{:<20} {:>12} {:>18}",
+        "mode", "avg TEIL", "residual overlap"
+    );
     for r in &rows {
         println!(
             "{:<20} {:>12.0} {:>18.0}",

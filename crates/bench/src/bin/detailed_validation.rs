@@ -53,10 +53,8 @@ fn main() {
         let mut bounds = Vec::new();
         let mut fails = Vec::new();
         for name in &names {
-            let nl = synthesize_profile(
-                twmc_netlist::paper_circuit(name).expect("known"),
-                opts.seed,
-            );
+            let nl =
+                synthesize_profile(twmc_netlist::paper_circuit(name).expect("known"), opts.seed);
             let params = PlaceParams {
                 attempts_per_cell: ac,
                 ..Default::default()
@@ -73,7 +71,15 @@ fn main() {
                     router: router.clone(),
                     ..Default::default()
                 };
-                refine_placement(&mut state, &nl, &params, &rp, s1.s_t, s1.t_infinity, opts.seed);
+                refine_placement(
+                    &mut state,
+                    &nl,
+                    &params,
+                    &rp,
+                    s1.s_t,
+                    s1.t_infinity,
+                    opts.seed,
+                );
                 // The full flow ends with the width-enforcing finalize.
                 let _fin = finalize_chip(&nl, &mut state, &router, opts.seed);
             } else {

@@ -26,7 +26,11 @@ struct Row {
 fn main() {
     let opts = ExpOptions::parse(60);
     let ac = if opts.full { 200 } else { opts.ac };
-    let trials = if opts.full { opts.trials.max(6) } else { opts.trials.max(4) };
+    let trials = if opts.full {
+        opts.trials.max(6)
+    } else {
+        opts.trials.max(4)
+    };
     let circuits = fig3_suite(if opts.full { 4 } else { 3 }, opts.seed);
     let schedule = CoolingSchedule::stage1();
 
@@ -52,14 +56,7 @@ fn main() {
                 };
                 // Paired seeds: the same seed for both selectors.
                 let seed = opts.seed + (ci * 1000 + t) as u64;
-                let r = place_stage1(
-                    nl,
-                    &params,
-                    &EstimatorParams::default(),
-                    &schedule,
-                    seed,
-                )
-                .1;
+                let r = place_stage1(nl, &params, &EstimatorParams::default(), &schedule, seed).1;
                 teils.push(r.teil);
                 overlaps.push(r.residual_overlap as f64);
                 // Stage 1 completes when the window reaches its minimum

@@ -47,14 +47,7 @@ fn main() {
                     ..Default::default()
                 };
                 let seed = opts.seed + (ci * 1000 + t) as u64;
-                let r = place_stage1(
-                    nl,
-                    &params,
-                    &EstimatorParams::default(),
-                    &schedule,
-                    seed,
-                )
-                .1;
+                let r = place_stage1(nl, &params, &EstimatorParams::default(), &schedule, seed).1;
                 teils.push(r.teil);
                 overlaps.push(r.residual_overlap as f64);
             }

@@ -60,7 +60,10 @@ fn main() {
             avg_area: mean(&areas),
             avg_teil: mean(&teils),
         };
-        eprintln!("A_c = {ac:>4}: avg area {:.0}, avg TEIL {:.0}", row.avg_area, row.avg_teil);
+        eprintln!(
+            "A_c = {ac:>4}: avg area {:.0}, avg TEIL {:.0}",
+            row.avg_area, row.avg_teil
+        );
         rows.push(row);
     }
 

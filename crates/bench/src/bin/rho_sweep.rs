@@ -50,14 +50,7 @@ fn main() {
                     ..Default::default()
                 };
                 let seed = opts.seed + (ci * 1000 + t) as u64;
-                let r = place_stage1(
-                    nl,
-                    &params,
-                    &EstimatorParams::default(),
-                    &schedule,
-                    seed,
-                )
-                .1;
+                let r = place_stage1(nl, &params, &EstimatorParams::default(), &schedule, seed).1;
                 teils.push(r.teil);
                 // The paper's metric: C2 as T -> T0 (fixed endpoint).
                 overlaps.push(r.residual_overlap as f64);
@@ -84,7 +77,10 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>18} {:>18}",
         "rho", "avg TEIL", "TEIL norm", "residual overlap", "at window-min"
     );
-    let best_teil = rows.iter().map(|r| r.avg_teil).fold(f64::INFINITY, f64::min);
+    let best_teil = rows
+        .iter()
+        .map(|r| r.avg_teil)
+        .fold(f64::INFINITY, f64::min);
     for r in &rows {
         println!(
             "{:>6} {:>12.0} {:>12.3} {:>18.0} {:>18.0}",
@@ -95,6 +91,8 @@ fn main() {
             r.avg_overlap_at_window_min
         );
     }
-    println!("\npaper: TEIL flat for rho in [1,4]; residual overlap falls with rho; rho = 4 chosen");
+    println!(
+        "\npaper: TEIL flat for rho in [1,4]; residual overlap falls with rho; rho = 4 chosen"
+    );
     opts.dump_json(&rows);
 }

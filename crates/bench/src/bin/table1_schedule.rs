@@ -60,5 +60,8 @@ fn main() {
          found most strongly influences quality",
         regime_counts[1], steps
     );
-    assert!((90..=150).contains(&steps), "schedule drifted from the paper's ≈120 steps");
+    assert!(
+        (90..=150).contains(&steps),
+        "schedule drifted from the paper's ≈120 steps"
+    );
 }

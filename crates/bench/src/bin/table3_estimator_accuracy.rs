@@ -35,7 +35,11 @@ fn main() {
     let opts = ExpOptions::parse(40);
     let ac = if opts.full { 200 } else { opts.ac };
     // The paper used 2-6 trials per circuit.
-    let trials = if opts.full { opts.trials.max(4) } else { opts.trials };
+    let trials = if opts.full {
+        opts.trials.max(4)
+    } else {
+        opts.trials
+    };
     let router = if opts.full {
         RouterParams::default()
     } else {
@@ -122,7 +126,9 @@ fn main() {
         mean(&all_teil),
         mean(&all_area)
     );
-    println!("\npaper Table 3: per-circuit changes of a few percent; averages 4.4% TEIL, 4.1% area");
+    println!(
+        "\npaper Table 3: per-circuit changes of a few percent; averages 4.4% TEIL, 4.1% area"
+    );
     println!("(small values = the stage-1 estimator allocated nearly the right interconnect area)");
     opts.dump_json(&rows);
 }

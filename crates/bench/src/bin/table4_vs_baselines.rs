@@ -41,9 +41,9 @@ struct Row {
 /// The paper's comparator per circuit, mapped to our baselines.
 fn comparator(name: &str) -> &'static str {
     match name {
-        "i1" => "quadratic", // resistive-network optimization (Cheng–Kuh)
+        "i1" => "quadratic",     // resistive-network optimization (Cheng–Kuh)
         "i2" | "i3" => "greedy", // CIPAR automatic placement
-        _ => "shelf",        // manual layouts (Intel, HP, AMD)
+        _ => "shelf",            // manual layouts (Intel, HP, AMD)
     }
 }
 
@@ -62,8 +62,8 @@ fn main() {
 
     println!("Table 4 — TimberWolfMC vs other placement methods");
     println!(
-        "{:<8} {:>5} {:>5} {:>5} {:>9} {:>13} {:>10} {:>10}  {}",
-        "Circuit", "Cells", "Nets", "Pins", "TEIL", "Area (x*y)", "TEIL Red%", "Area Red%", "vs"
+        "{:<8} {:>5} {:>5} {:>5} {:>9} {:>13} {:>10} {:>10}  vs",
+        "Circuit", "Cells", "Nets", "Pins", "TEIL", "Area (x*y)", "TEIL Red%", "Area Red%"
     );
 
     let mut rows = Vec::new();
@@ -92,8 +92,7 @@ fn main() {
             _ => shelf_placement(&nl, &est, opts.seed),
         };
         let teil_red = 100.0 * (1.0 - twmc.teil / baseline.teil.max(1e-9));
-        let area_red =
-            100.0 * (1.0 - twmc.chip_area() as f64 / baseline.chip_area().max(1) as f64);
+        let area_red = 100.0 * (1.0 - twmc.chip_area() as f64 / baseline.chip_area().max(1) as f64);
         let row = Row {
             circuit: profile.name,
             cells: profile.cells,
@@ -131,6 +130,8 @@ fn main() {
         mean(&teil_reds),
         mean(&area_reds)
     );
-    println!("\npaper Table 4: TEIL reductions 8-49% (avg 24.9%); area reductions 4-56% (avg 26.9%)");
+    println!(
+        "\npaper Table 4: TEIL reductions 8-49% (avg 24.9%); area reductions 4-56% (avg 26.9%)"
+    );
     opts.dump_json(&rows);
 }

@@ -305,10 +305,7 @@ pub fn route_channel(problem: &ChannelProblem) -> Result<ChannelRoute, ChannelRo
                 pred_count[v] -= 1;
             }
         }
-        debug_assert!(
-            !track.is_empty(),
-            "acyclic constraints guarantee progress"
-        );
+        debug_assert!(!track.is_empty(), "acyclic constraints guarantee progress");
         tracks.push(track);
     }
 

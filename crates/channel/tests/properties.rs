@@ -8,10 +8,7 @@ use twmc_channel::{route_channel, ChannelProblem, ChannelSide};
 /// sides/columns.
 fn arb_problem() -> impl Strategy<Value = ChannelProblem> {
     prop::collection::vec(
-        (
-            prop::collection::vec((0i64..40, 0u8..3), 2..5),
-            any::<u8>(),
-        ),
+        (prop::collection::vec((0i64..40, 0u8..3), 2..5), any::<u8>()),
         1..10,
     )
     .prop_map(|nets| {

@@ -2,6 +2,7 @@
 
 use twmc_anneal::CoolingSchedule;
 use twmc_estimator::EstimatorParams;
+use twmc_parallel::ParallelParams;
 use twmc_place::PlaceParams;
 use twmc_refine::RefineParams;
 
@@ -16,6 +17,8 @@ pub struct TimberWolfConfig {
     pub refine: RefineParams,
     /// Stage-1 cooling schedule (Table 1 by default).
     pub schedule: CoolingSchedule,
+    /// Multi-replica orchestration of stage 1 (1 replica = classic run).
+    pub parallel: ParallelParams,
     /// Master RNG seed; equal seeds reproduce runs exactly.
     pub seed: u64,
 }
@@ -27,6 +30,7 @@ impl Default for TimberWolfConfig {
             estimator: EstimatorParams::default(),
             refine: RefineParams::default(),
             schedule: CoolingSchedule::stage1(),
+            parallel: ParallelParams::default(),
             seed: 1,
         }
     }
@@ -61,7 +65,10 @@ mod tests {
     #[test]
     fn presets() {
         assert_eq!(TimberWolfConfig::default().place.attempts_per_cell, 100);
-        assert_eq!(TimberWolfConfig::paper_quality(9).place.attempts_per_cell, 400);
+        assert_eq!(
+            TimberWolfConfig::paper_quality(9).place.attempts_per_cell,
+            400
+        );
         assert_eq!(TimberWolfConfig::fast(9).place.attempts_per_cell, 25);
         assert_eq!(TimberWolfConfig::fast(9).seed, 9);
     }

@@ -103,8 +103,7 @@ mod tests {
         let det = determine_core(&nl, &EstimatorParams::default());
         let density = cell_density_factors(&nl, nl.stats().avg_pin_density);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut state =
-            PlacementState::random(&nl, det.estimator, density, 5.0, &mut rng);
+        let mut state = PlacementState::random(&nl, det.estimator, density, 5.0, &mut rng);
         // Pack everything tightly (no wiring space).
         for i in 0..nl.cells().len() {
             state.set_cell_center(i, twmc_geom::Point::ORIGIN);

@@ -4,6 +4,7 @@
 
 use twmc_geom::{Orientation, Point, Rect};
 use twmc_netlist::Netlist;
+use twmc_parallel::{parallel_stage1, ParallelReport};
 use twmc_place::{place_stage1, PlacementState, Stage1Result};
 use twmc_refine::{refine_placement, Stage2Result};
 
@@ -31,8 +32,11 @@ pub struct PlacedCellRecord {
 /// The result of a full TimberWolfMC run.
 #[derive(Debug, Clone)]
 pub struct TimberWolfResult {
-    /// Stage-1 record (TEIL, residual overlap, history, move stats).
+    /// Stage-1 record (TEIL, residual overlap, history, move stats) of
+    /// the winning replica.
     pub stage1: Stage1Result,
+    /// Multi-replica orchestration report (`None` for single-replica runs).
+    pub parallel: Option<ParallelReport>,
     /// Stage-2 record (refinements, final routing).
     pub stage2: Stage2Result,
     /// Final cell placements.
@@ -81,13 +85,28 @@ impl TimberWolfResult {
 /// println!("TEIL {}  chip {}", result.teil, result.chip);
 /// ```
 pub fn run_timberwolf(nl: &Netlist, config: &TimberWolfConfig) -> TimberWolfResult {
-    let (mut state, stage1) = place_stage1(
-        nl,
-        &config.place,
-        &config.estimator,
-        &config.schedule,
-        config.seed,
-    );
+    // Stage 1 goes through the replica orchestrator when asked for; the
+    // single-replica path stays the plain (bit-identical) run.
+    let (mut state, stage1, parallel) = if config.parallel.replicas > 1 {
+        let (state, stage1, report) = parallel_stage1(
+            nl,
+            &config.place,
+            &config.estimator,
+            &config.schedule,
+            &config.parallel,
+            config.seed,
+        );
+        (state, stage1, Some(report))
+    } else {
+        let (state, stage1) = place_stage1(
+            nl,
+            &config.place,
+            &config.estimator,
+            &config.schedule,
+            config.seed,
+        );
+        (state, stage1, None)
+    };
     let stage2 = refine_placement(
         &mut state,
         nl,
@@ -111,6 +130,7 @@ pub fn run_timberwolf(nl: &Netlist, config: &TimberWolfConfig) -> TimberWolfResu
         chip: fin.chip,
         routed_length: fin.routed_length,
         stage1,
+        parallel,
         stage2,
         placement,
     }
@@ -212,6 +232,34 @@ mod tests {
         assert_eq!(a.teil, b.teil);
         assert_eq!(a.chip, b.chip);
         assert_eq!(a.placement, b.placement);
+        assert!(a.parallel.is_none());
+    }
+
+    #[test]
+    fn parallel_replicas_flow_through_pipeline() {
+        let nl = circuit();
+        let mut config = tiny_config();
+        config.parallel = twmc_parallel::ParallelParams {
+            replicas: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let r = run_timberwolf(&nl, &config);
+        let report = r.parallel.expect("orchestrated run reports replicas");
+        assert_eq!(report.replicas, 2);
+        assert_eq!(report.replica_reports.len(), 2);
+        // The winner's stage-1 TEIL is what stage 2 started from.
+        let best = &report.replica_reports[report.best_replica];
+        assert_eq!(best.teil, r.stage1.teil);
+        // Best-of-N selection: no replica beats the winner.
+        for rep in &report.replica_reports {
+            assert!(best.teil <= rep.teil);
+        }
+        // Same seed, same replica count → same result, regardless of threads.
+        config.parallel.threads = 1;
+        let r1 = run_timberwolf(&nl, &config);
+        assert_eq!(r.teil, r1.teil);
+        assert_eq!(r.placement, r1.placement);
     }
 
     #[test]

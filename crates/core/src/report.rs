@@ -1,5 +1,7 @@
 //! Human-readable reports in the style of the paper's tables.
 
+use twmc_parallel::{ParallelReport, Strategy};
+
 use crate::{BaselineResult, TimberWolfResult};
 
 /// One comparison row of a Table-4-style report.
@@ -85,6 +87,58 @@ pub fn format_table4(rows: &[ComparisonRow]) -> String {
     out
 }
 
+/// Formats a multi-replica orchestration report: one row per replica
+/// (per rung for tempering) plus the swap statistics.
+pub fn format_parallel_report(report: &ParallelReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} x{} on {} thread(s):\n",
+        report.strategy, report.replicas, report.threads
+    ));
+    let tempering = report.strategy == Strategy::Tempering;
+    out.push_str(if tempering {
+        "  rung        seed      T(rung)       TEIL       cost  accept%\n"
+    } else {
+        "  replica     seed       TEIL       cost  accept%\n"
+    });
+    for r in &report.replica_reports {
+        let marker = if r.replica == report.best_replica {
+            '*'
+        } else {
+            ' '
+        };
+        if tempering {
+            out.push_str(&format!(
+                "{marker} {:<7} {:>8} {:>12.1} {:>10.0} {:>10.1} {:>8.1}\n",
+                r.replica,
+                r.seed % 100_000_000,
+                r.rung_temperature.unwrap_or(f64::NAN),
+                r.teil,
+                r.cost,
+                100.0 * r.acceptance_rate(),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{marker} {:<7} {:>8} {:>10.0} {:>10.1} {:>8.1}\n",
+                r.replica,
+                r.seed % 100_000_000,
+                r.teil,
+                r.cost,
+                100.0 * r.acceptance_rate(),
+            ));
+        }
+    }
+    if tempering {
+        out.push_str(&format!(
+            "  swaps: {}/{} accepted ({:.0}%)\n",
+            report.swaps.accepts,
+            report.swaps.attempts,
+            100.0 * report.swaps.acceptance_rate(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +156,57 @@ mod tests {
             area_reduction_pct: 14.0,
             versus: "quadratic",
         }
+    }
+
+    #[test]
+    fn parallel_report_formats_both_strategies() {
+        use twmc_parallel::{ReplicaReport, SwapReport};
+        let rows = vec![
+            ReplicaReport {
+                replica: 0,
+                seed: 42,
+                rung_temperature: None,
+                teil: 1000.0,
+                cost: 1200.0,
+                attempts: 100,
+                accepts: 40,
+                teil_trajectory: vec![2000.0, 1000.0],
+            },
+            ReplicaReport {
+                replica: 1,
+                seed: 77,
+                rung_temperature: None,
+                teil: 900.0,
+                cost: 1100.0,
+                attempts: 100,
+                accepts: 35,
+                teil_trajectory: vec![2100.0, 900.0],
+            },
+        ];
+        let mut report = ParallelReport {
+            strategy: Strategy::MultiStart,
+            replicas: 2,
+            threads: 2,
+            best_replica: 1,
+            replica_reports: rows,
+            swaps: SwapReport::default(),
+        };
+        let text = format_parallel_report(&report);
+        assert!(text.contains("multistart x2"), "{text}");
+        assert!(text.contains("* 1"), "{text}");
+        assert!(!text.contains("swaps"), "{text}");
+
+        report.strategy = Strategy::Tempering;
+        report.replica_reports[0].rung_temperature = Some(1.0e5);
+        report.replica_reports[1].rung_temperature = Some(5.0);
+        report.swaps = SwapReport {
+            attempts: 10,
+            accepts: 3,
+        };
+        let text = format_parallel_report(&report);
+        assert!(text.contains("tempering x2"), "{text}");
+        assert!(text.contains("T(rung)"), "{text}");
+        assert!(text.contains("swaps: 3/10"), "{text}");
     }
 
     #[test]
@@ -134,6 +239,7 @@ mod tests {
         // A result with half the TEIL and a quarter of the area.
         let twmc = TimberWolfResult {
             stage1: fake_stage1(),
+            parallel: None,
             stage2: fake_stage2(),
             placement: vec![],
             teil: 100.0,

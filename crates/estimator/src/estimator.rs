@@ -188,7 +188,10 @@ pub fn determine_core(nl: &Netlist, params: &EstimatorParams) -> CoreDeterminati
         // Eq. 5 allowance with a fresh modulation for this core size.
         let modulation = Modulation::new(w, h, params.m_x, params.b_x, params.m_y, params.b_y);
         let e = 0.5 * c_w * modulation.peak() / modulation.alpha();
-        let grown: f64 = dims.iter().map(|&(cw, ch)| (cw + 2.0 * e) * (ch + 2.0 * e)).sum();
+        let grown: f64 = dims
+            .iter()
+            .map(|&(cw, ch)| (cw + 2.0 * e) * (ch + 2.0 * e))
+            .sum();
         if (grown - effective).abs() <= 1e-6 * effective.max(1.0) {
             effective = grown;
             break;
@@ -309,7 +312,7 @@ mod tests {
     }
 
     #[test]
-    fn initial_allowance_is_peak(){
+    fn initial_allowance_is_peak() {
         let nl = circuit();
         let est = determine_core(&nl, &EstimatorParams::default()).estimator;
         assert!((est.initial_allowance() - est.edge_allowance(0.0, 0.0, 1.0)).abs() < 1e-12);
@@ -325,7 +328,12 @@ mod tests {
         let w = core.width() / 10;
         let cell = Rect::from_wh(core.hi().x - w, -w / 2, w, w);
         let (l, r, _b, _t) = est.side_expansions(cell, |_| 1.0);
-        assert!(l > r, "left {l} right {r}");
+        // Quantization can collapse a sub-unit difference, so the strict
+        // ordering is checked on the raw allowance.
+        assert!(l >= r, "left {l} right {r}");
+        let raw_l = est.edge_allowance(cell.lo().x as f64, cell.center().y as f64, 1.0);
+        let raw_r = est.edge_allowance(cell.hi().x as f64, cell.center().y as f64, 1.0);
+        assert!(raw_l > raw_r, "raw left {raw_l} vs right {raw_r}");
         // Moving the same cell to the center grows the effective area.
         let centered = Rect::from_wh(-w / 2, -w / 2, w, w);
         let (cl, cr, cb, ct) = est.side_expansions(centered, |_| 1.0);

@@ -32,7 +32,10 @@ impl Modulation {
             m_x > 0.0 && b_x > 0.0 && m_y > 0.0 && b_y > 0.0,
             "modulation values must be positive"
         );
-        assert!(b_x <= m_x && b_y <= m_y, "border value must not exceed peak");
+        assert!(
+            b_x <= m_x && b_y <= m_y,
+            "border value must not exceed peak"
+        );
         Modulation {
             m_x,
             b_x,

@@ -247,8 +247,7 @@ mod tests {
     fn split_rectangle_merges_interior() {
         // Two tiles forming a single 4x2 rectangle: the shared edge at x=2
         // must not appear.
-        let ts =
-            TileSet::new(vec![Rect::from_wh(0, 0, 2, 2), Rect::from_wh(2, 0, 2, 2)]).unwrap();
+        let ts = TileSet::new(vec![Rect::from_wh(0, 0, 2, 2), Rect::from_wh(2, 0, 2, 2)]).unwrap();
         let edges = boundary_edges(&ts);
         assert_eq!(edges.len(), 4, "{edges:?}");
         assert!(edges.iter().all(|e| e.coord != 2 || !e.side.is_vertical()));
@@ -261,8 +260,7 @@ mod tests {
     #[test]
     fn l_shape_has_six_edges() {
         // L-shape: lower arm 4x2, upper arm 2x2 (notch at top-right).
-        let ts =
-            TileSet::new(vec![Rect::from_wh(0, 0, 4, 2), Rect::from_wh(0, 2, 2, 2)]).unwrap();
+        let ts = TileSet::new(vec![Rect::from_wh(0, 0, 4, 2), Rect::from_wh(0, 2, 2, 2)]).unwrap();
         let edges = boundary_edges(&ts);
         assert_eq!(edges.len(), 6, "{edges:?}");
         // The notch contributes a right edge at x=2 spanning y in [2,4]...
@@ -325,13 +323,8 @@ mod tests {
         ])
         .unwrap();
         let edges = boundary_edges(&ts);
-        let total = |s: Side| -> i64 {
-            edges
-                .iter()
-                .filter(|e| e.side == s)
-                .map(|e| e.len())
-                .sum()
-        };
+        let total =
+            |s: Side| -> i64 { edges.iter().filter(|e| e.side == s).map(|e| e.len()).sum() };
         assert_eq!(total(Side::Left), total(Side::Right));
         assert_eq!(total(Side::Top), total(Side::Bottom));
     }

@@ -117,9 +117,7 @@ impl Orientation {
     /// `[0, w'] × [0, h']` with `(w', h') = apply_dims(w, h)`).
     pub fn apply(self, p: Point, w: i64, h: i64) -> Point {
         let [[a, b], [c, d]] = self.matrix();
-        let lin = |r0: i8, r1: i8| -> i64 {
-            r0 as i64 * p.x + r1 as i64 * p.y
-        };
+        let lin = |r0: i8, r1: i8| -> i64 { r0 as i64 * p.x + r1 as i64 * p.y };
         // Shift each output component so the image of [0,w]x[0,h] starts
         // at zero: a negated x-source adds w, a negated y-source adds h.
         let off = |r0: i8, r1: i8| -> i64 {

@@ -28,7 +28,10 @@ impl core::fmt::Display for PolygonError {
         match self {
             PolygonError::TooFewVertices => write!(f, "polygon needs at least 4 vertices"),
             PolygonError::NotRectilinear(i) => {
-                write!(f, "edge after vertex {i} is neither horizontal nor vertical")
+                write!(
+                    f,
+                    "edge after vertex {i} is neither horizontal nor vertical"
+                )
             }
             PolygonError::ZeroLengthEdge(i) => write!(f, "edge after vertex {i} has zero length"),
             PolygonError::SelfIntersecting => {
@@ -110,7 +113,7 @@ pub fn decompose_rectilinear(vertices: &[Point]) -> Result<TileSet, PolygonError
             .map(|(x, _)| *x)
             .collect();
         xs.sort_unstable();
-        if xs.len() % 2 != 0 {
+        if !xs.len().is_multiple_of(2) {
             return Err(PolygonError::SelfIntersecting);
         }
         for pair in xs.chunks(2) {
@@ -147,8 +150,8 @@ mod tests {
 
     #[test]
     fn l_shape() {
-        let ts = decompose_rectilinear(&pts(&[(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]))
-            .unwrap();
+        let ts =
+            decompose_rectilinear(&pts(&[(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])).unwrap();
         assert_eq!(ts.area(), 12);
         assert_eq!(ts.tiles().len(), 2);
         assert_eq!(ts.bbox(), Rect::from_wh(0, 0, 4, 4));
@@ -214,8 +217,8 @@ mod tests {
 
     #[test]
     fn decomposition_matches_boundary_perimeter() {
-        let ts = decompose_rectilinear(&pts(&[(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]))
-            .unwrap();
+        let ts =
+            decompose_rectilinear(&pts(&[(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])).unwrap();
         assert_eq!(ts.perimeter(), 16);
     }
 }

@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn corner_normalization() {
-        assert_eq!(
-            Rect::new(Point::new(4, 3), Point::new(0, 0)),
-            r(0, 0, 4, 3)
-        );
+        assert_eq!(Rect::new(Point::new(4, 3), Point::new(0, 0)), r(0, 0, 4, 3));
     }
 
     #[test]

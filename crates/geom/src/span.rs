@@ -266,10 +266,7 @@ mod tests {
             span_union_len(&[Span::new(0, 2), Span::new(2, 4), Span::new(1, 3)]),
             4
         );
-        assert_eq!(
-            span_union_len(&[Span::new(0, 1), Span::new(5, 7)]),
-            3
-        );
+        assert_eq!(span_union_len(&[Span::new(0, 1), Span::new(5, 7)]), 3);
     }
 
     #[test]

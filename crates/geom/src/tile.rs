@@ -78,9 +78,7 @@ impl TileSet {
                 }
             }
         }
-        let bbox = tiles[1..]
-            .iter()
-            .fold(tiles[0], |acc, t| acc.hull(*t));
+        let bbox = tiles[1..].iter().fold(tiles[0], |acc, t| acc.hull(*t));
         let shift = -bbox.lo();
         let tiles = tiles
             .into_iter()
@@ -96,7 +94,10 @@ impl TileSet {
     ///
     /// Panics if `w` or `h` is not positive.
     pub fn rect(w: i64, h: i64) -> Self {
-        assert!(w > 0 && h > 0, "cell dimensions must be positive, got {w}x{h}");
+        assert!(
+            w > 0 && h > 0,
+            "cell dimensions must be positive, got {w}x{h}"
+        );
         let r = Rect::from_wh(0, 0, w, h);
         TileSet {
             tiles: vec![r],
@@ -143,11 +144,7 @@ impl TileSet {
     /// dimensions possibly swapped).
     pub fn oriented(&self, o: Orientation) -> TileSet {
         let (w, h) = (self.width(), self.height());
-        let tiles: Vec<Rect> = self
-            .tiles
-            .iter()
-            .map(|t| o.apply_rect(*t, w, h))
-            .collect();
+        let tiles: Vec<Rect> = self.tiles.iter().map(|t| o.apply_rect(*t, w, h)).collect();
         let (ww, hh) = o.apply_dims(w, h);
         TileSet {
             tiles,

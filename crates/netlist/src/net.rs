@@ -84,7 +84,10 @@ mod tests {
             primary: pid(3),
             equivalents: vec![pid(7), pid(9)],
         };
-        assert_eq!(np.candidates().collect::<Vec<_>>(), vec![pid(3), pid(7), pid(9)]);
+        assert_eq!(
+            np.candidates().collect::<Vec<_>>(),
+            vec![pid(3), pid(7), pid(9)]
+        );
         assert_eq!(NetPin::simple(pid(1)).candidates().count(), 1);
     }
 

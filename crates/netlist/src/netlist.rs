@@ -54,7 +54,11 @@ impl core::fmt::Display for NetlistError {
             DuplicateNetName(n) => write!(f, "duplicate net name `{n}`"),
             DuplicateGroupName(c, g) => write!(f, "duplicate group name `{g}` on cell `{c}`"),
             UnknownId(what) => write!(f, "unknown id: {what}"),
-            PinOutsideCell { cell, pin, instance } => write!(
+            PinOutsideCell {
+                cell,
+                pin,
+                instance,
+            } => write!(
                 f,
                 "pin `{pin}` of cell `{cell}` lies outside instance {instance} geometry"
             ),
@@ -172,10 +176,7 @@ impl Netlist {
     /// Finds a pin by `cell.pin` qualified name.
     pub fn pin_by_name(&self, cell: &str, pin: &str) -> Option<&Pin> {
         let c = self.cell_by_name(cell)?;
-        c.pins
-            .iter()
-            .map(|&p| self.pin(p))
-            .find(|p| p.name == pin)
+        c.pins.iter().map(|&p| self.pin(p)).find(|p| p.name == pin)
     }
 
     /// Nets attached to the given cell (deduplicated, in id order).
@@ -689,7 +690,13 @@ mod tests {
         let p1 = b.add_site_pin(cc, "d0", SideSet::ALL).unwrap();
         let p2 = b.add_site_pin(cc, "d1", SideSet::ALL).unwrap();
         let g = b
-            .add_group(cc, "bus", SideSet::of(&[Side::Left, Side::Right]), true, vec![p1, p2])
+            .add_group(
+                cc,
+                "bus",
+                SideSet::of(&[Side::Left, Side::Right]),
+                true,
+                vec![p1, p2],
+            )
             .unwrap();
         let other = b.add_macro("m", TileSet::rect(5, 5));
         let p3 = b.add_fixed_pin(other, "x", Point::new(5, 2)).unwrap();
@@ -721,7 +728,10 @@ mod tests {
         b.add_simple_net("n", &[p1, p2]).unwrap();
         let nl = b.build().unwrap();
         assert_eq!(nl.cell(a).instance_count(), 2);
-        assert_eq!(nl.cell(a).instances()[1].pin_positions, vec![Point::new(0, 5)]);
+        assert_eq!(
+            nl.cell(a).instances()[1].pin_positions,
+            vec![Point::new(0, 5)]
+        );
     }
 
     #[test]

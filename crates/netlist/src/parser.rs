@@ -27,9 +27,7 @@ use std::collections::HashMap;
 
 use twmc_geom::{Point, Rect, TileSet};
 
-use crate::{
-    AspectRange, CellId, NetPin, Netlist, NetlistBuilder, NetlistError, PinId, SideSet,
-};
+use crate::{AspectRange, CellId, NetPin, Netlist, NetlistBuilder, NetlistError, PinId, SideSet};
 
 /// Error produced while parsing a netlist file.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,9 +124,11 @@ impl<'a> Parser<'a> {
         cell_name: &str,
     ) -> Result<(), ParseError> {
         // First pass: collect primary tiles and pins until `instance` or `end`.
+        // Parsed instance block: (line, name, tiles, pin positions).
+        type InstanceBlock = (usize, String, Vec<Rect>, Vec<(String, Point)>);
         let mut tiles: Vec<Rect> = Vec::new();
         let mut pins: Vec<(String, Point)> = Vec::new();
-        let mut instances: Vec<(usize, String, Vec<Rect>, Vec<(String, Point)>)> = Vec::new();
+        let mut instances: Vec<InstanceBlock> = Vec::new();
         loop {
             let (line, toks) = self
                 .next()
@@ -150,7 +150,7 @@ impl<'a> Parser<'a> {
                 "instance" if toks.len() == 2 => {
                     let mut itiles = Vec::new();
                     let mut ipins = Vec::new();
-                    while let Some((iline, itoks)) = self.peek().cloned().map(|(l, t)| (l, t)) {
+                    while let Some((iline, itoks)) = self.peek().cloned() {
                         match itoks[0] {
                             "tile" if itoks.len() == 5 => {
                                 self.next();
@@ -171,7 +171,12 @@ impl<'a> Parser<'a> {
                     }
                     instances.push((line, toks[1].to_owned(), itiles, ipins));
                 }
-                _ => return Err(err(line, format!("unexpected `{}` in macro block", toks[0]))),
+                _ => {
+                    return Err(err(
+                        line,
+                        format!("unexpected `{}` in macro block", toks[0]),
+                    ))
+                }
             }
         }
         if tiles.is_empty() {
@@ -195,8 +200,7 @@ impl<'a> Parser<'a> {
         }
         for (line, iname, itiles, ipins) in instances {
             let ts = TileSet::new(itiles).map_err(|e| err(line, e.to_string()))?;
-            let map: HashMap<&str, Point> =
-                ipins.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+            let map: HashMap<&str, Point> = ipins.iter().map(|(n, p)| (n.as_str(), *p)).collect();
             let mut positions = Vec::with_capacity(order.len());
             for n in &order {
                 match map.get(n.as_str()) {
@@ -230,7 +234,10 @@ impl<'a> Parser<'a> {
     fn parse_custom(&mut self, line: usize, toks: &[&str]) -> Result<(), ParseError> {
         // custom NAME area A aspect MIN MAX [sites N] | aspectlist r1,r2,..
         if toks.len() < 4 {
-            return Err(err(line, "usage: custom NAME area A aspect MIN MAX [sites N]"));
+            return Err(err(
+                line,
+                "usage: custom NAME area A aspect MIN MAX [sites N]",
+            ));
         }
         let name = toks[1];
         let mut area: Option<i64> = None;
@@ -309,7 +316,9 @@ impl<'a> Parser<'a> {
                     let sequenced = match toks[4] {
                         "seq" => true,
                         "set" => false,
-                        other => return Err(err(bline, format!("expected seq|set, got `{other}`"))),
+                        other => {
+                            return Err(err(bline, format!("expected seq|set, got `{other}`")))
+                        }
                     };
                     let mut members = Vec::new();
                     for &pname in &toks[colon + 1..] {
@@ -501,10 +510,8 @@ net n1 vw 3 : cc.d1 m.y cc.fx
 
     #[test]
     fn unknown_pin_in_net() {
-        let e = parse_netlist(
-            "macro a\n tile 0 0 4 4\n pin p 0 0\nend\nnet n : a.p a.q",
-        )
-        .unwrap_err();
+        let e =
+            parse_netlist("macro a\n tile 0 0 4 4\n pin p 0 0\nend\nnet n : a.p a.q").unwrap_err();
         assert!(e.message.contains("a.q"), "{e}");
     }
 }

@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn iter_and_collect() {
-        let s: SideSet = [Side::Bottom, Side::Bottom, Side::Left].into_iter().collect();
+        let s: SideSet = [Side::Bottom, Side::Bottom, Side::Left]
+            .into_iter()
+            .collect();
         let back: Vec<Side> = s.iter().collect();
         assert_eq!(back, vec![Side::Left, Side::Bottom]);
     }

@@ -68,15 +68,60 @@ pub struct CircuitProfile {
 
 /// The nine industrial circuits of the paper's Tables 3 and 4.
 pub const PAPER_CIRCUITS: [CircuitProfile; 9] = [
-    CircuitProfile { name: "i1", cells: 33, nets: 121, pins: 452 },
-    CircuitProfile { name: "p1", cells: 11, nets: 83, pins: 309 },
-    CircuitProfile { name: "x1", cells: 10, nets: 267, pins: 762 },
-    CircuitProfile { name: "i2", cells: 23, nets: 127, pins: 577 },
-    CircuitProfile { name: "i3", cells: 18, nets: 38, pins: 102 },
-    CircuitProfile { name: "l1", cells: 62, nets: 570, pins: 4309 },
-    CircuitProfile { name: "d2", cells: 20, nets: 656, pins: 1776 },
-    CircuitProfile { name: "d1", cells: 17, nets: 288, pins: 837 },
-    CircuitProfile { name: "d3", cells: 17, nets: 136, pins: 665 },
+    CircuitProfile {
+        name: "i1",
+        cells: 33,
+        nets: 121,
+        pins: 452,
+    },
+    CircuitProfile {
+        name: "p1",
+        cells: 11,
+        nets: 83,
+        pins: 309,
+    },
+    CircuitProfile {
+        name: "x1",
+        cells: 10,
+        nets: 267,
+        pins: 762,
+    },
+    CircuitProfile {
+        name: "i2",
+        cells: 23,
+        nets: 127,
+        pins: 577,
+    },
+    CircuitProfile {
+        name: "i3",
+        cells: 18,
+        nets: 38,
+        pins: 102,
+    },
+    CircuitProfile {
+        name: "l1",
+        cells: 62,
+        nets: 570,
+        pins: 4309,
+    },
+    CircuitProfile {
+        name: "d2",
+        cells: 20,
+        nets: 656,
+        pins: 1776,
+    },
+    CircuitProfile {
+        name: "d1",
+        cells: 17,
+        nets: 288,
+        pins: 837,
+    },
+    CircuitProfile {
+        name: "d3",
+        cells: 17,
+        nets: 136,
+        pins: 665,
+    },
 ];
 
 /// Looks up a paper circuit profile by name.
@@ -195,9 +240,14 @@ pub fn synthesize(params: &SynthParams) -> Netlist {
         let mut net_pins: Vec<NetPin> = Vec::with_capacity(deg);
         for _ in 0..deg {
             let off = approx_normal(&mut rng) * sigma;
-            let ci = ((center + off).round() as i64)
-                .rem_euclid(params.cells as i64) as usize;
-            let pid = make_pin(&mut b, &mut rng, cell_ids[ci], is_custom[ci], &mut pin_counter);
+            let ci = ((center + off).round() as i64).rem_euclid(params.cells as i64) as usize;
+            let pid = make_pin(
+                &mut b,
+                &mut rng,
+                cell_ids[ci],
+                is_custom[ci],
+                &mut pin_counter,
+            );
             net_pins.push(NetPin::simple(pid));
         }
         // Optional equivalent pins (consume budget where available).
@@ -205,8 +255,13 @@ pub fn synthesize(params: &SynthParams) -> Netlist {
             for np in net_pins.iter_mut() {
                 if rng.random::<f64>() < params.equiv_pin_fraction {
                     let ci = rng.random_range(0..params.cells);
-                    let pid =
-                        make_pin(&mut b, &mut rng, cell_ids[ci], is_custom[ci], &mut pin_counter);
+                    let pid = make_pin(
+                        &mut b,
+                        &mut rng,
+                        cell_ids[ci],
+                        is_custom[ci],
+                        &mut pin_counter,
+                    );
                     np.equivalents.push(pid);
                 }
             }

@@ -53,13 +53,8 @@ pub fn write_netlist(nl: &Netlist) -> String {
                         );
                     }
                     for (&pid, &pos) in cell.pins.iter().zip(&inst.pin_positions) {
-                        let _ = writeln!(
-                            out,
-                            "    pinpos {} {} {}",
-                            nl.pin(pid).name,
-                            pos.x,
-                            pos.y
-                        );
+                        let _ =
+                            writeln!(out, "    pinpos {} {} {}", nl.pin(pid).name, pos.x, pos.y);
                     }
                 }
                 let _ = writeln!(out, "end");

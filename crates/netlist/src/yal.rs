@@ -68,10 +68,8 @@ fn statements(input: &str) -> Vec<(usize, Vec<String>)> {
             if !body.is_empty() {
                 current.push(body.to_owned());
             }
-            if terminated {
-                if !current.is_empty() {
-                    out.push((start_line, std::mem::take(&mut current)));
-                }
+            if terminated && !current.is_empty() {
+                out.push((start_line, std::mem::take(&mut current)));
             }
         }
     }
@@ -95,7 +93,9 @@ fn statements(input: &str) -> Vec<(usize, Vec<String>)> {
 pub fn parse_yal(input: &str) -> Result<Netlist, ParseError> {
     let stmts = statements(input);
     let mut protos: HashMap<String, Prototype> = HashMap::new();
-    let mut parent: Option<(usize, Vec<(usize, Vec<String>)>)> = None;
+    // Parent module: (line, per-instance (line, signal names)).
+    type ParentModule = (usize, Vec<(usize, Vec<String>)>);
+    let mut parent: Option<ParentModule> = None;
 
     let mut i = 0;
     while i < stmts.len() {
@@ -153,20 +153,20 @@ pub fn parse_yal(input: &str) -> Result<Netlist, ParseError> {
                     "ENDIOLIST" => in_iolist = false,
                     "NETWORK" => in_network = true,
                     "ENDNETWORK" => in_network = false,
-                    _ if in_iolist => {
+                    _ if in_iolist
                         // name term x y [width layer ...]
-                        if btoks.len() >= 4 {
-                            let x: f64 = btoks[2].parse().map_err(|_| {
-                                err(*bline, format!("bad pin x `{}`", btoks[2]))
-                            })?;
-                            let y: f64 = btoks[3].parse().map_err(|_| {
-                                err(*bline, format!("bad pin y `{}`", btoks[3]))
-                            })?;
-                            pins.push((
-                                btoks[0].clone(),
-                                Point::new(x.round() as i64, y.round() as i64),
-                            ));
-                        }
+                        && btoks.len() >= 4 =>
+                    {
+                        let x: f64 = btoks[2]
+                            .parse()
+                            .map_err(|_| err(*bline, format!("bad pin x `{}`", btoks[2])))?;
+                        let y: f64 = btoks[3]
+                            .parse()
+                            .map_err(|_| err(*bline, format!("bad pin y `{}`", btoks[3])))?;
+                        pins.push((
+                            btoks[0].clone(),
+                            Point::new(x.round() as i64, y.round() as i64),
+                        ));
                     }
                     _ if in_network => network.push((*bline, btoks.clone())),
                     _ => {} // PROFILE, CURRENT, VOLTAGE, … tolerated

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use twmc_netlist::{
-    parse_netlist, synthesize, write_netlist, PinPlacement, SideSet, SynthParams,
-};
+use twmc_netlist::{parse_netlist, synthesize, write_netlist, PinPlacement, SideSet, SynthParams};
 
 fn arb_params() -> impl Strategy<Value = SynthParams> {
     (
@@ -15,16 +13,18 @@ fn arb_params() -> impl Strategy<Value = SynthParams> {
         0.0f64..0.5,  // rectilinear fraction
         any::<u64>(), // seed
     )
-        .prop_map(|(cells, nets, extra, custom, rectilinear, seed)| SynthParams {
-            cells,
-            nets,
-            pins: 2 * nets + extra,
-            custom_fraction: custom,
-            rectilinear_fraction: rectilinear,
-            avg_cell_dim: 24,
-            equiv_pin_fraction: 0.0,
-            seed,
-        })
+        .prop_map(
+            |(cells, nets, extra, custom, rectilinear, seed)| SynthParams {
+                cells,
+                nets,
+                pins: 2 * nets + extra,
+                custom_fraction: custom,
+                rectilinear_fraction: rectilinear,
+                avg_cell_dim: 24,
+                equiv_pin_fraction: 0.0,
+                seed,
+            },
+        )
 }
 
 proptest! {

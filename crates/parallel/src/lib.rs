@@ -1,0 +1,240 @@
+//! Multi-replica parallel annealing orchestration (stage 1).
+//!
+//! The paper's quality/CPU trade (§3.3) extends beyond a single Markov
+//! chain: with cheap cores, N independent replicas explore N basins for
+//! the wall-clock of one. This crate orchestrates stage-1 placement
+//! replicas over [`twmc_place`] in two modes:
+//!
+//! * **Multi-start** ([`Strategy::MultiStart`]) — N full stage-1 runs
+//!   from seeds derived deterministically from the master seed
+//!   ([`twmc_anneal::derive_seed`]); the best final TEIL wins. Replica 0
+//!   uses the master seed itself, so the winner is never worse than the
+//!   single-replica run with the same seed.
+//! * **Parallel tempering** ([`Strategy::Tempering`]) — N replicas
+//!   pinned to fixed temperature rungs sampled from the Table-1
+//!   trajectory ([`twmc_anneal::temperature_rungs`]); between rounds of
+//!   inner loops, adjacent rungs exchange configurations under the
+//!   Metropolis rule ([`twmc_anneal::swap_probability`]), letting good
+//!   configurations migrate cold while stuck ones re-heat. The best
+//!   rung's configuration is then quenched through the remaining
+//!   schedule.
+//!
+//! # Determinism
+//!
+//! Results depend on the master seed and the replica count, **not** on
+//! the thread count: every replica owns an RNG stream derived from its
+//! index, swap decisions come from a dedicated orchestrator stream, and
+//! workers are synchronized at round boundaries. `threads = 1` and
+//! `threads = 8` produce bit-identical placements.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use twmc_anneal::CoolingSchedule;
+//! use twmc_estimator::EstimatorParams;
+//! use twmc_netlist::{synthesize, SynthParams};
+//! use twmc_parallel::{parallel_stage1, ParallelParams};
+//! use twmc_place::PlaceParams;
+//!
+//! let circuit = synthesize(&SynthParams::default());
+//! let params = ParallelParams { replicas: 4, threads: 4, ..Default::default() };
+//! let (state, result, report) = parallel_stage1(
+//!     &circuit,
+//!     &PlaceParams::default(),
+//!     &EstimatorParams::default(),
+//!     &CoolingSchedule::stage1(),
+//!     &params,
+//!     42,
+//! );
+//! println!("best replica {} TEIL {}", report.best_replica, result.teil);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod multistart;
+mod pool;
+mod tempering;
+
+use twmc_anneal::CoolingSchedule;
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::Netlist;
+use twmc_place::{PlaceParams, PlacementState, Stage1Result};
+
+pub use pool::{run_indexed, run_mut};
+
+/// How the replicas cooperate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Independent full runs; keep the best final TEIL.
+    #[default]
+    MultiStart,
+    /// Replicas pinned to temperature rungs with Metropolis exchanges.
+    Tempering,
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "multistart" | "multi-start" | "ms" => Ok(Strategy::MultiStart),
+            "tempering" | "parallel-tempering" | "pt" => Ok(Strategy::Tempering),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected `multistart` or `tempering`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::MultiStart => "multistart",
+            Strategy::Tempering => "tempering",
+        })
+    }
+}
+
+/// Configuration of the parallel orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelParams {
+    /// Number of annealing replicas. 1 disables orchestration.
+    pub replicas: usize,
+    /// Worker threads; 1 runs the replicas sequentially (graceful
+    /// fallback), 0 means one thread per replica. The thread count never
+    /// affects results, only wall-clock.
+    pub threads: usize,
+    /// Cooperation mode.
+    pub strategy: Strategy,
+    /// Tempering: rounds of inner loops between swap sweeps.
+    pub swap_interval: usize,
+    /// Tempering: total rounds before the final quench; 0 sizes this to
+    /// the Table-1 trajectory length (matching a full run per replica).
+    pub rounds: usize,
+}
+
+impl Default for ParallelParams {
+    fn default() -> Self {
+        ParallelParams {
+            replicas: 1,
+            threads: 1,
+            strategy: Strategy::MultiStart,
+            swap_interval: 4,
+            rounds: 0,
+        }
+    }
+}
+
+impl ParallelParams {
+    /// Effective worker count for `n` jobs (`threads = 0` → `n`).
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        let t = if self.threads == 0 {
+            jobs
+        } else {
+            self.threads
+        };
+        t.clamp(1, jobs.max(1))
+    }
+}
+
+/// Per-replica outcome statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// Replica index (multi-start) or rung index, 0 = hottest (tempering).
+    pub replica: usize,
+    /// Derived RNG seed this replica's stream started from.
+    pub seed: u64,
+    /// Pinned rung temperature (tempering only).
+    pub rung_temperature: Option<f64>,
+    /// Final TEIL of the replica (before any shared quench).
+    pub teil: f64,
+    /// Final total cost of the replica.
+    pub cost: f64,
+    /// Move attempts made by this replica.
+    pub attempts: usize,
+    /// Moves accepted.
+    pub accepts: usize,
+    /// TEIL after each temperature step (multi-start) or round (tempering).
+    pub teil_trajectory: Vec<f64>,
+}
+
+impl ReplicaReport {
+    /// Fraction of attempts accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Replica-exchange statistics (all zero for multi-start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwapReport {
+    /// Swap attempts between adjacent rungs.
+    pub attempts: usize,
+    /// Swaps accepted.
+    pub accepts: usize,
+}
+
+impl SwapReport {
+    /// Fraction of swap attempts accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Outcome of a parallel stage-1 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// Cooperation mode that produced this report.
+    pub strategy: Strategy,
+    /// Replica count.
+    pub replicas: usize,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Index of the winning replica (multi-start: lowest TEIL; tempering:
+    /// the rung whose configuration was quenched).
+    pub best_replica: usize,
+    /// Per-replica statistics, in replica/rung order.
+    pub replica_reports: Vec<ReplicaReport>,
+    /// Replica-exchange statistics.
+    pub swaps: SwapReport,
+}
+
+/// Runs stage-1 placement with `params.replicas` cooperating replicas.
+///
+/// Returns the winning state, its stage-1 record, and the orchestration
+/// report. With `replicas <= 1` this is exactly
+/// [`twmc_place::place_stage1`] plus a one-row report.
+pub fn parallel_stage1<'a>(
+    nl: &'a Netlist,
+    place: &PlaceParams,
+    est: &EstimatorParams,
+    schedule: &CoolingSchedule,
+    params: &ParallelParams,
+    master_seed: u64,
+) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
+    if params.replicas <= 1 {
+        let (state, result) = twmc_place::place_stage1(nl, place, est, schedule, master_seed);
+        let report = ParallelReport {
+            strategy: params.strategy,
+            replicas: 1,
+            threads: 1,
+            best_replica: 0,
+            replica_reports: vec![multistart::replica_report(0, master_seed, &state, &result)],
+            swaps: SwapReport::default(),
+        };
+        return (state, result, report);
+    }
+    match params.strategy {
+        Strategy::MultiStart => multistart::run(nl, place, est, schedule, params, master_seed),
+        Strategy::Tempering => tempering::run(nl, place, est, schedule, params, master_seed),
+    }
+}

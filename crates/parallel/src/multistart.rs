@@ -1,0 +1,71 @@
+//! Multi-start orchestration: independent replicas, best TEIL wins.
+
+use twmc_anneal::{derive_seed, CoolingSchedule};
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::Netlist;
+use twmc_place::{place_stage1, PlaceParams, PlacementState, Stage1Result};
+
+use crate::{pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
+
+/// Builds the report row for one finished replica.
+pub(crate) fn replica_report(
+    replica: usize,
+    seed: u64,
+    state: &PlacementState<'_>,
+    result: &Stage1Result,
+) -> ReplicaReport {
+    ReplicaReport {
+        replica,
+        seed,
+        rung_temperature: None,
+        teil: result.teil,
+        cost: state.cost(),
+        attempts: result.moves.attempts(),
+        accepts: result.moves.accepts(),
+        teil_trajectory: result.history.iter().map(|r| r.teil).collect(),
+    }
+}
+
+/// Runs `params.replicas` independent stage-1 placements and keeps the
+/// one with the lowest final TEIL (ties go to the lowest replica index,
+/// so the selection is total and deterministic).
+pub(crate) fn run<'a>(
+    nl: &'a Netlist,
+    place: &PlaceParams,
+    est: &EstimatorParams,
+    schedule: &CoolingSchedule,
+    params: &ParallelParams,
+    master_seed: u64,
+) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
+    let replicas = params.replicas;
+    let threads = params.effective_threads(replicas);
+    let mut runs = pool::run_indexed(replicas, threads, |i| {
+        let seed = derive_seed(master_seed, i);
+        let (state, result) = place_stage1(nl, place, est, schedule, seed);
+        (seed, state, result)
+    });
+
+    let replica_reports: Vec<ReplicaReport> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, (seed, state, result))| replica_report(i, *seed, state, result))
+        .collect();
+    // First minimum wins ties (Iterator::min_by keeps the *last*).
+    let mut best_replica = 0;
+    for (i, r) in replica_reports.iter().enumerate().skip(1) {
+        if r.teil < replica_reports[best_replica].teil {
+            best_replica = i;
+        }
+    }
+
+    let (_, state, result) = runs.swap_remove(best_replica);
+    let report = ParallelReport {
+        strategy: params.strategy,
+        replicas,
+        threads,
+        best_replica,
+        replica_reports,
+        swaps: SwapReport::default(),
+    };
+    (state, result, report)
+}

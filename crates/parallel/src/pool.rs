@@ -1,0 +1,130 @@
+//! A minimal scoped thread pool.
+//!
+//! The orchestrator needs exactly two shapes of parallelism — "produce N
+//! indexed results" and "mutate N items in place" — with results
+//! independent of the worker count. Both run on `std::thread::scope`
+//! (replica states borrow the netlist, so `'static` spawning is out) and
+//! assign work by index, never by arrival order.
+
+/// Runs `job(0..n)` on up to `threads` workers and returns the results
+/// in index order.
+///
+/// `threads <= 1` runs sequentially on the caller's thread — the
+/// graceful fallback used when parallelism is disabled. Work is assigned
+/// by striding (worker `w` takes indices `w, w + threads, …`), so the
+/// output depends only on `job`, not on scheduling.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let out: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let job = &job;
+            let out = &out;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = w;
+                while i < n {
+                    local.push((i, job(i)));
+                    i += threads;
+                }
+                let mut slots = out.lock().expect("result mutex");
+                for (i, v) in local {
+                    slots[i] = Some(v);
+                }
+            });
+        }
+    });
+    out.into_inner()
+        .expect("result mutex")
+        .into_iter()
+        .map(|v| v.expect("every index produced"))
+        .collect()
+}
+
+/// Applies `job(index, item)` to every item on up to `threads` workers.
+///
+/// Items are partitioned into contiguous chunks, one per worker; each
+/// item is touched by exactly one worker, so no synchronization beyond
+/// the scope join is needed and the outcome is thread-count independent.
+pub fn run_mut<T, F>(items: &mut [T], threads: usize, job: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            job(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (w, slice) in items.chunks_mut(chunk).enumerate() {
+            let job = &job;
+            scope.spawn(move || {
+                for (k, item) in slice.iter_mut().enumerate() {
+                    job(w * chunk + k, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_results_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_indexed(7, threads, |i| i * i);
+            assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_handles_empty_and_excess_threads() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+        let out = run_indexed(2, 100, |i| i + 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn mutation_touches_every_item_once() {
+        for threads in [1, 2, 5] {
+            let mut items = vec![0u64; 9];
+            run_mut(&mut items, threads, |i, item| *item += 10 + i as u64);
+            let expect: Vec<u64> = (0..9).map(|i| 10 + i).collect();
+            assert_eq!(items, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workers_really_run_concurrently() {
+        // Two jobs that each wait for the other's side effect would
+        // deadlock on one thread; with two they finish.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let started = AtomicUsize::new(0);
+        let out = run_indexed(2, 2, |i| {
+            started.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while started.load(Ordering::SeqCst) < 2 {
+                assert!(std::time::Instant::now() < deadline, "no concurrency");
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+}

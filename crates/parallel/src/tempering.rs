@@ -1,0 +1,171 @@
+//! Parallel tempering: replicas pinned to Table-1 temperature rungs with
+//! Metropolis configuration exchanges between adjacent rungs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use twmc_anneal::{derive_seed, swap_probability, temperature_rungs, CoolingSchedule};
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::Netlist;
+use twmc_place::{
+    generate, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context, Stage1Result,
+};
+
+use crate::{pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
+
+/// One rung's worker: the configuration currently at this temperature,
+/// the rung's RNG stream, and its accumulated statistics. Swaps exchange
+/// `state` between rungs; everything else stays with the rung.
+struct Rung<'a> {
+    state: PlacementState<'a>,
+    rng: StdRng,
+    stats: MoveStats,
+    trajectory: Vec<f64>,
+}
+
+/// Runs the tempering ladder and quenches the best rung's configuration.
+///
+/// Per round, every rung performs one inner loop (`A_c · N_c` attempts,
+/// eq. 17) at its pinned temperature — rounds run in parallel, swap
+/// sweeps are sequential on the orchestrator's own RNG stream so the
+/// outcome is independent of the thread count.
+pub(crate) fn run<'a>(
+    nl: &'a Netlist,
+    place: &PlaceParams,
+    est: &EstimatorParams,
+    schedule: &CoolingSchedule,
+    params: &ParallelParams,
+    master_seed: u64,
+) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
+    let replicas = params.replicas;
+    let threads = params.effective_threads(replicas);
+    let swap_interval = params.swap_interval.max(1);
+    let ctx = Stage1Context::new(nl, place, est);
+    let rung_temps = temperature_rungs(
+        schedule,
+        ctx.t_infinity,
+        ctx.s_t,
+        ctx.final_temperature(),
+        replicas,
+    );
+    // Default round count: the Table-1 trajectory length, so each rung
+    // does about as many inner loops as one full stage-1 run.
+    let rounds = if params.rounds > 0 {
+        params.rounds
+    } else {
+        schedule
+            .steps_between(ctx.t_infinity, ctx.final_temperature(), ctx.s_t)
+            .max(1)
+    };
+
+    // Independent random starting configurations, one RNG stream per rung.
+    let seeds: Vec<u64> = (0..replicas).map(|i| derive_seed(master_seed, i)).collect();
+    let mut rungs: Vec<Rung<'a>> = pool::run_indexed(replicas, threads, |i| {
+        let mut rng = StdRng::seed_from_u64(seeds[i]);
+        let state = ctx.random_state(place, &mut rng);
+        Rung {
+            state,
+            rng,
+            stats: MoveStats::default(),
+            trajectory: Vec::new(),
+        }
+    });
+    // The `p₂` overlap normalization is calibrated per random start; the
+    // exchange rule compares energies across rungs, so all rungs must
+    // price overlap identically — rung 0's calibration wins.
+    let p2 = rungs[0].state.p2();
+    for rung in &mut rungs[1..] {
+        rung.state.set_p2(p2);
+    }
+
+    let inner = place.attempts_per_cell * nl.cells().len();
+    let mut orch_rng = StdRng::seed_from_u64(derive_seed(master_seed, replicas));
+    let mut swaps = SwapReport::default();
+    let mut sweep = 0usize;
+
+    for round in 0..rounds {
+        pool::run_mut(&mut rungs, threads, |i, rung| {
+            let t = rung_temps[i];
+            let wx = ctx.limiter.window_x(t);
+            let wy = ctx.limiter.window_y(t);
+            for _ in 0..inner {
+                generate(
+                    &mut rung.state,
+                    place,
+                    MoveSet::Full,
+                    wx,
+                    wy,
+                    t,
+                    &mut rung.rng,
+                    &mut rung.stats,
+                );
+            }
+            rung.trajectory.push(rung.state.teil());
+        });
+
+        if (round + 1) % swap_interval == 0 {
+            // Alternate even/odd adjacent pairs per sweep, the standard
+            // scheme that lets a configuration traverse the ladder.
+            let start = sweep % 2;
+            sweep += 1;
+            for i in (start..replicas.saturating_sub(1)).step_by(2) {
+                let p = swap_probability(
+                    rung_temps[i],
+                    rung_temps[i + 1],
+                    rungs[i].state.cost(),
+                    rungs[i + 1].state.cost(),
+                );
+                swaps.attempts += 1;
+                if orch_rng.random::<f64>() < p {
+                    let (a, b) = rungs.split_at_mut(i + 1);
+                    std::mem::swap(&mut a[i].state, &mut b[0].state);
+                    swaps.accepts += 1;
+                }
+            }
+        }
+    }
+
+    // Report the ladder phase before the quench mutates the winner.
+    let replica_reports: Vec<ReplicaReport> = rungs
+        .iter()
+        .enumerate()
+        .map(|(i, rung)| ReplicaReport {
+            replica: i,
+            seed: seeds[i],
+            rung_temperature: Some(rung_temps[i]),
+            teil: rung.state.teil(),
+            cost: rung.state.cost(),
+            attempts: rung.stats.attempts(),
+            accepts: rung.stats.accepts(),
+            teil_trajectory: rung.trajectory.clone(),
+        })
+        .collect();
+
+    // Quench the best configuration (usually the coldest rung, but a
+    // warmer rung can hold the minimum right after an exchange sweep)
+    // through the rest of the schedule from its rung temperature.
+    let mut best = 0;
+    for (i, rung) in rungs.iter().enumerate().skip(1) {
+        if rung.state.cost() < rungs[best].state.cost() {
+            best = i;
+        }
+    }
+    let mut winner = rungs.swap_remove(best);
+    let result = ctx.cool(
+        &mut winner.state,
+        place,
+        schedule,
+        rung_temps[best],
+        &mut winner.rng,
+    );
+
+    let report = ParallelReport {
+        strategy: params.strategy,
+        replicas,
+        threads,
+        best_replica: best,
+        replica_reports,
+        swaps,
+    };
+    (winner.state, result, report)
+}

@@ -344,8 +344,7 @@ pub fn generate(
             raw.y.clamp(core.lo().y, core.hi().y),
         );
 
-        let mut accepted =
-            attempt_cells(st, &[i], t, rng, |s| s.set_cell_center(i, target));
+        let mut accepted = attempt_cells(st, &[i], t, rng, |s| s.set_cell_center(i, target));
         MoveStats::add(&mut stats.displacements, accepted);
 
         if !accepted && move_set == MoveSet::Full {
@@ -360,7 +359,7 @@ pub fn generate(
             if !accepted {
                 // Random orientation change in place.
                 let cur = st.cell(i).orientation;
-                let mut o = Orientation::ALL[rng.random_range(0..8)];
+                let mut o = Orientation::ALL[rng.random_range(0..8usize)];
                 if o == cur {
                     o = o.aspect_inverted();
                 }
@@ -382,8 +381,7 @@ pub fn generate(
                 // Aspect-ratio change within the specified bounds.
                 if let twmc_netlist::CellGeometry::Flexible { aspect, .. } = &cell.geometry {
                     let ratio = aspect.sample(rng.random::<f64>());
-                    let acc =
-                        attempt_cells(st, &[i], t, rng, |s| s.set_cell_aspect(i, ratio));
+                    let acc = attempt_cells(st, &[i], t, rng, |s| s.set_cell_aspect(i, ratio));
                     MoveStats::add(&mut stats.aspect_moves, acc);
                 }
             }

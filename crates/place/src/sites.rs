@@ -50,9 +50,7 @@ impl SiteLayout {
     pub fn new(w: i64, h: i64, sites_per_edge: u32, track_spacing: f64, kappa: f64) -> Self {
         let n = sites_per_edge.max(1);
         let ts = track_spacing.max(1.0);
-        let cap_for = |len: i64| -> u32 {
-            ((len as f64 / (n as f64 * ts)).floor() as u32).max(1)
-        };
+        let cap_for = |len: i64| -> u32 { ((len as f64 / (n as f64 * ts)).floor() as u32).max(1) };
         let cap = [cap_for(h), cap_for(h), cap_for(w), cap_for(w)];
         SiteLayout {
             sites_per_edge: n,
@@ -188,18 +186,45 @@ mod tests {
     fn positions_evenly_spaced() {
         let l = layout();
         let xs: Vec<i64> = (0..4)
-            .map(|k| l.position(SiteRef { side: Side::Bottom, slot: k }).x)
+            .map(|k| {
+                l.position(SiteRef {
+                    side: Side::Bottom,
+                    slot: k,
+                })
+                .x
+            })
             .collect();
         assert_eq!(xs, vec![5, 15, 25, 35]);
-        assert_eq!(l.position(SiteRef { side: Side::Left, slot: 1 }), Point::new(0, 7));
-        assert_eq!(l.position(SiteRef { side: Side::Right, slot: 0 }), Point::new(40, 2));
-        assert_eq!(l.position(SiteRef { side: Side::Top, slot: 3 }), Point::new(35, 20));
+        assert_eq!(
+            l.position(SiteRef {
+                side: Side::Left,
+                slot: 1
+            }),
+            Point::new(0, 7)
+        );
+        assert_eq!(
+            l.position(SiteRef {
+                side: Side::Right,
+                slot: 0
+            }),
+            Point::new(40, 2)
+        );
+        assert_eq!(
+            l.position(SiteRef {
+                side: Side::Top,
+                slot: 3
+            }),
+            Point::new(35, 20)
+        );
     }
 
     #[test]
     fn oriented_positions_track_geometry() {
         let l = layout();
-        let site = SiteRef { side: Side::Bottom, slot: 0 };
+        let site = SiteRef {
+            side: Side::Bottom,
+            slot: 0,
+        };
         let p = l.absolute_position(site, Orientation::R90, Point::new(100, 100));
         // Local (5,0) on 40x20 under R90 -> (20-0, 5) = (20,5); +at.
         assert_eq!(p, Point::new(120, 105));
@@ -210,7 +235,10 @@ mod tests {
     #[test]
     fn penalty_kicks_in_above_capacity() {
         let mut l = layout();
-        let s = SiteRef { side: Side::Left, slot: 0 }; // capacity 2
+        let s = SiteRef {
+            side: Side::Left,
+            slot: 0,
+        }; // capacity 2
         assert_eq!(l.penalty(), 0.0);
         l.occupy(s);
         l.occupy(s);
@@ -229,13 +257,19 @@ mod tests {
     #[should_panic(expected = "vacating empty site")]
     fn vacate_empty_panics() {
         let mut l = layout();
-        l.vacate(SiteRef { side: Side::Top, slot: 0 });
+        l.vacate(SiteRef {
+            side: Side::Top,
+            slot: 0,
+        });
     }
 
     #[test]
     fn resize_preserves_occupancy() {
         let mut l = layout();
-        let s = SiteRef { side: Side::Bottom, slot: 2 };
+        let s = SiteRef {
+            side: Side::Bottom,
+            slot: 2,
+        };
         l.occupy(s);
         let r = l.resized(20, 40, 2.0);
         assert_eq!(r.occupancy(s), 1);

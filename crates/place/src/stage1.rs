@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twmc_anneal::{t_infinity, temperature_scale, CoolingSchedule, RangeLimiter};
-use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams};
+use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams, PinDensityFactors};
 use twmc_netlist::Netlist;
 
 use crate::{generate, MoveSet, MoveStats, PlaceParams, PlacementState};
@@ -75,6 +75,110 @@ const MAX_STEPS: usize = 1200;
 /// stop hot.
 const FINAL_SCALED_T: f64 = 5.0;
 
+/// Netlist-determined context shared by every stage-1 run on a circuit.
+///
+/// Core determination, density factors, the temperature scale, and the
+/// range limiter depend only on the netlist and parameters — not on the
+/// seed — so a multi-replica orchestrator builds this once and derives
+/// one [`PlacementState`] per replica from it.
+#[derive(Debug, Clone)]
+pub struct Stage1Context<'a> {
+    nl: &'a Netlist,
+    estimator: twmc_estimator::Estimator,
+    density: Vec<PinDensityFactors>,
+    /// Temperature scale `S_T` (eq. 20) from the average effective area.
+    pub s_t: f64,
+    /// Starting temperature `T_∞ = S_T · T*_∞` (eq. 21).
+    pub t_infinity: f64,
+    /// Range limiter spanning twice the core at `T_∞` (Fig. 4).
+    pub limiter: RangeLimiter,
+}
+
+impl<'a> Stage1Context<'a> {
+    /// Determines the core and the annealing scales for a circuit.
+    pub fn new(nl: &'a Netlist, params: &PlaceParams, est_params: &EstimatorParams) -> Self {
+        let det = determine_core(nl, est_params);
+        let density = cell_density_factors(nl, nl.stats().avg_pin_density);
+        // Temperature scale from the average *effective* cell area (cell
+        // plus interconnect allowance), per §3.3.
+        let c_a = det.effective_area / nl.cells().len() as f64;
+        let s_t = temperature_scale(c_a);
+        let t_inf = t_infinity(s_t);
+        // At T_∞ the window extends beyond the core (Fig. 4).
+        let core = det.estimator.core();
+        let limiter = RangeLimiter::new(
+            2.0 * core.width() as f64,
+            2.0 * core.height() as f64,
+            t_inf,
+            params.rho,
+        );
+        Stage1Context {
+            nl,
+            estimator: det.estimator,
+            density,
+            s_t,
+            t_infinity: t_inf,
+            limiter,
+        }
+    }
+
+    /// The netlist this context was built for.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// The scaled temperature floor at which a stage-1 run stops once the
+    /// range-limiter window is minimal — the coldest useful rung for a
+    /// tempering ladder.
+    pub fn final_temperature(&self) -> f64 {
+        self.s_t * FINAL_SCALED_T
+    }
+
+    /// Creates a calibrated random initial configuration from `rng`.
+    ///
+    /// Consumes the stream exactly as [`place_stage1`] does (random
+    /// placement, then `p₂` calibration), so a replica fed
+    /// `StdRng::seed_from_u64(seed)` starts bit-identically to
+    /// `place_stage1(.., seed)`.
+    pub fn random_state(&self, params: &PlaceParams, rng: &mut StdRng) -> PlacementState<'a> {
+        let mut state = PlacementState::random(
+            self.nl,
+            self.estimator.clone(),
+            self.density.clone(),
+            params.kappa,
+            rng,
+        );
+        state.calibrate_p2(params.eta, params.normalization_samples, rng);
+        state
+    }
+
+    /// Runs the full stage-1 cooling loop on a state, starting from
+    /// `t_start` (pass [`Stage1Context::t_infinity`] for a fresh run, or
+    /// a rung temperature to quench a tempering replica).
+    pub fn cool(
+        &self,
+        state: &mut PlacementState<'a>,
+        params: &PlaceParams,
+        schedule: &CoolingSchedule,
+        t_start: f64,
+        rng: &mut StdRng,
+    ) -> Stage1Result {
+        let mut result = run_annealing(
+            state,
+            params,
+            MoveSet::Full,
+            schedule,
+            &self.limiter,
+            t_start,
+            self.s_t,
+            None,
+            rng,
+        );
+        result.t_infinity = self.t_infinity;
+        result
+    }
+}
+
 /// Runs stage-1 placement on a fresh random configuration.
 ///
 /// Returns the final state (input to stage 2) and the run record.
@@ -85,39 +189,10 @@ pub fn place_stage1<'a>(
     schedule: &CoolingSchedule,
     seed: u64,
 ) -> (PlacementState<'a>, Stage1Result) {
+    let ctx = Stage1Context::new(nl, params, est_params);
     let mut rng = StdRng::seed_from_u64(seed);
-    let det = determine_core(nl, est_params);
-    let density = cell_density_factors(nl, nl.stats().avg_pin_density);
-    let mut state = PlacementState::random(nl, det.estimator, density, params.kappa, &mut rng);
-    state.calibrate_p2(params.eta, params.normalization_samples, &mut rng);
-
-    // Temperature scale from the average *effective* cell area (cell plus
-    // interconnect allowance), per §3.3.
-    let c_a = det.effective_area / nl.cells().len() as f64;
-    let s_t = temperature_scale(c_a);
-    let t_inf = t_infinity(s_t);
-
-    // At T_∞ the window extends beyond the core (Fig. 4).
-    let core = state.estimator().core();
-    let limiter = RangeLimiter::new(
-        2.0 * core.width() as f64,
-        2.0 * core.height() as f64,
-        t_inf,
-        params.rho,
-    );
-
-    let mut result = run_annealing(
-        &mut state,
-        params,
-        MoveSet::Full,
-        schedule,
-        &limiter,
-        t_inf,
-        s_t,
-        None,
-        &mut rng,
-    );
-    result.t_infinity = t_inf;
+    let mut state = ctx.random_state(params, &mut rng);
+    let result = ctx.cool(&mut state, params, schedule, ctx.t_infinity, &mut rng);
     (state, result)
 }
 

@@ -67,6 +67,36 @@ pub struct MoveCost {
     pub c3: f64,
 }
 
+/// A detached copy of the mutable part of a [`PlacementState`]: cell
+/// placements, pin positions/sites, and the incremental cost totals.
+///
+/// Produced by [`PlacementState::snapshot`], reapplied with
+/// [`PlacementState::restore`].
+#[derive(Debug, Clone)]
+pub struct PlacementSnapshot {
+    cells: Vec<CellPlace>,
+    pin_pos: Vec<Point>,
+    pin_site: Vec<Option<SiteRef>>,
+    net_cost: Vec<f64>,
+    total_c1: f64,
+    total_overlap: i64,
+    total_c3: f64,
+    p2: f64,
+    static_expansions: Option<Vec<(i64, i64, i64, i64)>>,
+}
+
+impl PlacementSnapshot {
+    /// The captured cell placements.
+    pub fn cells(&self) -> &[CellPlace] {
+        &self.cells
+    }
+
+    /// Total cost `C = C₁ + p₂·C₂ + C₃` at capture time.
+    pub fn cost(&self) -> f64 {
+        self.total_c1 + self.p2 * self.total_overlap as f64 + self.total_c3
+    }
+}
+
 /// The full placement state.
 #[derive(Debug, Clone)]
 pub struct PlacementState<'a> {
@@ -114,11 +144,7 @@ impl<'a> PlacementState<'a> {
                 pin_slot[pid.index()] = slot;
             }
         }
-        let nets_of_cell = nl
-            .cells()
-            .iter()
-            .map(|c| nl.nets_of_cell(c.id()))
-            .collect();
+        let nets_of_cell = nl.cells().iter().map(|c| nl.nets_of_cell(c.id())).collect();
 
         let mut fixed_frac = vec![None; n_pins];
         let mut cells = Vec::with_capacity(nl.cells().len());
@@ -345,6 +371,53 @@ impl<'a> PlacementState<'a> {
         it.fold(first, |acc, r| acc.hull(r))
     }
 
+    /// Captures the mutable configuration (cell placements, pin
+    /// assignments, cost bookkeeping) without the immutable context.
+    ///
+    /// Cheaper than cloning the whole state: the netlist reference,
+    /// estimator, density factors, and connectivity indexes are shared
+    /// or rebuilt-free, so replica orchestrators snapshot/restore on
+    /// every improvement without copying them.
+    pub fn snapshot(&self) -> PlacementSnapshot {
+        PlacementSnapshot {
+            cells: self.cells.clone(),
+            pin_pos: self.pin_pos.clone(),
+            pin_site: self.pin_site.clone(),
+            net_cost: self.net_cost.clone(),
+            total_c1: self.total_c1,
+            total_overlap: self.total_overlap,
+            total_c3: self.total_c3,
+            p2: self.p2,
+            static_expansions: self.static_expansions.clone(),
+        }
+    }
+
+    /// Restores a configuration captured by [`PlacementState::snapshot`].
+    ///
+    /// The snapshot must come from a state over the same netlist (same
+    /// cell/pin/net counts); mixing circuits corrupts the bookkeeping.
+    pub fn restore(&mut self, snap: &PlacementSnapshot) {
+        assert_eq!(
+            snap.cells.len(),
+            self.cells.len(),
+            "snapshot from another circuit"
+        );
+        assert_eq!(
+            snap.pin_pos.len(),
+            self.pin_pos.len(),
+            "snapshot from another circuit"
+        );
+        self.cells.clone_from(&snap.cells);
+        self.pin_pos.clone_from(&snap.pin_pos);
+        self.pin_site.clone_from(&snap.pin_site);
+        self.net_cost.clone_from(&snap.net_cost);
+        self.total_c1 = snap.total_c1;
+        self.total_overlap = snap.total_overlap;
+        self.total_c3 = snap.total_c3;
+        self.p2 = snap.p2;
+        self.static_expansions.clone_from(&snap.static_expansions);
+    }
+
     /// Bounding box including the interconnect expansions — the effective
     /// chip area estimate.
     pub fn effective_bbox(&self) -> Rect {
@@ -491,7 +564,10 @@ impl<'a> PlacementState<'a> {
     /// The placed geometry in the form the channel definer consumes:
     /// every cell's oriented tiles plus position, and the core.
     pub fn placed_cells(&self) -> Vec<(TileSet, Point)> {
-        self.cells.iter().map(|c| (c.shape.clone(), c.pos)).collect()
+        self.cells
+            .iter()
+            .map(|c| (c.shape.clone(), c.pos))
+            .collect()
     }
 
     /// Recomputes the absolute positions of all pins of cell `i`.
@@ -553,10 +629,7 @@ impl<'a> PlacementState<'a> {
                 None => Span::new(p.y, p.y),
             });
         }
-        (
-            xs.expect("nets have pins"),
-            ys.expect("nets have pins"),
-        )
+        (xs.expect("nets have pins"), ys.expect("nets have pins"))
     }
 
     /// One net's `C₁` contribution: `x(n)·h(n) + y(n)·v(n)`.
@@ -781,7 +854,7 @@ mod tests {
                     st.set_cell_center(i, p);
                 }
                 1 => {
-                    let o = Orientation::ALL[rng.random_range(0..8)];
+                    let o = Orientation::ALL[rng.random_range(0..8usize)];
                     st.set_cell_orientation(i, o);
                 }
                 2 if nl.cells()[i].is_custom() => {
@@ -796,7 +869,11 @@ mod tests {
             st.commit_cost(before, after, &nets);
         }
         let (c1, ov, c3) = st.recompute_totals();
-        assert!((st.c1() - c1).abs() < 1e-6 * c1.max(1.0), "{} vs {c1}", st.c1());
+        assert!(
+            (st.c1() - c1).abs() < 1e-6 * c1.max(1.0),
+            "{} vs {c1}",
+            st.c1()
+        );
         assert_eq!(st.raw_overlap(), ov);
         assert!((st.c3() - c3).abs() < 1e-6);
     }

@@ -44,8 +44,7 @@ impl DetailedCheck {
         if self.channels.is_empty() {
             return 1.0;
         }
-        self.channels.iter().filter(|c| c.within_bound).count() as f64
-            / self.channels.len() as f64
+        self.channels.iter().filter(|c| c.within_bound).count() as f64 / self.channels.len() as f64
     }
 
     /// Fraction of routed channels whose detailed route fits the
@@ -184,8 +183,7 @@ mod tests {
         assert!(
             central.within_bound,
             "t = {} vs d = {}",
-            central.tracks,
-            central.global_density
+            central.tracks, central.global_density
         );
         // 24 separation / 2 pitch fits (5+1) easily.
         assert!(central.fits);

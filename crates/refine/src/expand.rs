@@ -41,9 +41,7 @@ pub fn static_expansions(
             }
         }
     }
-    req.into_iter()
-        .map(|r| (r[0], r[1], r[2], r[3]))
-        .collect()
+    req.into_iter().map(|r| (r[0], r[1], r[2], r[3])).collect()
 }
 
 #[cfg(test)]

@@ -162,7 +162,9 @@ mod tests {
         assert!(ok, "spreading did not converge");
         // Spot-check: every still-facing pair meets its requirement.
         for c in &constraints {
-            let (Some(i), Some(j)) = (c.lo, c.hi) else { continue };
+            let (Some(i), Some(j)) = (c.lo, c.hi) else {
+                continue;
+            };
             let a = st.cell(i).placed_bbox();
             let b = st.cell(j).placed_bbox();
             if let Some(g) = gap(a, b, c.kind) {

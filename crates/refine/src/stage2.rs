@@ -140,11 +140,7 @@ pub fn refine_placement(
         let max_density = routing.node_density.iter().copied().max().unwrap_or(0);
 
         // Static expansions from the routed densities.
-        let expansions = static_expansions(
-            &routing,
-            nl.cells().len(),
-            params.router.track_spacing,
-        );
+        let expansions = static_expansions(&routing, nl.cells().len(), params.router.track_spacing);
         state.set_static_expansions(expansions);
 
         // (3): low-temperature refinement.
@@ -240,7 +236,12 @@ mod tests {
         assert!(rel_change < 0.8, "TEIL changed {rel_change} across stage 2");
         // Routing covers the nets.
         assert_eq!(s2.final_routing.routes.len(), nl.nets().len());
-        let routed = s2.final_routing.routes.iter().filter(|r| r.is_some()).count();
+        let routed = s2
+            .final_routing
+            .routes
+            .iter()
+            .filter(|r| r.is_some())
+            .count();
         assert!(routed * 10 >= nl.nets().len() * 9, "{routed} routed");
         // Records are internally consistent.
         for r in &s2.records {

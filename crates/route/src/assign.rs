@@ -102,7 +102,10 @@ pub fn assign_routes(
         let users: Vec<usize> = (0..n_nets)
             .filter(|&net| {
                 !alternatives[net].is_empty()
-                    && alternatives[net][choice[net]].edges.binary_search(&key).is_ok()
+                    && alternatives[net][choice[net]]
+                        .edges
+                        .binary_search(&key)
+                        .is_ok()
             })
             .collect();
         let Some(&net) = pick(&users, rng) else {
@@ -276,7 +279,11 @@ mod tests {
         let start_usage = usage_of(&tight, &alts, &vec![0; alts.len()]);
         let start_x = overflow_of(&tight, &start_usage);
         assert!(start_x > 0, "test premise: congestion exists");
-        assert!(a.overflow < start_x, "overflow {} not reduced from {start_x}", a.overflow);
+        assert!(
+            a.overflow < start_x,
+            "overflow {} not reduced from {start_x}",
+            a.overflow
+        );
         // Length can only grow relative to all-shortest.
         assert!(a.total_length >= shortest_l);
         // Bookkeeping consistent.

@@ -302,9 +302,9 @@ mod tests {
         };
         let regions = critical_regions(&g);
         assert!(
-            !regions.iter().any(|r| {
-                r.lo_edge.cell == Some(0) && r.hi_edge.cell == Some(2)
-            }),
+            !regions
+                .iter()
+                .any(|r| { r.lo_edge.cell == Some(0) && r.hi_edge.cell == Some(2) }),
             "outer pair must be blocked by the middle cell"
         );
         // But adjacent pairs have channels.
@@ -368,11 +368,7 @@ mod tests {
     #[test]
     fn rectilinear_cell_notch_channel() {
         // An L-shaped cell with a small cell tucked near the notch.
-        let l = TileSet::new(vec![
-            Rect::from_wh(0, 0, 12, 4),
-            Rect::from_wh(0, 4, 4, 8),
-        ])
-        .unwrap();
+        let l = TileSet::new(vec![Rect::from_wh(0, 0, 12, 4), Rect::from_wh(0, 4, 4, 8)]).unwrap();
         let g = PlacedGeometry {
             cells: vec![(l, Point::new(0, 0)), cell(4, 4, 8, 8)],
             core: Rect::from_wh(-2, -2, 20, 20),
@@ -380,14 +376,14 @@ mod tests {
         let regions = critical_regions(&g);
         // Channel between the L's notch right edge (x=4) and the small
         // cell's left edge (x=8), over the common y span [8, 12].
-        assert!(regions.iter().any(|r| {
-            r.kind == ChannelKind::Vertical && r.rect == Rect::from_wh(4, 8, 4, 4)
-        }));
+        assert!(regions
+            .iter()
+            .any(|r| { r.kind == ChannelKind::Vertical && r.rect == Rect::from_wh(4, 8, 4, 4) }));
         // Horizontal channel between the L's notch top (y=4) and the
         // small cell's bottom (y=8) over x in [8, 12].
-        assert!(regions.iter().any(|r| {
-            r.kind == ChannelKind::Horizontal && r.rect == Rect::from_wh(8, 4, 4, 4)
-        }));
+        assert!(regions
+            .iter()
+            .any(|r| { r.kind == ChannelKind::Horizontal && r.rect == Rect::from_wh(8, 4, 4, 4) }));
     }
 
     #[test]

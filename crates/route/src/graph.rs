@@ -158,10 +158,7 @@ impl ChannelGraph {
 }
 
 /// Convenience: run channel definition and build the graph in one step.
-pub fn build_channel_graph(
-    geometry: &crate::PlacedGeometry,
-    track_spacing: f64,
-) -> ChannelGraph {
+pub fn build_channel_graph(geometry: &crate::PlacedGeometry, track_spacing: f64) -> ChannelGraph {
     ChannelGraph::build(crate::critical_regions(geometry), track_spacing)
 }
 
@@ -223,10 +220,7 @@ mod tests {
         assert_eq!(street.capacity, 5);
         // Edge capacity is the min of its endpoints.
         for e in &g.edges {
-            assert_eq!(
-                e.capacity,
-                g.nodes[e.a].capacity.min(g.nodes[e.b].capacity)
-            );
+            assert_eq!(e.capacity, g.nodes[e.a].capacity.min(g.nodes[e.b].capacity));
             assert!(e.length >= 1);
         }
     }
@@ -266,9 +260,7 @@ mod tests {
         let cell_border = g
             .nodes
             .iter()
-            .filter(|n| {
-                (n.region.lo_edge.cell.is_some()) != (n.region.hi_edge.cell.is_some())
-            })
+            .filter(|n| (n.region.lo_edge.cell.is_some()) != (n.region.hi_edge.cell.is_some()))
             .count();
         assert!(cell_border >= 4, "{cell_border}");
     }

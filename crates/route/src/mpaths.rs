@@ -300,8 +300,7 @@ mod tests {
             assert_eq!(len, p.length);
         }
         // All distinct.
-        let set: std::collections::HashSet<&Vec<usize>> =
-            paths.iter().map(|p| &p.nodes).collect();
+        let set: std::collections::HashSet<&Vec<usize>> = paths.iter().map(|p| &p.nodes).collect();
         assert_eq!(set.len(), paths.len());
     }
 

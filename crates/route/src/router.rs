@@ -146,12 +146,8 @@ pub fn global_route(
             .iter()
             .map(|p| p.iter().map(|&(n, _, _)| n).collect())
             .collect();
-        let mut trees = enumerate_route_trees(
-            &graph,
-            &node_lists,
-            params.m_alternatives,
-            params.per_level,
-        );
+        let mut trees =
+            enumerate_route_trees(&graph, &node_lists, params.m_alternatives, params.per_level);
         // Charge each tree the offsets of the candidates it actually
         // connects (the cheapest in-tree candidate per point), then
         // re-rank: this is how electrically-equivalent pins shorten nets.

@@ -141,7 +141,8 @@ pub fn enumerate_route_trees(
         }
         // Keep the best `beam_width` states, deduplicated by edge set.
         next_beam.sort_by_key(|(t, _)| t.length);
-        let mut seen: Vec<(BTreeSet<(usize, usize)>, BTreeSet<usize>)> = Vec::new();
+        type TreeKey = (BTreeSet<(usize, usize)>, BTreeSet<usize>);
+        let mut seen: Vec<TreeKey> = Vec::new();
         next_beam.retain(|(t, _)| {
             let key = (t.edges.clone(), t.nodes.clone());
             if seen.contains(&key) {

@@ -9,8 +9,8 @@
 //! smallest).
 
 use timberwolfmc::core::{
-    compare, format_table4, greedy_placement, quadratic_placement, run_timberwolf,
-    shelf_placement, TimberWolfConfig,
+    compare, format_table4, greedy_placement, quadratic_placement, run_timberwolf, shelf_placement,
+    TimberWolfConfig,
 };
 use timberwolfmc::estimator::EstimatorParams;
 use timberwolfmc::netlist::{paper_circuit, synthesize_profile};

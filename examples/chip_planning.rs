@@ -18,8 +18,11 @@ fn main() {
     // An L-shaped fixed macro (controller) with pins on several edges.
     let ctl = b.add_macro(
         "ctl",
-        TileSet::new(vec![Rect::from_wh(0, 0, 40, 16), Rect::from_wh(0, 16, 18, 14)])
-            .expect("L tiles disjoint"),
+        TileSet::new(vec![
+            Rect::from_wh(0, 0, 40, 16),
+            Rect::from_wh(0, 16, 18, 14),
+        ])
+        .expect("L tiles disjoint"),
     );
     let ctl_pins: Vec<_> = [
         ("clk", Point::new(0, 8)),
@@ -49,7 +52,12 @@ fn main() {
     // Two custom cells with estimated area, continuous aspect range, and
     // uncommitted pins: a register file with a sequenced data bus, and a
     // RAM with edge-restricted pins.
-    let rf = b.add_custom("rf", 1200, AspectRange::Continuous { min: 0.5, max: 2.0 }, 8);
+    let rf = b.add_custom(
+        "rf",
+        1200,
+        AspectRange::Continuous { min: 0.5, max: 2.0 },
+        8,
+    );
     let rf_bus: Vec<_> = (0..4)
         .map(|i| {
             b.add_site_pin(rf, &format!("q{i}"), SideSet::ALL)
@@ -64,14 +72,11 @@ fn main() {
         rf_bus.clone(),
     )
     .expect("group");
-    let rf_clk = b.add_site_pin(rf, "clk", SideSet::single(Side::Bottom)).expect("pin");
+    let rf_clk = b
+        .add_site_pin(rf, "clk", SideSet::single(Side::Bottom))
+        .expect("pin");
 
-    let ram = b.add_custom(
-        "ram",
-        2000,
-        AspectRange::Discrete(vec![0.5, 1.0, 2.0]),
-        8,
-    );
+    let ram = b.add_custom("ram", 2000, AspectRange::Discrete(vec![0.5, 1.0, 2.0]), 8);
     let ram_d: Vec<_> = (0..4)
         .map(|i| {
             b.add_site_pin(ram, &format!("d{i}"), SideSet::of(&[Side::Left, Side::Top]))
@@ -79,11 +84,14 @@ fn main() {
         })
         .collect();
     let ram_en = b.add_site_pin(ram, "en", SideSet::ALL).expect("pin");
-    let ram_a = b.add_site_pin(ram, "a", SideSet::of(&[Side::Bottom, Side::Right])).expect("pin");
+    let ram_a = b
+        .add_site_pin(ram, "a", SideSet::of(&[Side::Bottom, Side::Right]))
+        .expect("pin");
 
     // Nets: clock tree, data buses, control. The dp "in" has an
     // electrically-equivalent alternative on the controller (d0/d1 pair).
-    b.add_simple_net("clk", &[ctl_pins[0], dp_clk, rf_clk]).expect("net");
+    b.add_simple_net("clk", &[ctl_pins[0], dp_clk, rf_clk])
+        .expect("net");
     b.add_net(
         "dbus0",
         vec![
@@ -98,10 +106,14 @@ fn main() {
         1.0,
     )
     .expect("net");
-    b.add_simple_net("dbus1", &[dp_out, rf_bus[0], ram_d[1]]).expect("net");
-    b.add_simple_net("dbus2", &[rf_bus[1], ram_d[2]]).expect("net");
-    b.add_simple_net("dbus3", &[rf_bus[2], ram_d[3]]).expect("net");
-    b.add_simple_net("abus", &[ctl_pins[3], rf_bus[3]]).expect("net");
+    b.add_simple_net("dbus1", &[dp_out, rf_bus[0], ram_d[1]])
+        .expect("net");
+    b.add_simple_net("dbus2", &[rf_bus[1], ram_d[2]])
+        .expect("net");
+    b.add_simple_net("dbus3", &[rf_bus[2], ram_d[3]])
+        .expect("net");
+    b.add_simple_net("abus", &[ctl_pins[3], rf_bus[3]])
+        .expect("net");
     b.add_simple_net("en", &[ctl_pins[5], ram_en]).expect("net");
     b.add_simple_net("a1", &[ctl_pins[4], ram_a]).expect("net");
 
@@ -124,7 +136,11 @@ fn main() {
     };
     let result = run_timberwolf(&circuit, &config);
 
-    println!("\nfinal chip plan ({} x {}):", result.chip.width(), result.chip.height());
+    println!(
+        "\nfinal chip plan ({} x {}):",
+        result.chip.width(),
+        result.chip.height()
+    );
     for cell in &result.placement {
         let c = circuit.cell_by_name(&cell.name).expect("cell exists");
         let kind = if c.is_custom() {
@@ -144,7 +160,10 @@ fn main() {
             cell.orientation,
         );
     }
-    println!("\nTEIL {:.0}, routed length {}", result.teil, result.routed_length);
+    println!(
+        "\nTEIL {:.0}, routed length {}",
+        result.teil, result.routed_length
+    );
     println!(
         "stage-2 drift: TEIL {:+.1}%, area {:+.1}%",
         100.0 * result.stage2_teil_change(),

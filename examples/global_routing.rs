@@ -21,8 +21,11 @@ fn main() {
             (TileSet::rect(26, 20), Point::new(14, 16)),   // C3 NE
             (
                 // C4: L-shaped like the paper's 12-edge cell
-                TileSet::new(vec![Rect::from_wh(0, 0, 36, 16), Rect::from_wh(0, 16, 16, 18)])
-                    .expect("L tiles disjoint"),
+                TileSet::new(vec![
+                    Rect::from_wh(0, 0, 36, 16),
+                    Rect::from_wh(0, 16, 16, 18),
+                ])
+                .expect("L tiles disjoint"),
                 Point::new(-6, -42),
             ),
             (TileSet::rect(20, 24), Point::new(24, -16)), // C5 E
@@ -32,7 +35,10 @@ fn main() {
 
     // Channel definition.
     let regions = critical_regions(&geometry);
-    let vertical = regions.iter().filter(|r| r.kind == ChannelKind::Vertical).count();
+    let vertical = regions
+        .iter()
+        .filter(|r| r.kind == ChannelKind::Vertical)
+        .count();
     println!(
         "channel definition: {} critical regions ({} vertical, {} horizontal)",
         regions.len(),
@@ -78,7 +84,11 @@ fn main() {
     let routing = global_route(&geometry, &nets, &params, 42);
 
     println!("\nglobal routing:");
-    println!("  channel graph: {} nodes, {} edges", routing.graph.len(), routing.graph.edges.len());
+    println!(
+        "  channel graph: {} nodes, {} edges",
+        routing.graph.len(),
+        routing.graph.edges.len()
+    );
     println!("  total length L = {}", routing.total_length());
     println!("  overflow X     = {}", routing.overflow());
     println!("  unrouted nets  = {}", routing.unrouted);

@@ -38,7 +38,11 @@ fn main() {
 
     println!("\n== stage 1 (annealing placement) ==");
     println!("TEIL              : {:>10.0}", result.stage1.teil);
-    println!("chip bbox         : {:>6} x {}", result.stage1.chip.width(), result.stage1.chip.height());
+    println!(
+        "chip bbox         : {:>6} x {}",
+        result.stage1.chip.width(),
+        result.stage1.chip.height()
+    );
     println!("residual overlap  : {:>10}", result.stage1.residual_overlap);
     println!("temperatures      : {:>10}", result.stage1.history.len());
     println!(
@@ -61,7 +65,11 @@ fn main() {
 
     println!("\n== final ==");
     println!("TEIL              : {:>10.0}", result.teil);
-    println!("chip bbox         : {:>6} x {}", result.chip.width(), result.chip.height());
+    println!(
+        "chip bbox         : {:>6} x {}",
+        result.chip.width(),
+        result.chip.height()
+    );
     println!("routed length     : {:>10}", result.routed_length);
     println!(
         "stage-2 TEIL drift: {:>9.1}%  (Table 3 reports small values — the estimator was accurate)",

@@ -9,8 +9,9 @@
 use std::process::ExitCode;
 
 use timberwolfmc::core::{
-    compare, format_table4, greedy_placement, quadratic_placement, render_svg, run_timberwolf,
-    shelf_placement, RenderOptions, TimberWolfConfig,
+    compare, format_parallel_report, format_table4, greedy_placement, quadratic_placement,
+    render_svg, run_timberwolf, shelf_placement, ParallelParams, RenderOptions, Strategy,
+    TimberWolfConfig,
 };
 use timberwolfmc::estimator::EstimatorParams;
 use timberwolfmc::netlist::{
@@ -23,9 +24,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          twmc synth [--circuit NAME | --cells N --nets N --pins N] [--seed N] [--custom F] --out FILE\n  \
-         twmc place FILE [--seed N] [--ac N] [--svg FILE] [--placement FILE]\n  \
-         twmc compare FILE [--seed N] [--ac N]\n\n\
-         NAME is one of the paper's circuits: i1 p1 x1 i2 i3 l1 d2 d1 d3"
+         twmc place FILE [--seed N] [--ac N] [--svg FILE] [--placement FILE]\n              \
+         [--replicas N] [--threads N] [--strategy multistart|tempering] [--swap-interval N]\n  \
+         twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n\n\
+         NAME is one of the paper's circuits: i1 p1 x1 i2 i3 l1 d2 d1 d3\n\
+         --replicas N runs N annealing replicas (deterministic per seed);\n\
+         --threads 0 uses one thread per replica"
     );
     ExitCode::FAILURE
 }
@@ -99,19 +103,33 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
         .ok_or_else(|| "synth needs --out FILE".to_owned())?;
     std::fs::write(out, write_netlist(&nl)).map_err(|e| format!("cannot write {out}: {e}"))?;
     let s = nl.stats();
-    println!("wrote {out}: {} cells, {} nets, {} pins", s.cells, s.nets, s.pins);
+    println!(
+        "wrote {out}: {} cells, {} nets, {} pins",
+        s.cells, s.nets, s.pins
+    );
     Ok(())
 }
 
-fn config_from(flags: &Flags) -> TimberWolfConfig {
-    TimberWolfConfig {
+fn config_from(flags: &Flags) -> Result<TimberWolfConfig, String> {
+    let strategy: Strategy = match flags.get_str("strategy") {
+        Some(s) => s.parse()?,
+        None => Strategy::default(),
+    };
+    Ok(TimberWolfConfig {
         place: PlaceParams {
             attempts_per_cell: flags.get("ac", 60),
             ..Default::default()
         },
+        parallel: ParallelParams {
+            replicas: flags.get("replicas", 1),
+            threads: flags.get("threads", 0),
+            strategy,
+            swap_interval: flags.get("swap-interval", 4),
+            ..Default::default()
+        },
         seed: flags.get("seed", 42),
         ..Default::default()
-    }
+    })
 }
 
 fn cmd_place(flags: &Flags) -> Result<(), String> {
@@ -120,16 +138,31 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
         .first()
         .ok_or_else(|| "place needs a netlist file".to_owned())?;
     let nl = load_netlist(path)?;
-    let config = config_from(flags);
-    eprintln!(
-        "placing {} ({} cells, {} nets, A_c = {})...",
-        path,
-        nl.stats().cells,
-        nl.stats().nets,
-        config.place.attempts_per_cell
-    );
+    let config = config_from(flags)?;
+    if config.parallel.replicas > 1 {
+        eprintln!(
+            "placing {} ({} cells, {} nets, A_c = {}, {} x{} replicas)...",
+            path,
+            nl.stats().cells,
+            nl.stats().nets,
+            config.place.attempts_per_cell,
+            config.parallel.strategy,
+            config.parallel.replicas,
+        );
+    } else {
+        eprintln!(
+            "placing {} ({} cells, {} nets, A_c = {})...",
+            path,
+            nl.stats().cells,
+            nl.stats().nets,
+            config.place.attempts_per_cell
+        );
+    }
     let t0 = std::time::Instant::now();
     let result = run_timberwolf(&nl, &config);
+    if let Some(report) = &result.parallel {
+        print!("{}", format_parallel_report(report));
+    }
     println!(
         "TEIL {:.0}  chip {} x {} (area {})  routed length {}  [{:.1}s]",
         result.teil,
@@ -177,7 +210,7 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
         .ok_or_else(|| "compare needs a netlist file".to_owned())?;
     let nl = load_netlist(path)?;
     let stats = nl.stats();
-    let config = config_from(flags);
+    let config = config_from(flags)?;
     let est = EstimatorParams::default();
     let seed = config.seed;
     eprintln!("running TimberWolfMC and three baselines...");

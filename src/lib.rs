@@ -12,6 +12,8 @@
 //!   range limiter;
 //! * [`estimator`] — the dynamic interconnect-area estimator (eqs. 1–5);
 //! * [`place`] — stage-1 annealing placement (§3);
+//! * [`parallel`] — multi-replica orchestration of stage 1: deterministic
+//!   multi-start and parallel tempering with replica exchange;
 //! * [`route`] — channel definition and the two-phase global router (§4.1–4.2);
 //! * [`refine`] — stage-2 placement refinement (§4.3);
 //! * [`channel`] — a detailed channel router (constrained left-edge
@@ -38,6 +40,7 @@ pub use twmc_core as core;
 pub use twmc_estimator as estimator;
 pub use twmc_geom as geom;
 pub use twmc_netlist as netlist;
+pub use twmc_parallel as parallel;
 pub use twmc_place as place;
 pub use twmc_refine as refine;
 pub use twmc_route as route;

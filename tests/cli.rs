@@ -22,7 +22,11 @@ fn synth_place_compare_roundtrip() {
         .arg(&netlist)
         .output()
         .expect("run twmc synth");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(netlist.exists());
 
     // Place it with SVG and placement outputs.
@@ -35,7 +39,11 @@ fn synth_place_compare_roundtrip() {
         .arg(&placement)
         .output()
         .expect("run twmc place");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("TEIL"), "{stdout}");
     let svg_text = std::fs::read_to_string(&svg).expect("svg written");
@@ -78,6 +86,10 @@ fn yal_input_is_accepted() {
         .args(["--ac", "8", "--seed", "1"])
         .output()
         .expect("run twmc place on yal");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -4,9 +4,7 @@
 use timberwolfmc::anneal::CoolingSchedule;
 use timberwolfmc::estimator::EstimatorParams;
 use timberwolfmc::geom::{Point, Side, TileSet};
-use timberwolfmc::netlist::{
-    AspectRange, NetPin, Netlist, NetlistBuilder, SideSet, SynthParams,
-};
+use timberwolfmc::netlist::{AspectRange, NetPin, Netlist, NetlistBuilder, SideSet, SynthParams};
 use timberwolfmc::place::{place_stage1, PlaceParams, PlacementState};
 
 fn fast_params() -> PlaceParams {
@@ -115,12 +113,11 @@ fn sequenced_group_keeps_order_along_edge() {
     )
     .expect("group");
     // Partner macros pulling the bus pins apart.
-    for i in 0..4 {
+    for (i, &bus_pin) in bus.iter().enumerate() {
         let m = b.add_macro(&format!("m{i}"), TileSet::rect(12, 12));
-        let p = b
-            .add_fixed_pin(m, "x", Point::new(0, 6))
-            .expect("pin");
-        b.add_simple_net(&format!("n{i}"), &[bus[i], p]).expect("net");
+        let p = b.add_fixed_pin(m, "x", Point::new(0, 6)).expect("pin");
+        b.add_simple_net(&format!("n{i}"), &[bus_pin, p])
+            .expect("net");
     }
     let nl = b.build().expect("valid");
 
@@ -146,10 +143,7 @@ fn sequenced_group_keeps_order_along_edge() {
         assert_eq!(s.side, side, "sequence split across sides");
     }
     for w in sites.windows(2) {
-        assert!(
-            w[0].slot <= w[1].slot,
-            "sequence out of order: {sites:?}"
-        );
+        assert!(w[0].slot <= w[1].slot, "sequence out of order: {sites:?}");
     }
 
     // Pin-site penalty resolved (C3 ≈ 0 at the end of stage 1, per the

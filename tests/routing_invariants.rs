@@ -11,34 +11,30 @@ use timberwolfmc::route::{
 /// A random legal placement: cells shelf-packed with random sizes and a
 /// random gap, inside a fitted core.
 fn arb_geometry() -> impl Strategy<Value = PlacedGeometry> {
-    (
-        prop::collection::vec((6i64..30, 6i64..30), 2..10),
-        2i64..8,
-    )
-        .prop_map(|(sizes, gap)| {
-            let max_w: i64 = 90;
-            let mut cells = Vec::new();
-            let (mut x, mut y, mut shelf) = (0i64, 0i64, 0i64);
-            for (w, h) in sizes {
-                if x > 0 && x + w + gap > max_w {
-                    y += shelf;
-                    x = 0;
-                    shelf = 0;
-                }
-                cells.push((TileSet::rect(w, h), Point::new(x, y)));
-                x += w + gap;
-                shelf = shelf.max(h + gap);
+    (prop::collection::vec((6i64..30, 6i64..30), 2..10), 2i64..8).prop_map(|(sizes, gap)| {
+        let max_w: i64 = 90;
+        let mut cells = Vec::new();
+        let (mut x, mut y, mut shelf) = (0i64, 0i64, 0i64);
+        for (w, h) in sizes {
+            if x > 0 && x + w + gap > max_w {
+                y += shelf;
+                x = 0;
+                shelf = 0;
             }
-            let bbox = cells
-                .iter()
-                .map(|(t, p)| t.bbox().translate(*p))
-                .reduce(|a, b| a.hull(b))
-                .expect("at least two cells");
-            PlacedGeometry {
-                core: bbox.expand(gap.max(4)),
-                cells,
-            }
-        })
+            cells.push((TileSet::rect(w, h), Point::new(x, y)));
+            x += w + gap;
+            shelf = shelf.max(h + gap);
+        }
+        let bbox = cells
+            .iter()
+            .map(|(t, p)| t.bbox().translate(*p))
+            .reduce(|a, b| a.hull(b))
+            .expect("at least two cells");
+        PlacedGeometry {
+            core: bbox.expand(gap.max(4)),
+            cells,
+        }
+    })
 }
 
 proptest! {
@@ -157,7 +153,6 @@ fn routed_length_reacts_to_congestion() {
     // The channel is only 10 wide: the required width exceeds the
     // separation, which is exactly what forces refinement to expand it.
     assert!(
-        routing.required_width(node, 2.0)
-            > routing.graph.nodes[node].region.separation() as f64
+        routing.required_width(node, 2.0) > routing.graph.nodes[node].region.separation() as f64
     );
 }

@@ -1,0 +1,267 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! a minimal wall-clock benchmark harness with the same bench-facing
+//! API (`Criterion::bench_function`, `benchmark_group`, `Bencher::iter`
+//! / `iter_batched`, `criterion_group!` / `criterion_main!`).
+//!
+//! No statistics, plots, or baselines — each benchmark is timed over a
+//! short fixed budget and the mean iteration time is printed. Like real
+//! criterion, measurement only happens under `cargo bench` (which passes
+//! `--bench`); any other invocation — `cargo test --benches`, or `--test`
+//! explicitly — runs every routine exactly once, keeping test runs fast.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. All variants behave
+/// identically in the stand-in (setup is simply excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean seconds per iteration, recorded by the `iter*` methods.
+    mean_secs: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Run once, no timing (test mode).
+    Test,
+    /// Time for roughly this budget.
+    Measure(Duration),
+}
+
+impl Bencher {
+    /// Times `routine` over the harness's measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Measure(budget) => {
+                // Warm up and estimate a batch size targeting ~10 timed
+                // batches within the budget.
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let per_batch = budget.as_secs_f64() / 10.0;
+                let batch = (per_batch / once.as_secs_f64()).clamp(1.0, 1e7) as u64;
+                let mut iters = 0u64;
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    iters += batch;
+                }
+                self.mean_secs = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                black_box(routine(input));
+            }
+            Mode::Measure(budget) => {
+                let mut iters = 0u64;
+                let mut measured = Duration::ZERO;
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    measured += t0.elapsed();
+                    iters += 1;
+                }
+                self.mean_secs = measured.as_secs_f64() / iters.max(1) as f64;
+            }
+        }
+    }
+}
+
+/// The benchmark harness (`criterion::Criterion` façade).
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: !bench_mode(),
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Whether this process was invoked for measurement (`cargo bench`, which
+/// passes `--bench`) rather than as a smoke test (`cargo test --benches`,
+/// which passes nothing, or an explicit `--test`).
+pub fn bench_mode() -> bool {
+    let mut bench = false;
+    for a in std::env::args() {
+        match a.as_str() {
+            "--test" => return false,
+            "--bench" => bench = true,
+            _ => {}
+        }
+    }
+    bench
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mode = if self.test_mode {
+            Mode::Test
+        } else {
+            Mode::Measure(self.budget)
+        };
+        let mut bencher = Bencher {
+            mode,
+            mean_secs: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            println!("{id:<50} {}", format_time(bencher.mean_secs));
+        }
+    }
+
+    /// Runs one named benchmark. Like real criterion's `IntoBenchmarkId`,
+    /// the id may be anything string-like (`&str`, `String`, ...).
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.as_ref(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in keys its effort off
+    /// the measurement budget rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:10.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:10.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:10.3} µs/iter", secs * 1e6)
+    } else {
+        format!("{:10.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_tests() {
+        let mut c = Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("batched", |b| {
+            b.iter_batched(|| 21, |x| black_box(x * 2), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

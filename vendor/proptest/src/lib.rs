@@ -1,0 +1,489 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Drives each `proptest!` test over a deterministic sequence of random
+//! cases (seeded from the test name and case index — reruns are exactly
+//! reproducible). Unlike real proptest there is **no shrinking**: a
+//! failing case panics with its assertion message directly.
+//!
+//! Supported surface: integer-range / tuple / mapped strategies,
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()`,
+//! `prop_oneof!`, `Just`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+// Re-exported so macro expansions resolve `rand` inside consumer
+// crates that do not themselves depend on it.
+#[doc(hidden)]
+pub use rand;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Mirrors the `prop` module alias of real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Run-time configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by `prop_assume!` rejections to skip a case.
+#[derive(Debug)]
+pub struct TestCaseSkip;
+
+/// Seed for one test case: a deterministic hash of the test name and
+/// case index (exposed for the `proptest!` macro expansion).
+pub fn case_seed(test_name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A generator of random values (the stand-in's strategy abstraction;
+/// no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` by regenerating (bounded
+    /// retries; panics if the filter rejects persistently).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait ArbitrarySample: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.random::<f64>()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A boxed generator, the unit `prop_oneof!` composes over.
+pub type BoxedGen<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Uniform choice among boxed generators (built by `prop_oneof!`).
+pub struct Union<T> {
+    generators: Vec<BoxedGen<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given generators (must be nonempty).
+    pub fn new(generators: Vec<BoxedGen<T>>) -> Self {
+        assert!(!generators.is_empty(), "prop_oneof! needs at least one arm");
+        Union { generators }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.generators.len());
+        (self.generators[i])(rng)
+    }
+}
+
+/// Boxes one `prop_oneof!` arm (exposed for the macro expansion).
+#[doc(hidden)]
+pub fn union_arm<T>(f: impl Fn(&mut StdRng) -> T + 'static) -> BoxedGen<T> {
+    Box::new(f)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Chooses uniformly among the given items (must be nonempty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.items.len());
+            self.items[i].clone()
+        }
+    }
+}
+
+/// Declares property tests. Each test runs `cases` deterministic random
+/// cases (default 64, or `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { (($cfg).cases as usize); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (64usize); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cases:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: usize = $cases;
+                for case in 0..cases {
+                    let mut proptest_rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            $crate::case_seed(stringify!($name), case as u64),
+                        );
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng); )+
+                    // The closure gives `prop_assume!`'s early return a
+                    // `?`-able scope; calling it in place is the point.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseSkip> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    let _ = outcome; // Err = case skipped by prop_assume!
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(
+                $crate::union_arm({
+                    let arm = $arm;
+                    move |rng: &mut $crate::rand::rngs::StdRng| $crate::Strategy::generate(&arm, rng)
+                })
+            ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (0usize..4, -10i64..=10).prop_map(|(a, b)| (a, b));
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 4 && (-10..=10).contains(&b));
+        }
+        let v = prop::collection::vec(0u8..5, 1..6);
+        for _ in 0..100 {
+            let xs = v.generate(&mut rng);
+            assert!((1..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+        let sel = prop::sample::select(vec!["a", "b"]);
+        for _ in 0..20 {
+            assert!(["a", "b"].contains(&sel.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Derive macros for the offline `serde` stand-in (`vendor/serde`).
+//!
+//! Implemented without `syn`/`quote` (neither is available offline) by
+//! walking the raw token stream. Supported shapes — the only ones this
+//! workspace derives on:
+//!
+//! * structs with named fields → `Value::Object`;
+//! * tuple structs → `Value::Array`;
+//! * enums (any payload) → `Value::Str(variant_name)`.
+//!
+//! Generic types are rejected with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stand-in's `to_value` lowering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => serialize_impl(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Number of tuple-struct fields.
+    Tuple(usize),
+    /// Variant names with their payload delimiter (if any).
+    Enum(Vec<(String, Option<Delimiter>)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive on generic type `{name}`"));
+    }
+    // Tuple struct: a parenthesized field list before any brace.
+    if kind == "struct" {
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let n = count_top_level_fields(g.stream());
+                return Ok(Item {
+                    name,
+                    shape: Shape::Tuple(n),
+                });
+            }
+        }
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("no body found for `{name}`"))?;
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body)?)
+    } else {
+        Shape::Enum(parse_variants(body)?)
+    };
+    Ok(Item { name, shape })
+}
+
+/// Advances past leading attributes and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts comma-separated entries at the top nesting level.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut n = 0;
+    let mut saw_any = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => n += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        n + 1
+    } else {
+        n
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        // Skip the `: Type` tail up to the next top-level comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Option<Delimiter>)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Parenthesis | Delimiter::Brace) =>
+            {
+                Some(g.delimiter())
+            }
+            _ => None,
+        };
+        variants.push((name, payload));
+        // Skip payload / discriminant up to the next top-level comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    Ok(variants)
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, payload)| {
+                    let pat = match payload {
+                        Some(Delimiter::Parenthesis) => format!("{name}::{v}(..)"),
+                        Some(Delimiter::Brace) => format!("{name}::{v}{{..}}"),
+                        _ => format!("{name}::{v}"),
+                    };
+                    format!("{pat} => ::serde::Value::Str(::std::string::String::from({v:?}))")
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    \
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the `serde` stand-in's
+//! [`serde::Value`] tree.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The stand-in's lowering is infallible, so this
+/// is never produced, but the signatures mirror real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.len(), indent, depth, '[', ']', |out, i| {
+                write_value(out, &items[i], indent, depth + 1)
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(out, entries.len(), indent, depth, '{', '}', |out, i| {
+                let (k, val) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1)
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        item(out, i);
+    }
+    newline_indent(out, indent, depth);
+    out.push(close);
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+/// JSON has no NaN/infinity; mirror real `serde_json`'s arbitrary-value
+/// behavior by printing `null` for them.
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // Ensure floats re-read as floats.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_objects() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(-3)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":-3,"b":[true,null],"c":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": -3"), "{pretty}");
+    }
+
+    #[test]
+    fn floats_round_trip_as_floats() {
+        assert_eq!(to_string(&Value::Float(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&Value::Float(2.5)).unwrap(), "2.5");
+        assert_eq!(to_string(&Value::Float(f64::NAN)).unwrap(), "null");
+    }
+}
