@@ -72,7 +72,7 @@ fn bench_assignment(c: &mut Criterion) {
     c.bench_function("route/assign_routes_16nets_congested", |bench| {
         bench.iter(|| {
             let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
-            black_box(assign_routes(&graph, &alternatives, &mut rng))
+            black_box(assign_routes(&graph, &alternatives, &mut rng).expect("fresh routes"))
         })
     });
 }

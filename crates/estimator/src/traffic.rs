@@ -27,7 +27,9 @@ pub fn estimate_total_interconnect_length(nl: &Netlist, w: f64, h: f64, gamma: f
         .iter()
         .map(|net| {
             let n = net.degree() as f64;
-            let frac = (n - 1.0) / (n + 1.0);
+            // Degenerate nets (degree < 2) span nothing; clamp so a
+            // zero-pin net cannot contribute a negative length.
+            let frac = ((n - 1.0) / (n + 1.0)).max(0.0);
             gamma * frac * (w * net.weight_h + h * net.weight_v)
         })
         .sum()

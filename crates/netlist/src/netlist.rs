@@ -33,8 +33,6 @@ pub enum NetlistError {
     },
     /// A pin was connected to more than one net.
     PinOnMultipleNets(String),
-    /// A net has fewer than two connection points.
-    NetTooSmall(String),
     /// A site/group placement was used on a macro cell.
     UncommittedPinOnMacro(String, String),
     /// A group member belongs to a different cell than the group.
@@ -63,7 +61,6 @@ impl core::fmt::Display for NetlistError {
                 "pin `{pin}` of cell `{cell}` lies outside instance {instance} geometry"
             ),
             PinOnMultipleNets(p) => write!(f, "pin `{p}` is connected to more than one net"),
-            NetTooSmall(n) => write!(f, "net `{n}` has fewer than two connection points"),
             UncommittedPinOnMacro(c, p) => write!(
                 f,
                 "pin `{p}` on macro cell `{c}` must have a fixed position"
@@ -582,12 +579,11 @@ impl NetlistBuilder {
                 }
             }
         }
-        // Nets have at least 2 connection points.
-        for n in &self.nets {
-            if n.degree() < 2 {
-                return Err(NetlistError::NetTooSmall(n.name.clone()));
-            }
-        }
+        // Degenerate nets (fewer than two connection points) are
+        // permitted: they span nothing, contribute zero cost, and appear
+        // in real imports (the text format allows `net NAME :`; YAL
+        // filters supply signals down to nothing). The placement and
+        // routing layers skip them.
         Ok(Netlist {
             cells: self.cells,
             pins: self.pins,
@@ -658,15 +654,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_tiny_net() {
+    fn degenerate_nets_are_permitted() {
+        // Single-pin and zero-pin nets import and span nothing; the cost
+        // layers skip them (they appear in real netlists after supply
+        // filtering).
         let mut b = NetlistBuilder::new();
         let a = b.add_macro("a", TileSet::rect(4, 4));
         let p = b.add_fixed_pin(a, "p", Point::new(0, 0)).unwrap();
         b.add_simple_net("n", &[p]).unwrap();
-        assert_eq!(
-            b.build().unwrap_err(),
-            NetlistError::NetTooSmall("n".into())
-        );
+        b.add_net("empty", Vec::new(), 1.0, 1.0).unwrap();
+        let nl = b.build().unwrap();
+        assert_eq!(nl.net_by_name("n").unwrap().degree(), 1);
+        assert_eq!(nl.net_by_name("empty").unwrap().degree(), 0);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Uniform bin-grid spatial index over expanded cell bounding boxes.
+//!
+//! `PlacementState::group_overlap` is the stage-1 hot path: it runs twice
+//! per `generate` attempt, millions of times per run. A full scan over
+//! all `N` cells per query (the obvious implementation) makes every move
+//! O(N); the TimberWolf lineage instead keeps cells binned by position so
+//! an overlap query touches only bin-neighbors. This module is that
+//! index: each cell is registered in every bin its *expanded* bounding
+//! box (placed bbox grown by the per-side interconnect expansions)
+//! intersects, and a query returns the cells sharing a bin with it.
+//!
+//! Exactness: expanded tiles are subsets of the expanded bounding box, so
+//! any pair with nonzero `O(i,j)` has intersecting expanded bboxes. Bin
+//! coordinates are a monotone (clamped) function of geometry coordinates,
+//! so intersecting bboxes always share at least one bin — the candidate
+//! set is a superset of the overlapping set, and the i64 overlap sum over
+//! it equals the full-scan sum term for term. Cells straying outside the
+//! binned region (the core, which displacement targets are clamped to)
+//! land in the border bins, preserving the superset property.
+
+use twmc_geom::{Point, Rect};
+
+/// Sentinel range meaning "not currently inserted" (`lo > hi`).
+const EMPTY: (u32, u32, u32, u32) = (1, 0, 1, 0);
+
+/// The bin grid: cell ids bucketed by expanded-bbox coverage.
+#[derive(Debug, Clone)]
+pub(crate) struct BinGrid {
+    origin: Point,
+    bin_w: i64,
+    bin_h: i64,
+    nx: u32,
+    ny: u32,
+    bins: Vec<Vec<u32>>,
+    /// Per-cell inclusive bin range `(bx0, bx1, by0, by1)` it occupies.
+    ranges: Vec<(u32, u32, u32, u32)>,
+}
+
+impl BinGrid {
+    /// Builds the grid over `area` with bins sized near `target_bin`
+    /// (typically the mean cell dimension, so a cell covers a handful of
+    /// bins), and registers every rect of `rects`.
+    pub fn build(area: Rect, target_bin: i64, rects: &[Rect]) -> Self {
+        let n = rects.len().max(1);
+        // Cap the axis resolution so the bin count stays O(N) even when
+        // cells are tiny relative to the core.
+        let max_axis = ((4.0 * (n as f64).sqrt()).ceil() as i64).clamp(1, 512);
+        let t = target_bin.max(1);
+        let nx = (area.width() / t).clamp(1, max_axis) as u32;
+        let ny = (area.height() / t).clamp(1, max_axis) as u32;
+        let mut grid = BinGrid {
+            origin: area.lo(),
+            bin_w: (area.width() / nx as i64).max(1),
+            bin_h: (area.height() / ny as i64).max(1),
+            nx,
+            ny,
+            bins: vec![Vec::new(); (nx * ny) as usize],
+            ranges: vec![EMPTY; rects.len()],
+        };
+        for (i, &r) in rects.iter().enumerate() {
+            grid.insert(i, r);
+        }
+        grid
+    }
+
+    /// The inclusive bin range covered by `r`, clamped to the grid.
+    fn range_for(&self, r: Rect) -> (u32, u32, u32, u32) {
+        let bx = |x: i64| {
+            ((x - self.origin.x).div_euclid(self.bin_w)).clamp(0, self.nx as i64 - 1) as u32
+        };
+        let by = |y: i64| {
+            ((y - self.origin.y).div_euclid(self.bin_h)).clamp(0, self.ny as i64 - 1) as u32
+        };
+        (bx(r.lo().x), bx(r.hi().x), by(r.lo().y), by(r.hi().y))
+    }
+
+    #[inline]
+    fn bin(&self, bx: u32, by: u32) -> usize {
+        (by * self.nx + bx) as usize
+    }
+
+    fn insert(&mut self, cell: usize, r: Rect) {
+        let (bx0, bx1, by0, by1) = self.range_for(r);
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                let b = self.bin(bx, by);
+                self.bins[b].push(cell as u32);
+            }
+        }
+        self.ranges[cell] = (bx0, bx1, by0, by1);
+    }
+
+    fn remove(&mut self, cell: usize) {
+        let (bx0, bx1, by0, by1) = self.ranges[cell];
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                let b = self.bin(bx, by);
+                let id = cell as u32;
+                let pos = self.bins[b]
+                    .iter()
+                    .position(|&c| c == id)
+                    .expect("indexed cell present in its bins");
+                self.bins[b].swap_remove(pos);
+            }
+        }
+        self.ranges[cell] = EMPTY;
+    }
+
+    /// Re-registers `cell` under its new expanded bbox.
+    pub fn update(&mut self, cell: usize, r: Rect) {
+        if self.range_for(r) == self.ranges[cell] {
+            return;
+        }
+        self.remove(cell);
+        self.insert(cell, r);
+    }
+
+    /// Drops and re-registers everything (wholesale state replacement).
+    pub fn rebuild(&mut self, rects: &[Rect]) {
+        for b in &mut self.bins {
+            b.clear();
+        }
+        self.ranges.clear();
+        self.ranges.resize(rects.len(), EMPTY);
+        for (i, &r) in rects.iter().enumerate() {
+            self.insert(i, r);
+        }
+    }
+
+    /// Appends every cell sharing a bin with `cell` (may contain
+    /// duplicates and `cell` itself; the caller dedups).
+    pub fn candidates(&self, cell: usize, out: &mut Vec<u32>) {
+        let (bx0, bx1, by0, by1) = self.ranges[cell];
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                out.extend_from_slice(&self.bins[self.bin(bx, by)]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> BinGrid {
+        let rects = vec![
+            Rect::from_wh(0, 0, 10, 10),
+            Rect::from_wh(5, 5, 10, 10),
+            Rect::from_wh(80, 80, 10, 10),
+        ];
+        BinGrid::build(Rect::from_wh(0, 0, 100, 100), 10, &rects)
+    }
+
+    fn neighbors(g: &BinGrid, cell: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        g.candidates(cell, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&c| c as usize != cell);
+        out
+    }
+
+    #[test]
+    fn overlapping_rects_are_neighbors() {
+        let g = grid();
+        assert!(neighbors(&g, 0).contains(&1));
+        assert!(neighbors(&g, 1).contains(&0));
+        assert!(!neighbors(&g, 0).contains(&2));
+    }
+
+    #[test]
+    fn update_moves_between_bins() {
+        let mut g = grid();
+        g.update(2, Rect::from_wh(8, 8, 10, 10));
+        assert!(neighbors(&g, 0).contains(&2));
+        g.update(2, Rect::from_wh(80, 80, 10, 10));
+        assert!(!neighbors(&g, 0).contains(&2));
+    }
+
+    #[test]
+    fn out_of_area_rects_clamp_to_border_bins() {
+        let mut g = grid();
+        // An interior rect far from the escape corner.
+        g.update(2, Rect::from_wh(40, 40, 10, 10));
+        // Two rects far beyond the same corner still see each other.
+        g.update(0, Rect::from_wh(500, 500, 10, 10));
+        g.update(1, Rect::from_wh(505, 505, 10, 10));
+        assert!(neighbors(&g, 0).contains(&1));
+        assert!(!neighbors(&g, 0).contains(&2));
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let mut g = grid();
+        let rects = vec![
+            Rect::from_wh(50, 50, 10, 10),
+            Rect::from_wh(55, 55, 10, 10),
+            Rect::from_wh(0, 0, 10, 10),
+        ];
+        g.rebuild(&rects);
+        assert_eq!(neighbors(&g, 0), vec![1]);
+        assert!(neighbors(&g, 2).is_empty());
+    }
+}

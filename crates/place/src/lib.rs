@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 mod displacement;
+mod index;
 mod legalize;
 mod moves;
 mod params;

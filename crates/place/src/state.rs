@@ -19,6 +19,7 @@ use twmc_estimator::{Estimator, PinDensityFactors};
 use twmc_geom::{Orientation, Point, Rect, Side, Span, TileSet};
 use twmc_netlist::{flexible_dims, CellGeometry, NetId, Netlist, PinPlacement};
 
+use crate::index::BinGrid;
 use crate::{SiteLayout, SiteRef};
 
 /// Placement data of one cell.
@@ -78,6 +79,7 @@ pub struct PlacementSnapshot {
     pin_pos: Vec<Point>,
     pin_site: Vec<Option<SiteRef>>,
     net_cost: Vec<f64>,
+    net_span: Vec<Option<(Span, Span)>>,
     total_c1: f64,
     total_overlap: i64,
     total_c3: f64,
@@ -113,6 +115,15 @@ pub struct PlacementState<'a> {
     pin_slot: Vec<usize>,
     nets_of_cell: Vec<Vec<NetId>>,
     net_cost: Vec<f64>,
+    /// Cached per-net bounding spans over primary pins, updated
+    /// incrementally as pins move (`None` for degenerate zero-pin nets).
+    net_span: Vec<Option<(Span, Span)>>,
+    /// Whether each pin is the primary member of its net's connection
+    /// point (only primaries enter the `C₁` spans).
+    pin_primary: Vec<bool>,
+    /// Bin-grid spatial index over expanded cell bboxes — the
+    /// `group_overlap` candidate pruner.
+    index: BinGrid,
     total_c1: f64,
     total_overlap: i64,
     total_c3: f64,
@@ -145,6 +156,12 @@ impl<'a> PlacementState<'a> {
             }
         }
         let nets_of_cell = nl.cells().iter().map(|c| nl.nets_of_cell(c.id())).collect();
+        let mut pin_primary = vec![false; n_pins];
+        for net in nl.nets() {
+            for pid in net.primary_pins() {
+                pin_primary[pid.index()] = true;
+            }
+        }
 
         let mut fixed_frac = vec![None; n_pins];
         let mut cells = Vec::with_capacity(nl.cells().len());
@@ -186,6 +203,15 @@ impl<'a> PlacementState<'a> {
             });
         }
 
+        // Bin the core with bins near the mean cell dimension, so a cell
+        // typically covers a handful of bins and an overlap query visits
+        // only its immediate neighborhood.
+        let mean_dim = (cells.iter().map(|c| c.dims.0.max(c.dims.1)).sum::<i64>()
+            / cells.len().max(1) as i64)
+            .max(1);
+        let rects: Vec<Rect> = cells.iter().map(|c| c.placed_bbox()).collect();
+        let index = BinGrid::build(estimator.core(), mean_dim, &rects);
+
         let mut state = PlacementState {
             nl,
             estimator,
@@ -197,6 +223,9 @@ impl<'a> PlacementState<'a> {
             pin_slot,
             nets_of_cell,
             net_cost: vec![0.0; nl.nets().len()],
+            net_span: vec![None; nl.nets().len()],
+            pin_primary,
+            index,
             total_c1: 0.0,
             total_overlap: 0,
             total_c3: 0.0,
@@ -358,8 +387,8 @@ impl<'a> PlacementState<'a> {
             .nets()
             .iter()
             .map(|n| {
-                let (xs, ys) = self.net_spans(n.id().index());
-                (xs.len() + ys.len()) as f64
+                self.net_spans(n.id().index())
+                    .map_or(0.0, |(xs, ys)| (xs.len() + ys.len()) as f64)
             })
             .sum()
     }
@@ -384,6 +413,7 @@ impl<'a> PlacementState<'a> {
             pin_pos: self.pin_pos.clone(),
             pin_site: self.pin_site.clone(),
             net_cost: self.net_cost.clone(),
+            net_span: self.net_span.clone(),
             total_c1: self.total_c1,
             total_overlap: self.total_overlap,
             total_c3: self.total_c3,
@@ -411,11 +441,17 @@ impl<'a> PlacementState<'a> {
         self.pin_pos.clone_from(&snap.pin_pos);
         self.pin_site.clone_from(&snap.pin_site);
         self.net_cost.clone_from(&snap.net_cost);
+        self.net_span.clone_from(&snap.net_span);
         self.total_c1 = snap.total_c1;
         self.total_overlap = snap.total_overlap;
         self.total_c3 = snap.total_c3;
         self.p2 = snap.p2;
         self.static_expansions.clone_from(&snap.static_expansions);
+        // The cells were replaced wholesale: re-register them.
+        let rects: Vec<Rect> = (0..self.cells.len())
+            .map(|i| self.expanded_bbox(i))
+            .collect();
+        self.index.rebuild(&rects);
     }
 
     /// Bounding box including the interconnect expansions — the effective
@@ -527,15 +563,27 @@ impl<'a> PlacementState<'a> {
     pub fn refresh_expansions(&mut self, i: usize) {
         if let Some(fixed) = &self.static_expansions {
             self.cells[i].expansions = fixed[i];
-            return;
+        } else {
+            let bbox = self.cells[i].placed_bbox();
+            let o = self.cells[i].orientation;
+            let d = &self.density[i];
+            let exp = self
+                .estimator
+                .side_expansions(bbox, |side| d.factor_oriented(o, side));
+            self.cells[i].expansions = exp;
         }
-        let bbox = self.cells[i].placed_bbox();
-        let o = self.cells[i].orientation;
-        let d = &self.density[i];
-        let exp = self
-            .estimator
-            .side_expansions(bbox, |side| d.factor_oriented(o, side));
-        self.cells[i].expansions = exp;
+        // Geometry (position, shape, or expansions) may have changed:
+        // keep the spatial index in sync.
+        self.index.update(i, self.expanded_bbox(i));
+    }
+
+    /// A cell's placed bounding box grown by its per-side expansions —
+    /// the footprint the overlap term and the spatial index work on.
+    #[inline]
+    fn expanded_bbox(&self, i: usize) -> Rect {
+        let c = &self.cells[i];
+        let (l, r, b, t) = c.expansions;
+        c.placed_bbox().expand_sides(l, r, b, t)
     }
 
     /// Freezes per-cell expansions to the given values (stage-2 mode) and
@@ -609,33 +657,80 @@ impl<'a> PlacementState<'a> {
                 .position(site),
             (_, None) => Point::ORIGIN, // unconnected uncommitted pin on a macro never occurs
         };
-        self.pin_pos[pin] = o.apply(local, w, h) + at;
+        let new_pos = o.apply(local, w, h) + at;
+        let old_pos = self.pin_pos[pin];
+        if new_pos == old_pos {
+            return;
+        }
+        self.pin_pos[pin] = new_pos;
+        if self.pin_primary[pin] {
+            if let Some(net) = self.nl.pins()[pin].net {
+                self.update_net_span(net.index(), old_pos, new_pos);
+            }
+        }
+    }
+
+    /// Incrementally maintains one net's cached span after a primary pin
+    /// moved from `old` to `new` (the pin position is already updated).
+    ///
+    /// When the departing position sat strictly inside the hull, the
+    /// remaining pins still realize both extremes on each axis, so the
+    /// new hull is exactly `hull(old span, new point)`. Only when it sat
+    /// *on* the hull can the span shrink, and then the net is rescanned.
+    fn update_net_span(&mut self, net: usize, old: Point, new: Point) {
+        let Some((xs, ys)) = self.net_span[net] else {
+            // `None` means either a degenerate zero-pin net (no pins can
+            // move) or a not-yet-built cache during initialization; the
+            // closing `rebuild_all` computes it from scratch.
+            return;
+        };
+        if old.x == xs.lo() || old.x == xs.hi() || old.y == ys.lo() || old.y == ys.hi() {
+            self.net_span[net] = self.net_spans_scratch(net);
+        } else {
+            self.net_span[net] = Some((
+                xs.hull(Span::new(new.x, new.x)),
+                ys.hull(Span::new(new.y, new.y)),
+            ));
+        }
     }
 
     // --- cost machinery ---------------------------------------------------
 
-    /// The spans of a net over its primary pins.
-    pub fn net_spans(&self, net: usize) -> (Span, Span) {
-        let mut xs: Option<Span> = None;
-        let mut ys: Option<Span> = None;
-        for pid in self.nl.nets()[net].primary_pins() {
-            let p = self.pin_pos[pid.index()];
-            xs = Some(match xs {
-                Some(s) => s.hull(Span::new(p.x, p.x)),
-                None => Span::new(p.x, p.x),
-            });
-            ys = Some(match ys {
-                Some(s) => s.hull(Span::new(p.y, p.y)),
-                None => Span::new(p.y, p.y),
-            });
-        }
-        (xs.expect("nets have pins"), ys.expect("nets have pins"))
+    /// The cached spans of a net over its primary pins, or `None` for a
+    /// degenerate net with no primary pins (such nets contribute zero to
+    /// `C₁` and are importable from the text netlist format).
+    #[inline]
+    pub fn net_spans(&self, net: usize) -> Option<(Span, Span)> {
+        debug_assert_eq!(
+            self.net_span[net],
+            self.net_spans_scratch(net),
+            "net span cache drifted from pin positions (net {net})"
+        );
+        self.net_span[net]
     }
 
-    /// One net's `C₁` contribution: `x(n)·h(n) + y(n)·v(n)`.
+    /// From-scratch spans of a net — the ground truth the cache must
+    /// match; used for hull-shrink recomputation and drift checks.
+    fn net_spans_scratch(&self, net: usize) -> Option<(Span, Span)> {
+        let mut spans: Option<(Span, Span)> = None;
+        for pid in self.nl.nets()[net].primary_pins() {
+            let p = self.pin_pos[pid.index()];
+            let (px, py) = (Span::new(p.x, p.x), Span::new(p.y, p.y));
+            spans = Some(match spans {
+                Some((xs, ys)) => (xs.hull(px), ys.hull(py)),
+                None => (px, py),
+            });
+        }
+        spans
+    }
+
+    /// One net's `C₁` contribution: `x(n)·h(n) + y(n)·v(n)` (zero for
+    /// degenerate pin-less nets).
     pub fn net_cost_live(&self, net: usize) -> f64 {
+        let Some((xs, ys)) = self.net_spans(net) else {
+            return 0.0;
+        };
         let n = &self.nl.nets()[net];
-        let (xs, ys) = self.net_spans(net);
         xs.len() as f64 * n.weight_h + ys.len() as f64 * n.weight_v
     }
 
@@ -667,14 +762,52 @@ impl<'a> PlacementState<'a> {
     /// Overlap area attributable to a set of cells: each involved cell
     /// against every outside cell, plus pairwise overlaps among the
     /// involved counted once, plus boundary overlaps.
+    ///
+    /// Queries the bin-grid spatial index, so only cells whose expanded
+    /// bboxes share a bin with an involved cell are examined — cells in
+    /// disjoint bins cannot overlap, and skipping their zero terms leaves
+    /// the `i64` sum identical to [`PlacementState::group_overlap_scan`].
     pub fn group_overlap(&self, involved: &[usize]) -> i64 {
+        let mut total = 0;
+        let mut cand: Vec<u32> = Vec::new();
+        for (k, &i) in involved.iter().enumerate() {
+            cand.clear();
+            self.index.candidates(i, &mut cand);
+            cand.sort_unstable();
+            cand.dedup();
+            for &jc in &cand {
+                let j = jc as usize;
+                if j == i {
+                    continue;
+                }
+                // Among involved, count each unordered pair once.
+                if let Some(kj) = involved.iter().position(|&x| x == j) {
+                    if kj < k {
+                        continue;
+                    }
+                }
+                total += self.pair_overlap(i, j);
+            }
+            total += self.boundary_overlap(i);
+        }
+        debug_assert_eq!(
+            total,
+            self.group_overlap_scan(involved),
+            "spatial index missed an overlapping pair"
+        );
+        total
+    }
+
+    /// Reference implementation of [`PlacementState::group_overlap`]
+    /// scanning every cell — the ground truth for drift checks and the
+    /// before/after yardstick of the kernel benchmarks.
+    pub fn group_overlap_scan(&self, involved: &[usize]) -> i64 {
         let mut total = 0;
         for (k, &i) in involved.iter().enumerate() {
             for j in 0..self.cells.len() {
                 if j == i {
                     continue;
                 }
-                // Among involved, count each unordered pair once.
                 if let Some(kj) = involved.iter().position(|&x| x == j) {
                     if kj < k {
                         continue;
@@ -717,6 +850,25 @@ impl<'a> PlacementState<'a> {
         }
     }
 
+    /// Reference implementation of [`PlacementState::move_cost`] without
+    /// the spatial index or the span cache — every touched net is
+    /// rescanned pin by pin and every cell examined for overlap. Kept as
+    /// the before/after yardstick of the kernel benchmarks.
+    pub fn move_cost_scan(&self, involved: &[usize], nets: &[NetId]) -> MoveCost {
+        let net_cost = |net: usize| -> f64 {
+            let Some((xs, ys)) = self.net_spans_scratch(net) else {
+                return 0.0;
+            };
+            let n = &self.nl.nets()[net];
+            xs.len() as f64 * n.weight_h + ys.len() as f64 * n.weight_v
+        };
+        MoveCost {
+            c1: nets.iter().map(|n| net_cost(n.index())).sum(),
+            overlap: self.group_overlap_scan(involved),
+            c3: self.cells_c3(involved),
+        }
+    }
+
     /// The weighted cost delta between two [`MoveCost`] evaluations.
     pub fn weighted_delta(&self, before: MoveCost, after: MoveCost) -> f64 {
         (after.c1 - before.c1)
@@ -741,6 +893,9 @@ impl<'a> PlacementState<'a> {
         for i in 0..self.cells.len() {
             self.refresh_expansions(i);
             self.refresh_pins(i);
+        }
+        for n in 0..self.net_span.len() {
+            self.net_span[n] = self.net_spans_scratch(n);
         }
         let (c1, ov, c3) = self.recompute_totals();
         self.total_c1 = c1;

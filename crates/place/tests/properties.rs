@@ -9,7 +9,9 @@ use rand::SeedableRng;
 use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams};
 use twmc_geom::{Orientation, Point};
 use twmc_netlist::{synthesize, Netlist, PinPlacement, SynthParams};
-use twmc_place::{legalize, separated, PlacementState, SiteRef};
+use twmc_place::{
+    generate, legalize, separated, MoveSet, MoveStats, PlaceParams, PlacementState, SiteRef,
+};
 
 fn circuit(seed: u64, custom: bool) -> Netlist {
     synthesize(&SynthParams {
@@ -134,6 +136,43 @@ proptest! {
         let (c1, ov, c3) = st.recompute_totals();
         prop_assert!((st.c1() - c1).abs() < 1e-6 * c1.max(1.0), "C1 {} vs {}", st.c1(), c1);
         prop_assert_eq!(st.raw_overlap(), ov, "overlap drifted");
+        prop_assert!((st.c3() - c3).abs() < 1e-6, "C3 {} vs {}", st.c3(), c3);
+    }
+
+    /// The generate cascade with *static* expansions installed (stage-2
+    /// mode: the refinement move set over frozen interconnect estimates)
+    /// must leave the cached (C1, overlap, C3) equal to a from-scratch
+    /// recomputation — the incremental engine may not drift.
+    #[test]
+    fn bookkeeping_survives_generates_with_static_expansions(
+        seed in 0u64..1000,
+        steps in 50usize..300,
+        margin in 0i64..6,
+    ) {
+        let nl = circuit(seed, true);
+        let mut st = state(&nl, seed ^ 0x51a);
+        let expansions = vec![(margin, margin, margin, margin); nl.cells().len()];
+        st.set_static_expansions(expansions);
+        let params = PlaceParams::default();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let mut stats = MoveStats::default();
+        for step in 0..steps {
+            let t = 1.0e5 * 0.97f64.powi(step as i32);
+            generate(
+                &mut st,
+                &params,
+                MoveSet::Refinement,
+                150.0,
+                150.0,
+                t,
+                &mut rng,
+                &mut stats,
+            );
+        }
+        prop_assert!(stats.attempts() >= steps);
+        let (c1, ov, c3) = st.recompute_totals();
+        prop_assert!((st.c1() - c1).abs() < 1e-6 * c1.max(1.0), "C1 {} vs {}", st.c1(), c1);
+        prop_assert_eq!(st.raw_overlap(), ov, "overlap drifted under static expansions");
         prop_assert!((st.c3() - c3).abs() < 1e-6, "C3 {} vs {}", st.c3(), c3);
     }
 

@@ -10,10 +10,38 @@
 //! with `ΔX ≤ 0`, accepting when `ΔX < 0`, or `ΔX = 0 ∧ ΔL ≤ 0`. This
 //! avoids the classical net-routing-order dependence problem.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::{ChannelGraph, RouteTree};
+
+/// A route tree references a node pair with no edge in the channel graph:
+/// the alternatives were enumerated against a different (since
+/// regenerated) graph. Re-enumerate against the current graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleRouteError {
+    /// The offending net (index into the alternatives).
+    pub net: usize,
+    /// The alternative whose tree is stale.
+    pub alternative: usize,
+    /// The node pair with no corresponding graph edge.
+    pub nodes: (usize, usize),
+}
+
+impl fmt::Display for StaleRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net {} alternative {} crosses nodes {}–{} with no edge in the \
+             channel graph (stale route from a regenerated graph?)",
+            self.net, self.alternative, self.nodes.0, self.nodes.1
+        )
+    }
+}
+
+impl std::error::Error for StaleRouteError {}
 
 /// The outcome of route selection.
 #[derive(Debug, Clone)]
@@ -30,18 +58,36 @@ pub struct Assignment {
     pub attempts: usize,
 }
 
-fn usage_of(graph: &ChannelGraph, alternatives: &[Vec<RouteTree>], choice: &[usize]) -> Vec<u32> {
+/// Resolves one tree segment to its graph edge, or the typed error.
+fn edge_of(
+    graph: &ChannelGraph,
+    net: usize,
+    alternative: usize,
+    a: usize,
+    b: usize,
+) -> Result<usize, StaleRouteError> {
+    graph.edge_between(a, b).ok_or(StaleRouteError {
+        net,
+        alternative,
+        nodes: (a.min(b), a.max(b)),
+    })
+}
+
+fn usage_of(
+    graph: &ChannelGraph,
+    alternatives: &[Vec<RouteTree>],
+    choice: &[usize],
+) -> Result<Vec<u32>, StaleRouteError> {
     let mut usage = vec![0u32; graph.edges.len()];
     for (net, &k) in choice.iter().enumerate() {
         if alternatives[net].is_empty() {
             continue;
         }
         for &(a, b) in &alternatives[net][k].edges {
-            let e = graph.edge_between(a, b).expect("routes follow graph edges");
-            usage[e] += 1;
+            usage[edge_of(graph, net, k, a, b)?] += 1;
         }
     }
-    usage
+    Ok(usage)
 }
 
 fn overflow_of(graph: &ChannelGraph, usage: &[u32]) -> i64 {
@@ -67,14 +113,20 @@ fn length_of(alternatives: &[Vec<RouteTree>], choice: &[usize]) -> i64 {
 /// produced by [`crate::enumerate_route_trees`]; empty lists (unroutable
 /// nets) are skipped. The stall bound is `M · N` new-state attempts
 /// without change, per the paper's stopping criterion.
+///
+/// # Errors
+///
+/// Returns [`StaleRouteError`] when any alternative crosses a node pair
+/// absent from `graph` — the trees were enumerated against a different
+/// (regenerated) channel graph.
 pub fn assign_routes(
     graph: &ChannelGraph,
     alternatives: &[Vec<RouteTree>],
     rng: &mut StdRng,
-) -> Assignment {
+) -> Result<Assignment, StaleRouteError> {
     let n_nets = alternatives.len();
     let mut choice = vec![0usize; n_nets];
-    let mut usage = usage_of(graph, alternatives, &choice);
+    let mut usage = usage_of(graph, alternatives, &choice)?;
     let mut x = overflow_of(graph, &usage);
     let mut l = length_of(alternatives, &choice);
     let m_max = alternatives.iter().map(|a| a.len()).max().unwrap_or(1);
@@ -113,20 +165,22 @@ pub fn assign_routes(
         };
         // Alternatives with ΔX <= 0.
         let cur = choice[net];
-        let candidates: Vec<(usize, i64, i64)> = (0..alternatives[net].len())
-            .filter(|&k| k != cur)
-            .map(|k| {
-                let (dx, dl) = delta(graph, alternatives, &usage, net, cur, k);
-                (k, dx, dl)
-            })
-            .filter(|&(_, dx, _)| dx <= 0)
-            .collect();
+        let mut candidates: Vec<(usize, i64, i64)> = Vec::new();
+        for k in 0..alternatives[net].len() {
+            if k == cur {
+                continue;
+            }
+            let (dx, dl) = delta(graph, alternatives, &usage, net, cur, k)?;
+            if dx <= 0 {
+                candidates.push((k, dx, dl));
+            }
+        }
         let Some(&(k, dx, dl)) = pick(&candidates, rng) else {
             continue;
         };
         let accept = dx < 0 || dl <= 0;
         if accept && (dx != 0 || dl != 0) {
-            apply(graph, alternatives, &mut usage, net, cur, k);
+            apply(graph, alternatives, &mut usage, net, cur, k)?;
             choice[net] = k;
             x += dx;
             l += dl;
@@ -136,13 +190,13 @@ pub fn assign_routes(
 
     debug_assert_eq!(x, overflow_of(graph, &usage));
     debug_assert_eq!(l, length_of(alternatives, &choice));
-    Assignment {
+    Ok(Assignment {
         choice,
         total_length: l,
         overflow: x,
         edge_usage: usage,
         attempts,
-    }
+    })
 }
 
 fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
@@ -161,19 +215,17 @@ fn delta(
     net: usize,
     cur: usize,
     k: usize,
-) -> (i64, i64) {
+) -> Result<(i64, i64), StaleRouteError> {
     let mut delta_x = 0i64;
     let over = |edge: usize, d: i64| -> i64 { (d - graph.edges[edge].capacity as i64).max(0) };
     // Removing the current tree then adding the new one; handle shared
     // edges by net change per edge.
     let mut per_edge: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
     for &(a, b) in &alternatives[net][cur].edges {
-        let e = graph.edge_between(a, b).expect("route edges exist");
-        *per_edge.entry(e).or_insert(0) -= 1;
+        *per_edge.entry(edge_of(graph, net, cur, a, b)?).or_insert(0) -= 1;
     }
     for &(a, b) in &alternatives[net][k].edges {
-        let e = graph.edge_between(a, b).expect("route edges exist");
-        *per_edge.entry(e).or_insert(0) += 1;
+        *per_edge.entry(edge_of(graph, net, k, a, b)?).or_insert(0) += 1;
     }
     for (&e, &change) in &per_edge {
         if change == 0 {
@@ -183,7 +235,7 @@ fn delta(
         delta_x += over(e, before + change) - over(e, before);
     }
     let delta_l = alternatives[net][k].length - alternatives[net][cur].length;
-    (delta_x, delta_l)
+    Ok((delta_x, delta_l))
 }
 
 fn apply(
@@ -193,15 +245,14 @@ fn apply(
     net: usize,
     cur: usize,
     k: usize,
-) {
+) -> Result<(), StaleRouteError> {
     for &(a, b) in &alternatives[net][cur].edges {
-        let e = graph.edge_between(a, b).expect("route edges exist");
-        usage[e] -= 1;
+        usage[edge_of(graph, net, cur, a, b)?] -= 1;
     }
     for &(a, b) in &alternatives[net][k].edges {
-        let e = graph.edge_between(a, b).expect("route edges exist");
-        usage[e] += 1;
+        usage[edge_of(graph, net, k, a, b)?] += 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -249,7 +300,7 @@ mod tests {
         let g = grid_graph();
         let alts = nets_for(&g, 3, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let a = assign_routes(&g, &alts, &mut rng);
+        let a = assign_routes(&g, &alts, &mut rng).expect("fresh routes");
         // Few nets on a capacious grid: no overflow and every net keeps
         // its k=1 (index 0) shortest route; the algorithm terminates
         // immediately.
@@ -268,7 +319,7 @@ mod tests {
         }
         let alts = nets_for(&tight, 12, 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let a = assign_routes(&tight, &alts, &mut rng);
+        let a = assign_routes(&tight, &alts, &mut rng).expect("fresh routes");
         let shortest_l: i64 = alts
             .iter()
             .filter(|a| !a.is_empty())
@@ -276,7 +327,7 @@ mod tests {
             .sum();
         // Either overflow is fully resolved (usually) or at least reduced
         // versus the all-shortest start.
-        let start_usage = usage_of(&tight, &alts, &vec![0; alts.len()]);
+        let start_usage = usage_of(&tight, &alts, &vec![0; alts.len()]).expect("fresh routes");
         let start_x = overflow_of(&tight, &start_usage);
         assert!(start_x > 0, "test premise: congestion exists");
         assert!(
@@ -287,7 +338,10 @@ mod tests {
         // Length can only grow relative to all-shortest.
         assert!(a.total_length >= shortest_l);
         // Bookkeeping consistent.
-        assert_eq!(a.edge_usage, usage_of(&tight, &alts, &a.choice));
+        assert_eq!(
+            a.edge_usage,
+            usage_of(&tight, &alts, &a.choice).expect("fresh routes")
+        );
     }
 
     #[test]
@@ -300,7 +354,9 @@ mod tests {
         let alts = nets_for(&tight, 10, 7);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            assign_routes(&tight, &alts, &mut rng).choice
+            assign_routes(&tight, &alts, &mut rng)
+                .expect("fresh routes")
+                .choice
         };
         assert_eq!(run(5), run(5));
     }
@@ -310,8 +366,29 @@ mod tests {
         let g = grid_graph();
         let alts = vec![Vec::new(), nets_for(&g, 1, 9).remove(0)];
         let mut rng = StdRng::seed_from_u64(1);
-        let a = assign_routes(&g, &alts, &mut rng);
+        let a = assign_routes(&g, &alts, &mut rng).expect("fresh routes");
         assert_eq!(a.overflow, 0);
         assert_eq!(a.choice.len(), 2);
+    }
+
+    #[test]
+    fn stale_route_is_a_typed_error() {
+        let g = grid_graph();
+        // A tree crossing a node pair with no edge: last–first node of a
+        // 3x3 grid's channel graph are far apart, so no edge joins them.
+        let (a, b) = (0, g.len() - 1);
+        assert!(g.edge_between(a, b).is_none(), "test premise: not adjacent");
+        let stale = RouteTree {
+            nodes: vec![a, b],
+            edges: vec![(a.min(b), a.max(b))],
+            length: 1,
+        };
+        let alts = vec![vec![stale]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = assign_routes(&g, &alts, &mut rng).expect_err("stale route must error");
+        assert_eq!(err.net, 0);
+        assert_eq!(err.alternative, 0);
+        assert_eq!(err.nodes, (a.min(b), a.max(b)));
+        assert!(err.to_string().contains("stale route"));
     }
 }

@@ -6,6 +6,8 @@
 //! capacities derive from the fixed separations of the channels they
 //! join (the constraint set of the phase-2 route selection, §4.2.2).
 
+use std::collections::HashMap;
+
 use twmc_geom::{Point, Rect};
 
 use crate::CriticalRegion;
@@ -43,6 +45,10 @@ pub struct ChannelGraph {
     /// Edges between adjacent regions.
     pub edges: Vec<GraphEdge>,
     adjacency: Vec<Vec<(usize, usize)>>,
+    /// Ordered node pair `(min, max)` → edge index, so the phase-2
+    /// interchange's inner loop resolves edges in O(1) instead of
+    /// scanning the adjacency list.
+    edge_index: HashMap<(usize, usize), usize>,
 }
 
 impl ChannelGraph {
@@ -81,14 +87,17 @@ impl ChannelGraph {
         }
 
         let mut adjacency = vec![Vec::new(); nodes.len()];
+        let mut edge_index = HashMap::with_capacity(edges.len());
         for (ei, e) in edges.iter().enumerate() {
             adjacency[e.a].push((e.b, ei));
             adjacency[e.b].push((e.a, ei));
+            edge_index.insert((e.a, e.b), ei);
         }
         ChannelGraph {
             nodes,
             edges,
             adjacency,
+            edge_index,
         }
     }
 
@@ -110,12 +119,10 @@ impl ChannelGraph {
         &self.adjacency[node]
     }
 
-    /// The edge index joining `a` and `b`, if adjacent.
+    /// The edge index joining `a` and `b`, if adjacent (O(1); also safe
+    /// on out-of-range node ids, which simply aren't adjacent).
     pub fn edge_between(&self, a: usize, b: usize) -> Option<usize> {
-        self.adjacency[a]
-            .iter()
-            .find(|&&(n, _)| n == b)
-            .map(|&(_, e)| e)
+        self.edge_index.get(&(a.min(b), a.max(b))).copied()
     }
 
     /// Attaches a pin at absolute position `p` to a channel node.

@@ -48,7 +48,7 @@ mod mpaths;
 mod router;
 mod steiner;
 
-pub use assign::{assign_routes, Assignment};
+pub use assign::{assign_routes, Assignment, StaleRouteError};
 pub use channel::{critical_regions, ChannelKind, CriticalRegion, EdgeRef, PlacedGeometry};
 pub use graph::{build_channel_graph, ChannelGraph, ChannelNode, GraphEdge};
 pub use mpaths::{dijkstra, k_shortest_from_set, k_shortest_paths, Path};

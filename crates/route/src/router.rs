@@ -169,7 +169,8 @@ pub fn global_route(
         net_points.push(points);
     }
 
-    let assignment = assign_routes(&graph, &alternatives, &mut rng);
+    let assignment = assign_routes(&graph, &alternatives, &mut rng)
+        .expect("alternatives enumerated on this graph");
 
     // Node densities: distinct nets through each node; chosen pin
     // attachments per connection point.

@@ -203,7 +203,7 @@ proptest! {
             .zip(&tight.edges)
             .map(|(&d, e)| (d as i64 - e.capacity as i64).max(0))
             .sum();
-        let a = assign_routes(&tight, &alternatives, &mut rng);
+        let a = assign_routes(&tight, &alternatives, &mut rng).expect("fresh routes");
         // Phase 2 only accepts ΔX <= 0 moves: overflow never grows.
         prop_assert!(a.overflow <= start_x, "{} > {start_x}", a.overflow);
         // Choice indices are valid.

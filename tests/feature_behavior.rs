@@ -53,7 +53,7 @@ fn sum_spans(state: &PlacementState<'_>, nets: usize) -> (f64, f64) {
     let mut sx = 0.0;
     let mut sy = 0.0;
     for n in 0..nets {
-        let (xs, ys) = state.net_spans(n);
+        let (xs, ys) = state.net_spans(n).expect("nets have pins");
         sx += xs.len() as f64;
         sy += ys.len() as f64;
     }
