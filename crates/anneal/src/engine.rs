@@ -9,6 +9,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use twmc_obs::{AnnealTemp, Event, NullRecorder, Recorder};
+
 use crate::{CoolingSchedule, RangeLimiter};
 
 /// Per-temperature context handed to the state on every proposal.
@@ -202,6 +204,18 @@ pub fn anneal<S: AnnealState>(
     state: &mut S,
     rng: &mut StdRng,
 ) -> AnnealStats {
+    anneal_with(config, state, rng, &mut NullRecorder)
+}
+
+/// [`anneal`] with telemetry: emits one [`AnnealTemp`] event per
+/// temperature step. Recording never touches the RNG, so results are
+/// bit-identical to the unrecorded run.
+pub fn anneal_with<S: AnnealState>(
+    config: &AnnealConfig,
+    state: &mut S,
+    rng: &mut StdRng,
+    rec: &mut dyn Recorder,
+) -> AnnealStats {
     let mut stats = AnnealStats::default();
     let mut t = config.t_start;
     let inner = config.inner_iterations();
@@ -220,6 +234,19 @@ pub fn anneal<S: AnnealState>(
         let cost_after = step_stats.cost_after;
         stats.total_attempts += step_stats.attempts;
         stats.total_accepts += step_stats.accepts;
+        if rec.enabled() {
+            rec.record(&Event::AnnealTemp(AnnealTemp {
+                step,
+                temperature: ctx.temperature,
+                s_t: ctx.s_t,
+                window_x: ctx.window_x,
+                window_y: ctx.window_y,
+                inner,
+                attempts: step_stats.attempts,
+                accepts: step_stats.accepts,
+                cost: cost_after,
+            }));
+        }
         stats.steps.push(step_stats);
 
         // Stopping criteria (evaluated after the inner loop, per §3.3).
@@ -372,6 +399,34 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let stats = anneal(&cfg, &mut state, &mut rng);
         assert!(stats.steps.len() < MAX_TEMPERATURE_STEPS);
+    }
+
+    #[test]
+    fn telemetry_matches_stats_and_leaves_results_unchanged() {
+        let mut rec = twmc_obs::SummaryRecorder::new();
+        let mut recorded = Quadratic::new(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let stats = anneal_with(&config(), &mut recorded, &mut rng, &mut rec);
+
+        let mut plain = Quadratic::new(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let baseline = anneal(&config(), &mut plain, &mut rng);
+        assert_eq!(
+            stats.final_cost, baseline.final_cost,
+            "recording perturbed the run"
+        );
+
+        assert_eq!(rec.count("anneal_temp"), stats.steps.len());
+        for (ev, step) in rec.events().iter().zip(&stats.steps) {
+            let twmc_obs::Event::AnnealTemp(t) = ev else {
+                panic!("unexpected event {ev:?}")
+            };
+            assert_eq!(t.temperature, step.temperature);
+            assert_eq!(t.attempts, step.attempts);
+            assert_eq!(t.accepts, step.accepts);
+            assert_eq!(t.cost, step.cost_after);
+            assert_eq!(t.inner, config().inner_iterations());
+        }
     }
 
     #[test]

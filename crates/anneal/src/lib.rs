@@ -34,7 +34,7 @@ mod range_limiter;
 mod schedule;
 
 pub use engine::{
-    anneal, anneal_inner_loop, AnnealConfig, AnnealContext, AnnealState, AnnealStats,
+    anneal, anneal_inner_loop, anneal_with, AnnealConfig, AnnealContext, AnnealState, AnnealStats,
     StoppingCriterion, TemperatureStats,
 };
 pub use parallel::{derive_seed, swap_probability, temperature_rungs};

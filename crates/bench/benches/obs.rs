@@ -1,0 +1,171 @@
+//! Overhead bench of the telemetry layer (`twmc-obs`).
+//!
+//! Two claims back the "bounded overhead" design (DESIGN.md §8), both
+//! checked here and summarized in `BENCH_obs.json` at the workspace
+//! root on a measurement run (`cargo bench`):
+//!
+//! 1. **Bit-identical results.** Recording never touches an RNG stream,
+//!    so `place_stage1_with` produces exactly the same placement as
+//!    `place_stage1` for any recorder — verified by comparing the full
+//!    per-temperature cost history of a disabled run against a run
+//!    streaming JSONL into a memory sink.
+//! 2. **Bounded cost.** Events are emitted per *temperature step*, never
+//!    per move, so even the fully enabled JSONL path adds well under 2%
+//!    per move; the disabled (`NullRecorder`) path is one always-false
+//!    branch per temperature step.
+
+use criterion::{criterion_group, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+
+use twmc_anneal::CoolingSchedule;
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::{synthesize, Netlist, SynthParams};
+use twmc_obs::{JsonlRecorder, NullRecorder, Recorder};
+use twmc_place::{place_stage1_with, PlaceParams, Stage1Result};
+
+fn circuit(cells: usize) -> Netlist {
+    synthesize(&SynthParams {
+        cells,
+        nets: cells * 3,
+        pins: cells * 12,
+        custom_fraction: 0.2,
+        seed: 11,
+        avg_cell_dim: 24,
+        ..Default::default()
+    })
+}
+
+fn params(ac: usize) -> PlaceParams {
+    PlaceParams {
+        attempts_per_cell: ac,
+        normalization_samples: 8,
+        ..Default::default()
+    }
+}
+
+/// A full stage-1 run against the given recorder, timed.
+fn timed_run(nl: &Netlist, pp: &PlaceParams, rec: &mut dyn Recorder) -> (Stage1Result, f64) {
+    let t0 = std::time::Instant::now();
+    let (_, result) = place_stage1_with(
+        nl,
+        pp,
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        42,
+        rec,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    (result, secs)
+}
+
+fn identical(a: &Stage1Result, b: &Stage1Result) -> bool {
+    a.teil == b.teil
+        && a.history.len() == b.history.len()
+        && a.history
+            .iter()
+            .zip(&b.history)
+            .all(|(x, y)| x.cost == y.cost && x.attempts == y.attempts && x.accepts == y.accepts)
+        && a.moves == b.moves
+}
+
+#[derive(Serialize)]
+struct ObsRow {
+    cells: usize,
+    moves: usize,
+    events: usize,
+    jsonl_bytes: usize,
+    disabled_ns_per_move: f64,
+    jsonl_ns_per_move: f64,
+    /// Extra per-move cost of the fully enabled JSONL path over the
+    /// disabled path, in percent. The acceptance bar is < 2%.
+    overhead_pct: f64,
+    /// Whether the recorded run reproduced the disabled run bit for bit
+    /// (final TEIL, per-step costs/attempts/accepts, move counters).
+    bit_identical: bool,
+}
+
+/// Disabled-vs-JSONL sweep, dumped as `BENCH_obs.json`.
+fn obs_summary(test_mode: bool) {
+    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 3) };
+    let nl = circuit(cells);
+    let pp = params(ac);
+
+    // Correctness: the recorded run must reproduce the disabled run.
+    let (reference, _) = timed_run(&nl, &pp, &mut NullRecorder);
+    let mut jsonl = JsonlRecorder::new(Vec::new());
+    let (recorded, _) = timed_run(&nl, &pp, &mut jsonl);
+    let events = jsonl.events();
+    let jsonl_bytes = jsonl.finish().expect("memory sink").len();
+    let bit_identical = identical(&reference, &recorded);
+
+    // Timing: best of `trials` for each path (the minimum is the least
+    // noise-contaminated estimate of the true cost).
+    let moves = reference.moves.attempts();
+    let mut disabled_best = f64::INFINITY;
+    let mut jsonl_best = f64::INFINITY;
+    for _ in 0..trials {
+        let (_, secs) = timed_run(&nl, &pp, &mut NullRecorder);
+        disabled_best = disabled_best.min(secs);
+        let mut rec = JsonlRecorder::new(Vec::new());
+        let (_, secs) = timed_run(&nl, &pp, &mut rec);
+        black_box(rec.finish().expect("memory sink"));
+        jsonl_best = jsonl_best.min(secs);
+    }
+    let disabled_ns = disabled_best * 1e9 / moves.max(1) as f64;
+    let jsonl_ns = jsonl_best * 1e9 / moves.max(1) as f64;
+    let row = ObsRow {
+        cells,
+        moves,
+        events,
+        jsonl_bytes,
+        disabled_ns_per_move: disabled_ns,
+        jsonl_ns_per_move: jsonl_ns,
+        overhead_pct: 100.0 * (jsonl_ns - disabled_ns) / disabled_ns.max(1e-12),
+        bit_identical,
+    };
+
+    eprintln!(
+        "obs/overhead {} cells: {} moves, {} events ({} bytes), disabled {:.0}ns/move, \
+         jsonl {:.0}ns/move ({:+.2}%), bit-identical: {}",
+        row.cells,
+        row.moves,
+        row.events,
+        row.jsonl_bytes,
+        row.disabled_ns_per_move,
+        row.jsonl_ns_per_move,
+        row.overhead_pct,
+        row.bit_identical,
+    );
+    assert!(row.bit_identical, "telemetry perturbed the annealing run");
+    if !test_mode {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+        let text = serde_json::to_string_pretty(&[row]).expect("serializable row");
+        std::fs::write(out, text).expect("writable workspace root");
+        eprintln!("wrote {out}");
+    }
+}
+
+fn bench_recorders(c: &mut Criterion) {
+    let nl = circuit(10);
+    let pp = params(6);
+    let mut group = c.benchmark_group("obs/stage1_10cells");
+    group.bench_function("disabled", |bench| {
+        bench.iter(|| black_box(timed_run(&nl, &pp, &mut NullRecorder).0.teil))
+    });
+    group.bench_function("jsonl", |bench| {
+        bench.iter(|| {
+            let mut rec = JsonlRecorder::new(Vec::new());
+            let teil = timed_run(&nl, &pp, &mut rec).0.teil;
+            black_box((teil, rec.finish().expect("memory sink").len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorders);
+
+fn main() {
+    obs_summary(!criterion::bench_mode());
+    benches();
+}

@@ -37,15 +37,30 @@ pub struct ExpOptions {
     pub json: Option<String>,
 }
 
+/// The flag vocabulary shared by every experiment binary, for error
+/// messages.
+const VALID_FLAGS: &str = "--trials N, --ac N, --seed N, --full, --json PATH";
+
 impl ExpOptions {
     /// Parses `std::env::args`, with an experiment-specific default `A_c`.
+    /// Exits with status 2 on unknown flags or malformed values.
     pub fn parse(default_ac: usize) -> ExpOptions {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        ExpOptions::parse_from(&args, default_ac)
+        match ExpOptions::parse_from(&args, default_ac) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses an explicit argument list (testable core of [`ExpOptions::parse`]).
-    pub fn parse_from(args: &[String], default_ac: usize) -> ExpOptions {
+    ///
+    /// Unknown flags and missing or malformed values are errors listing
+    /// the valid flag set — a typo must not silently run the experiment
+    /// with defaults.
+    pub fn parse_from(args: &[String], default_ac: usize) -> Result<ExpOptions, String> {
         let mut opts = ExpOptions {
             trials: 2,
             ac: default_ac,
@@ -53,19 +68,28 @@ impl ExpOptions {
             full: false,
             json: None,
         };
+        let value = |i: usize, flag: &str| {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag `{flag}` needs a value (valid flags: {VALID_FLAGS})"))
+        };
+        let number = |i: usize, flag: &str| -> Result<u64, String> {
+            let v = value(i, flag)?;
+            v.parse()
+                .map_err(|_| format!("flag `{flag}` needs a number, got `{v}`"))
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--trials" => {
-                    opts.trials = args[i + 1].parse().expect("--trials N");
+                    opts.trials = number(i, "--trials")? as usize;
                     i += 2;
                 }
                 "--ac" => {
-                    opts.ac = args[i + 1].parse().expect("--ac N");
+                    opts.ac = number(i, "--ac")? as usize;
                     i += 2;
                 }
                 "--seed" => {
-                    opts.seed = args[i + 1].parse().expect("--seed N");
+                    opts.seed = number(i, "--seed")?;
                     i += 2;
                 }
                 "--full" => {
@@ -74,16 +98,17 @@ impl ExpOptions {
                     i += 1;
                 }
                 "--json" => {
-                    opts.json = Some(args[i + 1].clone());
+                    opts.json = Some(value(i, "--json")?.clone());
                     i += 2;
                 }
                 other => {
-                    eprintln!("ignoring unknown flag `{other}`");
-                    i += 1;
+                    return Err(format!(
+                        "unknown flag `{other}` (valid flags: {VALID_FLAGS})"
+                    ));
                 }
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Writes rows as JSON if `--json` was given.
@@ -202,28 +227,40 @@ mod tests {
 
     #[test]
     fn options_parse() {
-        let args: Vec<String> = ["--trials", "5", "--ac", "77", "--seed", "9", "--full"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let o = ExpOptions::parse_from(&args, 40);
+        let to_args = |xs: &[&str]| -> Vec<String> { xs.iter().map(|s| s.to_string()).collect() };
+        let args = to_args(&["--trials", "5", "--ac", "77", "--seed", "9", "--full"]);
+        let o = ExpOptions::parse_from(&args, 40).unwrap();
         assert_eq!(o.trials, 5);
         assert_eq!(o.ac, 77);
         assert_eq!(o.seed, 9);
         assert!(o.full);
-        let o = ExpOptions::parse_from(&[], 40);
+        let o = ExpOptions::parse_from(&[], 40).unwrap();
         assert_eq!(o.ac, 40);
         assert_eq!(o.trials, 2);
         assert!(!o.full);
         // --full bumps trials to at least 4.
-        let args: Vec<String> = ["--full"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(ExpOptions::parse_from(&args, 1).trials, 4);
-        // Unknown flags are skipped without panicking.
-        let args: Vec<String> = ["--bogus", "--trials", "3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(ExpOptions::parse_from(&args, 1).trials, 3);
+        assert_eq!(
+            ExpOptions::parse_from(&to_args(&["--full"]), 1)
+                .unwrap()
+                .trials,
+            4
+        );
+    }
+
+    #[test]
+    fn options_reject_bad_input() {
+        let to_args = |xs: &[&str]| -> Vec<String> { xs.iter().map(|s| s.to_string()).collect() };
+        // Unknown flags are an error listing the valid set.
+        let err = ExpOptions::parse_from(&to_args(&["--bogus", "--trials", "3"]), 1).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(err.contains("--trials"), "{err}");
+        // A value flag at the end of the argument list is an error, not
+        // an out-of-bounds panic.
+        let err = ExpOptions::parse_from(&to_args(&["--trials"]), 1).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        // Malformed numbers are an error, not a panic.
+        let err = ExpOptions::parse_from(&to_args(&["--seed", "lots"]), 1).unwrap_err();
+        assert!(err.contains("needs a number"), "{err}");
     }
 
     #[test]

@@ -44,10 +44,18 @@ mod report;
 pub use baseline::{greedy_placement, quadratic_placement, shelf_placement, BaselineResult};
 pub use config::TimberWolfConfig;
 pub use finalize::{finalize_chip, FinalChip};
-pub use pipeline::{run_timberwolf, snapshot_placement, PlacedCellRecord, TimberWolfResult};
+pub use pipeline::{
+    run_timberwolf, run_timberwolf_with, snapshot_placement, PlacedCellRecord, TimberWolfResult,
+};
 pub use render::{render_svg, RenderOptions};
-pub use report::{compare, format_parallel_report, format_table4, ComparisonRow};
+pub use report::{
+    compare, format_parallel_report, format_table4, format_telemetry_summary, ComparisonRow,
+};
 
 // Orchestration knobs and reports surface through the pipeline config
 // and result; re-export them so front ends need no direct dependency.
 pub use twmc_parallel::{ParallelParams, ParallelReport, ReplicaReport, Strategy, SwapReport};
+
+// Telemetry surface: front ends build recorders and consume events
+// without depending on `twmc-obs` directly.
+pub use twmc_obs as obs;

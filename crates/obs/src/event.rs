@@ -1,0 +1,407 @@
+//! The event schema: everything the pipeline can report, as plain
+//! structs with a stable JSON shape.
+//!
+//! Every event serializes to a JSON object whose first key is `"kind"`
+//! (the snake_case tag listed in [`EVENT_KINDS`]) followed by the
+//! payload fields. The schema is append-only by convention: consumers
+//! must tolerate unknown keys, producers must not rename existing ones.
+
+use serde::{Serialize, Value};
+
+/// Identification of which annealing run a [`PlaceTemp`] stream belongs
+/// to — stage 1, a stage-2 refinement iteration, a tempering rung, …
+///
+/// Threaded (by value) through the placement annealing entry points so
+/// one shared loop can label its stream correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScope {
+    /// Pipeline phase: `"stage1"`, `"stage2"`, `"tempering"`, `"quench"`.
+    pub phase: &'static str,
+    /// Refinement iteration (stage 2) or round base (tempering); 0 otherwise.
+    pub iteration: u64,
+    /// Replica or rung index; -1 for single-replica runs.
+    pub replica: i64,
+}
+
+impl RunScope {
+    /// The plain stage-1 scope.
+    pub const STAGE1: RunScope = RunScope {
+        phase: "stage1",
+        iteration: 0,
+        replica: -1,
+    };
+
+    /// Scope of stage-2 refinement iteration `k`.
+    pub fn stage2(k: usize) -> RunScope {
+        RunScope {
+            phase: "stage2",
+            iteration: k as u64,
+            replica: -1,
+        }
+    }
+
+    /// Same scope tagged with a replica index.
+    pub fn with_replica(self, replica: usize) -> RunScope {
+        RunScope {
+            replica: replica as i64,
+            ..self
+        }
+    }
+}
+
+impl Default for RunScope {
+    fn default() -> Self {
+        RunScope::STAGE1
+    }
+}
+
+/// Start of a pipeline run: the circuit and orchestration shape.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunStart {
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Cell count.
+    pub cells: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Pin count.
+    pub pins: usize,
+    /// Stage-1 replica count (1 = classic single run).
+    pub replicas: usize,
+    /// Orchestration strategy (`"multistart"`, `"tempering"`, `"single"`).
+    pub strategy: &'static str,
+}
+
+/// One temperature step of the *generic* annealing engine
+/// ([`twmc_anneal::anneal_with`]) — problems other than placement.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnnealTemp {
+    /// Temperature step index (0-based).
+    pub step: usize,
+    /// Temperature of the inner loop.
+    pub temperature: f64,
+    /// Temperature scale factor `S_T`.
+    pub s_t: f64,
+    /// Range-limiter window span `W_x(T)`.
+    pub window_x: f64,
+    /// Range-limiter window span `W_y(T)`.
+    pub window_y: f64,
+    /// Inner-loop length `A = A_c · N_c` (eq. 17).
+    pub inner: usize,
+    /// New-state attempts made this step.
+    pub attempts: usize,
+    /// Attempts accepted.
+    pub accepts: usize,
+    /// Cost after the inner loop.
+    pub cost: f64,
+}
+
+/// The placement cost decomposition (paper eqs. 6–11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostBreakdown {
+    /// Total cost `C = C₁ + p₂·C₂ + C₃`.
+    pub total: f64,
+    /// `C₁`, the TEIC (eq. 6).
+    pub c1: f64,
+    /// Raw overlap area (the eq. 7 sum before `p₂`).
+    pub overlap: i64,
+    /// Weighted overlap penalty `p₂·C₂`.
+    pub overlap_penalty: f64,
+    /// `C₃`, the pin-site penalty (eq. 11).
+    pub c3: f64,
+}
+
+/// Attempt/accept counters of one move class over one inner loop.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassCount {
+    /// Move class name (`"displacements"`, `"interchanges"`, …).
+    pub class: &'static str,
+    /// Attempts this step.
+    pub attempts: usize,
+    /// Acceptances this step.
+    pub accepts: usize,
+}
+
+/// One temperature step of a placement annealing run: the full
+/// controller state the paper's §3.3 feedback mechanisms act on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlaceTemp {
+    /// Pipeline phase (see [`RunScope::phase`]).
+    pub phase: &'static str,
+    /// Refinement iteration / round base from the scope.
+    pub iteration: u64,
+    /// Replica or rung index; -1 for single-replica runs.
+    pub replica: i64,
+    /// Temperature step index within this run (0-based).
+    pub step: usize,
+    /// Temperature of the inner loop.
+    pub temperature: f64,
+    /// Temperature scale factor `S_T` (eq. 20).
+    pub s_t: f64,
+    /// Range-limiter window span `W_x(T)` (eq. 12).
+    pub window_x: f64,
+    /// Range-limiter window span `W_y(T)` (eq. 13).
+    pub window_y: f64,
+    /// Inner-loop length `A = A_c · N_c` (eq. 17).
+    pub inner: usize,
+    /// Move attempts this step (cascade retries included).
+    pub attempts: usize,
+    /// Moves accepted this step.
+    pub accepts: usize,
+    /// Cost decomposition after the inner loop.
+    pub cost: CostBreakdown,
+    /// TEIL after the inner loop.
+    pub teil: f64,
+    /// Cumulative full spatial-index rebuilds on this state.
+    pub index_rebuilds: u64,
+    /// Cumulative incremental spatial-index updates on this state.
+    pub index_updates: u64,
+    /// Per-move-class attempt/accept counts for this step.
+    pub classes: Vec<ClassCount>,
+}
+
+/// Wall-clock span of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageSpan {
+    /// Stage name: `"stage1"`, `"channel_definition"`, `"global_routing"`,
+    /// `"refine_anneal"`, `"final_routing"`, `"finalize"`.
+    pub stage: &'static str,
+    /// Refinement iteration the stage belongs to (0 outside stage 2).
+    pub iteration: u64,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: u64,
+}
+
+/// Final statistics of one finished replica (multi-start) or rung
+/// (tempering).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReplicaSummary {
+    /// Orchestration phase (`"multistart"` or `"tempering"`).
+    pub phase: &'static str,
+    /// Replica / rung index.
+    pub replica: usize,
+    /// Derived RNG seed the replica's stream started from.
+    pub seed: u64,
+    /// Pinned rung temperature (tempering only).
+    pub rung_temperature: Option<f64>,
+    /// Final TEIL (before any shared quench).
+    pub teil: f64,
+    /// Final total cost.
+    pub cost: f64,
+    /// Move attempts made.
+    pub attempts: usize,
+    /// Moves accepted.
+    pub accepts: usize,
+}
+
+/// One replica-exchange attempt between adjacent tempering rungs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Swap {
+    /// Round the sweep ran after (0-based).
+    pub round: u64,
+    /// Hotter rung index.
+    pub lower: usize,
+    /// Colder rung index (`lower + 1`).
+    pub upper: usize,
+    /// Temperature of the hotter rung.
+    pub t_lower: f64,
+    /// Temperature of the colder rung.
+    pub t_upper: f64,
+    /// Whether the Metropolis exchange rule accepted the swap.
+    pub accepted: bool,
+}
+
+/// End of a pipeline run: the headline results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunEnd {
+    /// Final total estimated interconnect length.
+    pub teil: f64,
+    /// Final chip width.
+    pub chip_width: i64,
+    /// Final chip height.
+    pub chip_height: i64,
+    /// Final globally-routed total length.
+    pub routed_length: i64,
+    /// Wall-clock duration of the whole run in microseconds.
+    pub wall_us: u64,
+}
+
+/// A telemetry event: the tagged union of everything the pipeline emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Run header.
+    RunStart(RunStart),
+    /// Generic-engine temperature step.
+    AnnealTemp(AnnealTemp),
+    /// Placement temperature step.
+    PlaceTemp(PlaceTemp),
+    /// Pipeline stage wall-clock span.
+    StageSpan(StageSpan),
+    /// Finished replica statistics.
+    ReplicaSummary(ReplicaSummary),
+    /// Replica-exchange attempt.
+    Swap(Swap),
+    /// Run footer.
+    RunEnd(RunEnd),
+}
+
+/// Every `kind` tag an event stream may contain, in schema order.
+pub const EVENT_KINDS: [&str; 7] = [
+    "run_start",
+    "anneal_temp",
+    "place_temp",
+    "stage_span",
+    "replica_summary",
+    "swap",
+    "run_end",
+];
+
+impl Event {
+    /// The event's `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart(_) => "run_start",
+            Event::AnnealTemp(_) => "anneal_temp",
+            Event::PlaceTemp(_) => "place_temp",
+            Event::StageSpan(_) => "stage_span",
+            Event::ReplicaSummary(_) => "replica_summary",
+            Event::Swap(_) => "swap",
+            Event::RunEnd(_) => "run_end",
+        }
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let payload = match self {
+            Event::RunStart(p) => p.to_value(),
+            Event::AnnealTemp(p) => p.to_value(),
+            Event::PlaceTemp(p) => p.to_value(),
+            Event::StageSpan(p) => p.to_value(),
+            Event::ReplicaSummary(p) => p.to_value(),
+            Event::Swap(p) => p.to_value(),
+            Event::RunEnd(p) => p.to_value(),
+        };
+        match payload {
+            Value::Object(mut entries) => {
+                entries.insert(0, ("kind".to_owned(), Value::Str(self.kind().to_owned())));
+                Value::Object(entries)
+            }
+            other => Value::Object(vec![
+                ("kind".to_owned(), Value::Str(self.kind().to_owned())),
+                ("payload".to_owned(), other),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tag_leads_the_object() {
+        let ev = Event::StageSpan(StageSpan {
+            stage: "stage1",
+            iteration: 0,
+            wall_us: 10,
+        });
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.starts_with("{\"kind\":\"stage_span\""), "{json}");
+        assert!(json.contains("\"wall_us\":10"), "{json}");
+    }
+
+    #[test]
+    fn kinds_cover_every_variant() {
+        let events = [
+            Event::RunStart(RunStart {
+                seed: 1,
+                cells: 2,
+                nets: 3,
+                pins: 4,
+                replicas: 1,
+                strategy: "single",
+            }),
+            Event::AnnealTemp(AnnealTemp {
+                step: 0,
+                temperature: 1.0,
+                s_t: 1.0,
+                window_x: 1.0,
+                window_y: 1.0,
+                inner: 10,
+                attempts: 10,
+                accepts: 5,
+                cost: 2.0,
+            }),
+            Event::PlaceTemp(PlaceTemp {
+                phase: "stage1",
+                iteration: 0,
+                replica: -1,
+                step: 0,
+                temperature: 1.0,
+                s_t: 1.0,
+                window_x: 1.0,
+                window_y: 1.0,
+                inner: 10,
+                attempts: 10,
+                accepts: 5,
+                cost: CostBreakdown {
+                    total: 3.0,
+                    c1: 1.0,
+                    overlap: 1,
+                    overlap_penalty: 1.0,
+                    c3: 1.0,
+                },
+                teil: 1.0,
+                index_rebuilds: 0,
+                index_updates: 0,
+                classes: vec![],
+            }),
+            Event::StageSpan(StageSpan {
+                stage: "stage1",
+                iteration: 0,
+                wall_us: 1,
+            }),
+            Event::ReplicaSummary(ReplicaSummary {
+                phase: "multistart",
+                replica: 0,
+                seed: 1,
+                rung_temperature: None,
+                teil: 1.0,
+                cost: 1.0,
+                attempts: 1,
+                accepts: 1,
+            }),
+            Event::Swap(Swap {
+                round: 0,
+                lower: 0,
+                upper: 1,
+                t_lower: 2.0,
+                t_upper: 1.0,
+                accepted: true,
+            }),
+            Event::RunEnd(RunEnd {
+                teil: 1.0,
+                chip_width: 1,
+                chip_height: 1,
+                routed_length: 1,
+                wall_us: 1,
+            }),
+        ];
+        let mut seen: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        seen.sort_unstable();
+        let mut expect = EVENT_KINDS.to_vec();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn scope_constructors() {
+        assert_eq!(RunScope::STAGE1.phase, "stage1");
+        assert_eq!(RunScope::STAGE1.replica, -1);
+        let s = RunScope::stage2(2).with_replica(3);
+        assert_eq!(s.phase, "stage2");
+        assert_eq!(s.iteration, 2);
+        assert_eq!(s.replica, 3);
+    }
+}

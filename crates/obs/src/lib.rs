@@ -1,0 +1,55 @@
+//! Telemetry for the TimberWolfMC reproduction.
+//!
+//! The paper's annealing machinery is a stack of feedback controllers —
+//! the Table-1/2 cooling schedules, the eq. 12–14 range limiter, the
+//! move-ratio controller — whose runtime signals (acceptance ratios,
+//! cost decomposition, `S_T` scaling, window spans) are otherwise
+//! invisible. This crate is the dependency-light observation layer the
+//! rest of the workspace threads through its hot paths:
+//!
+//! * [`Recorder`] — the sink trait; producers call
+//!   [`Recorder::record`] with structured [`Event`]s and gate any
+//!   event-construction work on [`Recorder::enabled`];
+//! * [`NullRecorder`] — the disabled sink; `enabled()` is `false`, so
+//!   instrumented code compiles to a per-temperature branch and nothing
+//!   else (the annealing inner loop itself is never instrumented
+//!   per-move — see DESIGN.md §8 for the overhead argument);
+//! * [`JsonlRecorder`] — a buffered JSON-lines sink over any
+//!   `io::Write` (one event per line, `{"kind": …}` tagged);
+//! * [`SummaryRecorder`] — an in-memory sink for tests and the CLI's
+//!   human-readable summary table;
+//! * [`Tee`] — fans one event stream out to two sinks;
+//! * [`validate`] — a minimal JSON parser plus JSONL stream validation
+//!   (used by tests and CI; the vendored `serde_json` stand-in only
+//!   serializes).
+//!
+//! # Examples
+//!
+//! ```
+//! use twmc_obs::{Event, JsonlRecorder, Recorder, StageSpan};
+//!
+//! let mut rec = JsonlRecorder::new(Vec::new());
+//! if rec.enabled() {
+//!     rec.record(&Event::StageSpan(StageSpan {
+//!         stage: "stage1",
+//!         iteration: 0,
+//!         wall_us: 1250,
+//!     }));
+//! }
+//! let bytes = rec.finish().unwrap();
+//! let line = String::from_utf8(bytes).unwrap();
+//! assert!(line.starts_with("{\"kind\":\"stage_span\""));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod recorder;
+pub mod validate;
+
+pub use event::{
+    AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaSummary, RunEnd, RunScope,
+    RunStart, StageSpan, Swap, EVENT_KINDS,
+};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};

@@ -1,0 +1,293 @@
+//! Event sinks: the [`Recorder`] trait and its implementations.
+
+use std::io::{self, BufWriter, Write};
+
+use crate::Event;
+
+/// A telemetry sink.
+///
+/// Producers in the hot layers hold a `&mut dyn Recorder` and guard all
+/// event-construction work behind [`Recorder::enabled`]:
+///
+/// ```ignore
+/// if rec.enabled() {
+///     rec.record(&Event::PlaceTemp(expensive_to_build()));
+/// }
+/// ```
+///
+/// With the [`NullRecorder`] the guard is a single always-false branch
+/// per temperature step — the inner per-move loop is never instrumented,
+/// which is what bounds the disabled-path overhead (DESIGN.md §8).
+/// Recording must never influence results: implementations do not touch
+/// any RNG and producers call them outside the Metropolis loop.
+pub trait Recorder {
+    /// Whether events will be kept. Producers skip event construction
+    /// when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// The disabled sink: `enabled()` is `false`, `record` is a no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// A buffered JSON-lines sink: one compact JSON object per event per
+/// line, written through a [`BufWriter`].
+///
+/// I/O errors are latched rather than panicking mid-anneal: the first
+/// error stops further writes and surfaces from [`JsonlRecorder::finish`]
+/// (or [`JsonlRecorder::io_error`]).
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    out: BufWriter<W>,
+    events: usize,
+    error: Option<io::Error>,
+}
+
+impl JsonlRecorder<std::fs::File> {
+    /// Creates (truncates) `path` and records events into it.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonlRecorder::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wraps any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlRecorder {
+            out: BufWriter::new(writer),
+            events: 0,
+            error: None,
+        }
+    }
+
+    /// Events recorded so far (counted even if a later write failed).
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// The first I/O error hit, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the inner writer, surfacing any latched or
+    /// final I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: &Event) {
+        self.events += 1;
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("events always serialize");
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// An in-memory sink keeping every event — the test fixture and the
+/// source of the CLI's `--telemetry-summary` table.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryRecorder {
+    events: Vec<Event>,
+}
+
+impl SummaryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        SummaryRecorder::default()
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Number of events with the given `kind` tag.
+    pub fn count(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// The recorded [`crate::PlaceTemp`] steps of one phase, in order.
+    pub fn place_temps(&self, phase: &str) -> Vec<&crate::PlaceTemp> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PlaceTemp(p) if p.phase == phase => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Recorder for SummaryRecorder {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Fans one stream out to two sinks (e.g. a JSONL file plus the
+/// in-memory summary behind `--telemetry-summary`).
+pub struct Tee<'a> {
+    /// First sink.
+    pub a: &'a mut dyn Recorder,
+    /// Second sink.
+    pub b: &'a mut dyn Recorder,
+}
+
+impl Recorder for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&mut self, event: &Event) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageSpan;
+
+    fn span(us: u64) -> Event {
+        Event::StageSpan(StageSpan {
+            stage: "stage1",
+            iteration: 0,
+            wall_us: us,
+        })
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(&span(1)); // no-op, no panic
+        r.flush();
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        assert!(r.enabled());
+        r.record(&span(1));
+        r.record(&span(2));
+        assert_eq!(r.events(), 2);
+        let bytes = r.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_latches_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Capacity 0 forces the BufWriter to hit the sink immediately.
+        let mut r = JsonlRecorder {
+            out: BufWriter::with_capacity(0, Failing),
+            events: 0,
+            error: None,
+        };
+        r.record(&span(1));
+        r.record(&span(2)); // must not panic after the first failure
+        assert_eq!(r.events(), 2);
+        assert!(r.io_error().is_some());
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn summary_counts_kinds() {
+        let mut r = SummaryRecorder::new();
+        r.record(&span(1));
+        r.record(&span(2));
+        assert_eq!(r.count("stage_span"), 2);
+        assert_eq!(r.count("run_start"), 0);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.into_events().len(), 2);
+    }
+
+    #[test]
+    fn tee_reaches_both_sinks() {
+        let mut a = SummaryRecorder::new();
+        let mut b = SummaryRecorder::new();
+        {
+            let mut t = Tee {
+                a: &mut a,
+                b: &mut b,
+            };
+            assert!(t.enabled());
+            t.record(&span(1));
+            t.flush();
+        }
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+
+    #[test]
+    fn tee_disabled_only_when_both_are() {
+        let mut a = NullRecorder;
+        let mut b = NullRecorder;
+        let t = Tee {
+            a: &mut a,
+            b: &mut b,
+        };
+        assert!(!t.enabled());
+    }
+}

@@ -1,0 +1,375 @@
+//! JSONL stream validation: a minimal JSON parser plus schema checks.
+//!
+//! The vendored `serde_json` stand-in only serializes, so tests and CI
+//! need an independent reader to prove the emitted stream actually
+//! parses. This module provides one: [`parse_json`] lifts a line back
+//! into a [`serde::Value`] tree, [`validate_jsonl`] walks a whole
+//! stream checking every line is an object with a known `kind` tag and
+//! that kind's required fields, and [`expect_kinds`] asserts coverage.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::EVENT_KINDS;
+
+/// Fields every event of a given kind must carry (a subset — the schema
+/// is append-only, so validation pins only the load-bearing keys).
+fn required_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "run_start" => &["seed", "cells", "nets", "pins", "replicas", "strategy"],
+        "anneal_temp" => &["step", "temperature", "s_t", "attempts", "accepts", "cost"],
+        "place_temp" => &[
+            "phase",
+            "replica",
+            "step",
+            "temperature",
+            "s_t",
+            "window_x",
+            "window_y",
+            "inner",
+            "attempts",
+            "accepts",
+            "cost",
+            "teil",
+            "index_rebuilds",
+            "classes",
+        ],
+        "stage_span" => &["stage", "iteration", "wall_us"],
+        "replica_summary" => &["phase", "replica", "seed", "teil", "cost"],
+        "swap" => &["round", "lower", "upper", "accepted"],
+        "run_end" => &[
+            "teil",
+            "chip_width",
+            "chip_height",
+            "routed_length",
+            "wall_us",
+        ],
+        _ => &[],
+    }
+}
+
+/// Aggregate statistics of a validated stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Non-empty lines seen.
+    pub lines: usize,
+    /// Events per `kind` tag.
+    pub kind_counts: BTreeMap<String, usize>,
+}
+
+/// Parses one JSON document (object, array, scalar).
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+/// Validates a JSONL telemetry stream: every non-empty line must parse
+/// as a JSON object carrying a known `kind` tag and that kind's
+/// required fields. Returns per-kind counts.
+pub fn validate_jsonl(text: &str) -> Result<StreamStats, String> {
+    let mut stats = StreamStats::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let Value::Object(entries) = v else {
+            return Err(format!("line {}: not a JSON object", lineno + 1));
+        };
+        let kind = entries
+            .iter()
+            .find(|(k, _)| k == "kind")
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("line {}: missing string `kind`", lineno + 1))?;
+        if !EVENT_KINDS.contains(&kind.as_str()) {
+            return Err(format!("line {}: unknown kind `{kind}`", lineno + 1));
+        }
+        for field in required_fields(&kind) {
+            if !entries.iter().any(|(k, _)| k == field) {
+                return Err(format!(
+                    "line {}: `{kind}` event missing field `{field}`",
+                    lineno + 1
+                ));
+            }
+        }
+        stats.lines += 1;
+        *stats.kind_counts.entry(kind).or_insert(0) += 1;
+    }
+    Ok(stats)
+}
+
+/// Checks that every kind in `required` appears at least once.
+pub fn expect_kinds(stats: &StreamStats, required: &[&str]) -> Result<(), String> {
+    let missing: Vec<&str> = required
+        .iter()
+        .copied()
+        .filter(|k| !stats.kind_counts.contains_key(*k))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("stream missing event kinds: {missing:?}"))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_owned())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_owned())?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape".to_owned())?;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so
+                // boundaries are valid).
+                let s = &text_from(b)[*pos..];
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn text_from(b: &[u8]) -> &str {
+    std::str::from_utf8(b).expect("input was a &str")
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(
+            b[*pos],
+            b'0'..=b'9'
+                | b'-'
+                | b'+'
+                | b'.'
+                | b'e'
+                | b'E'
+                | b'i'
+                | b'n'
+                | b'a'
+                | b'f'
+                | b't'
+                | b'y'
+                | b'N'
+        )
+    {
+        // The extra letters admit non-finite spellings (inf, NaN) so a
+        // malformed stream fails with a clear message below rather than
+        // a confusing `expected , or }`.
+        *pos += 1;
+    }
+    let text = &text_from(b)[start..*pos];
+    if text.is_empty() {
+        return Err(format!("unexpected character at byte {start}"));
+    }
+    if !text.contains(['.', 'e', 'E', 'i', 'n', 'N']) {
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::UInt(n));
+        }
+    }
+    let f: f64 = text
+        .parse()
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+    if !f.is_finite() {
+        return Err(format!("non-finite number `{text}` at byte {start}"));
+    }
+    Ok(Value::Float(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, StageSpan};
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_json("-5").unwrap(), Value::Int(-5));
+        assert_eq!(
+            parse_json("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(parse_json("1.5e3").unwrap(), Value::Float(1500.0));
+        let v = parse_json(r#"{"a": [1, {"b": "x\ny"}], "c": null}"#).unwrap();
+        let Value::Object(entries) = v else {
+            panic!("object")
+        };
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("NaN").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn roundtrips_serialized_events() {
+        let ev = Event::StageSpan(StageSpan {
+            stage: "global_routing",
+            iteration: 2,
+            wall_us: 987,
+        });
+        let json = serde_json::to_string(&ev).unwrap();
+        let v = parse_json(&json).unwrap();
+        // Int(2) and UInt(2) are both valid parses of `2`, so compare
+        // the re-serialized text rather than the value trees.
+        assert_eq!(serde_json::to_string(&v).unwrap(), json);
+    }
+
+    #[test]
+    fn validates_streams() {
+        let good = concat!(
+            "{\"kind\":\"stage_span\",\"stage\":\"stage1\",\"iteration\":0,\"wall_us\":5}\n",
+            "\n",
+            "{\"kind\":\"run_end\",\"teil\":1.0,\"chip_width\":1,\"chip_height\":1,",
+            "\"routed_length\":1,\"wall_us\":9}\n",
+        );
+        let stats = validate_jsonl(good).unwrap();
+        assert_eq!(stats.lines, 2);
+        assert_eq!(stats.kind_counts["stage_span"], 1);
+        expect_kinds(&stats, &["stage_span", "run_end"]).unwrap();
+        assert!(expect_kinds(&stats, &["swap"]).is_err());
+
+        assert!(validate_jsonl("{\"kind\":\"bogus\"}").is_err());
+        assert!(
+            validate_jsonl("{\"kind\":\"stage_span\"}").is_err(),
+            "missing fields"
+        );
+        assert!(validate_jsonl("[1]").is_err(), "not an object");
+        assert!(validate_jsonl("{oops").is_err());
+    }
+}

@@ -59,6 +59,7 @@ mod tempering;
 use twmc_anneal::CoolingSchedule;
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
+use twmc_obs::{NullRecorder, Recorder};
 use twmc_place::{PlaceParams, PlacementState, Stage1Result};
 
 pub use pool::{run_indexed, run_mut};
@@ -221,8 +222,38 @@ pub fn parallel_stage1<'a>(
     params: &ParallelParams,
     master_seed: u64,
 ) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
+    parallel_stage1_with(
+        nl,
+        place,
+        est,
+        schedule,
+        params,
+        master_seed,
+        &mut NullRecorder,
+    )
+}
+
+/// [`parallel_stage1`] with a telemetry sink.
+///
+/// Replica annealing streams are recorded per-worker and replayed into
+/// `rec` in replica order after the join (multi-start), or emitted
+/// per-round on the orchestrator thread (tempering), followed by one
+/// [`twmc_obs::ReplicaSummary`] per replica and any
+/// [`twmc_obs::Swap`] events. Recording never touches any RNG stream,
+/// so results are bit-identical to [`parallel_stage1`] for any recorder
+/// and any thread count.
+pub fn parallel_stage1_with<'a>(
+    nl: &'a Netlist,
+    place: &PlaceParams,
+    est: &EstimatorParams,
+    schedule: &CoolingSchedule,
+    params: &ParallelParams,
+    master_seed: u64,
+    rec: &mut dyn Recorder,
+) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
     if params.replicas <= 1 {
-        let (state, result) = twmc_place::place_stage1(nl, place, est, schedule, master_seed);
+        let (state, result) =
+            twmc_place::place_stage1_with(nl, place, est, schedule, master_seed, rec);
         let report = ParallelReport {
             strategy: params.strategy,
             replicas: 1,
@@ -231,10 +262,16 @@ pub fn parallel_stage1<'a>(
             replica_reports: vec![multistart::replica_report(0, master_seed, &state, &result)],
             swaps: SwapReport::default(),
         };
+        if rec.enabled() {
+            rec.record(&multistart::replica_summary(
+                "multistart",
+                &report.replica_reports[0],
+            ));
+        }
         return (state, result, report);
     }
     match params.strategy {
-        Strategy::MultiStart => multistart::run(nl, place, est, schedule, params, master_seed),
-        Strategy::Tempering => tempering::run(nl, place, est, schedule, params, master_seed),
+        Strategy::MultiStart => multistart::run(nl, place, est, schedule, params, master_seed, rec),
+        Strategy::Tempering => tempering::run(nl, place, est, schedule, params, master_seed, rec),
     }
 }

@@ -1,9 +1,13 @@
 //! Multi-start orchestration: independent replicas, best TEIL wins.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use twmc_anneal::{derive_seed, CoolingSchedule};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
-use twmc_place::{place_stage1, PlaceParams, PlacementState, Stage1Result};
+use twmc_obs::{Event, NullRecorder, Recorder, ReplicaSummary, RunScope, SummaryRecorder};
+use twmc_place::{PlaceParams, PlacementState, Stage1Context, Stage1Result};
 
 use crate::{pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
 
@@ -26,9 +30,31 @@ pub(crate) fn replica_report(
     }
 }
 
+/// The telemetry footer of one finished replica.
+pub(crate) fn replica_summary(phase: &'static str, r: &ReplicaReport) -> Event {
+    Event::ReplicaSummary(ReplicaSummary {
+        phase,
+        replica: r.replica,
+        seed: r.seed,
+        rung_temperature: r.rung_temperature,
+        teil: r.teil,
+        cost: r.cost,
+        attempts: r.attempts,
+        accepts: r.accepts,
+    })
+}
+
 /// Runs `params.replicas` independent stage-1 placements and keeps the
 /// one with the lowest final TEIL (ties go to the lowest replica index,
 /// so the selection is total and deterministic).
+///
+/// Telemetry: worker threads cannot share the caller's `&mut dyn
+/// Recorder` (the pool requires `Sync` closures), so each replica
+/// records into its own [`SummaryRecorder`] — created only when the
+/// caller's sink is enabled — and the streams are replayed into `rec` in
+/// replica order after the join, followed by one
+/// [`ReplicaSummary`] per replica. Event order is therefore
+/// deterministic regardless of thread count.
 pub(crate) fn run<'a>(
     nl: &'a Netlist,
     place: &PlaceParams,
@@ -36,20 +62,52 @@ pub(crate) fn run<'a>(
     schedule: &CoolingSchedule,
     params: &ParallelParams,
     master_seed: u64,
+    rec: &mut dyn Recorder,
 ) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
     let replicas = params.replicas;
     let threads = params.effective_threads(replicas);
+    let enabled = rec.enabled();
     let mut runs = pool::run_indexed(replicas, threads, |i| {
         let seed = derive_seed(master_seed, i);
-        let (state, result) = place_stage1(nl, place, est, schedule, seed);
-        (seed, state, result)
+        // Same construction sequence as `place_stage1` (context, seeded
+        // stream, random state, cool), so results are bit-identical to
+        // the untelemetered orchestrator.
+        let ctx = Stage1Context::new(nl, place, est);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = ctx.random_state(place, &mut rng);
+        let mut local = enabled.then(SummaryRecorder::new);
+        let mut null = NullRecorder;
+        let sink: &mut dyn Recorder = match local.as_mut() {
+            Some(l) => l,
+            None => &mut null,
+        };
+        let result = ctx.cool_with(
+            &mut state,
+            place,
+            schedule,
+            ctx.t_infinity,
+            &mut rng,
+            sink,
+            RunScope::STAGE1.with_replica(i),
+        );
+        (seed, state, result, local)
     });
 
     let replica_reports: Vec<ReplicaReport> = runs
         .iter()
         .enumerate()
-        .map(|(i, (seed, state, result))| replica_report(i, *seed, state, result))
+        .map(|(i, (seed, state, result, _))| replica_report(i, *seed, state, result))
         .collect();
+    if enabled {
+        for (local, report) in runs.iter().map(|r| &r.3).zip(&replica_reports) {
+            if let Some(l) = local {
+                for e in l.events() {
+                    rec.record(e);
+                }
+            }
+            rec.record(&replica_summary("multistart", report));
+        }
+    }
     // First minimum wins ties (Iterator::min_by keeps the *last*).
     let mut best_replica = 0;
     for (i, r) in replica_reports.iter().enumerate().skip(1) {
@@ -58,7 +116,7 @@ pub(crate) fn run<'a>(
         }
     }
 
-    let (_, state, result) = runs.swap_remove(best_replica);
+    let (_, state, result, _) = runs.swap_remove(best_replica);
     let report = ParallelReport {
         strategy: params.strategy,
         replicas,

@@ -7,11 +7,12 @@ use rand::{Rng, SeedableRng};
 use twmc_anneal::{derive_seed, swap_probability, temperature_rungs, CoolingSchedule};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
+use twmc_obs::{ClassCount, CostBreakdown, Event, PlaceTemp, Recorder, RunScope, Swap};
 use twmc_place::{
     generate, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context, Stage1Result,
 };
 
-use crate::{pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
+use crate::{multistart, pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
 
 /// One rung's worker: the configuration currently at this temperature,
 /// the rung's RNG stream, and its accumulated statistics. Swaps exchange
@@ -29,6 +30,12 @@ struct Rung<'a> {
 /// eq. 17) at its pinned temperature — rounds run in parallel, swap
 /// sweeps are sequential on the orchestrator's own RNG stream so the
 /// outcome is independent of the thread count.
+///
+/// Telemetry (all on the orchestrator thread, so event order is
+/// deterministic): one `tempering`-phase [`PlaceTemp`] per rung per
+/// round, one [`Swap`] per exchange attempt, one
+/// [`twmc_obs::ReplicaSummary`] per rung, then the winner's quench
+/// stream under phase `quench`.
 pub(crate) fn run<'a>(
     nl: &'a Netlist,
     place: &PlaceParams,
@@ -36,6 +43,7 @@ pub(crate) fn run<'a>(
     schedule: &CoolingSchedule,
     params: &ParallelParams,
     master_seed: u64,
+    rec: &mut dyn Recorder,
 ) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
     let replicas = params.replicas;
     let threads = params.effective_threads(replicas);
@@ -84,6 +92,13 @@ pub(crate) fn run<'a>(
     let mut sweep = 0usize;
 
     for round in 0..rounds {
+        // Snapshot per-rung counters so the round's deltas can be
+        // reported after the join (workers cannot share `rec`).
+        let stats_before: Vec<MoveStats> = if rec.enabled() {
+            rungs.iter().map(|r| r.stats).collect()
+        } else {
+            Vec::new()
+        };
         pool::run_mut(&mut rungs, threads, |i, rung| {
             let t = rung_temps[i];
             let wx = ctx.limiter.window_x(t);
@@ -102,6 +117,44 @@ pub(crate) fn run<'a>(
             }
             rung.trajectory.push(rung.state.teil());
         });
+        if rec.enabled() {
+            for (i, rung) in rungs.iter().enumerate() {
+                let t = rung_temps[i];
+                let delta = rung.stats.since(&stats_before[i]);
+                rec.record(&Event::PlaceTemp(PlaceTemp {
+                    phase: "tempering",
+                    iteration: round as u64,
+                    replica: i as i64,
+                    step: round,
+                    temperature: t,
+                    s_t: ctx.s_t,
+                    window_x: ctx.limiter.window_x(t),
+                    window_y: ctx.limiter.window_y(t),
+                    inner,
+                    attempts: delta.attempts(),
+                    accepts: delta.accepts(),
+                    cost: CostBreakdown {
+                        total: rung.state.cost(),
+                        c1: rung.state.c1(),
+                        overlap: rung.state.raw_overlap(),
+                        overlap_penalty: rung.state.p2() * rung.state.raw_overlap() as f64,
+                        c3: rung.state.c3(),
+                    },
+                    teil: rung.state.teil(),
+                    index_rebuilds: rung.state.index_rebuilds(),
+                    index_updates: rung.state.index_updates(),
+                    classes: delta
+                        .classes()
+                        .iter()
+                        .map(|&(class, (attempts, accepts))| ClassCount {
+                            class,
+                            attempts,
+                            accepts,
+                        })
+                        .collect(),
+                }));
+            }
+        }
 
         if (round + 1) % swap_interval == 0 {
             // Alternate even/odd adjacent pairs per sweep, the standard
@@ -116,10 +169,21 @@ pub(crate) fn run<'a>(
                     rungs[i + 1].state.cost(),
                 );
                 swaps.attempts += 1;
-                if orch_rng.random::<f64>() < p {
+                let accepted = orch_rng.random::<f64>() < p;
+                if accepted {
                     let (a, b) = rungs.split_at_mut(i + 1);
                     std::mem::swap(&mut a[i].state, &mut b[0].state);
                     swaps.accepts += 1;
+                }
+                if rec.enabled() {
+                    rec.record(&Event::Swap(Swap {
+                        round: round as u64,
+                        lower: i,
+                        upper: i + 1,
+                        t_lower: rung_temps[i],
+                        t_upper: rung_temps[i + 1],
+                        accepted,
+                    }));
                 }
             }
         }
@@ -140,6 +204,11 @@ pub(crate) fn run<'a>(
             teil_trajectory: rung.trajectory.clone(),
         })
         .collect();
+    if rec.enabled() {
+        for report in &replica_reports {
+            rec.record(&multistart::replica_summary("tempering", report));
+        }
+    }
 
     // Quench the best configuration (usually the coldest rung, but a
     // warmer rung can hold the minimum right after an exchange sweep)
@@ -151,12 +220,18 @@ pub(crate) fn run<'a>(
         }
     }
     let mut winner = rungs.swap_remove(best);
-    let result = ctx.cool(
+    let result = ctx.cool_with(
         &mut winner.state,
         place,
         schedule,
         rung_temps[best],
         &mut winner.rng,
+        rec,
+        RunScope {
+            phase: "quench",
+            iteration: 0,
+            replica: best as i64,
+        },
     );
 
     let report = ParallelReport {

@@ -34,6 +34,10 @@ pub(crate) struct BinGrid {
     bins: Vec<Vec<u32>>,
     /// Per-cell inclusive bin range `(bx0, bx1, by0, by1)` it occupies.
     ranges: Vec<(u32, u32, u32, u32)>,
+    /// Wholesale [`BinGrid::rebuild`] calls (telemetry counter).
+    full_rebuilds: u64,
+    /// [`BinGrid::update`] calls that actually re-binned a cell.
+    updates: u64,
 }
 
 impl BinGrid {
@@ -56,6 +60,8 @@ impl BinGrid {
             ny,
             bins: vec![Vec::new(); (nx * ny) as usize],
             ranges: vec![EMPTY; rects.len()],
+            full_rebuilds: 0,
+            updates: 0,
         };
         for (i, &r) in rects.iter().enumerate() {
             grid.insert(i, r);
@@ -111,12 +117,25 @@ impl BinGrid {
         if self.range_for(r) == self.ranges[cell] {
             return;
         }
+        self.updates += 1;
         self.remove(cell);
         self.insert(cell, r);
     }
 
+    /// Wholesale rebuilds performed so far.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// Incremental re-bin operations performed so far (update calls that
+    /// changed a cell's bin range).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
     /// Drops and re-registers everything (wholesale state replacement).
     pub fn rebuild(&mut self, rects: &[Rect]) {
+        self.full_rebuilds += 1;
         for b in &mut self.bins {
             b.clear();
         }
@@ -188,6 +207,19 @@ mod tests {
         g.update(1, Rect::from_wh(505, 505, 10, 10));
         assert!(neighbors(&g, 0).contains(&1));
         assert!(!neighbors(&g, 0).contains(&2));
+    }
+
+    #[test]
+    fn counters_track_rebuilds_and_updates() {
+        let mut g = grid();
+        assert_eq!((g.full_rebuilds(), g.updates()), (0, 0));
+        g.update(2, Rect::from_wh(8, 8, 10, 10));
+        assert_eq!(g.updates(), 1);
+        // Same bin range again: no re-bin, counter unchanged.
+        g.update(2, Rect::from_wh(8, 8, 10, 10));
+        assert_eq!(g.updates(), 1);
+        g.rebuild(&[Rect::from_wh(0, 0, 10, 10)]);
+        assert_eq!(g.full_rebuilds(), 1);
     }
 
     #[test]

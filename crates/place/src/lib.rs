@@ -51,5 +51,8 @@ pub use legalize::{legalize, legalize_expanded, separated};
 pub use moves::{generate, metropolis, MoveSet, MoveStats};
 pub use params::{DisplacementSelector, PlaceParams};
 pub use sites::{SiteLayout, SiteRef};
-pub use stage1::{place_stage1, run_annealing, Stage1Context, Stage1Result, TempRecord};
+pub use stage1::{
+    place_stage1, place_stage1_with, run_annealing, run_annealing_with, Stage1Context,
+    Stage1Result, TempRecord,
+};
 pub use state::{CellPlace, MoveCost, PlacementSnapshot, PlacementState};

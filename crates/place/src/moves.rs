@@ -88,6 +88,37 @@ impl MoveStats {
             + instance_moves.1
     }
 
+    /// Per-class `(name, (attempts, accepts))` pairs, in cascade order.
+    /// The names are the telemetry `class` tags (DESIGN.md §8).
+    pub fn classes(&self) -> [(&'static str, (usize, usize)); 8] {
+        [
+            ("displacements", self.displacements),
+            ("inverted_displacements", self.inverted_displacements),
+            ("orientations", self.orientations),
+            ("interchanges", self.interchanges),
+            ("inverted_interchanges", self.inverted_interchanges),
+            ("pin_moves", self.pin_moves),
+            ("aspect_moves", self.aspect_moves),
+            ("instance_moves", self.instance_moves),
+        ]
+    }
+
+    /// Counters accumulated since an earlier snapshot of the same stats
+    /// (element-wise difference; `before` must be a prefix of `self`).
+    pub fn since(&self, before: &MoveStats) -> MoveStats {
+        let d = |a: (usize, usize), b: (usize, usize)| (a.0 - b.0, a.1 - b.1);
+        MoveStats {
+            displacements: d(self.displacements, before.displacements),
+            inverted_displacements: d(self.inverted_displacements, before.inverted_displacements),
+            orientations: d(self.orientations, before.orientations),
+            interchanges: d(self.interchanges, before.interchanges),
+            inverted_interchanges: d(self.inverted_interchanges, before.inverted_interchanges),
+            pin_moves: d(self.pin_moves, before.pin_moves),
+            aspect_moves: d(self.aspect_moves, before.aspect_moves),
+            instance_moves: d(self.instance_moves, before.instance_moves),
+        }
+    }
+
     fn add(counter: &mut (usize, usize), accepted: bool) {
         counter.0 += 1;
         if accepted {

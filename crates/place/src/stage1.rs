@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use twmc_anneal::{t_infinity, temperature_scale, CoolingSchedule, RangeLimiter};
 use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams, PinDensityFactors};
 use twmc_netlist::Netlist;
+use twmc_obs::{ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, RunScope};
 
 use crate::{generate, MoveSet, MoveStats, PlaceParams, PlacementState};
 
@@ -163,7 +164,31 @@ impl<'a> Stage1Context<'a> {
         t_start: f64,
         rng: &mut StdRng,
     ) -> Stage1Result {
-        let mut result = run_annealing(
+        self.cool_with(
+            state,
+            params,
+            schedule,
+            t_start,
+            rng,
+            &mut NullRecorder,
+            RunScope::STAGE1,
+        )
+    }
+
+    /// [`Stage1Context::cool`] with a telemetry sink: every temperature
+    /// step emits a [`PlaceTemp`] event labeled with `scope`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cool_with(
+        &self,
+        state: &mut PlacementState<'a>,
+        params: &PlaceParams,
+        schedule: &CoolingSchedule,
+        t_start: f64,
+        rng: &mut StdRng,
+        rec: &mut dyn Recorder,
+        scope: RunScope,
+    ) -> Stage1Result {
+        let mut result = run_annealing_with(
             state,
             params,
             MoveSet::Full,
@@ -173,6 +198,8 @@ impl<'a> Stage1Context<'a> {
             self.s_t,
             None,
             rng,
+            rec,
+            scope,
         );
         result.t_infinity = self.t_infinity;
         result
@@ -189,10 +216,34 @@ pub fn place_stage1<'a>(
     schedule: &CoolingSchedule,
     seed: u64,
 ) -> (PlacementState<'a>, Stage1Result) {
+    place_stage1_with(nl, params, est_params, schedule, seed, &mut NullRecorder)
+}
+
+/// [`place_stage1`] with a telemetry sink receiving one
+/// [`PlaceTemp`] event per temperature step ([`RunScope::STAGE1`]).
+///
+/// Recording never touches the RNG stream: with any recorder the run is
+/// bit-identical to [`place_stage1`] on the same seed.
+pub fn place_stage1_with<'a>(
+    nl: &'a Netlist,
+    params: &PlaceParams,
+    est_params: &EstimatorParams,
+    schedule: &CoolingSchedule,
+    seed: u64,
+    rec: &mut dyn Recorder,
+) -> (PlacementState<'a>, Stage1Result) {
     let ctx = Stage1Context::new(nl, params, est_params);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = ctx.random_state(params, &mut rng);
-    let result = ctx.cool(&mut state, params, schedule, ctx.t_infinity, &mut rng);
+    let result = ctx.cool_with(
+        &mut state,
+        params,
+        schedule,
+        ctx.t_infinity,
+        &mut rng,
+        rec,
+        RunScope::STAGE1,
+    );
     (state, result)
 }
 
@@ -213,6 +264,41 @@ pub fn run_annealing(
     s_t: f64,
     cost_stall: Option<usize>,
     rng: &mut StdRng,
+) -> Stage1Result {
+    run_annealing_with(
+        state,
+        params,
+        move_set,
+        schedule,
+        limiter,
+        t_start,
+        s_t,
+        cost_stall,
+        rng,
+        &mut NullRecorder,
+        RunScope::STAGE1,
+    )
+}
+
+/// [`run_annealing`] with a telemetry sink: each temperature step emits
+/// one [`PlaceTemp`] event labeled with `scope`, carrying the full
+/// controller state (window, cost decomposition, per-class counters,
+/// spatial-index counters). Events are emitted *outside* the inner
+/// Metropolis loop and never touch the RNG, so results are bit-identical
+/// to [`run_annealing`] for any recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn run_annealing_with(
+    state: &mut PlacementState<'_>,
+    params: &PlaceParams,
+    move_set: MoveSet,
+    schedule: &CoolingSchedule,
+    limiter: &RangeLimiter,
+    t_start: f64,
+    s_t: f64,
+    cost_stall: Option<usize>,
+    rng: &mut StdRng,
+    rec: &mut dyn Recorder,
+    scope: RunScope,
 ) -> Stage1Result {
     let inner = params.attempts_per_cell * state.cells().len();
     let mut t = t_start;
@@ -237,6 +323,41 @@ pub fn run_annealing(
             overlap: state.raw_overlap(),
             window_x: wx,
         });
+        if rec.enabled() {
+            let delta = moves.since(&before);
+            rec.record(&Event::PlaceTemp(PlaceTemp {
+                phase: scope.phase,
+                iteration: scope.iteration,
+                replica: scope.replica,
+                step: history.len() - 1,
+                temperature: t,
+                s_t,
+                window_x: wx,
+                window_y: wy,
+                inner,
+                attempts: delta.attempts(),
+                accepts: delta.accepts(),
+                cost: CostBreakdown {
+                    total: state.cost(),
+                    c1: state.c1(),
+                    overlap: state.raw_overlap(),
+                    overlap_penalty: state.p2() * state.raw_overlap() as f64,
+                    c3: state.c3(),
+                },
+                teil: state.teil(),
+                index_rebuilds: state.index_rebuilds(),
+                index_updates: state.index_updates(),
+                classes: delta
+                    .classes()
+                    .iter()
+                    .map(|&(class, (attempts, accepts))| ClassCount {
+                        class,
+                        attempts,
+                        accepts,
+                    })
+                    .collect(),
+            }));
+        }
         if let Some(k) = cost_stall {
             let cost = state.cost();
             if (cost - last_cost).abs() <= 1e-9 * cost.abs().max(1.0) {

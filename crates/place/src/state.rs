@@ -393,6 +393,18 @@ impl<'a> PlacementState<'a> {
             .sum()
     }
 
+    /// Wholesale spatial-index rebuilds performed on this state
+    /// (telemetry counter; rebuilds happen on [`PlacementState::restore`]).
+    pub fn index_rebuilds(&self) -> u64 {
+        self.index.full_rebuilds()
+    }
+
+    /// Incremental spatial-index re-bin operations performed on this
+    /// state (telemetry counter).
+    pub fn index_updates(&self) -> u64 {
+        self.index.updates()
+    }
+
     /// Bounding box of all placed cells (without expansions).
     pub fn placement_bbox(&self) -> Rect {
         let mut it = self.cells.iter().map(|c| c.placed_bbox());

@@ -1,0 +1,137 @@
+//! Telemetry integration tests: a fixed-seed stage-1 run's recorded
+//! event stream must reproduce the paper's cooling schedule (Table 1
+//! region transitions) and be internally consistent (class counters sum
+//! to the step totals, events mirror the run history) — all without
+//! perturbing the run itself.
+
+use twmc_anneal::CoolingSchedule;
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::{synthesize, Netlist, SynthParams};
+use twmc_obs::{Event, SummaryRecorder};
+use twmc_place::{place_stage1, place_stage1_with, PlaceParams};
+
+fn circuit() -> Netlist {
+    synthesize(&SynthParams {
+        cells: 8,
+        nets: 16,
+        pins: 50,
+        custom_fraction: 0.25,
+        seed: 2,
+        avg_cell_dim: 20,
+        ..Default::default()
+    })
+}
+
+fn fast_params() -> PlaceParams {
+    PlaceParams {
+        attempts_per_cell: 12,
+        normalization_samples: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn recorded_stream_reproduces_table1_schedule_and_leaves_run_unchanged() {
+    let nl = circuit();
+    let pp = fast_params();
+    let schedule = CoolingSchedule::stage1();
+    let est = EstimatorParams::default();
+
+    let (_, plain) = place_stage1(&nl, &pp, &est, &schedule, 42);
+    let mut rec = SummaryRecorder::new();
+    let (_, recorded) = place_stage1_with(&nl, &pp, &est, &schedule, 42, &mut rec);
+
+    // Recording must not perturb the run.
+    assert_eq!(plain.teil, recorded.teil);
+    assert_eq!(plain.history.len(), recorded.history.len());
+    assert_eq!(plain.moves, recorded.moves);
+
+    let temps = rec.place_temps("stage1");
+    assert_eq!(temps.len(), recorded.history.len());
+    assert!(temps.len() > 20, "expected a real cooling run");
+
+    let s_t = recorded.s_t;
+    let mut alphas_seen = Vec::new();
+    for (step, (ev, hist)) in temps.iter().zip(&recorded.history).enumerate() {
+        // Events mirror the run's own history record for record.
+        assert_eq!(ev.step, step);
+        assert_eq!(ev.temperature, hist.temperature);
+        assert_eq!(ev.attempts, hist.attempts);
+        assert_eq!(ev.accepts, hist.accepts);
+        assert_eq!(ev.cost.total, hist.cost);
+        assert_eq!(ev.teil, hist.teil);
+        assert_eq!(ev.cost.overlap, hist.overlap);
+        assert_eq!(ev.window_x, hist.window_x);
+        assert_eq!(ev.s_t, s_t);
+        assert_eq!(ev.phase, "stage1");
+        assert_eq!(ev.replica, -1);
+        // Cost decomposition is consistent: C = C₁ + p₂·C₂ + C₃.
+        let total = ev.cost.c1 + ev.cost.overlap_penalty + ev.cost.c3;
+        assert!(
+            (ev.cost.total - total).abs() <= 1e-6 * ev.cost.total.abs().max(1.0),
+            "step {step}: {} vs {total}",
+            ev.cost.total
+        );
+        // Per-class counters sum to the step totals.
+        let class_attempts: usize = ev.classes.iter().map(|c| c.attempts).sum();
+        let class_accepts: usize = ev.classes.iter().map(|c| c.accepts).sum();
+        assert_eq!(class_attempts, ev.attempts, "step {step}");
+        assert_eq!(class_accepts, ev.accepts, "step {step}");
+    }
+    // Consecutive temperatures follow the Table-1 multiplier exactly:
+    // T_{k+1} = α(T_k, S_T) · T_k.
+    for pair in temps.windows(2) {
+        let alpha = schedule.alpha(pair[0].temperature, s_t);
+        let expect = alpha * pair[0].temperature;
+        assert!(
+            (pair[1].temperature - expect).abs() <= 1e-9 * expect,
+            "{} -> {} (α = {alpha})",
+            pair[0].temperature,
+            pair[1].temperature
+        );
+        alphas_seen.push(alpha);
+    }
+    // The run traverses the Table-1 regions in order:
+    // 0.85 (hot) → 0.92 (mid) → 0.85 → 0.80 (final), no revisits.
+    alphas_seen.dedup();
+    assert_eq!(alphas_seen, vec![0.85, 0.92, 0.85, 0.80]);
+}
+
+#[test]
+fn stream_totals_match_move_counters() {
+    let nl = circuit();
+    let pp = fast_params();
+    let mut rec = SummaryRecorder::new();
+    let (_, result) = place_stage1_with(
+        &nl,
+        &pp,
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        7,
+        &mut rec,
+    );
+    // Every event is a stage-1 PlaceTemp; their per-step counters sum to
+    // the run's cumulative move statistics.
+    assert_eq!(rec.count("place_temp"), rec.events().len());
+    let mut attempts = 0usize;
+    let mut accepts = 0usize;
+    let mut by_class = std::collections::BTreeMap::new();
+    for ev in rec.events() {
+        let Event::PlaceTemp(p) = ev else {
+            panic!("unexpected event kind {}", ev.kind());
+        };
+        attempts += p.attempts;
+        accepts += p.accepts;
+        for c in &p.classes {
+            let e = by_class.entry(c.class).or_insert((0usize, 0usize));
+            e.0 += c.attempts;
+            e.1 += c.accepts;
+        }
+    }
+    assert_eq!(attempts, result.moves.attempts());
+    assert_eq!(accepts, result.moves.accepts());
+    for (class, counts) in result.moves.classes() {
+        let summed = by_class.get(class).copied().unwrap_or((0, 0));
+        assert_eq!(summed, counts, "class {class}");
+    }
+}

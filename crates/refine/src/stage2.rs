@@ -8,13 +8,16 @@
 //! and the Table 2 schedule. Three iterations suffice for the final TEIL
 //! and chip area to converge (Table 3).
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twmc_anneal::{CoolingSchedule, RangeLimiter};
 use twmc_geom::Rect;
 use twmc_netlist::Netlist;
-use twmc_place::{run_annealing, MoveSet, PlaceParams, PlacementState};
+use twmc_obs::{Event, NullRecorder, Recorder, RunScope, StageSpan};
+use twmc_place::{run_annealing_with, MoveSet, PlaceParams, PlacementState};
 use twmc_route::{global_route, GlobalRouting, NetPins, PlacedGeometry, RouterParams};
 
 use crate::static_expansions;
@@ -116,6 +119,44 @@ pub fn refine_placement(
     t_inf: f64,
     seed: u64,
 ) -> Stage2Result {
+    refine_placement_with(
+        state,
+        nl,
+        place_params,
+        params,
+        s_t,
+        t_inf,
+        seed,
+        &mut NullRecorder,
+    )
+}
+
+/// [`refine_placement`] with a telemetry sink: each refinement execution
+/// emits wall-clock [`StageSpan`]s for channel definition, global
+/// routing, and the refinement anneal, plus the anneal's per-temperature
+/// [`twmc_obs::PlaceTemp`] stream scoped to `stage2` iteration `k`; the
+/// closing route emits a `final_routing` span. Recording never touches
+/// the RNG streams, so results are bit-identical to [`refine_placement`].
+#[allow(clippy::too_many_arguments)]
+pub fn refine_placement_with(
+    state: &mut PlacementState<'_>,
+    nl: &Netlist,
+    place_params: &PlaceParams,
+    params: &RefineParams,
+    s_t: f64,
+    t_inf: f64,
+    seed: u64,
+    rec: &mut dyn Recorder,
+) -> Stage2Result {
+    let span = |rec: &mut dyn Recorder, stage: &'static str, k: usize, t0: Instant| {
+        if rec.enabled() {
+            rec.record(&Event::StageSpan(StageSpan {
+                stage,
+                iteration: k as u64,
+                wall_us: t0.elapsed().as_micros() as u64,
+            }));
+        }
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let core = state.estimator().core();
     let limiter = RangeLimiter::new(
@@ -131,22 +172,27 @@ pub fn refine_placement(
     for k in 0..params.refinements {
         // Channel definition needs strictly disjoint cells with routable
         // gaps; clean up whatever residual overlap annealing left.
+        let t0 = Instant::now();
         let gap = params.router.track_spacing.round().max(1.0) as i64;
         twmc_place::legalize(state, gap, 500);
 
         // (1) + (2): channel definition and global routing.
         let (geometry, nets) = routing_snapshot(state);
+        span(rec, "channel_definition", k, t0);
+        let t0 = Instant::now();
         let routing = global_route(&geometry, &nets, &params.router, seed ^ (k as u64 + 1));
         let max_density = routing.node_density.iter().copied().max().unwrap_or(0);
 
         // Static expansions from the routed densities.
         let expansions = static_expansions(&routing, nl.cells().len(), params.router.track_spacing);
         state.set_static_expansions(expansions);
+        span(rec, "global_routing", k, t0);
 
         // (3): low-temperature refinement.
+        let t0 = Instant::now();
         let teil_before = state.teil();
         let stall = (k + 1 == params.refinements).then_some(params.final_stall);
-        let _run = run_annealing(
+        let _run = run_annealing_with(
             state,
             place_params,
             MoveSet::Refinement,
@@ -156,7 +202,10 @@ pub fn refine_placement(
             s_t,
             stall,
             &mut rng,
+            rec,
+            RunScope::stage2(k),
         );
+        span(rec, "refine_anneal", k, t0);
         records.push(RefinementRecord {
             teil_before,
             teil_after: state.teil(),
@@ -169,10 +218,12 @@ pub fn refine_placement(
     }
 
     // Final routing of the refined placement.
+    let t0 = Instant::now();
     let gap = params.router.track_spacing.round().max(1.0) as i64;
     twmc_place::legalize(state, gap, 500);
     let (geometry, nets) = routing_snapshot(state);
     let final_routing = global_route(&geometry, &nets, &params.router, seed ^ 0xffff);
+    span(rec, "final_routing", params.refinements, t0);
 
     Stage2Result {
         teil: state.teil(),

@@ -1,0 +1,44 @@
+//! Validates a `--telemetry` JSONL stream: every line must parse as a
+//! known, schema-complete event, and the stream must cover the core
+//! pipeline kinds. Used by CI as the telemetry smoke check.
+//!
+//! ```sh
+//! cargo run --release --example validate_telemetry run.jsonl
+//! ```
+
+use std::process::ExitCode;
+
+use timberwolfmc::obs::validate::{expect_kinds, validate_jsonl};
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_telemetry FILE.jsonl");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match validate_jsonl(&text) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("{path}: invalid telemetry stream: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = expect_kinds(
+        &stats,
+        &["run_start", "place_temp", "stage_span", "run_end"],
+    ) {
+        eprintln!("{path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {} events valid", stats.lines);
+    for (kind, count) in &stats.kind_counts {
+        println!("  {kind:<16} {count}");
+    }
+    ExitCode::SUCCESS
+}

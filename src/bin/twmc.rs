@@ -9,15 +9,16 @@
 use std::process::ExitCode;
 
 use timberwolfmc::core::{
-    compare, format_parallel_report, format_table4, greedy_placement, quadratic_placement,
-    render_svg, run_timberwolf, shelf_placement, ParallelParams, RenderOptions, Strategy,
-    TimberWolfConfig,
+    compare, format_parallel_report, format_table4, format_telemetry_summary, greedy_placement,
+    quadratic_placement, render_svg, run_timberwolf, run_timberwolf_with, shelf_placement,
+    ParallelParams, RenderOptions, Strategy, TimberWolfConfig,
 };
 use timberwolfmc::estimator::EstimatorParams;
 use timberwolfmc::netlist::{
     paper_circuit, parse_netlist, synthesize, synthesize_profile, write_netlist, Netlist,
     SynthParams,
 };
+use timberwolfmc::obs::{JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
 use timberwolfmc::place::PlaceParams;
 
 fn usage() -> ExitCode {
@@ -25,14 +26,51 @@ fn usage() -> ExitCode {
         "usage:\n  \
          twmc synth [--circuit NAME | --cells N --nets N --pins N] [--seed N] [--custom F] --out FILE\n  \
          twmc place FILE [--seed N] [--ac N] [--svg FILE] [--placement FILE]\n              \
-         [--replicas N] [--threads N] [--strategy multistart|tempering] [--swap-interval N]\n  \
+         [--replicas N] [--threads N] [--strategy multistart|tempering] [--swap-interval N]\n              \
+         [--telemetry FILE.jsonl] [--telemetry-summary]\n  \
          twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n\n\
          NAME is one of the paper's circuits: i1 p1 x1 i2 i3 l1 d2 d1 d3\n\
          --replicas N runs N annealing replicas (deterministic per seed);\n\
-         --threads 0 uses one thread per replica"
+         --threads 0 uses one thread per replica\n\
+         --telemetry FILE streams JSONL events; --telemetry-summary prints a table"
     );
     ExitCode::FAILURE
 }
+
+/// The flag vocabulary of one subcommand: `(name, takes_value)` pairs.
+type FlagSpec = &'static [(&'static str, bool)];
+
+const SYNTH_FLAGS: FlagSpec = &[
+    ("circuit", true),
+    ("cells", true),
+    ("nets", true),
+    ("pins", true),
+    ("custom", true),
+    ("seed", true),
+    ("out", true),
+];
+
+const PLACE_FLAGS: FlagSpec = &[
+    ("seed", true),
+    ("ac", true),
+    ("svg", true),
+    ("placement", true),
+    ("replicas", true),
+    ("threads", true),
+    ("strategy", true),
+    ("swap-interval", true),
+    ("telemetry", true),
+    ("telemetry-summary", false),
+];
+
+const COMPARE_FLAGS: FlagSpec = &[
+    ("seed", true),
+    ("ac", true),
+    ("replicas", true),
+    ("threads", true),
+    ("strategy", true),
+    ("swap-interval", true),
+];
 
 struct Flags {
     values: std::collections::HashMap<String, String>,
@@ -40,14 +78,31 @@ struct Flags {
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Flags {
+    /// Parses `args` against the subcommand's flag vocabulary.
+    ///
+    /// Unknown flags are an error (listing the valid set) rather than
+    /// silently absorbed, and a value flag always consumes the next
+    /// argument — so negative values like `--seed -1` parse as a value,
+    /// not as a missing one followed by a stray positional.
+    fn parse(args: &[String], known: FlagSpec) -> Result<Flags, String> {
         let mut values = std::collections::HashMap::new();
         let mut positional = Vec::new();
         let mut i = 0;
         while i < args.len() {
             if let Some(name) = args[i].strip_prefix("--") {
-                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                    values.insert(name.to_owned(), args[i + 1].clone());
+                let Some(&(_, takes_value)) = known.iter().find(|(k, _)| *k == name) else {
+                    let valid: Vec<String> = known.iter().map(|(k, _)| format!("--{k}")).collect();
+                    return Err(format!(
+                        "unknown flag `--{name}` (valid flags: {}); run `twmc` with no \
+                         arguments for usage",
+                        valid.join(", ")
+                    ));
+                };
+                if takes_value {
+                    let Some(value) = args.get(i + 1) else {
+                        return Err(format!("flag `--{name}` needs a value"));
+                    };
+                    values.insert(name.to_owned(), value.clone());
                     i += 2;
                 } else {
                     values.insert(name.to_owned(), "true".to_owned());
@@ -58,7 +113,7 @@ impl Flags {
                 i += 1;
             }
         }
-        Flags { values, positional }
+        Ok(Flags { values, positional })
     }
 
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
@@ -70,6 +125,10 @@ impl Flags {
 
     fn get_str(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(|s| s.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
     }
 }
 
@@ -158,8 +217,40 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
             config.place.attempts_per_cell
         );
     }
+    // Telemetry sinks: a JSONL file, an in-memory summary, both, or none.
+    let mut jsonl = match flags.get_str("telemetry") {
+        Some(path) => {
+            Some(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let mut summary = flags.has("telemetry-summary").then(SummaryRecorder::new);
+    let mut null = NullRecorder;
+
     let t0 = std::time::Instant::now();
-    let result = run_timberwolf(&nl, &config);
+    let result = {
+        let mut tee;
+        let rec: &mut dyn Recorder = match (jsonl.as_mut(), summary.as_mut()) {
+            (Some(j), Some(s)) => {
+                tee = Tee { a: j, b: s };
+                &mut tee
+            }
+            (Some(j), None) => j,
+            (None, Some(s)) => s,
+            (None, None) => &mut null,
+        };
+        run_timberwolf_with(&nl, &config, rec)
+    };
+    if let Some(j) = jsonl {
+        let events = j.events();
+        let path = flags.get_str("telemetry").expect("jsonl implies the flag");
+        j.finish()
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {events} telemetry events to {path}");
+    }
+    if let Some(s) = &summary {
+        print!("{}", format_telemetry_summary(s.events()));
+    }
     if let Some(report) = &result.parallel {
         print!("{}", format_parallel_report(report));
     }
@@ -229,7 +320,19 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let flags = Flags::parse(&args[1..]);
+    let known = match cmd.as_str() {
+        "synth" => SYNTH_FLAGS,
+        "place" => PLACE_FLAGS,
+        "compare" => COMPARE_FLAGS,
+        _ => return usage(),
+    };
+    let flags = match Flags::parse(&args[1..], known) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match cmd.as_str() {
         "synth" => cmd_synth(&flags),
         "place" => cmd_place(&flags),

@@ -18,7 +18,9 @@
 //! * [`refine`] — stage-2 placement refinement (§4.3);
 //! * [`channel`] — a detailed channel router (constrained left-edge
 //!   with doglegs) validating the `t ≤ d+1` assumption behind eq. 22;
-//! * [`core`] — the full pipeline, baselines, and reports.
+//! * [`core`] — the full pipeline, baselines, and reports;
+//! * [`obs`] — dependency-light telemetry: recorders, the JSONL event
+//!   schema, and stream validation.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use twmc_core as core;
 pub use twmc_estimator as estimator;
 pub use twmc_geom as geom;
 pub use twmc_netlist as netlist;
+pub use twmc_obs as obs;
 pub use twmc_parallel as parallel;
 pub use twmc_place as place;
 pub use twmc_refine as refine;

@@ -1,0 +1,111 @@
+//! End-to-end telemetry: the full pipeline streams a valid JSONL event
+//! log covering every stage, recording never changes the result, and a
+//! tempering run additionally covers the replica/swap event kinds.
+
+use timberwolfmc::core::{
+    run_timberwolf, run_timberwolf_with, ParallelParams, Strategy, TimberWolfConfig,
+};
+use timberwolfmc::netlist::{synthesize, Netlist, SynthParams};
+use timberwolfmc::obs::validate::{expect_kinds, validate_jsonl};
+use timberwolfmc::obs::{JsonlRecorder, SummaryRecorder};
+use timberwolfmc::place::PlaceParams;
+use timberwolfmc::route::RouterParams;
+
+fn circuit() -> Netlist {
+    synthesize(&SynthParams {
+        cells: 8,
+        nets: 20,
+        pins: 70,
+        custom_fraction: 0.25,
+        seed: 5,
+        avg_cell_dim: 20,
+        ..Default::default()
+    })
+}
+
+fn quick_config(seed: u64) -> TimberWolfConfig {
+    TimberWolfConfig {
+        place: PlaceParams {
+            attempts_per_cell: 8,
+            normalization_samples: 8,
+            ..Default::default()
+        },
+        refine: timberwolfmc::refine::RefineParams {
+            router: RouterParams {
+                m_alternatives: 6,
+                per_level: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pipeline_streams_valid_jsonl_without_changing_the_result() {
+    let nl = circuit();
+    let config = quick_config(3);
+
+    let plain = run_timberwolf(&nl, &config);
+    let mut rec = JsonlRecorder::new(Vec::new());
+    let recorded = run_timberwolf_with(&nl, &config, &mut rec);
+
+    // Recording is observation only: same chip, bit for bit.
+    assert_eq!(plain.teil, recorded.teil);
+    assert_eq!(plain.routed_length, recorded.routed_length);
+    assert_eq!(plain.chip, recorded.chip);
+    assert_eq!(plain.placement, recorded.placement);
+
+    // The stream is valid JSONL and covers the pipeline's event kinds.
+    let bytes = rec.finish().expect("memory sink");
+    let text = String::from_utf8(bytes).expect("utf-8 stream");
+    let stats = validate_jsonl(&text).expect("every line validates");
+    expect_kinds(
+        &stats,
+        &["run_start", "place_temp", "stage_span", "run_end"],
+    )
+    .expect("pipeline kinds covered");
+    assert_eq!(stats.kind_counts["run_start"], 1);
+    assert_eq!(stats.kind_counts["run_end"], 1);
+    // One span per stage-2 iteration for each of the three traced
+    // sub-stages, plus stage1 / final_routing / finalize.
+    let refinements = config.refine.refinements;
+    assert!(
+        stats.kind_counts["stage_span"] >= 3 * refinements + 3,
+        "expected spans for {} refinements, got {}",
+        refinements,
+        stats.kind_counts["stage_span"]
+    );
+    // A real cooling run emits many temperature steps.
+    assert!(stats.kind_counts["place_temp"] > 20);
+}
+
+#[test]
+fn tempering_run_covers_replica_and_swap_kinds() {
+    let nl = circuit();
+    let mut config = quick_config(9);
+    config.parallel = ParallelParams {
+        replicas: 2,
+        threads: 1,
+        strategy: Strategy::Tempering,
+        swap_interval: 4,
+        ..Default::default()
+    };
+
+    let plain = run_timberwolf(&nl, &config);
+    let mut rec = SummaryRecorder::new();
+    let recorded = run_timberwolf_with(&nl, &config, &mut rec);
+    assert_eq!(plain.teil, recorded.teil);
+    assert_eq!(plain.placement, recorded.placement);
+
+    // Every rung reports a summary, swap sweeps are recorded, and the
+    // tempering rounds stream per-rung temperature events.
+    assert_eq!(rec.count("run_start"), 1);
+    assert_eq!(rec.count("run_end"), 1);
+    assert_eq!(rec.count("replica_summary"), 2);
+    assert!(rec.count("swap") > 0, "no swap sweeps recorded");
+    assert!(!rec.place_temps("tempering").is_empty());
+    assert!(!rec.place_temps("quench").is_empty());
+}
