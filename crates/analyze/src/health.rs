@@ -1,0 +1,644 @@
+//! Run-health diagnostics: checks a recorded run against the paper's
+//! control laws.
+//!
+//! Each check compares one feedback mechanism of the annealing stack
+//! with what §3.3–§4.2 of the paper prescribe: the Table-1 cooling
+//! regions, the eq. 12–14 log-T range-limiter decay with ρ = 4, the
+//! `S_T`/`T_∞` scaling of eqs. 19–21, cost convergence, the r ≈ 10
+//! displacement/interchange move mix (Fig. 3), and the phase-2 route
+//! selection's overflow guarantees (eq. 24). The result is a flat list
+//! of pass/warn/fail findings plus the headline metrics the diff
+//! engine compares across runs.
+
+use serde::Serialize;
+use twmc_anneal::{CoolingSchedule, MIN_WINDOW_SPAN, REF_T_INFINITY};
+
+use crate::stream::{RunStream, TempRec};
+
+/// Severity of one finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// The signal matches the paper's law.
+    Pass,
+    /// Suspicious but not conclusively broken (short streams, missing
+    /// sections, soft heuristics).
+    Warn,
+    /// The recorded run violates a law that holds for a healthy run.
+    Fail,
+}
+
+/// One diagnostic finding.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Finding {
+    /// Check identifier (`"schedule.table1"`, `"route.overflow"`, …).
+    pub check: String,
+    /// Outcome.
+    pub severity: Severity,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Headline metrics of a run — the values the diff engine compares.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Metrics {
+    /// Final TEIL.
+    pub teil: f64,
+    /// Final chip area (width × height).
+    pub chip_area: i64,
+    /// Final routed length.
+    pub routed_length: i64,
+    /// Residual routing overflow of the last routing execution.
+    pub overflow: i64,
+    /// Unrouted nets of the last routing execution.
+    pub unrouted: i64,
+    /// Run wall-clock in microseconds (informational).
+    pub wall_us: u64,
+    /// Temperature steps recorded.
+    pub temp_steps: u64,
+    /// Routing executions recorded.
+    pub route_iters: u64,
+}
+
+/// The full health report of one recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HealthReport {
+    /// Findings in fixed check order.
+    pub findings: Vec<Finding>,
+    /// Headline metrics.
+    pub metrics: Metrics,
+}
+
+impl HealthReport {
+    /// Worst severity across all findings.
+    pub fn worst(&self) -> Severity {
+        self.findings
+            .iter()
+            .map(|f| f.severity)
+            .max()
+            .unwrap_or(Severity::Pass)
+    }
+
+    /// Whether no finding failed.
+    pub fn healthy(&self) -> bool {
+        self.worst() != Severity::Fail
+    }
+}
+
+/// Relative tolerance for matching recorded cooling ratios against the
+/// schedule's α: the recorder prints finite decimals, so allow rounding
+/// noise but nothing a wrong α could hide behind (regions differ by ≥3%).
+const ALPHA_TOL: f64 = 1e-3;
+
+/// Tolerance on the estimated range-limiter exponent ρ̂ around the
+/// paper's 4 (window spans are printed with limited precision).
+const RHO_TOL: f64 = 0.25;
+
+fn finding(check: &str, severity: Severity, detail: String) -> Finding {
+    Finding {
+        check: check.to_owned(),
+        severity,
+        detail,
+    }
+}
+
+/// Extracts the headline metrics (used standalone by the diff engine).
+pub fn metrics(stream: &RunStream) -> Metrics {
+    let last_route = stream.routes.last();
+    let (teil, chip_area, routed_length, wall_us) = match &stream.end {
+        Some(end) => (
+            end.teil,
+            end.chip_width * end.chip_height,
+            end.routed_length,
+            end.wall_us,
+        ),
+        None => (
+            stream.temps.last().map_or(f64::NAN, |t| t.teil),
+            0,
+            last_route.map_or(0, |r| r.total_length),
+            stream.spans.iter().map(|s| s.wall_us).sum(),
+        ),
+    };
+    Metrics {
+        teil,
+        chip_area,
+        routed_length,
+        overflow: last_route.map_or(0, |r| r.overflow),
+        unrouted: last_route.map_or(0, |r| r.unrouted as i64),
+        wall_us,
+        temp_steps: stream.temps.len() as u64,
+        route_iters: stream.routes.len() as u64,
+    }
+}
+
+/// Runs every health check on a parsed stream.
+pub fn analyze(stream: &RunStream) -> HealthReport {
+    let stage1 = stream.stage1_temps();
+    let mut findings = vec![check_envelope(stream)];
+    findings.push(check_scaling(&stage1));
+    findings.push(check_schedule(&stage1));
+    findings.push(check_acceptance(&stage1));
+    findings.push(check_window(&stage1));
+    findings.push(check_cost(&stage1));
+    findings.push(check_moves(&stage1));
+    findings.extend(check_routes(stream));
+    HealthReport {
+        findings,
+        metrics: metrics(stream),
+    }
+}
+
+fn check_envelope(stream: &RunStream) -> Finding {
+    match (&stream.start, &stream.end) {
+        (Some(s), Some(e)) => finding(
+            "run.envelope",
+            Severity::Pass,
+            format!(
+                "seed {} ({} cells, {} nets, {} pins, {} x{}) -> TEIL {:.0} in {:.2}s",
+                s.seed,
+                s.cells,
+                s.nets,
+                s.pins,
+                s.strategy,
+                s.replicas,
+                e.teil,
+                e.wall_us as f64 / 1e6
+            ),
+        ),
+        _ => finding(
+            "run.envelope",
+            Severity::Warn,
+            "stream fragment without a run_start/run_end envelope".to_owned(),
+        ),
+    }
+}
+
+/// `S_T` constancy and `T_∞ = S_T · 10^5` (eqs. 20–21).
+fn check_scaling(stage1: &[&TempRec]) -> Finding {
+    let Some(first) = stage1.first() else {
+        return finding(
+            "schedule.scaling",
+            Severity::Warn,
+            "no stage-1 place_temp stream recorded".to_owned(),
+        );
+    };
+    let s_t = first.s_t;
+    if let Some(t) = stage1.iter().find(|t| (t.s_t - s_t).abs() > 1e-9 * s_t) {
+        return finding(
+            "schedule.scaling",
+            Severity::Fail,
+            format!(
+                "S_T drifted within one run: {} at step {} vs {} at step {}",
+                t.s_t, t.step, s_t, first.step
+            ),
+        );
+    }
+    let t_inf = s_t * REF_T_INFINITY;
+    let ratio = first.temperature / t_inf;
+    // The first recorded step already cooled once from T_∞, so allow
+    // one α of slack below plus headroom above for rounding.
+    if !(0.5..=1.5).contains(&ratio) {
+        return finding(
+            "schedule.scaling",
+            Severity::Warn,
+            format!(
+                "start temperature {:.3e} is {ratio:.2}x S_T*1e5 = {t_inf:.3e} (eq. 21 expects ~1x)",
+                first.temperature
+            ),
+        );
+    }
+    finding(
+        "schedule.scaling",
+        Severity::Pass,
+        format!(
+            "S_T = {s_t:.4} constant over {} steps, T_start = {:.3e} ~= S_T*1e5",
+            stage1.len(),
+            first.temperature
+        ),
+    )
+}
+
+/// Cooling ratios against the Table-1 schedule, and the α-region
+/// sequence 0.85 -> 0.92 -> 0.85 -> 0.80.
+fn check_schedule(stage1: &[&TempRec]) -> Finding {
+    if stage1.len() < 2 {
+        return finding(
+            "schedule.table1",
+            Severity::Warn,
+            format!(
+                "only {} stage-1 temperature step(s); cannot check cooling ratios",
+                stage1.len()
+            ),
+        );
+    }
+    let schedule = CoolingSchedule::stage1();
+    let s_t = stage1[0].s_t.max(f64::MIN_POSITIVE);
+    let mut regions: Vec<f64> = Vec::new();
+    for pair in stage1.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.temperature <= 0.0 {
+            continue;
+        }
+        let observed = b.temperature / a.temperature;
+        let expected = schedule.alpha(a.temperature, s_t);
+        if (observed - expected).abs() > ALPHA_TOL {
+            return finding(
+                "schedule.table1",
+                Severity::Fail,
+                format!(
+                    "cooling ratio {observed:.4} at T = {:.3e} (step {}) does not match \
+                     Table 1's alpha = {expected} for this region",
+                    a.temperature, a.step
+                ),
+            );
+        }
+        if regions.last() != Some(&expected) {
+            regions.push(expected);
+        }
+    }
+    let region_str = regions
+        .iter()
+        .map(|a| format!("{a}"))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    if regions == [0.85, 0.92, 0.85, 0.80] {
+        finding(
+            "schedule.table1",
+            Severity::Pass,
+            format!("alpha regions {region_str} (all four Table-1 regions traversed)"),
+        )
+    } else {
+        finding(
+            "schedule.table1",
+            Severity::Warn,
+            format!(
+                "alpha regions {region_str}; a full stage-1 run traverses \
+                 0.85 -> 0.92 -> 0.85 -> 0.8"
+            ),
+        )
+    }
+}
+
+/// Acceptance-rate trajectory: high in the hot region, frozen at the
+/// end, broadly decreasing in between.
+fn check_acceptance(stage1: &[&TempRec]) -> Finding {
+    if stage1.len() < 4 {
+        return finding(
+            "anneal.acceptance",
+            Severity::Warn,
+            "stage-1 stream too short for an acceptance trajectory".to_owned(),
+        );
+    }
+    let rates: Vec<f64> = stage1.iter().map(|t| t.acceptance()).collect();
+    let quarter = rates.len() / 4;
+    let head: f64 = rates[..quarter.max(1)].iter().sum::<f64>() / quarter.max(1) as f64;
+    let tail: f64 =
+        rates[rates.len() - quarter.max(1)..].iter().sum::<f64>() / quarter.max(1) as f64;
+    let detail = format!(
+        "acceptance {:.0}% at T_start, {head:.2} mean over the hot quartile, \
+         {tail:.2} over the cold quartile, {:.0}% at the end",
+        100.0 * rates[0],
+        100.0 * rates[rates.len() - 1]
+    );
+    if tail > head {
+        return finding(
+            "anneal.acceptance",
+            Severity::Fail,
+            format!("{detail}; acceptance rose as the run cooled"),
+        );
+    }
+    if rates[0] < 0.5 {
+        return finding(
+            "anneal.acceptance",
+            Severity::Warn,
+            format!("{detail}; the hot regime should accept most moves (T_start too low?)"),
+        );
+    }
+    if tail > 0.5 {
+        return finding(
+            "anneal.acceptance",
+            Severity::Warn,
+            format!("{detail}; the run never froze (stopped too hot?)"),
+        );
+    }
+    finding("anneal.acceptance", Severity::Pass, detail)
+}
+
+/// Range-limiter decay: windows non-increasing, and the implied
+/// exponent ρ̂ close to the paper's 4 on the unclamped segment.
+fn check_window(stage1: &[&TempRec]) -> Finding {
+    if stage1.len() < 2 {
+        return finding(
+            "window.decay",
+            Severity::Warn,
+            "stage-1 stream too short to check the range limiter".to_owned(),
+        );
+    }
+    for pair in stage1.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if b.window_x > a.window_x + 1e-9 || b.window_y > a.window_y + 1e-9 {
+            return finding(
+                "window.decay",
+                Severity::Fail,
+                format!(
+                    "window grew while cooling: ({:.1}, {:.1}) -> ({:.1}, {:.1}) at step {}",
+                    a.window_x, a.window_y, b.window_x, b.window_y, b.step
+                ),
+            );
+        }
+    }
+    // Estimate rho from the widest unclamped span: eq. 12 gives
+    // W(T2)/W(T1) = rho^(log10 T2 - log10 T1) wherever the minimum-span
+    // floor is not active.
+    let unclamped: Vec<&&TempRec> = stage1
+        .iter()
+        .filter(|t| t.window_x > MIN_WINDOW_SPAN * 1.01 && t.temperature > 0.0)
+        .collect();
+    let (Some(first), Some(last)) = (unclamped.first(), unclamped.last()) else {
+        return finding(
+            "window.decay",
+            Severity::Warn,
+            "window at its minimum span throughout; cannot estimate rho".to_owned(),
+        );
+    };
+    let dlog = first.temperature.log10() - last.temperature.log10();
+    if dlog < 0.5 {
+        return finding(
+            "window.decay",
+            Severity::Warn,
+            "unclamped window segment spans less than half a temperature decade".to_owned(),
+        );
+    }
+    let rho_hat = (first.window_x / last.window_x).powf(1.0 / dlog);
+    if (rho_hat - 4.0).abs() > RHO_TOL {
+        return finding(
+            "window.decay",
+            Severity::Fail,
+            format!(
+                "estimated range-limiter exponent rho = {rho_hat:.2} over {dlog:.1} decades \
+                 (paper section 3.2.2 chooses 4)"
+            ),
+        );
+    }
+    finding(
+        "window.decay",
+        Severity::Pass,
+        format!("windows non-increasing; rho = {rho_hat:.2} over {dlog:.1} decades (paper: 4)"),
+    )
+}
+
+/// Cost convergence, stalls, and tail oscillation.
+fn check_cost(stage1: &[&TempRec]) -> Finding {
+    let (Some(first), Some(last)) = (stage1.first(), stage1.last()) else {
+        return finding(
+            "cost.convergence",
+            Severity::Warn,
+            "no stage-1 cost trajectory recorded".to_owned(),
+        );
+    };
+    if !last.cost_total.is_finite() || last.cost_total > first.cost_total {
+        return finding(
+            "cost.convergence",
+            Severity::Fail,
+            format!(
+                "cost did not converge: {:.0} at T_start -> {:.0} at the end",
+                first.cost_total, last.cost_total
+            ),
+        );
+    }
+    // Oscillation: in the cold half the cost should mostly move down.
+    let half = &stage1[stage1.len() / 2..];
+    let rises = half
+        .windows(2)
+        .filter(|p| p[1].cost_total > p[0].cost_total)
+        .count();
+    let detail = format!(
+        "cost {:.0} -> {:.0} ({} steps); final split C1 {:.0} / p2*C2 {:.0} / C3 {:.0}",
+        first.cost_total,
+        last.cost_total,
+        stage1.len(),
+        last.c1,
+        last.overlap_penalty,
+        last.c3
+    );
+    if half.len() >= 4 && rises * 2 > half.len() {
+        return finding(
+            "cost.convergence",
+            Severity::Warn,
+            format!(
+                "{detail}; cost rose on {rises}/{} cold-half steps (oscillating?)",
+                half.len() - 1
+            ),
+        );
+    }
+    finding("cost.convergence", Severity::Pass, detail)
+}
+
+/// Move-class mix: the displacement/interchange attempt ratio r should
+/// sit near the paper's 10 (Fig. 3: 7–15 within 1% of best).
+fn check_moves(stage1: &[&TempRec]) -> Finding {
+    let mut disp = (0u64, 0u64);
+    let mut inter = (0u64, 0u64);
+    for t in stage1 {
+        for c in &t.classes {
+            match c.class.as_str() {
+                "displacements" | "inverted_displacements" => {
+                    disp.0 += c.attempts;
+                    disp.1 += c.accepts;
+                }
+                "interchanges" | "inverted_interchanges" => {
+                    inter.0 += c.attempts;
+                    inter.1 += c.accepts;
+                }
+                _ => {}
+            }
+        }
+    }
+    if disp.0 == 0 || inter.0 == 0 {
+        return finding(
+            "moves.ratio",
+            Severity::Warn,
+            "no per-class move counters recorded (pre-telemetry stream?)".to_owned(),
+        );
+    }
+    let r = disp.0 as f64 / inter.0 as f64;
+    let detail = format!(
+        "r = {r:.1} ({} displacements at {:.0}% accept, {} interchanges at {:.0}% accept)",
+        disp.0,
+        100.0 * disp.1 as f64 / disp.0.max(1) as f64,
+        inter.0,
+        100.0 * inter.1 as f64 / inter.0.max(1) as f64,
+    );
+    if (5.0..=20.0).contains(&r) {
+        finding("moves.ratio", Severity::Pass, detail)
+    } else {
+        finding(
+            "moves.ratio",
+            Severity::Warn,
+            format!("{detail}; Fig. 3 places the best mix near r = 10"),
+        )
+    }
+}
+
+/// Routing health over the recorded `route_iter` executions.
+fn check_routes(stream: &RunStream) -> Vec<Finding> {
+    if stream.routes.is_empty() {
+        return vec![finding(
+            "route.overflow",
+            Severity::Warn,
+            "no route_iter events recorded (pre-telemetry stream?)".to_owned(),
+        )];
+    }
+    let mut findings = Vec::new();
+    // The phase-2 interchange only ever accepts dX <= 0 moves, so the
+    // selected overflow can never exceed the shortest-route overflow.
+    match stream.routes.iter().find(|r| r.overflow > r.overflow_start) {
+        Some(r) => findings.push(finding(
+            "route.overflow",
+            Severity::Fail,
+            format!(
+                "{}[{}]: selected overflow {} exceeds shortest-route overflow {} \
+                 (phase-2 accept rule violated)",
+                r.phase, r.iteration, r.overflow, r.overflow_start
+            ),
+        )),
+        None => {
+            let improved: i64 = stream
+                .routes
+                .iter()
+                .map(|r| r.overflow_start - r.overflow)
+                .sum();
+            findings.push(finding(
+                "route.overflow",
+                Severity::Pass,
+                format!(
+                    "{} routing execution(s); selection never exceeded the shortest-route \
+                     overflow (removed {improved} overflow in total)",
+                    stream.routes.len()
+                ),
+            ));
+        }
+    }
+    let last = stream.routes.last().expect("nonempty");
+    let overfull = last.util_hist.get(4).copied().unwrap_or(0);
+    if last.overflow > 0 || last.unrouted > 0 || overfull > 0 {
+        findings.push(finding(
+            "route.final",
+            Severity::Warn,
+            format!(
+                "final routing ({}[{}]) leaves overflow {}, {} unrouted net(s), \
+                 {overfull} overfull edge(s)",
+                last.phase, last.iteration, last.overflow, last.unrouted
+            ),
+        ));
+    } else {
+        findings.push(finding(
+            "route.final",
+            Severity::Pass,
+            format!(
+                "final routing ({}[{}]): {} nets, length {}, zero overflow, no overfull edges",
+                last.phase, last.iteration, last.nets, last.total_length
+            ),
+        ));
+    }
+    findings
+}
+
+/// Renders a report as the terminal table behind `twmc report`.
+pub fn format_report(report: &HealthReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let tag = match f.severity {
+            Severity::Pass => "PASS",
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        };
+        out.push_str(&format!("{tag}  {:<20} {}\n", f.check, f.detail));
+    }
+    let m = &report.metrics;
+    out.push_str(&format!(
+        "metrics: TEIL {:.0}  area {}  routed {}  overflow {}  unrouted {}  \
+         ({} temp steps, {} routings, {:.2}s)\n",
+        m.teil,
+        m.chip_area,
+        m.routed_length,
+        m.overflow,
+        m.unrouted,
+        m.temp_steps,
+        m.route_iters,
+        m.wall_us as f64 / 1e6
+    ));
+    let verdict = match report.worst() {
+        Severity::Pass => "healthy",
+        Severity::Warn => "healthy with warnings",
+        Severity::Fail => "UNHEALTHY",
+    };
+    out.push_str(&format!("health: {verdict}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::parse_stream;
+    use crate::testgen::{pathological_stream, synth_stream, SynthSpec};
+
+    #[test]
+    fn healthy_synthetic_run_passes_all_checks() {
+        let jsonl = synth_stream(&SynthSpec::default());
+        let stream = parse_stream(&jsonl).unwrap();
+        let report = analyze(&stream);
+        assert!(report.healthy(), "{}", format_report(&report));
+        // The synthetic schedule traverses all four Table-1 regions.
+        let sched = report
+            .findings
+            .iter()
+            .find(|f| f.check == "schedule.table1")
+            .unwrap();
+        assert_eq!(sched.severity, Severity::Pass, "{}", sched.detail);
+        assert!(sched.detail.contains("0.85 -> 0.92 -> 0.85 -> 0.8"));
+        let text = format_report(&report);
+        assert!(text.contains("health: healthy"), "{text}");
+    }
+
+    #[test]
+    fn pathological_schedule_is_flagged_unhealthy() {
+        let jsonl = pathological_stream();
+        let stream = parse_stream(&jsonl).unwrap();
+        let report = analyze(&stream);
+        assert!(!report.healthy(), "{}", format_report(&report));
+        let sched = report
+            .findings
+            .iter()
+            .find(|f| f.check == "schedule.table1")
+            .unwrap();
+        assert_eq!(sched.severity, Severity::Fail, "{}", sched.detail);
+        assert!(format_report(&report).contains("UNHEALTHY"));
+    }
+
+    #[test]
+    fn overflow_violation_fails_route_check() {
+        let spec = SynthSpec {
+            route_overflow_violation: true,
+            ..SynthSpec::default()
+        };
+        let stream = parse_stream(&synth_stream(&spec)).unwrap();
+        let report = analyze(&stream);
+        let route = report
+            .findings
+            .iter()
+            .find(|f| f.check == "route.overflow")
+            .unwrap();
+        assert_eq!(route.severity, Severity::Fail, "{}", route.detail);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let stream = parse_stream(&synth_stream(&SynthSpec::default())).unwrap();
+        let report = analyze(&stream);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"findings\""), "{json}");
+        assert!(json.contains("\"Pass\""), "{json}");
+        // The JSON itself must parse back through the obs parser.
+        twmc_obs::validate::parse_json(&json).unwrap();
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline run-health diagnostics and cross-run regression diffs for
+//! recorded TimberWolfMC telemetry (the engine behind `twmc report`
+//! and `twmc diff`).
+//!
+//! The twmc-obs crate records what the annealing stack *did*; this
+//! crate judges whether that matches what the paper says a healthy run
+//! *does*:
+//!
+//! * [`parse_stream`] — validates a JSONL stream (schema, run
+//!   envelope, temperature monotonicity; every error names its line)
+//!   and lifts it into typed records;
+//! * [`analyze`] — the health checks: Table-1 cooling regions and
+//!   `S_T`/`T_∞` scaling (eqs. 18–21), eq. 12–14 range-limiter decay
+//!   with ρ = 4, acceptance-rate trajectory, cost convergence, the
+//!   r ≈ 10 move mix (Fig. 3), and the phase-2 routing overflow
+//!   guarantees (eq. 24) — each a pass/warn/fail [`Finding`];
+//! * [`diff_runs`] — compares two runs' headline [`Metrics`] under
+//!   configurable thresholds; quality regressions gate, wall-clock is
+//!   informational;
+//! * [`testgen`] — deterministic synthetic streams that follow (or
+//!   deliberately bend) the laws, for tests and CI fixtures.
+//!
+//! # Examples
+//!
+//! ```
+//! use twmc_analyze::{analyze, diff_runs, parse_stream, DiffThresholds};
+//! use twmc_analyze::testgen::{synth_stream, SynthSpec};
+//!
+//! let stream = parse_stream(&synth_stream(&SynthSpec::default())).unwrap();
+//! let report = analyze(&stream);
+//! assert!(report.healthy());
+//!
+//! let diff = diff_runs(&report.metrics, &report.metrics, &DiffThresholds::default());
+//! assert!(!diff.regressed());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod diff;
+mod health;
+mod stream;
+pub mod testgen;
+
+pub use diff::{diff_runs, format_diff, DiffReport, DiffThresholds, MetricDelta};
+pub use health::{analyze, format_report, metrics, Finding, HealthReport, Metrics, Severity};
+pub use stream::{
+    parse_stream, ClassRec, RouteRec, RunEndRec, RunStartRec, RunStream, SpanRec, TempRec,
+};

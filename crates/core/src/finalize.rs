@@ -16,7 +16,7 @@ use twmc_refine::{
     routing_snapshot, spacing_constraints, spread_for_widths, static_expansions,
     verify_channel_widths, WidthReport,
 };
-use twmc_route::{global_route, RouterParams};
+use twmc_route::{global_route_with, RouterParams};
 
 /// The routed, width-legal chip.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,12 +51,26 @@ pub fn finalize_chip(
     router: &RouterParams,
     seed: u64,
 ) -> FinalChip {
+    finalize_chip_with(nl, state, router, seed, &mut twmc_obs::NullRecorder)
+}
+
+/// [`finalize_chip`] with a telemetry sink: the width-derivation route
+/// and the closing route each emit a `route_iter` event (phase
+/// `"finalize"`, iterations 0 and 1). Recording never touches any RNG,
+/// so results are bit-identical to [`finalize_chip`].
+pub fn finalize_chip_with(
+    nl: &Netlist,
+    state: &mut PlacementState<'_>,
+    router: &RouterParams,
+    seed: u64,
+    rec: &mut dyn twmc_obs::Recorder,
+) -> FinalChip {
     let gap = router.track_spacing.round().max(1.0) as i64;
     twmc_place::legalize(state, gap, 500);
 
     // Route the legal placement and derive required widths.
     let (geometry, nets) = routing_snapshot(state);
-    let routing = global_route(&geometry, &nets, router, seed);
+    let routing = global_route_with(&geometry, &nets, router, seed, rec, "finalize", 0);
     let expansions = static_expansions(&routing, nl.cells().len(), router.track_spacing);
     state.set_static_expansions(expansions);
 
@@ -69,7 +83,7 @@ pub fn finalize_chip(
 
     // Final routing of the spread placement.
     let (geometry, nets) = routing_snapshot(state);
-    let routing = global_route(&geometry, &nets, router, seed ^ 0xf17a1);
+    let routing = global_route_with(&geometry, &nets, router, seed ^ 0xf17a1, rec, "finalize", 1);
     let width_report = verify_channel_widths(&routing, router.track_spacing);
 
     FinalChip {

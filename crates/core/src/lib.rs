@@ -43,7 +43,7 @@ mod report;
 
 pub use baseline::{greedy_placement, quadratic_placement, shelf_placement, BaselineResult};
 pub use config::TimberWolfConfig;
-pub use finalize::{finalize_chip, FinalChip};
+pub use finalize::{finalize_chip, finalize_chip_with, FinalChip};
 pub use pipeline::{
     run_timberwolf, run_timberwolf_with, snapshot_placement, PlacedCellRecord, TimberWolfResult,
 };

@@ -162,11 +162,12 @@ pub fn run_timberwolf_with(
     // Finalize with routed channel widths enforced — the same yardstick
     // the baselines are measured with.
     let t0 = Instant::now();
-    let fin = crate::finalize_chip(
+    let fin = crate::finalize_chip_with(
         nl,
         &mut state,
         &config.refine.router,
         config.seed.wrapping_add(0xf17a1),
+        rec,
     );
     span(rec, "finalize", t0);
     let placement = snapshot_placement(nl, &state);

@@ -156,6 +156,7 @@ pub fn format_telemetry_summary(events: &[Event]) -> String {
         last_teil: f64,
     }
     let mut runs: Vec<Run> = Vec::new();
+    let mut routes: Vec<&twmc_obs::RouteIter> = Vec::new();
     let mut stages: Vec<(&'static str, u64, usize)> = Vec::new();
     let mut swap_attempts = 0usize;
     let mut swap_accepts = 0usize;
@@ -194,6 +195,7 @@ pub fn format_telemetry_summary(events: &[Event]) -> String {
                 run.last_teil = p.teil;
             }
             Event::AnnealTemp(_) => {}
+            Event::RouteIter(r) => routes.push(r),
             Event::StageSpan(s) => match stages.iter_mut().find(|(name, _, _)| *name == s.stage) {
                 Some((_, us, n)) => {
                     *us += s.wall_us;
@@ -239,6 +241,24 @@ pub fn format_telemetry_summary(events: &[Event]) -> String {
                 100.0 * r.accepts as f64 / r.attempts.max(1) as f64,
                 r.last_t,
                 r.last_cost,
+            ));
+        }
+    }
+    if !routes.is_empty() {
+        out.push_str("global routing:\n");
+        out.push_str(
+            "  phase            nets  unrouted  overflow (start->end)      length  reassigns\n",
+        );
+        for r in &routes {
+            out.push_str(&format!(
+                "  {:<15} {:>5} {:>9} {:>10} -> {:<10} {:>9} {:>10}\n",
+                format!("{}/{}", r.phase, r.iteration),
+                r.nets,
+                r.unrouted,
+                r.overflow_start,
+                r.overflow,
+                r.total_length,
+                r.reassignments,
             ));
         }
     }
@@ -473,8 +493,10 @@ mod tests {
                     choice: vec![],
                     total_length: 0,
                     overflow: 0,
+                    overflow_start: 0,
                     edge_usage: vec![],
                     attempts: 0,
+                    reassignments: 0,
                 },
                 node_density: vec![],
                 pin_attachments: vec![],

@@ -211,6 +211,49 @@ pub struct Swap {
     pub accepted: bool,
 }
 
+/// One global-routing execution (stage-2 refinement iteration, the
+/// closing route of stage 2, or a finalize pass): the phase-2 route
+/// selection's health signals (paper §4.2.2).
+///
+/// `overflow` is the residual capacity overflow `X = Σ max(0, D_j − C_j)`
+/// (eq. 24) after the random-interchange selection; `overflow_start` is
+/// the same sum with every net on its shortest route, so
+/// `overflow ≤ overflow_start` always (the interchange never accepts a
+/// `ΔX > 0` move). `util_hist` buckets every channel edge by its
+/// utilization `D_j / C_j`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RouteIter {
+    /// Routing phase: `"stage2"`, `"final"`, `"finalize"`.
+    pub phase: &'static str,
+    /// Refinement iteration the route belongs to (0 outside stage 2).
+    pub iteration: u64,
+    /// Nets presented to the router.
+    pub nets: usize,
+    /// Nets the router could not route.
+    pub unrouted: usize,
+    /// Total phase-1 alternatives enumerated (Σ per-net `M`).
+    pub alts_total: usize,
+    /// Largest per-net alternative count (≤ the configured `M`).
+    pub alts_max: usize,
+    /// Overflow `X` with every net on its shortest route (interchange
+    /// starting point).
+    pub overflow_start: i64,
+    /// Residual overflow `X` after route selection (eq. 24).
+    pub overflow: i64,
+    /// Total routed length `L` (eq. 23).
+    pub total_length: i64,
+    /// Interchange (rip-up) attempts performed by phase 2.
+    pub attempts: usize,
+    /// Accepted reassignments (nets actually ripped up and re-routed).
+    pub reassignments: usize,
+    /// Σ of per-edge usages `D_j` — equals the summed edge counts of the
+    /// chosen route trees.
+    pub usage_total: u64,
+    /// Channel-edge utilization histogram: edges with `D_j = 0`,
+    /// `0 < D/C ≤ ½`, `½ < D/C ≤ 9/10`, `9/10 < D/C ≤ 1`, `D/C > 1`.
+    pub util_hist: [u64; 5],
+}
+
 /// End of a pipeline run: the headline results.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunEnd {
@@ -237,6 +280,8 @@ pub enum Event {
     PlaceTemp(PlaceTemp),
     /// Pipeline stage wall-clock span.
     StageSpan(StageSpan),
+    /// Global-routing execution record.
+    RouteIter(RouteIter),
     /// Finished replica statistics.
     ReplicaSummary(ReplicaSummary),
     /// Replica-exchange attempt.
@@ -246,11 +291,12 @@ pub enum Event {
 }
 
 /// Every `kind` tag an event stream may contain, in schema order.
-pub const EVENT_KINDS: [&str; 7] = [
+pub const EVENT_KINDS: [&str; 8] = [
     "run_start",
     "anneal_temp",
     "place_temp",
     "stage_span",
+    "route_iter",
     "replica_summary",
     "swap",
     "run_end",
@@ -264,6 +310,7 @@ impl Event {
             Event::AnnealTemp(_) => "anneal_temp",
             Event::PlaceTemp(_) => "place_temp",
             Event::StageSpan(_) => "stage_span",
+            Event::RouteIter(_) => "route_iter",
             Event::ReplicaSummary(_) => "replica_summary",
             Event::Swap(_) => "swap",
             Event::RunEnd(_) => "run_end",
@@ -278,6 +325,7 @@ impl Serialize for Event {
             Event::AnnealTemp(p) => p.to_value(),
             Event::PlaceTemp(p) => p.to_value(),
             Event::StageSpan(p) => p.to_value(),
+            Event::RouteIter(p) => p.to_value(),
             Event::ReplicaSummary(p) => p.to_value(),
             Event::Swap(p) => p.to_value(),
             Event::RunEnd(p) => p.to_value(),
@@ -361,6 +409,21 @@ mod tests {
                 stage: "stage1",
                 iteration: 0,
                 wall_us: 1,
+            }),
+            Event::RouteIter(RouteIter {
+                phase: "stage2",
+                iteration: 0,
+                nets: 4,
+                unrouted: 0,
+                alts_total: 16,
+                alts_max: 6,
+                overflow_start: 2,
+                overflow: 0,
+                total_length: 100,
+                attempts: 5,
+                reassignments: 2,
+                usage_total: 12,
+                util_hist: [3, 2, 1, 0, 0],
             }),
             Event::ReplicaSummary(ReplicaSummary {
                 phase: "multistart",

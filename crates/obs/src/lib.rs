@@ -49,7 +49,7 @@ mod recorder;
 pub mod validate;
 
 pub use event::{
-    AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaSummary, RunEnd, RunScope,
-    RunStart, StageSpan, Swap, EVENT_KINDS,
+    AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaSummary, RouteIter, RunEnd,
+    RunScope, RunStart, StageSpan, Swap, EVENT_KINDS,
 };
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};

@@ -36,6 +36,19 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
             "classes",
         ],
         "stage_span" => &["stage", "iteration", "wall_us"],
+        "route_iter" => &[
+            "phase",
+            "iteration",
+            "nets",
+            "unrouted",
+            "overflow_start",
+            "overflow",
+            "total_length",
+            "attempts",
+            "reassignments",
+            "usage_total",
+            "util_hist",
+        ],
         "replica_summary" => &["phase", "replica", "seed", "teil", "cost"],
         "swap" => &["round", "lower", "upper", "accepted"],
         "run_end" => &[
@@ -70,40 +83,121 @@ pub fn parse_json(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Looks up a field in a parsed object and coerces it to `f64`.
+fn numeric_field(entries: &[(String, Value)], field: &str) -> Option<f64> {
+    entries
+        .iter()
+        .find(|(k, _)| k == field)
+        .and_then(|(_, v)| match *v {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        })
+}
+
+fn string_field(entries: &[(String, Value)], field: &str) -> Option<String> {
+    entries.iter().find(|(k, _)| k == field).and_then(|(_, v)| {
+        if let Value::Str(s) = v {
+            Some(s.clone())
+        } else {
+            None
+        }
+    })
+}
+
 /// Validates a JSONL telemetry stream: every non-empty line must parse
 /// as a JSON object carrying a known `kind` tag and that kind's
-/// required fields. Returns per-kind counts.
+/// required fields; additionally the stream must contain exactly one
+/// `run_start`/`run_end` pair when either appears (in that order), and
+/// temperatures within one annealing stream (an `anneal_temp` stream or
+/// the `place_temp`s sharing a phase/iteration/replica scope) must be
+/// non-increasing. Every error names the offending line. Returns
+/// per-kind counts.
 pub fn validate_jsonl(text: &str) -> Result<StreamStats, String> {
     let mut stats = StreamStats::default();
+    // Line numbers of the run envelope events (1-based, 0 = unseen).
+    let mut run_start_line = 0usize;
+    let mut run_end_line = 0usize;
+    // Last temperature per annealing stream: keyed by
+    // (phase, iteration, replica) for place_temp, a fixed key for the
+    // generic anneal_temp stream.
+    let mut last_temp: BTreeMap<(String, i64, i64), (f64, usize)> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let v = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
         let Value::Object(entries) = v else {
-            return Err(format!("line {}: not a JSON object", lineno + 1));
+            return Err(format!("line {lineno}: not a JSON object"));
         };
-        let kind = entries
-            .iter()
-            .find(|(k, _)| k == "kind")
-            .and_then(|(_, v)| match v {
-                Value::Str(s) => Some(s.clone()),
-                _ => None,
-            })
-            .ok_or_else(|| format!("line {}: missing string `kind`", lineno + 1))?;
+        let kind = string_field(&entries, "kind")
+            .ok_or_else(|| format!("line {lineno}: missing string `kind`"))?;
         if !EVENT_KINDS.contains(&kind.as_str()) {
-            return Err(format!("line {}: unknown kind `{kind}`", lineno + 1));
+            return Err(format!("line {lineno}: unknown kind `{kind}`"));
         }
         for field in required_fields(&kind) {
             if !entries.iter().any(|(k, _)| k == field) {
                 return Err(format!(
-                    "line {}: `{kind}` event missing field `{field}`",
-                    lineno + 1
+                    "line {lineno}: `{kind}` event missing field `{field}`"
                 ));
             }
         }
+        match kind.as_str() {
+            "run_start" => {
+                if run_start_line != 0 {
+                    return Err(format!(
+                        "line {lineno}: duplicate `run_start` (first at line {run_start_line})"
+                    ));
+                }
+                run_start_line = lineno;
+            }
+            "run_end" => {
+                if run_end_line != 0 {
+                    return Err(format!(
+                        "line {lineno}: duplicate `run_end` (first at line {run_end_line})"
+                    ));
+                }
+                if run_start_line == 0 {
+                    return Err(format!(
+                        "line {lineno}: `run_end` without a preceding `run_start`"
+                    ));
+                }
+                run_end_line = lineno;
+            }
+            "anneal_temp" | "place_temp" => {
+                let key = if kind == "anneal_temp" {
+                    ("anneal".to_owned(), 0, 0)
+                } else {
+                    (
+                        string_field(&entries, "phase").unwrap_or_default(),
+                        numeric_field(&entries, "iteration").unwrap_or(0.0) as i64,
+                        numeric_field(&entries, "replica").unwrap_or(-1.0) as i64,
+                    )
+                };
+                let t = numeric_field(&entries, "temperature")
+                    .ok_or_else(|| format!("line {lineno}: non-numeric `temperature`"))?;
+                if let Some(&(prev, prev_line)) = last_temp.get(&key) {
+                    if t > prev {
+                        return Err(format!(
+                            "line {lineno}: temperature {t} rose above {prev} (line \
+                             {prev_line}) within the {}[{}/{}] anneal stream",
+                            key.0, key.1, key.2
+                        ));
+                    }
+                }
+                last_temp.insert(key, (t, lineno));
+            }
+            _ => {}
+        }
         stats.lines += 1;
         *stats.kind_counts.entry(kind).or_insert(0) += 1;
+    }
+    if run_start_line != 0 && run_end_line == 0 {
+        return Err(format!(
+            "line {run_start_line}: `run_start` has no matching `run_end` (truncated stream?)"
+        ));
     }
     Ok(stats)
 }
@@ -350,18 +444,30 @@ mod tests {
         assert_eq!(serde_json::to_string(&v).unwrap(), json);
     }
 
+    const RUN_START: &str = "{\"kind\":\"run_start\",\"seed\":1,\"cells\":2,\"nets\":3,\
+                             \"pins\":4,\"replicas\":1,\"strategy\":\"single\"}";
+    const RUN_END: &str = "{\"kind\":\"run_end\",\"teil\":1.0,\"chip_width\":1,\
+                           \"chip_height\":1,\"routed_length\":1,\"wall_us\":9}";
+
+    fn place_temp(t: f64) -> String {
+        format!(
+            "{{\"kind\":\"place_temp\",\"phase\":\"stage1\",\"iteration\":0,\"replica\":-1,\
+             \"step\":0,\"temperature\":{t},\"s_t\":1.0,\"window_x\":6.0,\"window_y\":6.0,\
+             \"inner\":1,\"attempts\":1,\"accepts\":1,\"cost\":{{\"total\":1.0}},\"teil\":1.0,\
+             \"index_rebuilds\":0,\"classes\":[]}}"
+        )
+    }
+
     #[test]
     fn validates_streams() {
         let good = concat!(
             "{\"kind\":\"stage_span\",\"stage\":\"stage1\",\"iteration\":0,\"wall_us\":5}\n",
             "\n",
-            "{\"kind\":\"run_end\",\"teil\":1.0,\"chip_width\":1,\"chip_height\":1,",
-            "\"routed_length\":1,\"wall_us\":9}\n",
         );
         let stats = validate_jsonl(good).unwrap();
-        assert_eq!(stats.lines, 2);
+        assert_eq!(stats.lines, 1);
         assert_eq!(stats.kind_counts["stage_span"], 1);
-        expect_kinds(&stats, &["stage_span", "run_end"]).unwrap();
+        expect_kinds(&stats, &["stage_span"]).unwrap();
         assert!(expect_kinds(&stats, &["swap"]).is_err());
 
         assert!(validate_jsonl("{\"kind\":\"bogus\"}").is_err());
@@ -371,5 +477,54 @@ mod tests {
         );
         assert!(validate_jsonl("[1]").is_err(), "not an object");
         assert!(validate_jsonl("{oops").is_err());
+    }
+
+    #[test]
+    fn enforces_run_envelope_pairing() {
+        // A complete pair validates.
+        let good = format!("{RUN_START}\n{RUN_END}\n");
+        assert_eq!(validate_jsonl(&good).unwrap().lines, 2);
+
+        // run_end without run_start, duplicate starts/ends, and a
+        // truncated stream all fail with the offending line number.
+        let orphan_end = format!("{RUN_END}\n");
+        let err = validate_jsonl(&orphan_end).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("run_end"), "{err}");
+
+        let dup_start = format!("{RUN_START}\n{RUN_START}\n{RUN_END}\n");
+        let err = validate_jsonl(&dup_start).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("duplicate"), "{err}");
+
+        let dup_end = format!("{RUN_START}\n{RUN_END}\n{RUN_END}\n");
+        let err = validate_jsonl(&dup_end).unwrap_err();
+        assert!(err.contains("line 3") && err.contains("duplicate"), "{err}");
+
+        let truncated = format!("{RUN_START}\n");
+        let err = validate_jsonl(&truncated).unwrap_err();
+        assert!(err.contains("no matching `run_end`"), "{err}");
+    }
+
+    #[test]
+    fn enforces_monotone_temperatures_per_stream() {
+        // Cooling (and plateaus) validate; reheating fails with the line.
+        let cooling = format!(
+            "{}\n{}\n{}\n",
+            place_temp(10.0),
+            place_temp(8.0),
+            place_temp(8.0)
+        );
+        assert_eq!(validate_jsonl(&cooling).unwrap().lines, 3);
+
+        let reheat = format!("{}\n{}\n", place_temp(8.0), place_temp(10.0));
+        let err = validate_jsonl(&reheat).unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("rose above"),
+            "{err}"
+        );
+
+        // Different scopes are independent streams.
+        let other_scope = place_temp(10.0).replace("\"replica\":-1", "\"replica\":1");
+        let two_streams = format!("{}\n{}\n", place_temp(8.0), other_scope);
+        assert_eq!(validate_jsonl(&two_streams).unwrap().lines, 2);
     }
 }

@@ -18,7 +18,7 @@ use twmc_geom::Rect;
 use twmc_netlist::Netlist;
 use twmc_obs::{Event, NullRecorder, Recorder, RunScope, StageSpan};
 use twmc_place::{run_annealing_with, MoveSet, PlaceParams, PlacementState};
-use twmc_route::{global_route, GlobalRouting, NetPins, PlacedGeometry, RouterParams};
+use twmc_route::{global_route_with, GlobalRouting, NetPins, PlacedGeometry, RouterParams};
 
 use crate::static_expansions;
 
@@ -180,7 +180,15 @@ pub fn refine_placement_with(
         let (geometry, nets) = routing_snapshot(state);
         span(rec, "channel_definition", k, t0);
         let t0 = Instant::now();
-        let routing = global_route(&geometry, &nets, &params.router, seed ^ (k as u64 + 1));
+        let routing = global_route_with(
+            &geometry,
+            &nets,
+            &params.router,
+            seed ^ (k as u64 + 1),
+            rec,
+            "stage2",
+            k as u64,
+        );
         let max_density = routing.node_density.iter().copied().max().unwrap_or(0);
 
         // Static expansions from the routed densities.
@@ -222,7 +230,15 @@ pub fn refine_placement_with(
     let gap = params.router.track_spacing.round().max(1.0) as i64;
     twmc_place::legalize(state, gap, 500);
     let (geometry, nets) = routing_snapshot(state);
-    let final_routing = global_route(&geometry, &nets, &params.router, seed ^ 0xffff);
+    let final_routing = global_route_with(
+        &geometry,
+        &nets,
+        &params.router,
+        seed ^ 0xffff,
+        rec,
+        "final",
+        params.refinements as u64,
+    );
     span(rec, "final_routing", params.refinements, t0);
 
     Stage2Result {
@@ -239,6 +255,7 @@ mod tests {
     use twmc_estimator::EstimatorParams;
     use twmc_netlist::{synthesize, SynthParams};
     use twmc_place::place_stage1;
+    use twmc_route::global_route;
 
     fn small_circuit() -> Netlist {
         synthesize(&SynthParams {

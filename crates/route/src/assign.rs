@@ -44,7 +44,7 @@ impl fmt::Display for StaleRouteError {
 impl std::error::Error for StaleRouteError {}
 
 /// The outcome of route selection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     /// Chosen alternative index per net (into the per-net alternatives).
     pub choice: Vec<usize>,
@@ -52,10 +52,17 @@ pub struct Assignment {
     pub total_length: i64,
     /// Remaining overflow `X` (0 when all capacities are met).
     pub overflow: i64,
+    /// Overflow `X` at the interchange's starting point (every net on
+    /// its shortest route). The accept rule only ever takes `ΔX ≤ 0`
+    /// moves, so `overflow ≤ overflow_start` always holds.
+    pub overflow_start: i64,
     /// Per-graph-edge usage `D_j`.
     pub edge_usage: Vec<u32>,
     /// Interchange attempts performed.
     pub attempts: usize,
+    /// Accepted interchanges (nets ripped up and moved to an
+    /// alternative route).
+    pub reassignments: usize,
 }
 
 /// Resolves one tree segment to its graph edge, or the typed error.
@@ -128,11 +135,13 @@ pub fn assign_routes(
     let mut choice = vec![0usize; n_nets];
     let mut usage = usage_of(graph, alternatives, &choice)?;
     let mut x = overflow_of(graph, &usage);
+    let overflow_start = x;
     let mut l = length_of(alternatives, &choice);
     let m_max = alternatives.iter().map(|a| a.len()).max().unwrap_or(1);
     let stall_limit = (m_max * n_nets).max(64);
 
     let mut attempts = 0usize;
+    let mut reassignments = 0usize;
     let mut stall = 0usize;
     while x > 0 && stall < stall_limit {
         attempts += 1;
@@ -184,6 +193,7 @@ pub fn assign_routes(
             choice[net] = k;
             x += dx;
             l += dl;
+            reassignments += 1;
             stall = 0;
         }
     }
@@ -194,8 +204,10 @@ pub fn assign_routes(
         choice,
         total_length: l,
         overflow: x,
+        overflow_start,
         edge_usage: usage,
         attempts,
+        reassignments,
     })
 }
 

@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twmc_geom::Point;
+use twmc_obs::{Event, NullRecorder, Recorder, RouteIter};
 
 use crate::{
     assign_routes, build_channel_graph, enumerate_route_trees, Assignment, ChannelGraph,
@@ -104,6 +105,25 @@ pub fn global_route(
     params: &RouterParams,
     seed: u64,
 ) -> GlobalRouting {
+    global_route_with(geometry, nets, params, seed, &mut NullRecorder, "route", 0)
+}
+
+/// [`global_route`] with a telemetry sink: emits one
+/// [`RouteIter`] event labeled `phase`/`iteration` summarizing the
+/// execution — phase-1 alternative counts, the phase-2 interchange's
+/// overflow trajectory (`overflow_start` → `overflow`), rip-up
+/// counters, and the channel-edge utilization histogram. Recording
+/// never touches the router's RNG stream, so the routing is
+/// bit-identical to [`global_route`] for any recorder.
+pub fn global_route_with(
+    geometry: &PlacedGeometry,
+    nets: &[NetPins],
+    params: &RouterParams,
+    seed: u64,
+    rec: &mut dyn Recorder,
+    phase: &'static str,
+    iteration: u64,
+) -> GlobalRouting {
     let graph = build_channel_graph(geometry, params.track_spacing);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -201,6 +221,42 @@ pub fn global_route(
             .collect();
         pin_attachments.push(attach);
         routes.push(Some(tree));
+    }
+
+    if rec.enabled() {
+        let mut util_hist = [0u64; 5];
+        let mut usage_total = 0u64;
+        for (&d, e) in assignment.edge_usage.iter().zip(&graph.edges) {
+            usage_total += d as u64;
+            let util = d as f64 / (e.capacity as f64).max(1.0);
+            let bucket = if d == 0 {
+                0
+            } else if util <= 0.5 {
+                1
+            } else if util <= 0.9 {
+                2
+            } else if util <= 1.0 {
+                3
+            } else {
+                4
+            };
+            util_hist[bucket] += 1;
+        }
+        rec.record(&Event::RouteIter(RouteIter {
+            phase,
+            iteration,
+            nets: nets.len(),
+            unrouted,
+            alts_total: alternatives.iter().map(|a| a.len()).sum(),
+            alts_max: alternatives.iter().map(|a| a.len()).max().unwrap_or(0),
+            overflow_start: assignment.overflow_start,
+            overflow: assignment.overflow,
+            total_length: assignment.total_length,
+            attempts: assignment.attempts,
+            reassignments: assignment.reassignments,
+            usage_total,
+            util_hist,
+        }));
     }
 
     GlobalRouting {

@@ -8,6 +8,9 @@
 
 use std::process::ExitCode;
 
+use timberwolfmc::analyze::{
+    analyze, diff_runs, format_diff, format_report, metrics, parse_stream, DiffThresholds,
+};
 use timberwolfmc::core::{
     compare, format_parallel_report, format_table4, format_telemetry_summary, greedy_placement,
     quadratic_placement, render_svg, run_timberwolf, run_timberwolf_with, shelf_placement,
@@ -27,12 +30,17 @@ fn usage() -> ExitCode {
          twmc synth [--circuit NAME | --cells N --nets N --pins N] [--seed N] [--custom F] --out FILE\n  \
          twmc place FILE [--seed N] [--ac N] [--svg FILE] [--placement FILE]\n              \
          [--replicas N] [--threads N] [--strategy multistart|tempering] [--swap-interval N]\n              \
-         [--telemetry FILE.jsonl] [--telemetry-summary]\n  \
-         twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n\n\
+         [--telemetry FILE.jsonl] [--telemetry-overwrite] [--telemetry-summary]\n  \
+         twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n  \
+         twmc report RUN.jsonl [--json]\n  \
+         twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
+         [--max-length-pct F] [--max-area-pct F] [--max-overflow N] [--max-unrouted N]\n\n\
          NAME is one of the paper's circuits: i1 p1 x1 i2 i3 l1 d2 d1 d3\n\
          --replicas N runs N annealing replicas (deterministic per seed);\n\
          --threads 0 uses one thread per replica\n\
-         --telemetry FILE streams JSONL events; --telemetry-summary prints a table"
+         --telemetry FILE streams JSONL events; --telemetry-summary prints a table\n\
+         report checks a recorded run against the paper's control laws (exit 1 if\n\
+         unhealthy); diff compares two runs' headline metrics (exit 2 on regression)"
     );
     ExitCode::FAILURE
 }
@@ -60,7 +68,19 @@ const PLACE_FLAGS: FlagSpec = &[
     ("strategy", true),
     ("swap-interval", true),
     ("telemetry", true),
+    ("telemetry-overwrite", false),
     ("telemetry-summary", false),
+];
+
+const REPORT_FLAGS: FlagSpec = &[("json", false)];
+
+const DIFF_FLAGS: FlagSpec = &[
+    ("json", false),
+    ("max-teil-pct", true),
+    ("max-length-pct", true),
+    ("max-area-pct", true),
+    ("max-overflow", true),
+    ("max-unrouted", true),
 ];
 
 const COMPARE_FLAGS: FlagSpec = &[
@@ -220,6 +240,12 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
     // Telemetry sinks: a JSONL file, an in-memory summary, both, or none.
     let mut jsonl = match flags.get_str("telemetry") {
         Some(path) => {
+            if std::path::Path::new(path).exists() && !flags.has("telemetry-overwrite") {
+                return Err(format!(
+                    "telemetry file `{path}` already exists; pass --telemetry-overwrite \
+                     to replace it"
+                ));
+            }
             Some(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
         }
         None => None,
@@ -315,6 +341,67 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn load_stream(path: &str) -> Result<timberwolfmc::analyze::RunStream, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_stream(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `twmc report RUN.jsonl`: health-checks a recorded run against the
+/// paper's control laws. Exits non-zero when any check fails.
+fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "report needs a telemetry JSONL file".to_owned())?;
+    let report = analyze(&load_stream(path)?);
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", format_report(&report));
+    }
+    Ok(if report.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `twmc diff BASELINE.jsonl CANDIDATE.jsonl`: compares headline
+/// metrics under configurable thresholds. Exits 2 on regression so CI
+/// can distinguish a quality regression from an operational error.
+fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
+    let [base_path, cand_path] = flags.positional.as_slice() else {
+        return Err("diff needs two telemetry JSONL files (baseline, candidate)".to_owned());
+    };
+    let defaults = DiffThresholds::default();
+    let thresholds = DiffThresholds {
+        teil_pct: flags.get("max-teil-pct", defaults.teil_pct),
+        length_pct: flags.get("max-length-pct", defaults.length_pct),
+        area_pct: flags.get("max-area-pct", defaults.area_pct),
+        overflow_abs: flags.get("max-overflow", defaults.overflow_abs),
+        unrouted_abs: flags.get("max-unrouted", defaults.unrouted_abs),
+    };
+    let baseline = metrics(&load_stream(base_path)?);
+    let candidate = metrics(&load_stream(cand_path)?);
+    let report = diff_runs(&baseline, &candidate, &thresholds);
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", format_diff(&report));
+    }
+    Ok(if report.regressed() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -324,6 +411,8 @@ fn main() -> ExitCode {
         "synth" => SYNTH_FLAGS,
         "place" => PLACE_FLAGS,
         "compare" => COMPARE_FLAGS,
+        "report" => REPORT_FLAGS,
+        "diff" => DIFF_FLAGS,
         _ => return usage(),
     };
     let flags = match Flags::parse(&args[1..], known) {
@@ -334,13 +423,15 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "synth" => cmd_synth(&flags),
-        "place" => cmd_place(&flags),
-        "compare" => cmd_compare(&flags),
+        "synth" => cmd_synth(&flags).map(|()| ExitCode::SUCCESS),
+        "place" => cmd_place(&flags).map(|()| ExitCode::SUCCESS),
+        "compare" => cmd_compare(&flags).map(|()| ExitCode::SUCCESS),
+        "report" => cmd_report(&flags),
+        "diff" => cmd_diff(&flags),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

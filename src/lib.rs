@@ -20,7 +20,10 @@
 //!   with doglegs) validating the `t ≤ d+1` assumption behind eq. 22;
 //! * [`core`] — the full pipeline, baselines, and reports;
 //! * [`obs`] — dependency-light telemetry: recorders, the JSONL event
-//!   schema, and stream validation.
+//!   schema, and stream validation;
+//! * [`analyze`] — offline run-health diagnostics over recorded
+//!   telemetry and cross-run regression diffs (`twmc report` / `twmc
+//!   diff`).
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use twmc_analyze as analyze;
 pub use twmc_anneal as anneal;
 pub use twmc_channel as channel;
 pub use twmc_core as core;

@@ -69,6 +69,179 @@ fn synth_place_compare_roundtrip() {
 }
 
 #[test]
+fn report_and_diff_judge_recorded_runs() {
+    use timberwolfmc::analyze::testgen::{pathological_stream, synth_stream, SynthSpec};
+
+    let dir = std::env::temp_dir().join(format!("twmc-cli-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let healthy = dir.join("healthy.jsonl");
+    let sick = dir.join("pathological.jsonl");
+    let regressed = dir.join("regressed.jsonl");
+    std::fs::write(&healthy, synth_stream(&SynthSpec::default())).expect("write healthy");
+    std::fs::write(&sick, pathological_stream()).expect("write pathological");
+    // Same run shape, 10% worse cost trajectory: TEIL regresses past
+    // the default 2% gate.
+    std::fs::write(
+        &regressed,
+        synth_stream(&SynthSpec {
+            cost0: 1.1e6,
+            ..SynthSpec::default()
+        }),
+    )
+    .expect("write regressed");
+
+    // A healthy run reports cleanly and exits 0.
+    let out = twmc().arg("report").arg(&healthy).output().expect("report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("health: healthy"), "{stdout}");
+    assert!(stdout.contains("schedule.table1"), "{stdout}");
+
+    // JSON mode emits machine-readable findings.
+    let out = twmc()
+        .arg("report")
+        .arg(&healthy)
+        .arg("--json")
+        .output()
+        .expect("report --json");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\""), "{stdout}");
+
+    // A pathological cooling schedule is flagged and fails the command.
+    let out = twmc().arg("report").arg(&sick).output().expect("report");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNHEALTHY"), "{stdout}");
+
+    // Diffing a run against itself is clean (exit 0)...
+    let out = twmc()
+        .arg("diff")
+        .arg(&healthy)
+        .arg(&healthy)
+        .output()
+        .expect("diff");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no regressions"));
+
+    // ...while a seeded TEIL regression trips the gate with exit 2.
+    let out = twmc()
+        .arg("diff")
+        .arg(&healthy)
+        .arg(&regressed)
+        .output()
+        .expect("diff");
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // A loosened threshold lets the same pair pass.
+    let out = twmc()
+        .arg("diff")
+        .arg(&healthy)
+        .arg(&regressed)
+        .args(["--max-teil-pct", "15"])
+        .output()
+        .expect("diff");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Unreadable input is an operational error (exit 1), not a panic.
+    let out = twmc()
+        .args(["report", "/nonexistent/run.jsonl"])
+        .output()
+        .expect("report");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_files_are_not_overwritten_silently() {
+    let dir = std::env::temp_dir().join(format!("twmc-cli-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let netlist = dir.join("tiny.twn");
+    let telemetry = dir.join("run.jsonl");
+
+    let out = twmc()
+        .args([
+            "synth", "--cells", "6", "--nets", "12", "--pins", "40", "--seed", "3", "--out",
+        ])
+        .arg(&netlist)
+        .output()
+        .expect("run twmc synth");
+    assert!(out.status.success());
+
+    // First recording succeeds and leaves a validating stream behind.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "3", "--telemetry"])
+        .arg(&telemetry)
+        .output()
+        .expect("place --telemetry");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let first = std::fs::read_to_string(&telemetry).expect("telemetry written");
+    assert!(!first.is_empty());
+
+    // Recording onto an existing file is refused by name...
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "3", "--telemetry"])
+        .arg(&telemetry)
+        .output()
+        .expect("place --telemetry again");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("already exists"), "{stderr}");
+    assert!(stderr.contains("--telemetry-overwrite"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&telemetry).expect("file intact"),
+        first
+    );
+
+    // ...and allowed with the explicit opt-in.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args([
+            "--ac",
+            "8",
+            "--seed",
+            "3",
+            "--telemetry-overwrite",
+            "--telemetry",
+        ])
+        .arg(&telemetry)
+        .output()
+        .expect("place --telemetry-overwrite");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn yal_input_is_accepted() {
     let dir = std::env::temp_dir().join(format!("twmc-cli-yal-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -64,14 +64,23 @@ fn pipeline_streams_valid_jsonl_without_changing_the_result() {
     let stats = validate_jsonl(&text).expect("every line validates");
     expect_kinds(
         &stats,
-        &["run_start", "place_temp", "stage_span", "run_end"],
+        &[
+            "run_start",
+            "place_temp",
+            "stage_span",
+            "route_iter",
+            "run_end",
+        ],
     )
     .expect("pipeline kinds covered");
     assert_eq!(stats.kind_counts["run_start"], 1);
     assert_eq!(stats.kind_counts["run_end"], 1);
+    // One route_iter per global-routing execution: each stage-2
+    // refinement, the closing stage-2 route, and both finalize passes.
+    let refinements = config.refine.refinements;
+    assert_eq!(stats.kind_counts["route_iter"], refinements + 3);
     // One span per stage-2 iteration for each of the three traced
     // sub-stages, plus stage1 / final_routing / finalize.
-    let refinements = config.refine.refinements;
     assert!(
         stats.kind_counts["stage_span"] >= 3 * refinements + 3,
         "expected spans for {} refinements, got {}",
@@ -80,6 +89,28 @@ fn pipeline_streams_valid_jsonl_without_changing_the_result() {
     );
     // A real cooling run emits many temperature steps.
     assert!(stats.kind_counts["place_temp"] > 20);
+
+    // The analyzer reads the stream back and judges the run healthy:
+    // the recorded laws (Table-1 regions, rho = 4 window decay, the
+    // phase-2 overflow rule) all hold for a real pipeline execution.
+    let stream = timberwolfmc::analyze::parse_stream(&text).expect("stream parses");
+    let report = timberwolfmc::analyze::analyze(&stream);
+    assert!(
+        report.healthy(),
+        "{}",
+        timberwolfmc::analyze::format_report(&report)
+    );
+    for route in &stream.routes {
+        assert!(
+            route.overflow <= route.overflow_start,
+            "{}[{}]: overflow {} > start {}",
+            route.phase,
+            route.iteration,
+            route.overflow,
+            route.overflow_start
+        );
+        assert_eq!(route.util_hist.len(), 5);
+    }
 }
 
 #[test]
