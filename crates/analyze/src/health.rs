@@ -104,14 +104,21 @@ fn finding(check: &str, severity: Severity, detail: String) -> Finding {
 /// Extracts the headline metrics (used standalone by the diff engine).
 pub fn metrics(stream: &RunStream) -> Metrics {
     let last_route = stream.routes.last();
-    let (teil, chip_area, routed_length, wall_us) = match &stream.end {
-        Some(end) => (
+    let (teil, chip_area, routed_length, wall_us) = match (&stream.end, &stream.interrupted) {
+        (Some(end), _) => (
             end.teil,
             end.chip_width * end.chip_height,
             end.routed_length,
             end.wall_us,
         ),
-        None => (
+        // An interrupted run's footer carries the best-so-far numbers.
+        (None, Some(cut)) => (
+            cut.teil,
+            0,
+            last_route.map_or(0, |r| r.total_length),
+            cut.wall_us,
+        ),
+        (None, None) => (
             stream.temps.last().map_or(f64::NAN, |t| t.teil),
             0,
             last_route.map_or(0, |r| r.total_length),
@@ -134,6 +141,7 @@ pub fn metrics(stream: &RunStream) -> Metrics {
 pub fn analyze(stream: &RunStream) -> HealthReport {
     let stage1 = stream.stage1_temps();
     let mut findings = vec![check_envelope(stream)];
+    findings.extend(check_resilience(stream));
     findings.push(check_scaling(&stage1));
     findings.push(check_schedule(&stage1));
     findings.push(check_acceptance(&stage1));
@@ -148,8 +156,8 @@ pub fn analyze(stream: &RunStream) -> HealthReport {
 }
 
 fn check_envelope(stream: &RunStream) -> Finding {
-    match (&stream.start, &stream.end) {
-        (Some(s), Some(e)) => finding(
+    match (&stream.start, &stream.end, &stream.interrupted) {
+        (Some(s), Some(e), _) => finding(
             "run.envelope",
             Severity::Pass,
             format!(
@@ -164,12 +172,58 @@ fn check_envelope(stream: &RunStream) -> Finding {
                 e.wall_us as f64 / 1e6
             ),
         ),
+        // A run_interrupted footer closes the envelope just as well as
+        // run_end: the run stopped on purpose, mid-flight, and left a
+        // checkpoint — the stream is a clean prefix, not a fragment.
+        (Some(s), None, Some(cut)) => finding(
+            "run.envelope",
+            Severity::Pass,
+            format!(
+                "seed {} ({} cells, {} nets, {} pins) interrupted ({}) in {} after {:.2}s; \
+                 best-so-far TEIL {:.0} (resumable)",
+                s.seed,
+                s.cells,
+                s.nets,
+                s.pins,
+                cut.reason,
+                cut.stage,
+                cut.wall_us as f64 / 1e6,
+                cut.teil,
+            ),
+        ),
         _ => finding(
             "run.envelope",
             Severity::Warn,
             "stream fragment without a run_start/run_end envelope".to_owned(),
         ),
     }
+}
+
+/// Fault-isolation record: lost replicas degrade the run (fewer
+/// independent starts / a thinner tempering ladder) without failing it.
+fn check_resilience(stream: &RunStream) -> Vec<Finding> {
+    if stream.failures.is_empty() {
+        return Vec::new();
+    }
+    let list = stream
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "replica {} in {} at round {} ({})",
+                f.replica, f.phase, f.round, f.error
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    vec![finding(
+        "replicas.degraded",
+        Severity::Warn,
+        format!(
+            "{} replica(s) lost to faults, run completed on the survivors: {list}",
+            stream.failures.len()
+        ),
+    )]
 }
 
 /// `S_T` constancy and `T_∞ = S_T · 10^5` (eqs. 20–21).
@@ -629,6 +683,54 @@ mod tests {
             .find(|f| f.check == "route.overflow")
             .unwrap();
         assert_eq!(route.severity, Severity::Fail, "{}", route.detail);
+    }
+
+    #[test]
+    fn interrupted_stream_closes_the_envelope_without_run_end() {
+        let jsonl = concat!(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,",
+            "\"replicas\":1,\"strategy\":\"single\"}\n",
+            "{\"kind\":\"run_interrupted\",\"reason\":\"signal\",\"stage\":\"stage1\",",
+            "\"teil\":512.0,\"cost\":600.0,\"wall_us\":4200}\n",
+        );
+        let stream = parse_stream(jsonl).unwrap();
+        let report = analyze(&stream);
+        let env = report
+            .findings
+            .iter()
+            .find(|f| f.check == "run.envelope")
+            .unwrap();
+        assert_eq!(env.severity, Severity::Pass, "{}", env.detail);
+        assert!(
+            env.detail.contains("interrupted (signal) in stage1"),
+            "{}",
+            env.detail
+        );
+        assert_eq!(report.metrics.teil, 512.0);
+        assert_eq!(report.metrics.wall_us, 4200);
+    }
+
+    #[test]
+    fn lost_replicas_warn_without_failing_the_run() {
+        let jsonl = concat!(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,",
+            "\"replicas\":3,\"strategy\":\"multistart\"}\n",
+            "{\"kind\":\"replica_failed\",\"phase\":\"multistart\",\"replica\":2,",
+            "\"round\":9,\"error\":\"panic: boom\"}\n",
+            "{\"kind\":\"run_end\",\"teil\":430.0,\"chip_width\":60,\"chip_height\":50,",
+            "\"routed_length\":118,\"wall_us\":12345}\n",
+        );
+        let stream = parse_stream(jsonl).unwrap();
+        let report = analyze(&stream);
+        let deg = report
+            .findings
+            .iter()
+            .find(|f| f.check == "replicas.degraded")
+            .unwrap();
+        assert_eq!(deg.severity, Severity::Warn, "{}", deg.detail);
+        assert!(deg.detail.contains("replica 2"), "{}", deg.detail);
+        // Degradation is a warning, never an unhealthy verdict by itself.
+        assert!(report.healthy(), "{}", format_report(&report));
     }
 
     #[test]

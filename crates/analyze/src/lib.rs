@@ -45,5 +45,6 @@ pub mod testgen;
 pub use diff::{diff_runs, format_diff, DiffReport, DiffThresholds, MetricDelta};
 pub use health::{analyze, format_report, metrics, Finding, HealthReport, Metrics, Severity};
 pub use stream::{
-    parse_stream, ClassRec, RouteRec, RunEndRec, RunStartRec, RunStream, SpanRec, TempRec,
+    parse_stream, ClassRec, ReplicaFailedRec, RouteRec, RunEndRec, RunInterruptedRec, RunStartRec,
+    RunStream, SpanRec, TempRec,
 };

@@ -140,6 +140,34 @@ pub struct SpanRec {
     pub wall_us: u64,
 }
 
+/// One `replica_failed` fault-isolation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaFailedRec {
+    /// Orchestration phase (`"multistart"`, `"tempering"`).
+    pub phase: String,
+    /// Failed replica index.
+    pub replica: u64,
+    /// Temperature step / tempering round the fault surfaced at.
+    pub round: u64,
+    /// Captured panic/error message.
+    pub error: String,
+}
+
+/// The `run_interrupted` footer of a checkpointed early exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunInterruptedRec {
+    /// Stop reason (`"signal"`, `"wall_clock"`, `"move_budget"`).
+    pub reason: String,
+    /// Pipeline stage the interrupt landed in.
+    pub stage: String,
+    /// Best-so-far TEIL at the cut.
+    pub teil: f64,
+    /// Best-so-far cost at the cut.
+    pub cost: f64,
+    /// Wall-clock spent before stopping, in microseconds.
+    pub wall_us: u64,
+}
+
 /// A fully parsed telemetry stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStream {
@@ -157,6 +185,10 @@ pub struct RunStream {
     pub swap_attempts: u64,
     /// Accepted swaps.
     pub swap_accepts: u64,
+    /// `replica_failed` fault records, in stream order.
+    pub failures: Vec<ReplicaFailedRec>,
+    /// `run_interrupted` footer, if the run stopped early.
+    pub interrupted: Option<RunInterruptedRec>,
     /// Validator statistics (line and per-kind counts).
     pub stats: StreamStats,
 }
@@ -179,6 +211,12 @@ impl RunStream {
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Whether the run lost at least one replica to a fault and
+    /// finished on the survivors.
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty()
     }
 }
 
@@ -333,6 +371,23 @@ pub fn parse_stream(jsonl: &str) -> Result<RunStream, String> {
                     out.swap_accepts += 1;
                 }
             }
+            "replica_failed" => {
+                out.failures.push(ReplicaFailedRec {
+                    phase: text(&entries, "phase"),
+                    replica: uint(&entries, "replica"),
+                    round: uint(&entries, "round"),
+                    error: text(&entries, "error"),
+                });
+            }
+            "run_interrupted" => {
+                out.interrupted = Some(RunInterruptedRec {
+                    reason: text(&entries, "reason"),
+                    stage: text(&entries, "stage"),
+                    teil: num(&entries, "teil"),
+                    cost: num(&entries, "cost"),
+                    wall_us: uint(&entries, "wall_us"),
+                });
+            }
             // anneal_temp and replica_summary carry nothing the health
             // checks read; future kinds are tolerated by construction.
             _ => {}
@@ -383,5 +438,30 @@ mod tests {
     fn propagates_validation_errors_with_lines() {
         let err = parse_stream("{\"kind\":\"bogus\"}\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn extracts_resilience_records() {
+        let jsonl = concat!(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,",
+            "\"replicas\":3,\"strategy\":\"multistart\"}\n",
+            "{\"kind\":\"replica_failed\",\"phase\":\"multistart\",\"replica\":1,",
+            "\"round\":5,\"error\":\"injected fault: replica 1 at step 5\"}\n",
+            "{\"kind\":\"run_interrupted\",\"reason\":\"move_budget\",\"stage\":\"stage1\",",
+            "\"teil\":512.0,\"cost\":600.0,\"wall_us\":4200}\n",
+        );
+        let s = parse_stream(jsonl).unwrap();
+        assert!(s.degraded());
+        assert_eq!(s.failures.len(), 1);
+        assert_eq!(s.failures[0].replica, 1);
+        assert_eq!(s.failures[0].round, 5);
+        assert!(s.failures[0].error.contains("injected fault"));
+        let cut = s.interrupted.as_ref().unwrap();
+        assert_eq!(
+            (cut.reason.as_str(), cut.stage.as_str()),
+            ("move_budget", "stage1")
+        );
+        assert_eq!(cut.teil, 512.0);
+        assert!(s.end.is_none());
     }
 }

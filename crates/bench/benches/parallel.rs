@@ -13,8 +13,12 @@ use std::hint::black_box;
 use twmc_anneal::CoolingSchedule;
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::{synthesize, Netlist, SynthParams};
-use twmc_parallel::{parallel_stage1, ParallelParams, Strategy};
+use twmc_obs::NullRecorder;
+use twmc_parallel::{
+    parallel_stage1, parallel_stage1_resilient, ParallelParams, RunCtrl, Stage1Outcome, Strategy,
+};
 use twmc_place::PlaceParams;
+use twmc_resume::CheckpointWriter;
 
 fn midsize_circuit() -> Netlist {
     synthesize(&SynthParams {
@@ -62,6 +66,90 @@ struct ScalingRow {
     best_teil: f64,
 }
 
+#[derive(Serialize)]
+struct CheckpointOverheadRow {
+    replicas: usize,
+    cadence_steps: u64,
+    plain_seconds: f64,
+    checkpointed_seconds: f64,
+    overhead_pct: f64,
+    checkpoints_written: u64,
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    scaling: Vec<ScalingRow>,
+    checkpoint_overhead: CheckpointOverheadRow,
+}
+
+/// Wall-clock of one multistart stage-1 run, optionally checkpointing
+/// at the default `--checkpoint-every 10` cadence. Returns the elapsed
+/// seconds and the number of checkpoints flushed.
+fn timed_run(
+    nl: &Netlist,
+    ac: usize,
+    replicas: usize,
+    ckpt: Option<&std::path::Path>,
+) -> (f64, u64) {
+    let pp = ParallelParams {
+        replicas,
+        threads: 0,
+        strategy: Strategy::MultiStart,
+        ..Default::default()
+    };
+    let mut ctrl = RunCtrl {
+        writer: ckpt.map(|path| CheckpointWriter::new(path, 10)),
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let outcome = parallel_stage1_resilient(
+        nl,
+        &params(ac),
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        &pp,
+        42,
+        &mut NullRecorder,
+        &mut ctrl,
+    )
+    .expect("bench run completes");
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(matches!(outcome, Stage1Outcome::Complete { .. }));
+    (secs, ctrl.writer.map_or(0, |w| w.written()))
+}
+
+/// Measures the periodic-checkpoint tax at the default cadence: the
+/// same multistart run with and without a writer, best of `reps`.
+fn checkpoint_overhead(test_mode: bool) -> CheckpointOverheadRow {
+    let nl = midsize_circuit();
+    let (ac, reps) = if test_mode { (2, 1) } else { (10, 3) };
+    let dir = std::env::temp_dir().join(format!("twmc-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.ckpt");
+    let mut plain = f64::INFINITY;
+    let mut checkpointed = f64::INFINITY;
+    let mut written = 0;
+    for _ in 0..reps {
+        plain = plain.min(timed_run(&nl, ac, 2, None).0);
+        let (secs, n) = timed_run(&nl, ac, 2, Some(&path));
+        if secs < checkpointed {
+            checkpointed = secs;
+            written = n;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    CheckpointOverheadRow {
+        replicas: 2,
+        cadence_steps: 10,
+        plain_seconds: plain,
+        checkpointed_seconds: checkpointed,
+        // Per-move overhead: both runs execute the identical move
+        // sequence, so the wall-clock ratio IS the per-move ratio.
+        overhead_pct: 100.0 * (checkpointed - plain) / plain,
+        checkpoints_written: written,
+    }
+}
+
 /// Wall-clock/quality scaling sweep, dumped as `BENCH_parallel.json`.
 fn scaling_summary(test_mode: bool) {
     let nl = midsize_circuit();
@@ -89,9 +177,32 @@ fn scaling_summary(test_mode: bool) {
             r.strategy, r.replicas, r.wall_seconds, r.best_teil
         );
     }
+    let overhead = checkpoint_overhead(test_mode);
+    eprintln!(
+        "parallel/checkpoint x{} every {} steps: {:.2}s -> {:.2}s \
+         ({:+.2}% per-move, {} checkpoints)",
+        overhead.replicas,
+        overhead.cadence_steps,
+        overhead.plain_seconds,
+        overhead.checkpointed_seconds,
+        overhead.overhead_pct,
+        overhead.checkpoints_written,
+    );
+    assert!(overhead.checkpoints_written > 0, "cadence never fired");
     if !test_mode {
+        // Acceptance gate: periodic checkpointing at the default
+        // cadence must stay within a 2% per-move tax.
+        assert!(
+            overhead.overhead_pct <= 2.0,
+            "checkpoint overhead {:.2}% exceeds the 2% budget",
+            overhead.overhead_pct
+        );
         let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-        let text = serde_json::to_string_pretty(&rows).expect("serializable rows");
+        let summary = BenchSummary {
+            scaling: rows,
+            checkpoint_overhead: overhead,
+        };
+        let text = serde_json::to_string_pretty(&summary).expect("serializable rows");
         std::fs::write(out, text).expect("writable workspace root");
         eprintln!("wrote {out}");
     }

@@ -40,6 +40,7 @@ mod finalize;
 mod pipeline;
 mod render;
 mod report;
+mod resilient;
 
 pub use baseline::{greedy_placement, quadratic_placement, shelf_placement, BaselineResult};
 pub use config::TimberWolfConfig;
@@ -50,6 +51,9 @@ pub use pipeline::{
 pub use render::{render_svg, RenderOptions};
 pub use report::{
     compare, format_parallel_report, format_table4, format_telemetry_summary, ComparisonRow,
+};
+pub use resilient::{
+    run_timberwolf_resilient, InterruptedRun, PipelineError, RunOptions, RunOutcome,
 };
 
 // Orchestration knobs and reports surface through the pipeline config

@@ -218,6 +218,22 @@ pub fn format_telemetry_summary(events: &[Event]) -> String {
                     e.wall_us as f64 / 1e6,
                 ));
             }
+            Event::ReplicaFailed(f) => {
+                out.push_str(&format!(
+                    "warning: replica {} failed in {} at round {}: {}\n",
+                    f.replica, f.phase, f.round, f.error
+                ));
+            }
+            Event::RunInterrupted(i) => {
+                out.push_str(&format!(
+                    "interrupted ({}) in {}: TEIL {:.0}  cost {:.0}  after {:.2}s\n",
+                    i.reason,
+                    i.stage,
+                    i.teil,
+                    i.cost,
+                    i.wall_us as f64 / 1e6,
+                ));
+            }
         }
     }
 
@@ -336,6 +352,7 @@ mod tests {
             best_replica: 1,
             replica_reports: rows,
             swaps: SwapReport::default(),
+            failed: Vec::new(),
         };
         let text = format_parallel_report(&report);
         assert!(text.contains("multistart x2"), "{text}");

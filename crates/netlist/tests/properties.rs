@@ -118,6 +118,53 @@ proptest! {
     }
 
     #[test]
+    fn parser_never_panics_on_byte_corruption(
+        params in arb_params(),
+        pos in 0usize..1_000_000,
+        flip in 1u8..=127,
+    ) {
+        // A single corrupted byte anywhere in a valid netlist must
+        // yield a netlist or a typed error — never a panic.
+        let nl = synthesize(&params);
+        let mut bytes = write_netlist(&nl).into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let _ = parse_netlist(&mutated);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_netlist(&String::from_utf8_lossy(&junk));
+    }
+
+    #[test]
+    fn yal_parser_never_panics_on_mutations(cut in 0usize..64, pos in 0usize..1_000_000, flip in 1u8..=127) {
+        // The same resilience contract for the external YAL format:
+        // truncate a valid document at any line, then corrupt a byte.
+        let valid = "MODULE a;\nTYPE GENERAL;\nDIMENSIONS 0 0 0 40 40 40 40 0;\n\
+                     IOLIST;\np B 0 20 4 m2;\nq B 40 20 4 m2;\nENDIOLIST;\nENDMODULE;\n\
+                     MODULE top;\nTYPE PARENT;\nNETWORK;\nu1 a n1 n2;\nu2 a n2 n1;\n\
+                     ENDNETWORK;\nENDMODULE;\n";
+        let lines: Vec<&str> = valid.lines().collect();
+        let cut = cut % (lines.len() + 1);
+        let _ = twmc_netlist::parse_yal(&lines[..cut].join("\n"));
+
+        let mut bytes = valid.as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let _ = twmc_netlist::parse_yal(&mutated);
+        }
+    }
+
+    #[test]
+    fn yal_parser_never_panics_on_arbitrary_text(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = twmc_netlist::parse_yal(&String::from_utf8_lossy(&junk));
+    }
+
+    #[test]
     fn stats_are_consistent(params in arb_params()) {
         let nl = synthesize(&params);
         let st = nl.stats();

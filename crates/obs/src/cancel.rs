@@ -1,0 +1,207 @@
+//! Cooperative cancellation: graceful interruption of long runs.
+//!
+//! A [`CancelToken`] bundles every way a run can be asked to stop early
+//! — an explicit [`CancelToken::cancel`] call, a process signal flag
+//! (SIGINT/SIGTERM, registered by the binary), a wall-clock deadline,
+//! and a move-attempt budget. Producers check it at *temperature-step /
+//! round boundaries only*, on the orchestrator thread, so a stop always
+//! lands at a checkpointable state boundary and never perturbs results:
+//! a run that is not stopped is bit-identical to one executed without a
+//! token.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a run was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Explicit cancellation — a signal flag or [`CancelToken::cancel`].
+    Interrupted,
+    /// The `--max-wall-secs` deadline passed.
+    WallClock,
+    /// The `--max-moves` attempt budget is exhausted.
+    MoveBudget,
+}
+
+impl StopReason {
+    /// The stable string used in `run_interrupted` telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Interrupted => "signal",
+            StopReason::WallClock => "wall_clock",
+            StopReason::MoveBudget => "move_budget",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    external: Option<&'static AtomicBool>,
+    deadline: Option<Instant>,
+    max_moves: Option<u64>,
+    moves: AtomicU64,
+}
+
+/// A cloneable handle producers poll at loop boundaries.
+///
+/// The default token never fires; budgets and flags are opt-in.
+///
+/// # Examples
+///
+/// ```
+/// use twmc_obs::{CancelToken, StopReason};
+///
+/// let token = CancelToken::new().with_max_moves(100);
+/// token.add_moves(60);
+/// assert_eq!(token.check(), None);
+/// token.add_moves(40);
+/// assert_eq!(token.check(), Some(StopReason::MoveBudget));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no stop conditions armed.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                external: None,
+                deadline: None,
+                max_moves: None,
+                moves: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn rebuild(self, f: impl FnOnce(&mut Inner)) -> Self {
+        let mut inner = Inner {
+            flag: AtomicBool::new(self.inner.flag.load(Ordering::Relaxed)),
+            external: self.inner.external,
+            deadline: self.inner.deadline,
+            max_moves: self.inner.max_moves,
+            moves: AtomicU64::new(self.inner.moves.load(Ordering::Relaxed)),
+        };
+        f(&mut inner);
+        CancelToken {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Also stops when `flag` becomes `true` — the bridge from a signal
+    /// handler, which can only flip a `static` atomic.
+    pub fn with_signal_flag(self, flag: &'static AtomicBool) -> Self {
+        self.rebuild(|i| i.external = Some(flag))
+    }
+
+    /// Also stops once `deadline` has passed.
+    pub fn with_deadline(self, deadline: Instant) -> Self {
+        self.rebuild(|i| i.deadline = Some(deadline))
+    }
+
+    /// Also stops once [`CancelToken::add_moves`] has accumulated
+    /// `max_moves` attempts. Deterministic — the budget counts work, not
+    /// time, so tests and CI can pin the exact stop point.
+    pub fn with_max_moves(self, max_moves: u64) -> Self {
+        self.rebuild(|i| i.max_moves = Some(max_moves))
+    }
+
+    /// Requests a stop at the next boundary check.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Accumulates move attempts toward the move budget.
+    pub fn add_moves(&self, n: u64) {
+        self.inner.moves.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Move attempts accumulated so far.
+    pub fn moves(&self) -> u64 {
+        self.inner.moves.load(Ordering::Relaxed)
+    }
+
+    /// Polls every stop condition; `None` means keep running. Signals
+    /// outrank the wall clock, which outranks the move budget.
+    pub fn check(&self) -> Option<StopReason> {
+        let i = &*self.inner;
+        if i.flag.load(Ordering::Relaxed) || i.external.is_some_and(|f| f.load(Ordering::Relaxed)) {
+            return Some(StopReason::Interrupted);
+        }
+        if i.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopReason::WallClock);
+        }
+        if i.max_moves
+            .is_some_and(|cap| i.moves.load(Ordering::Relaxed) >= cap)
+        {
+            return Some(StopReason::MoveBudget);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn default_token_never_fires() {
+        let t = CancelToken::new();
+        t.add_moves(1_000_000);
+        assert_eq!(t.check(), None);
+    }
+
+    #[test]
+    fn cancel_fires_and_outranks_budgets() {
+        let t = CancelToken::new().with_max_moves(1);
+        t.add_moves(5);
+        assert_eq!(t.check(), Some(StopReason::MoveBudget));
+        t.cancel();
+        assert_eq!(t.check(), Some(StopReason::Interrupted));
+    }
+
+    #[test]
+    fn external_flag_is_observed() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let t = CancelToken::new().with_signal_flag(&FLAG);
+        assert_eq!(t.check(), None);
+        FLAG.store(true, Ordering::Relaxed);
+        assert_eq!(t.check(), Some(StopReason::Interrupted));
+        FLAG.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn past_deadline_fires() {
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(t.check(), Some(StopReason::WallClock));
+        let t = CancelToken::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(t.check(), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new().with_max_moves(10);
+        let u = t.clone();
+        t.add_moves(10);
+        assert_eq!(u.check(), Some(StopReason::MoveBudget));
+        assert_eq!(u.moves(), 10);
+    }
+
+    #[test]
+    fn reason_strings_are_stable() {
+        assert_eq!(StopReason::Interrupted.as_str(), "signal");
+        assert_eq!(StopReason::WallClock.as_str(), "wall_clock");
+        assert_eq!(StopReason::MoveBudget.as_str(), "move_budget");
+    }
+}

@@ -254,6 +254,38 @@ pub struct RouteIter {
     pub util_hist: [u64; 5],
 }
 
+/// A replica whose worker panicked; the orchestrator degraded instead
+/// of aborting (the replica is dropped from best-of selection and, in
+/// tempering, from swap pairing).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReplicaFailed {
+    /// Orchestration phase (`"multistart"` or `"tempering"`).
+    pub phase: &'static str,
+    /// Replica / rung index that failed.
+    pub replica: usize,
+    /// Temperature round the failure surfaced in.
+    pub round: u64,
+    /// Panic payload (or a placeholder when it was not a string).
+    pub error: String,
+}
+
+/// A run cut short by a signal or a budget: best-so-far results at the
+/// interruption point. Unlike [`RunEnd`], the stream may legally stop
+/// right after this event (the continuation lives in a checkpoint).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunInterrupted {
+    /// Why the run stopped: `"signal"`, `"wall_clock"`, `"move_budget"`.
+    pub reason: &'static str,
+    /// Pipeline stage the interrupt landed in (`"stage1"`, `"stage2"`).
+    pub stage: &'static str,
+    /// Best-so-far TEIL at the interruption point.
+    pub teil: f64,
+    /// Best-so-far total cost at the interruption point.
+    pub cost: f64,
+    /// Wall-clock microseconds spent before stopping.
+    pub wall_us: u64,
+}
+
 /// End of a pipeline run: the headline results.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunEnd {
@@ -286,12 +318,16 @@ pub enum Event {
     ReplicaSummary(ReplicaSummary),
     /// Replica-exchange attempt.
     Swap(Swap),
+    /// Panicked replica, degraded around.
+    ReplicaFailed(ReplicaFailed),
+    /// Interrupted-run footer (checkpointed continuation).
+    RunInterrupted(RunInterrupted),
     /// Run footer.
     RunEnd(RunEnd),
 }
 
 /// Every `kind` tag an event stream may contain, in schema order.
-pub const EVENT_KINDS: [&str; 8] = [
+pub const EVENT_KINDS: [&str; 10] = [
     "run_start",
     "anneal_temp",
     "place_temp",
@@ -299,6 +335,8 @@ pub const EVENT_KINDS: [&str; 8] = [
     "route_iter",
     "replica_summary",
     "swap",
+    "replica_failed",
+    "run_interrupted",
     "run_end",
 ];
 
@@ -313,6 +351,8 @@ impl Event {
             Event::RouteIter(_) => "route_iter",
             Event::ReplicaSummary(_) => "replica_summary",
             Event::Swap(_) => "swap",
+            Event::ReplicaFailed(_) => "replica_failed",
+            Event::RunInterrupted(_) => "run_interrupted",
             Event::RunEnd(_) => "run_end",
         }
     }
@@ -328,6 +368,8 @@ impl Serialize for Event {
             Event::RouteIter(p) => p.to_value(),
             Event::ReplicaSummary(p) => p.to_value(),
             Event::Swap(p) => p.to_value(),
+            Event::ReplicaFailed(p) => p.to_value(),
+            Event::RunInterrupted(p) => p.to_value(),
             Event::RunEnd(p) => p.to_value(),
         };
         match payload {
@@ -442,6 +484,19 @@ mod tests {
                 t_lower: 2.0,
                 t_upper: 1.0,
                 accepted: true,
+            }),
+            Event::ReplicaFailed(ReplicaFailed {
+                phase: "multistart",
+                replica: 1,
+                round: 3,
+                error: "boom".to_owned(),
+            }),
+            Event::RunInterrupted(RunInterrupted {
+                reason: "signal",
+                stage: "stage1",
+                teil: 1.0,
+                cost: 2.0,
+                wall_us: 5,
             }),
             Event::RunEnd(RunEnd {
                 teil: 1.0,

@@ -44,12 +44,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cancel;
 mod event;
 mod recorder;
 pub mod validate;
 
+pub use cancel::{CancelToken, StopReason};
 pub use event::{
-    AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaSummary, RouteIter, RunEnd,
-    RunScope, RunStart, StageSpan, Swap, EVENT_KINDS,
+    AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaFailed, ReplicaSummary,
+    RouteIter, RunEnd, RunInterrupted, RunScope, RunStart, StageSpan, Swap, EVENT_KINDS,
 };
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};

@@ -64,6 +64,17 @@ impl JsonlRecorder<std::fs::File> {
     pub fn create(path: &str) -> io::Result<Self> {
         Ok(JsonlRecorder::new(std::fs::File::create(path)?))
     }
+
+    /// Opens `path` for appending (creating it if absent) — the resume
+    /// path, where the suffix of an interrupted stream continues the
+    /// prefix already on disk.
+    pub fn append(path: &str) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlRecorder::new(file))
+    }
 }
 
 impl<W: Write> JsonlRecorder<W> {

@@ -51,6 +51,8 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         ],
         "replica_summary" => &["phase", "replica", "seed", "teil", "cost"],
         "swap" => &["round", "lower", "upper", "accepted"],
+        "replica_failed" => &["phase", "replica", "round", "error"],
+        "run_interrupted" => &["reason", "stage", "teil", "cost", "wall_us"],
         "run_end" => &[
             "teil",
             "chip_width",
@@ -112,13 +114,17 @@ fn string_field(entries: &[(String, Value)], field: &str) -> Option<String> {
 /// `run_start`/`run_end` pair when either appears (in that order), and
 /// temperatures within one annealing stream (an `anneal_temp` stream or
 /// the `place_temp`s sharing a phase/iteration/replica scope) must be
-/// non-increasing. Every error names the offending line. Returns
-/// per-kind counts.
+/// non-increasing. A `run_interrupted` event resets the temperature
+/// tracking (the continuation of an interrupted stage re-runs its
+/// cooling), and a stream whose last event is `run_interrupted` may
+/// legally omit `run_end` — the continuation lives in a checkpoint.
+/// Every error names the offending line. Returns per-kind counts.
 pub fn validate_jsonl(text: &str) -> Result<StreamStats, String> {
     let mut stats = StreamStats::default();
     // Line numbers of the run envelope events (1-based, 0 = unseen).
     let mut run_start_line = 0usize;
     let mut run_end_line = 0usize;
+    let mut last_kind = String::new();
     // Last temperature per annealing stream: keyed by
     // (phase, iteration, replica) for place_temp, a fixed key for the
     // generic anneal_temp stream.
@@ -189,12 +195,23 @@ pub fn validate_jsonl(text: &str) -> Result<StreamStats, String> {
                 }
                 last_temp.insert(key, (t, lineno));
             }
+            "run_interrupted" => {
+                if run_start_line == 0 {
+                    return Err(format!(
+                        "line {lineno}: `run_interrupted` without a preceding `run_start`"
+                    ));
+                }
+                // A resumed stage-2 re-runs its cooling from the top, so
+                // the per-scope monotonicity restarts here.
+                last_temp.clear();
+            }
             _ => {}
         }
         stats.lines += 1;
-        *stats.kind_counts.entry(kind).or_insert(0) += 1;
+        *stats.kind_counts.entry(kind.clone()).or_insert(0) += 1;
+        last_kind = kind;
     }
-    if run_start_line != 0 && run_end_line == 0 {
+    if run_start_line != 0 && run_end_line == 0 && last_kind != "run_interrupted" {
         return Err(format!(
             "line {run_start_line}: `run_start` has no matching `run_end` (truncated stream?)"
         ));
@@ -501,6 +518,37 @@ mod tests {
 
         let truncated = format!("{RUN_START}\n");
         let err = validate_jsonl(&truncated).unwrap_err();
+        assert!(err.contains("no matching `run_end`"), "{err}");
+    }
+
+    const INTERRUPTED: &str = "{\"kind\":\"run_interrupted\",\"reason\":\"signal\",\
+                               \"stage\":\"stage1\",\"teil\":1.0,\"cost\":2.0,\"wall_us\":7}";
+
+    #[test]
+    fn interrupted_streams_may_end_without_run_end() {
+        // run_start … run_interrupted as the final event validates.
+        let cut = format!("{RUN_START}\n{}\n{INTERRUPTED}\n", place_temp(10.0));
+        assert_eq!(validate_jsonl(&cut).unwrap().lines, 3);
+
+        // A resumed stream may carry several interrupts and close with
+        // run_end; the temperature tracking restarts at each interrupt,
+        // so a stage that re-runs its cooling does not trip monotonicity.
+        let resumed = format!(
+            "{RUN_START}\n{}\n{INTERRUPTED}\n{}\n{INTERRUPTED}\n{}\n{RUN_END}\n",
+            place_temp(8.0),
+            place_temp(10.0),
+            place_temp(9.0),
+        );
+        assert_eq!(validate_jsonl(&resumed).unwrap().lines, 7);
+
+        // An interrupt before any run_start is malformed.
+        let orphan = format!("{INTERRUPTED}\n");
+        let err = validate_jsonl(&orphan).unwrap_err();
+        assert!(err.contains("run_interrupted"), "{err}");
+
+        // Events after the interrupt re-arm the truncation check.
+        let trailing = format!("{RUN_START}\n{INTERRUPTED}\n{}\n", place_temp(5.0));
+        let err = validate_jsonl(&trailing).unwrap_err();
         assert!(err.contains("no matching `run_end`"), "{err}");
     }
 

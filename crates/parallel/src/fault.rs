@@ -1,0 +1,49 @@
+//! Deterministic replica-fault injection for resilience tests.
+//!
+//! Compiled to no-ops unless the `fault-inject` cargo feature is on, so
+//! production builds carry zero overhead and no way to trip the fault
+//! path. With the feature, a test arms one (replica, step) coordinate
+//! and the orchestrator's worker panics when it reaches it — exercising
+//! the real `catch_unwind` isolation path, not a simulation of it.
+
+#[cfg(feature = "fault-inject")]
+use std::sync::atomic::{AtomicI64, Ordering};
+
+#[cfg(feature = "fault-inject")]
+static ARMED_REPLICA: AtomicI64 = AtomicI64::new(-1);
+#[cfg(feature = "fault-inject")]
+static ARMED_STEP: AtomicI64 = AtomicI64::new(-1);
+
+/// Arms a one-shot fault: the next time `replica` reaches annealing step
+/// (or tempering round) `step`, its worker panics.
+#[cfg(feature = "fault-inject")]
+pub fn arm(replica: usize, step: usize) {
+    ARMED_STEP.store(step as i64, Ordering::SeqCst);
+    ARMED_REPLICA.store(replica as i64, Ordering::SeqCst);
+}
+
+/// Disarms any pending fault.
+#[cfg(feature = "fault-inject")]
+pub fn disarm() {
+    ARMED_REPLICA.store(-1, Ordering::SeqCst);
+    ARMED_STEP.store(-1, Ordering::SeqCst);
+}
+
+/// Worker-side probe: panics if a fault is armed for this coordinate.
+/// The fault auto-disarms on firing so one `arm` kills one replica once.
+#[inline]
+pub(crate) fn maybe_fail(replica: usize, step: usize) {
+    #[cfg(feature = "fault-inject")]
+    {
+        if ARMED_REPLICA.load(Ordering::SeqCst) == replica as i64
+            && ARMED_STEP.load(Ordering::SeqCst) == step as i64
+        {
+            disarm();
+            panic!("injected fault: replica {replica} at step {step}");
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = (replica, step);
+    }
+}

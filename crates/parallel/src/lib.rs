@@ -52,17 +52,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 mod multistart;
 mod pool;
+mod resume;
 mod tempering;
 
+use serde::Value;
 use twmc_anneal::CoolingSchedule;
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
-use twmc_obs::{NullRecorder, Recorder};
+use twmc_obs::{CancelToken, NullRecorder, Recorder, StopReason};
 use twmc_place::{PlaceParams, PlacementState, Stage1Result};
+use twmc_resume::{CheckpointError, CheckpointWriter};
 
-pub use pool::{run_indexed, run_mut};
+pub use pool::{run_indexed, run_mut, try_run_indexed, try_run_mut, ReplicaError};
+pub use resume::{check_config, config_value, parallel_report_from, parallel_report_value};
 
 /// How the replicas cooperate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -203,10 +208,122 @@ pub struct ParallelReport {
     /// Index of the winning replica (multi-start: lowest TEIL; tempering:
     /// the rung whose configuration was quenched).
     pub best_replica: usize,
-    /// Per-replica statistics, in replica/rung order.
+    /// Per-replica statistics of the surviving replicas, in replica/rung
+    /// order.
     pub replica_reports: Vec<ReplicaReport>,
     /// Replica-exchange statistics.
     pub swaps: SwapReport,
+    /// Replicas retired by worker panics; non-empty marks the run as
+    /// degraded (the survivors' result still stands).
+    pub failed: Vec<ReplicaFailure>,
+}
+
+impl ParallelReport {
+    /// Whether any replica was lost along the way.
+    pub fn degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+}
+
+/// A replica retired by a worker panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaFailure {
+    /// Replica (or rung) index.
+    pub replica: usize,
+    /// Temperature step (multi-start) or round (tempering) it died on.
+    pub round: u64,
+    /// Panic message.
+    pub error: String,
+}
+
+/// Errors the resilient orchestrator can surface instead of panicking.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// Every replica died; there is no survivor to return.
+    AllReplicasFailed(Vec<ReplicaFailure>),
+    /// Writing or decoding a checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrchestratorError::AllReplicasFailed(fs) => {
+                write!(f, "all {} replicas failed", fs.len())?;
+                if let Some(first) = fs.first() {
+                    write!(f, " (replica {}: {})", first.replica, first.error)?;
+                }
+                Ok(())
+            }
+            OrchestratorError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+impl From<CheckpointError> for OrchestratorError {
+    fn from(e: CheckpointError) -> Self {
+        OrchestratorError::Checkpoint(e)
+    }
+}
+
+/// Run controller for [`parallel_stage1_resilient`]: cooperative
+/// cancellation, periodic checkpoints, and an optional decoded
+/// checkpoint to resume from. [`RunCtrl::default`] is a no-op controller
+/// (never cancels, never writes) under which the resilient entry point
+/// behaves exactly like [`parallel_stage1_with`].
+#[derive(Default)]
+pub struct RunCtrl {
+    /// Cancellation token polled at every step/round boundary.
+    pub cancel: CancelToken,
+    /// Periodic checkpoint writer (also flushed once on interrupt).
+    pub writer: Option<CheckpointWriter>,
+    /// Decoded checkpoint payload to resume from.
+    pub resume: Option<Value>,
+}
+
+impl RunCtrl {
+    fn checkpoint_due(&self, step: u64) -> bool {
+        self.writer.as_ref().is_some_and(|w| w.due(step))
+    }
+
+    fn write_checkpoint(&mut self, payload: &Value) -> Result<(), CheckpointError> {
+        match self.writer.as_mut() {
+            Some(w) => w.write(payload),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Outcome of a resilient stage-1 run: either the completed placement or
+/// the best-so-far placement at the point an interrupt was honored.
+// Both variants carry the (large) placement state; boxing it would only
+// shuffle one allocation around for a value produced once per run.
+#[allow(clippy::large_enum_variant)]
+pub enum Stage1Outcome<'a> {
+    /// The run finished normally.
+    Complete {
+        /// Winning placement state.
+        state: PlacementState<'a>,
+        /// Its stage-1 record.
+        result: Stage1Result,
+        /// Orchestration report (including any replica failures).
+        report: ParallelReport,
+    },
+    /// The run stopped at a step boundary before finishing; a final
+    /// checkpoint (when a writer is configured) has been flushed.
+    Interrupted {
+        /// Why the run stopped.
+        reason: StopReason,
+        /// Best placement so far (lowest TEIL for multi-start, lowest
+        /// cost for tempering).
+        state: PlacementState<'a>,
+        /// Its TEIL.
+        teil: f64,
+        /// Its total cost.
+        cost: f64,
+    },
 }
 
 /// Runs stage-1 placement with `params.replicas` cooperating replicas.
@@ -251,27 +368,101 @@ pub fn parallel_stage1_with<'a>(
     master_seed: u64,
     rec: &mut dyn Recorder,
 ) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
-    if params.replicas <= 1 {
-        let (state, result) =
-            twmc_place::place_stage1_with(nl, place, est, schedule, master_seed, rec);
-        let report = ParallelReport {
-            strategy: params.strategy,
-            replicas: 1,
-            threads: 1,
-            best_replica: 0,
-            replica_reports: vec![multistart::replica_report(0, master_seed, &state, &result)],
-            swaps: SwapReport::default(),
-        };
-        if rec.enabled() {
-            rec.record(&multistart::replica_summary(
-                "multistart",
-                &report.replica_reports[0],
-            ));
+    let mut ctrl = RunCtrl::default();
+    match parallel_stage1_resilient(
+        nl,
+        place,
+        est,
+        schedule,
+        params,
+        master_seed,
+        rec,
+        &mut ctrl,
+    ) {
+        Ok(Stage1Outcome::Complete {
+            state,
+            result,
+            report,
+        }) => (state, result, report),
+        // A default controller never cancels.
+        Ok(Stage1Outcome::Interrupted { .. }) => {
+            unreachable!("no-op controller cannot interrupt")
         }
-        return (state, result, report);
+        // Preserve the legacy contract: a replica panic propagates.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`parallel_stage1_with`] under a [`RunCtrl`]: cooperative
+/// cancellation at step/round boundaries, periodic atomic checkpoints,
+/// resume from a decoded checkpoint payload, and fault-isolated
+/// replicas (a worker panic retires that replica and the survivors
+/// finish; only the loss of *every* replica is an error).
+///
+/// With a default controller and no failures, results and the telemetry
+/// stream are bit-identical to [`parallel_stage1_with`]. A resumed run
+/// continues the RNG streams, cooling positions, and swap stream
+/// exactly where the checkpoint cut them, so interrupt-then-resume
+/// reproduces the uninterrupted run bit for bit — at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_stage1_resilient<'a>(
+    nl: &'a Netlist,
+    place: &PlaceParams,
+    est: &EstimatorParams,
+    schedule: &CoolingSchedule,
+    params: &ParallelParams,
+    master_seed: u64,
+    rec: &mut dyn Recorder,
+    ctrl: &mut RunCtrl,
+) -> Result<Stage1Outcome<'a>, OrchestratorError> {
+    let resume_payload = ctrl.resume.take();
+    if let Some(payload) = &resume_payload {
+        let stats = nl.stats();
+        resume::check_config(
+            payload,
+            master_seed,
+            params,
+            place.attempts_per_cell,
+            (stats.cells, stats.nets, stats.pins),
+        )?;
+    }
+    if params.replicas <= 1 {
+        return multistart::run_controlled(
+            nl,
+            place,
+            est,
+            schedule,
+            params,
+            master_seed,
+            rec,
+            ctrl,
+            resume_payload.as_ref(),
+            true,
+        );
     }
     match params.strategy {
-        Strategy::MultiStart => multistart::run(nl, place, est, schedule, params, master_seed, rec),
-        Strategy::Tempering => tempering::run(nl, place, est, schedule, params, master_seed, rec),
+        Strategy::MultiStart => multistart::run_controlled(
+            nl,
+            place,
+            est,
+            schedule,
+            params,
+            master_seed,
+            rec,
+            ctrl,
+            resume_payload.as_ref(),
+            false,
+        ),
+        Strategy::Tempering => tempering::run_controlled(
+            nl,
+            place,
+            est,
+            schedule,
+            params,
+            master_seed,
+            rec,
+            ctrl,
+            resume_payload.as_ref(),
+        ),
     }
 }

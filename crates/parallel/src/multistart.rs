@@ -1,15 +1,31 @@
 //! Multi-start orchestration: independent replicas, best TEIL wins.
+//!
+//! Replicas are driven in *step-synchronized rounds*: each round, every
+//! live replica runs exactly one temperature step ([`CoolingRun::step`])
+//! in parallel, then the orchestrator drains telemetry, probes the
+//! cancellation token, and writes a checkpoint when one is due. All
+//! replicas share the Table-1 temperature trajectory (the stage-1 stop
+//! conditions depend only on the temperature), so they finish on the
+//! same step and a round boundary is a consistent cut of the whole
+//! ensemble — which is what makes the checkpoint/resume cycle and the
+//! interrupted-telemetry-prefix property exact.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Value;
 
 use twmc_anneal::{derive_seed, CoolingSchedule};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
-use twmc_obs::{Event, NullRecorder, Recorder, ReplicaSummary, RunScope, SummaryRecorder};
-use twmc_place::{PlaceParams, PlacementState, Stage1Context, Stage1Result};
+use twmc_obs::{
+    Event, NullRecorder, Recorder, ReplicaFailed, ReplicaSummary, RunScope, SummaryRecorder,
+};
+use twmc_place::{CoolingRun, MoveSet, PlaceParams, PlacementState, Stage1Context, Stage1Result};
 
-use crate::{pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
+use crate::{
+    fault, pool, resume, OrchestratorError, ParallelParams, ParallelReport, ReplicaFailure,
+    ReplicaReport, RunCtrl, Stage1Outcome, SwapReport,
+};
 
 /// Builds the report row for one finished replica.
 pub(crate) fn replica_report(
@@ -44,18 +60,62 @@ pub(crate) fn replica_summary(phase: &'static str, r: &ReplicaReport) -> Event {
     })
 }
 
-/// Runs `params.replicas` independent stage-1 placements and keeps the
-/// one with the lowest final TEIL (ties go to the lowest replica index,
-/// so the selection is total and deterministic).
+/// One live replica: its configuration, RNG stream, cooling-loop
+/// position, a private telemetry buffer drained by the orchestrator
+/// after each round, and the failure note that retires it.
+struct Replica<'a> {
+    index: usize,
+    seed: u64,
+    state: PlacementState<'a>,
+    rng: StdRng,
+    run: CoolingRun,
+    local: SummaryRecorder,
+    failed: Option<String>,
+}
+
+impl Replica<'_> {
+    fn live(&self) -> bool {
+        self.failed.is_none()
+    }
+
+    fn checkpoint(&self) -> resume::ReplicaCk {
+        resume::ReplicaCk {
+            seed: self.seed,
+            failed: self.failed.clone(),
+            rng: self.rng.state(),
+            run: self.run.clone(),
+            snap: self.state.snapshot(),
+            rebuilds: self.state.index_rebuilds(),
+            updates: self.state.index_updates(),
+        }
+    }
+
+    fn restore(&mut self, ck: &resume::ReplicaCk) {
+        self.state.restore(&ck.snap);
+        self.state.force_index_counters(ck.rebuilds, ck.updates);
+        self.rng = StdRng::from_state(ck.rng);
+        self.run = ck.run.clone();
+        self.failed = ck.failed.clone();
+    }
+}
+
+/// Runs `params.replicas` independent stage-1 placements under the run
+/// controller and keeps the one with the lowest final TEIL (ties go to
+/// the lowest replica index, so the selection is total and
+/// deterministic). `single` runs the one-replica degenerate form whose
+/// event stream and results are bit-identical to
+/// [`twmc_place::place_stage1_with`].
 ///
 /// Telemetry: worker threads cannot share the caller's `&mut dyn
 /// Recorder` (the pool requires `Sync` closures), so each replica
-/// records into its own [`SummaryRecorder`] — created only when the
-/// caller's sink is enabled — and the streams are replayed into `rec` in
-/// replica order after the join, followed by one
-/// [`ReplicaSummary`] per replica. Event order is therefore
-/// deterministic regardless of thread count.
-pub(crate) fn run<'a>(
+/// records its step's events into its own [`SummaryRecorder`] and the
+/// orchestrator drains them in replica order after every round —
+/// step-major order, deterministic for any thread count. A run
+/// interrupted at a round boundary has therefore emitted an exact
+/// prefix of the uninterrupted stream, and the resumed run emits
+/// exactly the remaining suffix.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_controlled<'a>(
     nl: &'a Netlist,
     place: &PlaceParams,
     est: &EstimatorParams,
@@ -63,67 +123,234 @@ pub(crate) fn run<'a>(
     params: &ParallelParams,
     master_seed: u64,
     rec: &mut dyn Recorder,
-) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
-    let replicas = params.replicas;
+    ctrl: &mut RunCtrl,
+    resume_payload: Option<&Value>,
+    single: bool,
+) -> Result<Stage1Outcome<'a>, OrchestratorError> {
+    let replicas = if single { 1 } else { params.replicas };
     let threads = params.effective_threads(replicas);
     let enabled = rec.enabled();
-    let mut runs = pool::run_indexed(replicas, threads, |i| {
-        let seed = derive_seed(master_seed, i);
-        // Same construction sequence as `place_stage1` (context, seeded
-        // stream, random state, cool), so results are bit-identical to
-        // the untelemetered orchestrator.
-        let ctx = Stage1Context::new(nl, place, est);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut state = ctx.random_state(place, &mut rng);
-        let mut local = enabled.then(SummaryRecorder::new);
-        let mut null = NullRecorder;
-        let sink: &mut dyn Recorder = match local.as_mut() {
-            Some(l) => l,
-            None => &mut null,
-        };
-        let result = ctx.cool_with(
-            &mut state,
-            place,
-            schedule,
-            ctx.t_infinity,
-            &mut rng,
-            sink,
-            RunScope::STAGE1.with_replica(i),
-        );
-        (seed, state, result, local)
-    });
+    let stats = nl.stats();
+    let config = resume::config_value(
+        master_seed,
+        params,
+        place.attempts_per_cell,
+        (stats.cells, stats.nets, stats.pins),
+    );
+    let phase_tag = if single { "single" } else { "multistart" };
+    let summary_phase = "multistart";
+    let ctx = Stage1Context::new(nl, place, est);
 
-    let replica_reports: Vec<ReplicaReport> = runs
-        .iter()
-        .enumerate()
-        .map(|(i, (seed, state, result, _))| replica_report(i, *seed, state, result))
-        .collect();
-    if enabled {
-        for (local, report) in runs.iter().map(|r| &r.3).zip(&replica_reports) {
-            if let Some(l) = local {
-                for e in l.events() {
-                    rec.record(e);
+    // Fresh construction first (identical for fresh and resumed runs:
+    // the restore below overwrites everything construction consumed).
+    let seeds: Vec<u64> = (0..replicas).map(|i| derive_seed(master_seed, i)).collect();
+    let init = pool::try_run_indexed(replicas, threads, |i| {
+        let mut rng = StdRng::seed_from_u64(seeds[i]);
+        let state = ctx.random_state(place, &mut rng);
+        (state, rng)
+    });
+    let mut reps: Vec<Replica<'a>> = Vec::with_capacity(replicas);
+    let mut failures: Vec<ReplicaFailure> = Vec::new();
+    for (i, r) in init.into_iter().enumerate() {
+        // Construction is deterministic and non-panicking in production;
+        // an init failure (possible only under fault injection in the
+        // pool layer) would leave no state to salvage, so surface it.
+        let (state, rng) = r.map_err(|e| {
+            OrchestratorError::AllReplicasFailed(vec![ReplicaFailure {
+                replica: e.index,
+                round: 0,
+                error: e.message,
+            }])
+        })?;
+        reps.push(Replica {
+            index: i,
+            seed: seeds[i],
+            state,
+            rng,
+            run: CoolingRun::new(ctx.t_infinity),
+            local: SummaryRecorder::new(),
+            failed: None,
+        });
+    }
+
+    if let Some(payload) = resume_payload {
+        let cks = resume::multistart_replicas(payload)?;
+        if cks.len() != replicas {
+            return Err(OrchestratorError::Checkpoint(
+                twmc_resume::CheckpointError::Corrupt("checkpoint replica count differs".into()),
+            ));
+        }
+        for (rep, ck) in reps.iter_mut().zip(&cks) {
+            rep.restore(ck);
+        }
+        failures = resume::failures_from(twmc_resume::codec::field(payload, "failed")?)?;
+    }
+
+    let scope_for = |i: usize| {
+        if single {
+            RunScope::STAGE1
+        } else {
+            RunScope::STAGE1.with_replica(i)
+        }
+    };
+    let build_payload = |reps: &[Replica<'a>], failures: &[ReplicaFailure]| {
+        resume::phase_payload(
+            phase_tag,
+            config.clone(),
+            vec![
+                (
+                    "replicas",
+                    Value::Array(
+                        reps.iter()
+                            .map(|r| resume::replica_value(&r.checkpoint()))
+                            .collect(),
+                    ),
+                ),
+                ("failed", resume::failures_value(failures)),
+            ],
+        )
+    };
+
+    loop {
+        if !reps.iter().any(|r| r.live() && !r.run.done) {
+            break;
+        }
+        let before: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
+        let outcomes = pool::try_run_mut(&mut reps, threads, |_, rep| {
+            if !rep.live() || rep.run.done {
+                return;
+            }
+            fault::maybe_fail(rep.index, rep.run.steps());
+            let mut null = NullRecorder;
+            let sink: &mut dyn Recorder = if enabled { &mut rep.local } else { &mut null };
+            rep.run.step(
+                &mut rep.state,
+                place,
+                MoveSet::Full,
+                schedule,
+                &ctx.limiter,
+                ctx.s_t,
+                None,
+                &mut rep.rng,
+                sink,
+                scope_for(rep.index),
+            );
+        });
+        for (rep, out) in reps.iter_mut().zip(&outcomes) {
+            if let Err(e) = out {
+                if rep.live() {
+                    rep.failed = Some(e.message.clone());
+                    let round = rep.run.steps() as u64;
+                    failures.push(ReplicaFailure {
+                        replica: rep.index,
+                        round,
+                        error: e.message.clone(),
+                    });
+                    if enabled {
+                        rec.record(&Event::ReplicaFailed(ReplicaFailed {
+                            phase: summary_phase,
+                            replica: rep.index,
+                            round,
+                            error: e.message.clone(),
+                        }));
+                    }
                 }
             }
-            rec.record(&replica_summary("multistart", report));
+        }
+        if enabled {
+            for rep in &mut reps {
+                for e in std::mem::take(&mut rep.local).into_events() {
+                    rec.record(&e);
+                }
+            }
+        }
+        let after: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
+        ctrl.cancel.add_moves((after - before) as u64);
+
+        if let Some(reason) = ctrl.cancel.check() {
+            ctrl.write_checkpoint(&build_payload(&reps, &failures))?;
+            return Ok(interrupted(reason, reps, failures));
+        }
+        let step = reps
+            .iter()
+            .filter(|r| r.live())
+            .map(|r| r.run.steps())
+            .max()
+            .unwrap_or(0);
+        if step > 0 && ctrl.checkpoint_due(step as u64 - 1) {
+            ctrl.write_checkpoint(&build_payload(&reps, &failures))?;
+        }
+    }
+
+    let mut reports: Vec<ReplicaReport> = Vec::new();
+    for rep in reps.iter().filter(|r| r.live()) {
+        let result = rep
+            .run
+            .clone()
+            .into_result(&rep.state, ctx.t_infinity, ctx.s_t);
+        reports.push(replica_report(rep.index, rep.seed, &rep.state, &result));
+    }
+    if reports.is_empty() {
+        return Err(OrchestratorError::AllReplicasFailed(failures));
+    }
+    if enabled {
+        for r in &reports {
+            rec.record(&replica_summary(summary_phase, r));
         }
     }
     // First minimum wins ties (Iterator::min_by keeps the *last*).
-    let mut best_replica = 0;
-    for (i, r) in replica_reports.iter().enumerate().skip(1) {
-        if r.teil < replica_reports[best_replica].teil {
-            best_replica = i;
+    let mut best = 0;
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        if r.teil < reports[best].teil {
+            best = i;
         }
     }
-
-    let (_, state, result, _) = runs.swap_remove(best_replica);
+    let best_replica = reports[best].replica;
+    let pos = reps
+        .iter()
+        .position(|r| r.index == best_replica)
+        .expect("winner is live");
+    let rep = reps.swap_remove(pos);
+    let mut result = rep.run.into_result(&rep.state, ctx.t_infinity, ctx.s_t);
+    result.t_infinity = ctx.t_infinity;
     let report = ParallelReport {
         strategy: params.strategy,
         replicas,
         threads,
         best_replica,
-        replica_reports,
+        replica_reports: reports,
         swaps: SwapReport::default(),
+        failed: failures,
     };
-    (state, result, report)
+    Ok(Stage1Outcome::Complete {
+        state: rep.state,
+        result,
+        report,
+    })
+}
+
+/// Closes an interrupted run over the best live replica so far (lowest
+/// TEIL — total costs are not comparable across multi-start replicas,
+/// whose `p₂` normalizations differ).
+fn interrupted<'a>(
+    reason: twmc_obs::StopReason,
+    mut reps: Vec<Replica<'a>>,
+    _failures: Vec<ReplicaFailure>,
+) -> Stage1Outcome<'a> {
+    let mut best = usize::MAX;
+    for (i, rep) in reps.iter().enumerate() {
+        if rep.live() && (best == usize::MAX || rep.state.teil() < reps[best].state.teil()) {
+            best = i;
+        }
+    }
+    // With every replica failed *and* an interrupt at the same boundary,
+    // fall back to replica 0's mid-mutation state — still a placement.
+    let pick = if best == usize::MAX { 0 } else { best };
+    let rep = reps.swap_remove(pick);
+    Stage1Outcome::Interrupted {
+        reason,
+        teil: rep.state.teil(),
+        cost: rep.state.cost(),
+        state: rep.state,
+    }
 }

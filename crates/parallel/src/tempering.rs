@@ -1,42 +1,93 @@
 //! Parallel tempering: replicas pinned to Table-1 temperature rungs with
 //! Metropolis configuration exchanges between adjacent rungs.
+//!
+//! Rounds are the orchestration quantum: each round every live rung runs
+//! one inner loop in parallel, then the orchestrator emits telemetry,
+//! runs any swap sweep, probes the cancellation token, and writes a
+//! checkpoint when due — so a round boundary is a consistent cut of the
+//! ladder (rung states, per-rung RNG streams, the orchestrator's swap
+//! stream, and the sweep parity), and interrupt/resume is exact. A rung
+//! whose worker panics is retired: it stops stepping, is skipped by swap
+//! pairing (no orchestrator RNG draw for a dead pair), and is excluded
+//! from winner selection; the survivors complete the run.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Value;
 
 use twmc_anneal::{derive_seed, swap_probability, temperature_rungs, CoolingSchedule};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
-use twmc_obs::{ClassCount, CostBreakdown, Event, PlaceTemp, Recorder, RunScope, Swap};
+use twmc_obs::{
+    ClassCount, CostBreakdown, Event, PlaceTemp, Recorder, ReplicaFailed, RunScope, Swap,
+};
 use twmc_place::{
-    generate, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context, Stage1Result,
+    generate, CoolingRun, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context,
 };
 
-use crate::{multistart, pool, ParallelParams, ParallelReport, ReplicaReport, SwapReport};
+use crate::{
+    fault, multistart, pool, resume, OrchestratorError, ParallelParams, ParallelReport,
+    ReplicaFailure, ReplicaReport, RunCtrl, Stage1Outcome, SwapReport,
+};
 
 /// One rung's worker: the configuration currently at this temperature,
-/// the rung's RNG stream, and its accumulated statistics. Swaps exchange
-/// `state` between rungs; everything else stays with the rung.
+/// the rung's RNG stream, its accumulated statistics, and the failure
+/// note that retires it. Swaps exchange `state` between rungs;
+/// everything else stays with the rung.
 struct Rung<'a> {
+    index: usize,
+    seed: u64,
     state: PlacementState<'a>,
     rng: StdRng,
     stats: MoveStats,
     trajectory: Vec<f64>,
+    failed: Option<String>,
 }
 
-/// Runs the tempering ladder and quenches the best rung's configuration.
+impl Rung<'_> {
+    fn live(&self) -> bool {
+        self.failed.is_none()
+    }
+
+    fn checkpoint(&self) -> resume::RungCk {
+        resume::RungCk {
+            seed: self.seed,
+            failed: self.failed.clone(),
+            rng: self.rng.state(),
+            stats: self.stats,
+            trajectory: self.trajectory.clone(),
+            snap: self.state.snapshot(),
+            rebuilds: self.state.index_rebuilds(),
+            updates: self.state.index_updates(),
+        }
+    }
+
+    fn restore(&mut self, ck: &resume::RungCk) {
+        self.state.restore(&ck.snap);
+        self.state.force_index_counters(ck.rebuilds, ck.updates);
+        self.rng = StdRng::from_state(ck.rng);
+        self.stats = ck.stats;
+        self.trajectory = ck.trajectory.clone();
+        self.failed = ck.failed.clone();
+    }
+}
+
+/// Runs the tempering ladder under the run controller and quenches the
+/// best surviving rung's configuration through the rest of the schedule.
 ///
-/// Per round, every rung performs one inner loop (`A_c · N_c` attempts,
-/// eq. 17) at its pinned temperature — rounds run in parallel, swap
-/// sweeps are sequential on the orchestrator's own RNG stream so the
-/// outcome is independent of the thread count.
+/// Per round, every live rung performs one inner loop (`A_c · N_c`
+/// attempts, eq. 17) at its pinned temperature — rounds run in parallel,
+/// swap sweeps are sequential on the orchestrator's own RNG stream so
+/// the outcome is independent of the thread count.
 ///
 /// Telemetry (all on the orchestrator thread, so event order is
-/// deterministic): one `tempering`-phase [`PlaceTemp`] per rung per
-/// round, one [`Swap`] per exchange attempt, one
-/// [`twmc_obs::ReplicaSummary`] per rung, then the winner's quench
-/// stream under phase `quench`.
-pub(crate) fn run<'a>(
+/// deterministic): one `tempering`-phase [`PlaceTemp`] per live rung per
+/// round, one [`Swap`] per exchange attempt, a
+/// [`twmc_obs::ReplicaFailed`] when a rung dies, one
+/// [`twmc_obs::ReplicaSummary`] per surviving rung, then the winner's
+/// quench stream under phase `quench`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_controlled<'a>(
     nl: &'a Netlist,
     place: &PlaceParams,
     est: &EstimatorParams,
@@ -44,10 +95,19 @@ pub(crate) fn run<'a>(
     params: &ParallelParams,
     master_seed: u64,
     rec: &mut dyn Recorder,
-) -> (PlacementState<'a>, Stage1Result, ParallelReport) {
+    ctrl: &mut RunCtrl,
+    resume_payload: Option<&Value>,
+) -> Result<Stage1Outcome<'a>, OrchestratorError> {
     let replicas = params.replicas;
     let threads = params.effective_threads(replicas);
     let swap_interval = params.swap_interval.max(1);
+    let stats = nl.stats();
+    let config = resume::config_value(
+        master_seed,
+        params,
+        place.attempts_per_cell,
+        (stats.cells, stats.nets, stats.pins),
+    );
     let ctx = Stage1Context::new(nl, place, est);
     let rung_temps = temperature_rungs(
         schedule,
@@ -66,18 +126,61 @@ pub(crate) fn run<'a>(
             .max(1)
     };
 
+    // Resuming a quench needs no ladder at all — only the winner.
+    if let Some(payload) = resume_payload {
+        if resume::payload_phase(payload)? == "quench" {
+            let ck = resume::quench_from(payload)?;
+            let mut winner = ctx.random_state(place, &mut StdRng::seed_from_u64(0));
+            winner.restore(&ck.winner.snap);
+            winner.force_index_counters(ck.winner.rebuilds, ck.winner.updates);
+            return quench(
+                &ctx,
+                nl,
+                place,
+                schedule,
+                params,
+                rec,
+                ctrl,
+                &config,
+                ck.best,
+                ck.t_start,
+                winner,
+                StdRng::from_state(ck.winner.rng),
+                ck.winner.run.clone(),
+                ck.reports,
+                ck.swaps,
+                ck.failures,
+                threads,
+            );
+        }
+    }
+
     // Independent random starting configurations, one RNG stream per rung.
     let seeds: Vec<u64> = (0..replicas).map(|i| derive_seed(master_seed, i)).collect();
-    let mut rungs: Vec<Rung<'a>> = pool::run_indexed(replicas, threads, |i| {
+    let init = pool::try_run_indexed(replicas, threads, |i| {
         let mut rng = StdRng::seed_from_u64(seeds[i]);
         let state = ctx.random_state(place, &mut rng);
-        Rung {
+        (state, rng)
+    });
+    let mut rungs: Vec<Rung<'a>> = Vec::with_capacity(replicas);
+    for (i, r) in init.into_iter().enumerate() {
+        let (state, rng) = r.map_err(|e| {
+            OrchestratorError::AllReplicasFailed(vec![ReplicaFailure {
+                replica: e.index,
+                round: 0,
+                error: e.message,
+            }])
+        })?;
+        rungs.push(Rung {
+            index: i,
+            seed: seeds[i],
             state,
             rng,
             stats: MoveStats::default(),
             trajectory: Vec::new(),
-        }
-    });
+            failed: None,
+        });
+    }
     // The `p₂` overlap normalization is calibrated per random start; the
     // exchange rule compares energies across rungs, so all rungs must
     // price overlap identically — rung 0's calibration wins.
@@ -86,21 +189,47 @@ pub(crate) fn run<'a>(
         rung.state.set_p2(p2);
     }
 
-    let inner = place.attempts_per_cell * nl.cells().len();
     let mut orch_rng = StdRng::seed_from_u64(derive_seed(master_seed, replicas));
     let mut swaps = SwapReport::default();
     let mut sweep = 0usize;
+    let mut start_round = 0usize;
+    let mut failures: Vec<ReplicaFailure> = Vec::new();
 
-    for round in 0..rounds {
+    if let Some(payload) = resume_payload {
+        let ck = resume::tempering_from(payload)?;
+        if ck.rungs.len() != replicas {
+            return Err(OrchestratorError::Checkpoint(
+                twmc_resume::CheckpointError::Corrupt("checkpoint rung count differs".into()),
+            ));
+        }
+        for (rung, rck) in rungs.iter_mut().zip(&ck.rungs) {
+            rung.restore(rck);
+        }
+        orch_rng = StdRng::from_state(ck.orch_rng);
+        swaps = ck.swaps;
+        sweep = ck.sweep;
+        start_round = ck.round;
+        failures = ck.failures;
+    }
+
+    let inner = place.attempts_per_cell * nl.cells().len();
+    let enabled = rec.enabled();
+
+    for round in start_round..rounds {
         // Snapshot per-rung counters so the round's deltas can be
         // reported after the join (workers cannot share `rec`).
-        let stats_before: Vec<MoveStats> = if rec.enabled() {
+        let stats_before: Vec<MoveStats> = if enabled {
             rungs.iter().map(|r| r.stats).collect()
         } else {
             Vec::new()
         };
-        pool::run_mut(&mut rungs, threads, |i, rung| {
-            let t = rung_temps[i];
+        let before: usize = rungs.iter().map(|r| r.stats.attempts()).sum();
+        let outcomes = pool::try_run_mut(&mut rungs, threads, |_, rung| {
+            if !rung.live() {
+                return;
+            }
+            fault::maybe_fail(rung.index, round);
+            let t = rung_temps[rung.index];
             let wx = ctx.limiter.window_x(t);
             let wy = ctx.limiter.window_y(t);
             for _ in 0..inner {
@@ -117,8 +246,28 @@ pub(crate) fn run<'a>(
             }
             rung.trajectory.push(rung.state.teil());
         });
-        if rec.enabled() {
-            for (i, rung) in rungs.iter().enumerate() {
+        for (rung, out) in rungs.iter_mut().zip(&outcomes) {
+            if let Err(e) = out {
+                if rung.live() {
+                    rung.failed = Some(e.message.clone());
+                    failures.push(ReplicaFailure {
+                        replica: rung.index,
+                        round: round as u64,
+                        error: e.message.clone(),
+                    });
+                    if enabled {
+                        rec.record(&Event::ReplicaFailed(ReplicaFailed {
+                            phase: "tempering",
+                            replica: rung.index,
+                            round: round as u64,
+                            error: e.message.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        if enabled {
+            for (i, rung) in rungs.iter().enumerate().filter(|(_, r)| r.live()) {
                 let t = rung_temps[i];
                 let delta = rung.stats.since(&stats_before[i]);
                 rec.record(&Event::PlaceTemp(PlaceTemp {
@@ -155,6 +304,8 @@ pub(crate) fn run<'a>(
                 }));
             }
         }
+        let after: usize = rungs.iter().map(|r| r.stats.attempts()).sum();
+        ctrl.cancel.add_moves((after - before) as u64);
 
         if (round + 1) % swap_interval == 0 {
             // Alternate even/odd adjacent pairs per sweep, the standard
@@ -162,6 +313,9 @@ pub(crate) fn run<'a>(
             let start = sweep % 2;
             sweep += 1;
             for i in (start..replicas.saturating_sub(1)).step_by(2) {
+                if !rungs[i].live() || !rungs[i + 1].live() {
+                    continue;
+                }
                 let p = swap_probability(
                     rung_temps[i],
                     rung_temps[i + 1],
@@ -175,7 +329,7 @@ pub(crate) fn run<'a>(
                     std::mem::swap(&mut a[i].state, &mut b[0].state);
                     swaps.accepts += 1;
                 }
-                if rec.enabled() {
+                if enabled {
                     rec.record(&Event::Swap(Swap {
                         round: round as u64,
                         lower: i,
@@ -187,16 +341,64 @@ pub(crate) fn run<'a>(
                 }
             }
         }
+
+        if rungs.iter().all(|r| !r.live()) {
+            return Err(OrchestratorError::AllReplicasFailed(failures));
+        }
+        let ladder_payload = |rungs: &[Rung<'a>]| {
+            resume::phase_payload(
+                "tempering",
+                config.clone(),
+                vec![
+                    ("round", Value::UInt(round as u64 + 1)),
+                    ("sweep", Value::UInt(sweep as u64)),
+                    ("orch_rng", twmc_resume::codec::u64x4(orch_rng.state())),
+                    ("swaps", resume::swaps_value(&swaps)),
+                    (
+                        "rungs",
+                        Value::Array(
+                            rungs
+                                .iter()
+                                .map(|r| resume::rung_value(&r.checkpoint()))
+                                .collect(),
+                        ),
+                    ),
+                    ("failed", resume::failures_value(&failures)),
+                ],
+            )
+        };
+        if let Some(reason) = ctrl.cancel.check() {
+            ctrl.write_checkpoint(&ladder_payload(&rungs))?;
+            // Best live configuration by cost (comparable: shared `p₂`).
+            let mut best = 0;
+            let mut seen = false;
+            for (i, rung) in rungs.iter().enumerate() {
+                if rung.live() && (!seen || rung.state.cost() < rungs[best].state.cost()) {
+                    best = i;
+                    seen = true;
+                }
+            }
+            let rung = rungs.swap_remove(best);
+            return Ok(Stage1Outcome::Interrupted {
+                reason,
+                teil: rung.state.teil(),
+                cost: rung.state.cost(),
+                state: rung.state,
+            });
+        }
+        if ctrl.checkpoint_due(round as u64) {
+            ctrl.write_checkpoint(&ladder_payload(&rungs))?;
+        }
     }
 
     // Report the ladder phase before the quench mutates the winner.
     let replica_reports: Vec<ReplicaReport> = rungs
         .iter()
-        .enumerate()
-        .map(|(i, rung)| ReplicaReport {
-            replica: i,
-            seed: seeds[i],
-            rung_temperature: Some(rung_temps[i]),
+        .filter(|r| r.live())
+        .map(|rung| ReplicaReport {
+            replica: rung.index,
+            seed: rung.seed,
+            rung_temperature: Some(rung_temps[rung.index]),
             teil: rung.state.teil(),
             cost: rung.state.cost(),
             attempts: rung.stats.attempts(),
@@ -204,7 +406,10 @@ pub(crate) fn run<'a>(
             teil_trajectory: rung.trajectory.clone(),
         })
         .collect();
-    if rec.enabled() {
+    if replica_reports.is_empty() {
+        return Err(OrchestratorError::AllReplicasFailed(failures));
+    }
+    if enabled {
         for report in &replica_reports {
             rec.record(&multistart::replica_summary("tempering", report));
         }
@@ -214,33 +419,141 @@ pub(crate) fn run<'a>(
     // warmer rung can hold the minimum right after an exchange sweep)
     // through the rest of the schedule from its rung temperature.
     let mut best = 0;
-    for (i, rung) in rungs.iter().enumerate().skip(1) {
-        if rung.state.cost() < rungs[best].state.cost() {
+    let mut seen = false;
+    for (i, rung) in rungs.iter().enumerate() {
+        if rung.live() && (!seen || rung.state.cost() < rungs[best].state.cost()) {
             best = i;
+            seen = true;
         }
     }
-    let mut winner = rungs.swap_remove(best);
-    let result = ctx.cool_with(
-        &mut winner.state,
+    let winner = rungs.swap_remove(best);
+    let best_index = winner.index;
+    quench(
+        &ctx,
+        nl,
         place,
         schedule,
-        rung_temps[best],
-        &mut winner.rng,
+        params,
         rec,
-        RunScope {
-            phase: "quench",
-            iteration: 0,
-            replica: best as i64,
-        },
-    );
-
-    let report = ParallelReport {
-        strategy: params.strategy,
-        replicas,
-        threads,
-        best_replica: best,
+        ctrl,
+        &config,
+        best_index,
+        rung_temps[best_index],
+        winner.state,
+        winner.rng,
+        CoolingRun::new(rung_temps[best_index]),
         replica_reports,
         swaps,
+        failures,
+        threads,
+    )
+}
+
+/// Drives the winner's quench (a plain stage-1 cooling run from its rung
+/// temperature) with cancellation and checkpointing at every step.
+#[allow(clippy::too_many_arguments)]
+fn quench<'a>(
+    ctx: &Stage1Context<'a>,
+    _nl: &'a Netlist,
+    place: &PlaceParams,
+    schedule: &CoolingSchedule,
+    params: &ParallelParams,
+    rec: &mut dyn Recorder,
+    ctrl: &mut RunCtrl,
+    config: &Value,
+    best: usize,
+    t_start: f64,
+    mut state: PlacementState<'a>,
+    mut rng: StdRng,
+    mut run: CoolingRun,
+    reports: Vec<ReplicaReport>,
+    swaps: SwapReport,
+    failures: Vec<ReplicaFailure>,
+    threads: usize,
+) -> Result<Stage1Outcome<'a>, OrchestratorError> {
+    let scope = RunScope {
+        phase: "quench",
+        iteration: 0,
+        replica: best as i64,
     };
-    (winner.state, result, report)
+    loop {
+        if run.done {
+            break;
+        }
+        let before = run.moves.attempts();
+        let finished = run.step(
+            &mut state,
+            place,
+            MoveSet::Full,
+            schedule,
+            &ctx.limiter,
+            ctx.s_t,
+            None,
+            &mut rng,
+            rec,
+            scope,
+        );
+        ctrl.cancel
+            .add_moves((run.moves.attempts() - before) as u64);
+        if finished {
+            break;
+        }
+        let payload = |state: &PlacementState<'a>, rng: &StdRng, run: &CoolingRun| {
+            resume::phase_payload(
+                "quench",
+                config.clone(),
+                vec![
+                    ("best", Value::UInt(best as u64)),
+                    ("t_start", twmc_resume::codec::f64_bits(t_start)),
+                    (
+                        "winner",
+                        resume::replica_value(&resume::ReplicaCk {
+                            seed: best as u64,
+                            failed: None,
+                            rng: rng.state(),
+                            run: run.clone(),
+                            snap: state.snapshot(),
+                            rebuilds: state.index_rebuilds(),
+                            updates: state.index_updates(),
+                        }),
+                    ),
+                    (
+                        "reports",
+                        Value::Array(reports.iter().map(resume::report_value).collect()),
+                    ),
+                    ("swaps", resume::swaps_value(&swaps)),
+                    ("failed", resume::failures_value(&failures)),
+                ],
+            )
+        };
+        if let Some(reason) = ctrl.cancel.check() {
+            ctrl.write_checkpoint(&payload(&state, &rng, &run))?;
+            return Ok(Stage1Outcome::Interrupted {
+                reason,
+                teil: state.teil(),
+                cost: state.cost(),
+                state,
+            });
+        }
+        let step = run.steps() as u64;
+        if step > 0 && ctrl.checkpoint_due(step - 1) {
+            ctrl.write_checkpoint(&payload(&state, &rng, &run))?;
+        }
+    }
+    let mut result = run.into_result(&state, t_start, ctx.s_t);
+    result.t_infinity = ctx.t_infinity;
+    let report = ParallelReport {
+        strategy: params.strategy,
+        replicas: params.replicas,
+        threads,
+        best_replica: best,
+        replica_reports: reports,
+        swaps,
+        failed: failures,
+    };
+    Ok(Stage1Outcome::Complete {
+        state,
+        result,
+        report,
+    })
 }

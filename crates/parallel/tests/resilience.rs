@@ -1,0 +1,419 @@
+//! The resilience contract of the orchestrator: a run interrupted at a
+//! step/round boundary and resumed from its checkpoint is bit-identical
+//! to the uninterrupted run — final placement, stage-1 record, report,
+//! and the telemetry stream (interrupted prefix + resumed suffix equals
+//! the uninterrupted stream) — at any thread count; and (behind the
+//! `fault-inject` feature) a panicking replica is retired without
+//! taking the run down.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use twmc_anneal::CoolingSchedule;
+use twmc_estimator::EstimatorParams;
+use twmc_netlist::{synthesize, Netlist, SynthParams};
+use twmc_obs::{CancelToken, Event, StopReason, SummaryRecorder};
+use twmc_parallel::{parallel_stage1_resilient, ParallelParams, RunCtrl, Stage1Outcome, Strategy};
+use twmc_place::PlaceParams;
+use twmc_resume::CheckpointWriter;
+
+/// The fault-injection statics (`fault::arm`) are process-global, so
+/// the tests in this binary must not overlap: a fault armed by one test
+/// would otherwise fire inside an unrelated concurrent run. Every test
+/// takes this lock first.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn circuit() -> Netlist {
+    synthesize(&SynthParams {
+        cells: 8,
+        nets: 18,
+        pins: 60,
+        custom_fraction: 0.25,
+        seed: 4,
+        avg_cell_dim: 20,
+        ..Default::default()
+    })
+}
+
+fn fast_params() -> PlaceParams {
+    PlaceParams {
+        attempts_per_cell: 6,
+        normalization_samples: 6,
+        ..Default::default()
+    }
+}
+
+fn parallel_params(replicas: usize, threads: usize, strategy: Strategy) -> ParallelParams {
+    ParallelParams {
+        replicas,
+        threads,
+        strategy,
+        rounds: if strategy == Strategy::Tempering {
+            16
+        } else {
+            0
+        },
+        swap_interval: 2,
+    }
+}
+
+struct Run {
+    positions: Vec<(i64, i64)>,
+    teil: f64,
+    cost: f64,
+    report: twmc_parallel::ParallelReport,
+    events: Vec<Event>,
+    /// Total move attempts, counted by the cancellation token.
+    moves: u64,
+}
+
+fn complete_run(nl: &Netlist, params: &ParallelParams, mut ctrl: RunCtrl) -> Run {
+    let token = ctrl.cancel.clone();
+    let mut rec = SummaryRecorder::new();
+    let outcome = parallel_stage1_resilient(
+        nl,
+        &fast_params(),
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        params,
+        42,
+        &mut rec,
+        &mut ctrl,
+    )
+    .expect("run succeeds");
+    match outcome {
+        Stage1Outcome::Complete {
+            state,
+            result,
+            report,
+        } => Run {
+            positions: state.cells().iter().map(|c| (c.pos.x, c.pos.y)).collect(),
+            teil: result.teil,
+            cost: state.cost(),
+            report,
+            events: rec.into_events(),
+            moves: token.moves(),
+        },
+        Stage1Outcome::Interrupted { .. } => panic!("unexpected interrupt"),
+    }
+}
+
+/// Interrupts a run after `budget` move attempts, checkpointing to
+/// `path`; returns the telemetry prefix emitted before the stop.
+fn interrupted_run(
+    nl: &Netlist,
+    params: &ParallelParams,
+    path: &std::path::Path,
+    budget: u64,
+) -> Vec<Event> {
+    let mut rec = SummaryRecorder::new();
+    let mut ctrl = RunCtrl {
+        cancel: CancelToken::new().with_max_moves(budget),
+        writer: Some(CheckpointWriter::new(path, 3)),
+        resume: None,
+    };
+    let outcome = parallel_stage1_resilient(
+        nl,
+        &fast_params(),
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        params,
+        42,
+        &mut rec,
+        &mut ctrl,
+    )
+    .expect("interrupted run still succeeds");
+    match outcome {
+        Stage1Outcome::Interrupted { reason, teil, .. } => {
+            assert_eq!(reason, StopReason::MoveBudget);
+            assert!(teil > 0.0);
+        }
+        Stage1Outcome::Complete { .. } => panic!("budget {budget} did not interrupt"),
+    }
+    rec.into_events()
+}
+
+fn resumed_run(nl: &Netlist, params: &ParallelParams, path: &std::path::Path) -> Run {
+    let payload = twmc_resume::read_checkpoint(path).expect("checkpoint reads back");
+    complete_run(
+        nl,
+        params,
+        RunCtrl {
+            cancel: CancelToken::new(),
+            writer: None,
+            resume: Some(payload),
+        },
+    )
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twmc-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.ckpt"))
+}
+
+/// The interrupt → resume → compare harness. Runs the uninterrupted
+/// reference first to measure its total move count, then cuts at
+/// `frac` of it — so the cut point tracks the actual run length
+/// instead of guessing step counts. Covers two thread counts.
+fn assert_resume_bit_identical(strategy: Strategy, replicas: usize, frac: f64, tag: &str) {
+    let nl = circuit();
+    for threads in [1, 2] {
+        let params = parallel_params(replicas, threads, strategy);
+        let full = complete_run(&nl, &params, RunCtrl::default());
+        let budget = ((full.moves as f64) * frac).max(1.0) as u64;
+        assert!(budget < full.moves, "cut fraction leaves nothing to resume");
+
+        let path = temp_path(&format!("{tag}-t{threads}"));
+        let prefix = interrupted_run(&nl, &params, &path, budget);
+        let resumed = resumed_run(&nl, &params, &path);
+
+        assert_eq!(resumed.positions, full.positions, "threads={threads}");
+        assert_eq!(resumed.teil.to_bits(), full.teil.to_bits());
+        assert_eq!(resumed.cost.to_bits(), full.cost.to_bits());
+        assert_eq!(resumed.report, full.report);
+
+        // The interrupted prefix plus the resumed suffix is the
+        // uninterrupted stream, event for event.
+        assert!(
+            !prefix.is_empty() && prefix.len() < full.events.len(),
+            "prefix {} vs full {}",
+            prefix.len(),
+            full.events.len()
+        );
+        assert_eq!(prefix[..], full.events[..prefix.len()], "threads={threads}");
+        assert_eq!(
+            resumed.events[..],
+            full.events[prefix.len()..],
+            "threads={threads}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn multistart_resumes_bit_identically_from_an_early_cut() {
+    let _guard = serial();
+    assert_resume_bit_identical(Strategy::MultiStart, 3, 0.1, "ms-early");
+}
+
+#[test]
+fn multistart_resumes_bit_identically_from_a_late_cut() {
+    let _guard = serial();
+    assert_resume_bit_identical(Strategy::MultiStart, 2, 0.9, "ms-late");
+}
+
+#[test]
+fn tempering_resumes_bit_identically_from_the_ladder() {
+    let _guard = serial();
+    // 16 rounds of ladder precede the quench; a 5% cut lands well
+    // inside the ladder phase.
+    assert_resume_bit_identical(Strategy::Tempering, 3, 0.05, "pt-ladder");
+}
+
+#[test]
+fn tempering_resumes_bit_identically_from_the_quench() {
+    let _guard = serial();
+    // The quench is the tail of the run; a 95% cut lands inside it.
+    assert_resume_bit_identical(Strategy::Tempering, 3, 0.95, "pt-quench");
+}
+
+#[test]
+fn single_replica_run_resumes_bit_identically() {
+    let _guard = serial();
+    assert_resume_bit_identical(Strategy::MultiStart, 1, 0.4, "single");
+}
+
+#[test]
+fn wall_clock_budget_interrupts_with_a_final_checkpoint() {
+    let _guard = serial();
+    let nl = circuit();
+    let params = parallel_params(2, 2, Strategy::MultiStart);
+    let path = temp_path("wall");
+    let mut ctrl = RunCtrl {
+        cancel: CancelToken::new().with_deadline(std::time::Instant::now()),
+        writer: Some(CheckpointWriter::new(&path, 1_000_000)),
+        resume: None,
+    };
+    let outcome = parallel_stage1_resilient(
+        &nl,
+        &fast_params(),
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        &params,
+        42,
+        &mut twmc_obs::NullRecorder,
+        &mut ctrl,
+    )
+    .expect("interrupt is not an error");
+    match outcome {
+        Stage1Outcome::Interrupted { reason, .. } => {
+            assert_eq!(reason, StopReason::WallClock)
+        }
+        Stage1Outcome::Complete { .. } => panic!("deadline in the past must interrupt"),
+    }
+    // The final checkpoint was flushed even though the periodic cadence
+    // (one per 1M steps) never came due — and it resumes cleanly.
+    let resumed = resumed_run(&nl, &params, &path);
+    assert!(resumed.teil > 0.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_from_mismatched_config_is_rejected() {
+    let _guard = serial();
+    let nl = circuit();
+    let params = parallel_params(2, 1, Strategy::MultiStart);
+    let full = complete_run(&nl, &params, RunCtrl::default());
+    let path = temp_path("mismatch");
+    interrupted_run(&nl, &params, &path, full.moves / 2);
+    let payload = twmc_resume::read_checkpoint(&path).expect("checkpoint reads back");
+    // Same checkpoint, different replica count: refused.
+    let mut ctrl = RunCtrl {
+        cancel: CancelToken::new(),
+        writer: None,
+        resume: Some(payload),
+    };
+    let err = parallel_stage1_resilient(
+        &nl,
+        &fast_params(),
+        &EstimatorParams::default(),
+        &CoolingSchedule::stage1(),
+        &parallel_params(3, 1, Strategy::MultiStart),
+        42,
+        &mut twmc_obs::NullRecorder,
+        &mut ctrl,
+    )
+    .err()
+    .expect("mismatched config must be rejected");
+    assert!(
+        err.to_string().contains("does not match"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+// --- fault injection (compiled only with `--features fault-inject`) ----
+
+#[cfg(feature = "fault-inject")]
+mod faults {
+    use super::*;
+    use twmc_parallel::fault;
+
+    /// Runs with a fault armed for `replica` at `step`; the run must
+    /// complete degraded, with the failure recorded and telemetered.
+    fn run_with_fault(
+        strategy: Strategy,
+        replicas: usize,
+        threads: usize,
+        replica: usize,
+        step: usize,
+    ) -> Run {
+        let nl = circuit();
+        let params = parallel_params(replicas, threads, strategy);
+        fault::arm(replica, step);
+        let run = complete_run(&nl, &params, RunCtrl::default());
+        fault::disarm();
+        run
+    }
+
+    #[test]
+    fn multistart_survives_a_replica_panic() {
+        let _guard = serial();
+        for threads in [1, 2] {
+            let run = run_with_fault(Strategy::MultiStart, 3, threads, 1, 5);
+            assert_eq!(run.report.failed.len(), 1, "threads={threads}");
+            assert_eq!(run.report.failed[0].replica, 1);
+            assert_eq!(run.report.failed[0].round, 5);
+            assert!(run.report.failed[0].error.contains("injected fault"));
+            assert!(run.report.degraded());
+            // The dead replica is dropped from the reports and cannot win.
+            assert_eq!(run.report.replica_reports.len(), 2);
+            assert!(run.report.replica_reports.iter().all(|r| r.replica != 1));
+            assert_ne!(run.report.best_replica, 1);
+            assert!(run.teil > 0.0);
+            // The failure is telemetered.
+            let failed: Vec<_> = run
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::ReplicaFailed(f) => Some(f),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(failed.len(), 1);
+            assert_eq!(failed[0].replica, 1);
+            assert_eq!(failed[0].phase, "multistart");
+        }
+    }
+
+    #[test]
+    fn degraded_multistart_matches_the_survivors_of_a_clean_run() {
+        let _guard = serial();
+        // The survivors' trajectories are untouched by replica 1's
+        // death: their report rows match the clean run's exactly.
+        let nl = circuit();
+        let params = parallel_params(3, 2, Strategy::MultiStart);
+        let clean = complete_run(&nl, &params, RunCtrl::default());
+        let degraded = run_with_fault(Strategy::MultiStart, 3, 2, 1, 5);
+        assert_eq!(degraded.report.replica_reports.len(), 2);
+        for survivor in &degraded.report.replica_reports {
+            let clean_row = clean
+                .report
+                .replica_reports
+                .iter()
+                .find(|r| r.replica == survivor.replica)
+                .expect("survivor exists in clean run");
+            assert_eq!(survivor, clean_row);
+        }
+    }
+
+    #[test]
+    fn tempering_survives_a_rung_panic() {
+        let _guard = serial();
+        for threads in [1, 2] {
+            let run = run_with_fault(Strategy::Tempering, 3, threads, 2, 4);
+            assert_eq!(run.report.failed.len(), 1, "threads={threads}");
+            assert_eq!(run.report.failed[0].replica, 2);
+            assert!(run.report.degraded());
+            assert_eq!(run.report.replica_reports.len(), 2);
+            assert_ne!(run.report.best_replica, 2);
+            assert!(run.teil > 0.0);
+            // Swap pairing skipped the dead rung but the ladder went on.
+            assert!(run
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::ReplicaFailed(f) if f.phase == "tempering")));
+        }
+    }
+
+    #[test]
+    fn losing_every_replica_is_a_typed_error_not_a_panic() {
+        let _guard = serial();
+        let nl = circuit();
+        let params = parallel_params(1, 1, Strategy::MultiStart);
+        fault::arm(0, 2);
+        let result = parallel_stage1_resilient(
+            &nl,
+            &fast_params(),
+            &EstimatorParams::default(),
+            &CoolingSchedule::stage1(),
+            &params,
+            42,
+            &mut twmc_obs::NullRecorder,
+            &mut RunCtrl::default(),
+        );
+        fault::disarm();
+        match result {
+            Err(twmc_parallel::OrchestratorError::AllReplicasFailed(fs)) => {
+                assert_eq!(fs.len(), 1);
+                assert_eq!(fs[0].replica, 0);
+            }
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("run with its only replica dead cannot succeed"),
+        }
+    }
+}

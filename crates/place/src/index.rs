@@ -133,6 +133,13 @@ impl BinGrid {
         self.updates
     }
 
+    /// Overwrites both telemetry counters (resume-only; see
+    /// [`crate::PlacementState::force_index_counters`]).
+    pub fn force_counters(&mut self, full_rebuilds: u64, updates: u64) {
+        self.full_rebuilds = full_rebuilds;
+        self.updates = updates;
+    }
+
     /// Drops and re-registers everything (wholesale state replacement).
     pub fn rebuild(&mut self, rects: &[Rect]) {
         self.full_rebuilds += 1;

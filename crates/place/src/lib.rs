@@ -42,6 +42,7 @@ mod index;
 mod legalize;
 mod moves;
 mod params;
+pub mod persist;
 mod sites;
 mod stage1;
 mod state;
@@ -52,7 +53,7 @@ pub use moves::{generate, metropolis, MoveSet, MoveStats};
 pub use params::{DisplacementSelector, PlaceParams};
 pub use sites::{SiteLayout, SiteRef};
 pub use stage1::{
-    place_stage1, place_stage1_with, run_annealing, run_annealing_with, Stage1Context,
-    Stage1Result, TempRecord,
+    place_stage1, place_stage1_with, run_annealing, run_annealing_cancellable, run_annealing_with,
+    CoolingRun, Stage1Context, Stage1Result, TempRecord,
 };
 pub use state::{CellPlace, MoveCost, PlacementSnapshot, PlacementState};

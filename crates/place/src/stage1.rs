@@ -12,7 +12,10 @@ use rand::SeedableRng;
 use twmc_anneal::{t_infinity, temperature_scale, CoolingSchedule, RangeLimiter};
 use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams, PinDensityFactors};
 use twmc_netlist::Netlist;
-use twmc_obs::{ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, RunScope};
+use twmc_obs::{
+    CancelToken, ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, RunScope,
+    StopReason,
+};
 
 use crate::{generate, MoveSet, MoveStats, PlaceParams, PlacementState};
 
@@ -300,36 +303,100 @@ pub fn run_annealing_with(
     rec: &mut dyn Recorder,
     scope: RunScope,
 ) -> Stage1Result {
-    let inner = params.attempts_per_cell * state.cells().len();
-    let mut t = t_start;
-    let mut history = Vec::new();
-    let mut moves = MoveStats::default();
-    let mut stall = 0usize;
-    let mut last_cost = f64::NAN;
+    let mut run = CoolingRun::new(t_start);
+    while !run.step(
+        state, params, move_set, schedule, limiter, s_t, cost_stall, rng, rec, scope,
+    ) {}
+    run.into_result(state, t_start, s_t)
+}
 
-    for _ in 0..MAX_STEPS {
+/// The annealing loop of [`run_annealing_with`] in resumable stepping
+/// form: one [`CoolingRun::step`] call executes exactly one temperature
+/// step (one inner Metropolis loop + history/telemetry bookkeeping), so
+/// an orchestrator can checkpoint, cancel, or interleave replicas at
+/// every step boundary. Driving `step` to completion is bit-identical
+/// to the closed loop.
+///
+/// All fields are public so a checkpoint codec can capture and restore
+/// the loop position exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingRun {
+    /// Temperature the *next* step will run at.
+    pub t: f64,
+    /// Per-temperature history so far.
+    pub history: Vec<TempRecord>,
+    /// Cumulative move-class counters.
+    pub moves: MoveStats,
+    /// Consecutive cost-unchanged steps (the `cost_stall` criterion).
+    pub stall: usize,
+    /// Cost after the previous step (`NaN` before the first).
+    pub last_cost: f64,
+    /// Whether a stopping criterion has fired.
+    pub done: bool,
+}
+
+impl CoolingRun {
+    /// A fresh run that will start at `t_start`.
+    pub fn new(t_start: f64) -> Self {
+        CoolingRun {
+            t: t_start,
+            history: Vec::new(),
+            moves: MoveStats::default(),
+            stall: 0,
+            last_cost: f64::NAN,
+            done: false,
+        }
+    }
+
+    /// Temperature steps completed so far.
+    pub fn steps(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Runs one temperature step. Returns `true` once the run is
+    /// finished (further calls are no-ops that keep returning `true`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        state: &mut PlacementState<'_>,
+        params: &PlaceParams,
+        move_set: MoveSet,
+        schedule: &CoolingSchedule,
+        limiter: &RangeLimiter,
+        s_t: f64,
+        cost_stall: Option<usize>,
+        rng: &mut StdRng,
+        rec: &mut dyn Recorder,
+        scope: RunScope,
+    ) -> bool {
+        if self.done || self.history.len() >= MAX_STEPS {
+            self.done = true;
+            return true;
+        }
+        let inner = params.attempts_per_cell * state.cells().len();
+        let t = self.t;
         let wx = limiter.window_x(t);
         let wy = limiter.window_y(t);
-        let before = moves;
+        let before = self.moves;
         for _ in 0..inner {
-            generate(state, params, move_set, wx, wy, t, rng, &mut moves);
+            generate(state, params, move_set, wx, wy, t, rng, &mut self.moves);
         }
-        history.push(TempRecord {
+        self.history.push(TempRecord {
             temperature: t,
-            attempts: moves.attempts() - before.attempts(),
-            accepts: moves.accepts() - before.accepts(),
+            attempts: self.moves.attempts() - before.attempts(),
+            accepts: self.moves.accepts() - before.accepts(),
             cost: state.cost(),
             teil: state.teil(),
             overlap: state.raw_overlap(),
             window_x: wx,
         });
         if rec.enabled() {
-            let delta = moves.since(&before);
+            let delta = self.moves.since(&before);
             rec.record(&Event::PlaceTemp(PlaceTemp {
                 phase: scope.phase,
                 iteration: scope.iteration,
                 replica: scope.replica,
-                step: history.len() - 1,
+                step: self.history.len() - 1,
                 temperature: t,
                 s_t,
                 window_x: wx,
@@ -360,36 +427,88 @@ pub fn run_annealing_with(
         }
         if let Some(k) = cost_stall {
             let cost = state.cost();
-            if (cost - last_cost).abs() <= 1e-9 * cost.abs().max(1.0) {
-                stall += 1;
-                if stall >= k {
-                    break;
+            if (cost - self.last_cost).abs() <= 1e-9 * cost.abs().max(1.0) {
+                self.stall += 1;
+                if self.stall >= k {
+                    self.done = true;
+                    return true;
                 }
             } else {
-                stall = 0;
+                self.stall = 0;
             }
-            last_cost = cost;
+            self.last_cost = cost;
         }
         if limiter.at_minimum(t) && t <= s_t * FINAL_SCALED_T {
-            break;
+            self.done = true;
+            return true;
         }
-        t = schedule.next(t, s_t);
-        if t <= 0.0 || !t.is_finite() {
-            break;
+        let next = schedule.next(t, s_t);
+        if next <= 0.0 || !next.is_finite() {
+            self.done = true;
+            return true;
         }
+        self.t = next;
+        if self.history.len() >= MAX_STEPS {
+            self.done = true;
+            return true;
+        }
+        false
     }
 
-    Stage1Result {
-        teil: state.teil(),
-        c1: state.c1(),
-        residual_overlap: state.raw_overlap(),
-        c3: state.c3(),
-        chip: state.effective_bbox(),
-        t_infinity: t_start,
-        s_t,
-        history,
-        moves,
+    /// Closes the run into a [`Stage1Result`] over the final state.
+    pub fn into_result(self, state: &PlacementState<'_>, t_start: f64, s_t: f64) -> Stage1Result {
+        Stage1Result {
+            teil: state.teil(),
+            c1: state.c1(),
+            residual_overlap: state.raw_overlap(),
+            c3: state.c3(),
+            chip: state.effective_bbox(),
+            t_infinity: t_start,
+            s_t,
+            history: self.history,
+            moves: self.moves,
+        }
     }
+}
+
+/// [`run_annealing_with`] with cooperative cancellation: the token is
+/// polled after every temperature step (its move budget fed with the
+/// step's attempts), and on a stop the partial result is returned with
+/// the reason. A token that never fires leaves the run bit-identical to
+/// [`run_annealing_with`] — the token is polled outside the Metropolis
+/// loop and never touches the RNG.
+#[allow(clippy::too_many_arguments)]
+pub fn run_annealing_cancellable(
+    state: &mut PlacementState<'_>,
+    params: &PlaceParams,
+    move_set: MoveSet,
+    schedule: &CoolingSchedule,
+    limiter: &RangeLimiter,
+    t_start: f64,
+    s_t: f64,
+    cost_stall: Option<usize>,
+    rng: &mut StdRng,
+    rec: &mut dyn Recorder,
+    scope: RunScope,
+    cancel: &CancelToken,
+) -> (Stage1Result, Option<StopReason>) {
+    let mut run = CoolingRun::new(t_start);
+    let mut stopped = None;
+    loop {
+        let before = run.moves;
+        let finished = run.step(
+            state, params, move_set, schedule, limiter, s_t, cost_stall, rng, rec, scope,
+        );
+        cancel.add_moves((run.moves.attempts() - before.attempts()) as u64);
+        if finished {
+            break;
+        }
+        if let Some(reason) = cancel.check() {
+            stopped = Some(reason);
+            break;
+        }
+    }
+    (run.into_result(state, t_start, s_t), stopped)
 }
 
 #[cfg(test)]

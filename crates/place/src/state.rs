@@ -75,16 +75,16 @@ pub struct MoveCost {
 /// [`PlacementState::restore`].
 #[derive(Debug, Clone)]
 pub struct PlacementSnapshot {
-    cells: Vec<CellPlace>,
-    pin_pos: Vec<Point>,
-    pin_site: Vec<Option<SiteRef>>,
-    net_cost: Vec<f64>,
-    net_span: Vec<Option<(Span, Span)>>,
-    total_c1: f64,
-    total_overlap: i64,
-    total_c3: f64,
-    p2: f64,
-    static_expansions: Option<Vec<(i64, i64, i64, i64)>>,
+    pub(crate) cells: Vec<CellPlace>,
+    pub(crate) pin_pos: Vec<Point>,
+    pub(crate) pin_site: Vec<Option<SiteRef>>,
+    pub(crate) net_cost: Vec<f64>,
+    pub(crate) net_span: Vec<Option<(Span, Span)>>,
+    pub(crate) total_c1: f64,
+    pub(crate) total_overlap: i64,
+    pub(crate) total_c3: f64,
+    pub(crate) p2: f64,
+    pub(crate) static_expansions: Option<Vec<(i64, i64, i64, i64)>>,
 }
 
 impl PlacementSnapshot {
@@ -464,6 +464,17 @@ impl<'a> PlacementState<'a> {
             .map(|i| self.expanded_bbox(i))
             .collect();
         self.index.rebuild(&rects);
+    }
+
+    /// Overwrites the spatial-index telemetry counters.
+    ///
+    /// Resume-only: reconstructing a state from a checkpoint goes
+    /// through [`PlacementState::restore`], whose index rebuild bumps
+    /// the counters past what the uninterrupted run would report; the
+    /// resume path pins them back to the checkpointed values so the
+    /// continued telemetry stream stays bit-identical.
+    pub fn force_index_counters(&mut self, full_rebuilds: u64, updates: u64) {
+        self.index.force_counters(full_rebuilds, updates);
     }
 
     /// Bounding box including the interconnect expansions — the effective

@@ -41,7 +41,7 @@ pub use detailed::{detailed_check, ChannelCheck, DetailedCheck};
 pub use expand::static_expansions;
 pub use spread::{spacing_constraints, spread_for_widths, SpacingConstraint};
 pub use stage2::{
-    refine_placement, refine_placement_with, routing_snapshot, RefineParams, RefinementRecord,
-    Stage2Result,
+    refine_placement, refine_placement_resilient, refine_placement_with, routing_snapshot,
+    RefineParams, RefinementRecord, Stage2Result,
 };
 pub use verify::{verify_channel_widths, WidthReport, WidthViolation};

@@ -16,9 +16,9 @@ use rand::SeedableRng;
 use twmc_anneal::{CoolingSchedule, RangeLimiter};
 use twmc_geom::Rect;
 use twmc_netlist::Netlist;
-use twmc_obs::{Event, NullRecorder, Recorder, RunScope, StageSpan};
-use twmc_place::{run_annealing_with, MoveSet, PlaceParams, PlacementState};
-use twmc_route::{global_route_with, GlobalRouting, NetPins, PlacedGeometry, RouterParams};
+use twmc_obs::{CancelToken, Event, NullRecorder, Recorder, RunScope, StageSpan, StopReason};
+use twmc_place::{run_annealing_cancellable, MoveSet, PlaceParams, PlacementState};
+use twmc_route::{global_route_cancellable, GlobalRouting, NetPins, PlacedGeometry, RouterParams};
 
 use crate::static_expansions;
 
@@ -148,6 +148,44 @@ pub fn refine_placement_with(
     seed: u64,
     rec: &mut dyn Recorder,
 ) -> Stage2Result {
+    let never = CancelToken::new();
+    match refine_placement_resilient(
+        state,
+        nl,
+        place_params,
+        params,
+        s_t,
+        t_inf,
+        seed,
+        rec,
+        &never,
+    ) {
+        Ok(r) => r,
+        Err(_) => unreachable!("a token that never fires cannot interrupt"),
+    }
+}
+
+/// [`refine_placement_with`] under a cancellation token, polled at every
+/// refinement boundary, per net inside global routing, and at every
+/// temperature step of the refinement anneals (move attempts count
+/// toward the token's move budget).
+///
+/// `Err(reason)` means the run stopped early; `state` is left at the
+/// best placement reached so far — legal to snapshot and report, since
+/// cancellation only lands between whole refinement steps. A run that is
+/// not stopped is bit-identical to [`refine_placement_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn refine_placement_resilient(
+    state: &mut PlacementState<'_>,
+    nl: &Netlist,
+    place_params: &PlaceParams,
+    params: &RefineParams,
+    s_t: f64,
+    t_inf: f64,
+    seed: u64,
+    rec: &mut dyn Recorder,
+    cancel: &CancelToken,
+) -> Result<Stage2Result, StopReason> {
     let span = |rec: &mut dyn Recorder, stage: &'static str, k: usize, t0: Instant| {
         if rec.enabled() {
             rec.record(&Event::StageSpan(StageSpan {
@@ -170,6 +208,9 @@ pub fn refine_placement_with(
 
     let mut records = Vec::new();
     for k in 0..params.refinements {
+        if let Some(reason) = cancel.check() {
+            return Err(reason);
+        }
         // Channel definition needs strictly disjoint cells with routable
         // gaps; clean up whatever residual overlap annealing left.
         let t0 = Instant::now();
@@ -180,7 +221,7 @@ pub fn refine_placement_with(
         let (geometry, nets) = routing_snapshot(state);
         span(rec, "channel_definition", k, t0);
         let t0 = Instant::now();
-        let routing = global_route_with(
+        let routing = global_route_cancellable(
             &geometry,
             &nets,
             &params.router,
@@ -188,7 +229,8 @@ pub fn refine_placement_with(
             rec,
             "stage2",
             k as u64,
-        );
+            cancel,
+        )?;
         let max_density = routing.node_density.iter().copied().max().unwrap_or(0);
 
         // Static expansions from the routed densities.
@@ -200,7 +242,7 @@ pub fn refine_placement_with(
         let t0 = Instant::now();
         let teil_before = state.teil();
         let stall = (k + 1 == params.refinements).then_some(params.final_stall);
-        let _run = run_annealing_with(
+        let (_run, stopped) = run_annealing_cancellable(
             state,
             place_params,
             MoveSet::Refinement,
@@ -212,6 +254,7 @@ pub fn refine_placement_with(
             &mut rng,
             rec,
             RunScope::stage2(k),
+            cancel,
         );
         span(rec, "refine_anneal", k, t0);
         records.push(RefinementRecord {
@@ -223,6 +266,9 @@ pub fn refine_placement_with(
             unrouted: routing.unrouted,
             max_density,
         });
+        if let Some(reason) = stopped {
+            return Err(reason);
+        }
     }
 
     // Final routing of the refined placement.
@@ -230,7 +276,7 @@ pub fn refine_placement_with(
     let gap = params.router.track_spacing.round().max(1.0) as i64;
     twmc_place::legalize(state, gap, 500);
     let (geometry, nets) = routing_snapshot(state);
-    let final_routing = global_route_with(
+    let final_routing = global_route_cancellable(
         &geometry,
         &nets,
         &params.router,
@@ -238,15 +284,16 @@ pub fn refine_placement_with(
         rec,
         "final",
         params.refinements as u64,
-    );
+        cancel,
+    )?;
     span(rec, "final_routing", params.refinements, t0);
 
-    Stage2Result {
+    Ok(Stage2Result {
         teil: state.teil(),
         chip: state.effective_bbox(),
         records,
         final_routing,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! Helpers for building and picking apart checkpoint payload
+//! [`Value`] trees.
+//!
+//! The vendored serde stand-in only serializes, so checkpoint payloads
+//! are encoded and decoded by hand; these helpers keep that code short
+//! and make every decoding failure a typed
+//! [`CheckpointError::Corrupt`] naming the missing or mistyped field.
+//!
+//! Floats never appear as JSON floats in a payload: [`f64_bits`] stores
+//! the IEEE-754 bit pattern as a `u64` and [`bits_f64`] reverses it, so
+//! values survive the text roundtrip bit-exactly (including negative
+//! zero and values whose shortest decimal form would round).
+
+use serde::Value;
+
+use crate::CheckpointError;
+
+fn corrupt(msg: String) -> CheckpointError {
+    CheckpointError::Corrupt(msg)
+}
+
+/// Encodes a float as its bit pattern.
+pub fn f64_bits(x: f64) -> Value {
+    Value::UInt(x.to_bits())
+}
+
+/// Decodes a [`f64_bits`]-encoded float.
+pub fn bits_f64(v: &Value) -> Option<f64> {
+    as_u64(v).map(f64::from_bits)
+}
+
+/// Reads an integer `Value` as `u64` (the parser may produce `Int` for
+/// small numbers).
+pub fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::UInt(n) => Some(n),
+        Value::Int(n) => u64::try_from(n).ok(),
+        _ => None,
+    }
+}
+
+/// Reads an integer `Value` as `i64`.
+pub fn as_i64(v: &Value) -> Option<i64> {
+    match *v {
+        Value::Int(n) => Some(n),
+        Value::UInt(n) => i64::try_from(n).ok(),
+        _ => None,
+    }
+}
+
+/// Borrows the entries of an object `Value`.
+pub fn entries<'a>(v: &'a Value, what: &str) -> Result<&'a [(String, Value)], CheckpointError> {
+    match v {
+        Value::Object(e) => Ok(e),
+        _ => Err(corrupt(format!("`{what}` is not an object"))),
+    }
+}
+
+/// Borrows the items of an array `Value`.
+pub fn items<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], CheckpointError> {
+    match v {
+        Value::Array(a) => Ok(a),
+        _ => Err(corrupt(format!("`{what}` is not an array"))),
+    }
+}
+
+/// Looks a field up in an object `Value`.
+pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, CheckpointError> {
+    entries(v, name)?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, val)| val)
+        .ok_or_else(|| corrupt(format!("missing field `{name}`")))
+}
+
+/// Reads a `u64` field.
+pub fn u64_field(v: &Value, name: &str) -> Result<u64, CheckpointError> {
+    as_u64(field(v, name)?).ok_or_else(|| corrupt(format!("field `{name}` is not a u64")))
+}
+
+/// Reads an `i64` field.
+pub fn i64_field(v: &Value, name: &str) -> Result<i64, CheckpointError> {
+    as_i64(field(v, name)?).ok_or_else(|| corrupt(format!("field `{name}` is not an i64")))
+}
+
+/// Reads a `usize` field.
+pub fn usize_field(v: &Value, name: &str) -> Result<usize, CheckpointError> {
+    usize::try_from(u64_field(v, name)?)
+        .map_err(|_| corrupt(format!("field `{name}` overflows usize")))
+}
+
+/// Reads a [`f64_bits`]-encoded field.
+pub fn f64_field(v: &Value, name: &str) -> Result<f64, CheckpointError> {
+    bits_f64(field(v, name)?)
+        .ok_or_else(|| corrupt(format!("field `{name}` is not a bit-encoded f64")))
+}
+
+/// Reads a string field.
+pub fn str_field<'a>(v: &'a Value, name: &str) -> Result<&'a str, CheckpointError> {
+    match field(v, name)? {
+        Value::Str(s) => Ok(s),
+        _ => Err(corrupt(format!("field `{name}` is not a string"))),
+    }
+}
+
+/// Reads a bool field.
+pub fn bool_field(v: &Value, name: &str) -> Result<bool, CheckpointError> {
+    match field(v, name)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(corrupt(format!("field `{name}` is not a bool"))),
+    }
+}
+
+/// Reads an array field.
+pub fn array_field<'a>(v: &'a Value, name: &str) -> Result<&'a [Value], CheckpointError> {
+    items(field(v, name)?, name)
+}
+
+/// Reads a `[u64; 4]` field (an RNG state).
+pub fn u64x4_field(v: &Value, name: &str) -> Result<[u64; 4], CheckpointError> {
+    let arr = array_field(v, name)?;
+    if arr.len() != 4 {
+        return Err(corrupt(format!(
+            "field `{name}` has {} elements, expected 4",
+            arr.len()
+        )));
+    }
+    let mut out = [0u64; 4];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = as_u64(item).ok_or_else(|| corrupt(format!("field `{name}` holds a non-u64")))?;
+    }
+    Ok(out)
+}
+
+/// Encodes a `[u64; 4]` (an RNG state).
+pub fn u64x4(s: [u64; 4]) -> Value {
+    Value::Array(s.iter().map(|&x| Value::UInt(x)).collect())
+}
+
+/// Builds an object `Value` from `(name, value)` pairs.
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        for x in [0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, -123.456e-78] {
+            let v = f64_bits(x);
+            let back = bits_f64(&v).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        // NaN payload bits survive too.
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert_eq!(bits_f64(&f64_bits(nan)).unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn field_accessors_name_their_failures() {
+        let v = object(vec![
+            ("a", Value::UInt(3)),
+            ("b", Value::Str("x".to_owned())),
+            ("c", u64x4([1, 2, 3, 4])),
+        ]);
+        assert_eq!(u64_field(&v, "a").unwrap(), 3);
+        assert_eq!(str_field(&v, "b").unwrap(), "x");
+        assert_eq!(u64x4_field(&v, "c").unwrap(), [1, 2, 3, 4]);
+        let err = u64_field(&v, "missing").unwrap_err().to_string();
+        assert!(err.contains("missing"), "{err}");
+        let err = u64_field(&v, "b").unwrap_err().to_string();
+        assert!(err.contains("`b`"), "{err}");
+    }
+
+    #[test]
+    fn int_uint_coercion_is_symmetric() {
+        assert_eq!(as_u64(&Value::Int(5)), Some(5));
+        assert_eq!(as_u64(&Value::Int(-1)), None);
+        assert_eq!(as_i64(&Value::UInt(u64::MAX)), None);
+        assert_eq!(as_i64(&Value::UInt(7)), Some(7));
+    }
+}

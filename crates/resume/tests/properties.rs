@@ -1,0 +1,99 @@
+//! Property-based robustness tests for the checkpoint format: no input
+//! — corrupted, truncated, version-skewed, or outright garbage — may
+//! panic the decoder or slip past verification.
+
+use proptest::prelude::*;
+
+use serde::Value;
+use twmc_resume::codec::f64_bits;
+use twmc_resume::{decode, encode, CheckpointError};
+
+/// Lowercase identifier-like strings (the shape real payload keys and
+/// tags take; content is irrelevant to the corruption properties).
+fn arb_word() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..9)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::UInt),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(f64_bits),
+        arb_word().prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// A small but structurally varied payload tree: scalars and arrays
+/// under string keys, like the real pipeline states serialize.
+fn arb_payload() -> impl Strategy<Value = Value> {
+    let field = prop_oneof![
+        arb_scalar(),
+        prop::collection::vec(arb_scalar(), 0..6).prop_map(Value::Array),
+    ];
+    prop::collection::vec((arb_word(), field), 1..8).prop_map(Value::Object)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_lossless(payload in arb_payload()) {
+        let text = encode(&payload);
+        let back = decode(&text).expect("own encoding decodes");
+        // Compare through re-encoding: variant-insensitive, text-exact.
+        prop_assert_eq!(encode(&back), text);
+    }
+
+    #[test]
+    fn truncation_is_always_a_typed_error(payload in arb_payload(), frac in 0.0f64..1.0) {
+        let text = encode(&payload);
+        let cut = ((text.len() as f64) * frac) as usize;
+        prop_assert!(cut < text.len());
+        prop_assert!(
+            matches!(decode(&text[..cut]), Err(CheckpointError::Corrupt(_))),
+            "truncation at byte {} must be Corrupt", cut
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_never_verifies(
+        payload in arb_payload(),
+        pos in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let text = encode(&payload);
+        let mut bytes = text.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip; // guaranteed different from the original
+        let Ok(mutated) = String::from_utf8(bytes) else {
+            return Ok(()); // non-UTF8 never reaches the decoder
+        };
+        prop_assert!(
+            decode(&mutated).is_err(),
+            "flipped byte {} still verified", pos
+        );
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_by_number(payload in arb_payload(), version in any::<u64>()) {
+        prop_assume!(version != 1);
+        let text = encode(&payload).replacen(
+            "\"version\":1,",
+            &format!("\"version\":{version},"),
+            1,
+        );
+        prop_assert!(
+            matches!(decode(&text), Err(CheckpointError::BadVersion(v)) if v == version),
+            "version {} must be BadVersion", version
+        );
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Random text is overwhelmingly Corrupt; the property under
+        // test is simply that the decoder returns rather than panics.
+        let _ = decode(&String::from_utf8_lossy(&junk));
+    }
+}

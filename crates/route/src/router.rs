@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twmc_geom::Point;
-use twmc_obs::{Event, NullRecorder, Recorder, RouteIter};
+use twmc_obs::{CancelToken, Event, NullRecorder, Recorder, RouteIter, StopReason};
 
 use crate::{
     assign_routes, build_channel_graph, enumerate_route_trees, Assignment, ChannelGraph,
@@ -124,12 +124,61 @@ pub fn global_route_with(
     phase: &'static str,
     iteration: u64,
 ) -> GlobalRouting {
+    match route_inner(geometry, nets, params, seed, rec, phase, iteration, None) {
+        Ok(r) => r,
+        Err(_) => unreachable!("routing without a token cannot be cancelled"),
+    }
+}
+
+/// [`global_route_with`] under a cancellation token, polled once per net
+/// during the phase-1 enumeration (the dominant cost for large nets).
+/// `Err` means the routing was abandoned mid-flight — no partial result
+/// is returned, since a half-enumerated alternative set would bias the
+/// phase-2 selection. A run that is not stopped is bit-identical to
+/// [`global_route_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn global_route_cancellable(
+    geometry: &PlacedGeometry,
+    nets: &[NetPins],
+    params: &RouterParams,
+    seed: u64,
+    rec: &mut dyn Recorder,
+    phase: &'static str,
+    iteration: u64,
+    cancel: &CancelToken,
+) -> Result<GlobalRouting, StopReason> {
+    route_inner(
+        geometry,
+        nets,
+        params,
+        seed,
+        rec,
+        phase,
+        iteration,
+        Some(cancel),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_inner(
+    geometry: &PlacedGeometry,
+    nets: &[NetPins],
+    params: &RouterParams,
+    seed: u64,
+    rec: &mut dyn Recorder,
+    phase: &'static str,
+    iteration: u64,
+    cancel: Option<&CancelToken>,
+) -> Result<GlobalRouting, StopReason> {
     let graph = build_channel_graph(geometry, params.track_spacing);
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut alternatives: Vec<Vec<RouteTree>> = Vec::with_capacity(nets.len());
     let mut net_points: Vec<Vec<Vec<(usize, i64, Point)>>> = Vec::with_capacity(nets.len());
     for net in nets {
+        if let Some(reason) = cancel.and_then(|c| c.check()) {
+            return Err(reason);
+        }
         if graph.is_empty() {
             alternatives.push(Vec::new());
             net_points.push(Vec::new());
@@ -259,7 +308,7 @@ pub fn global_route_with(
         }));
     }
 
-    GlobalRouting {
+    Ok(GlobalRouting {
         graph,
         routes,
         assignment,
@@ -267,7 +316,7 @@ pub fn global_route_with(
         pin_attachments,
         reserved_tracks: params.reserved_tracks,
         unrouted,
-    }
+    })
 }
 
 #[cfg(test)]

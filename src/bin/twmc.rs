@@ -5,6 +5,12 @@
 //! twmc place i3.twn --ac 100 --svg chip.svg          # full place & route flow
 //! twmc compare i3.twn --ac 100                       # vs the three baselines
 //! ```
+//!
+//! Exit codes (one map for every subcommand):
+//! 0 = success / healthy / no regression; 1 = operational error
+//! (bad flags, I/O, unreadable input) or an unhealthy `report`;
+//! 2 = `diff` regression; 3 = run interrupted (signal or budget) with
+//! a resumable checkpoint and best-so-far placement emitted.
 
 use std::process::ExitCode;
 
@@ -13,16 +19,20 @@ use timberwolfmc::analyze::{
 };
 use timberwolfmc::core::{
     compare, format_parallel_report, format_table4, format_telemetry_summary, greedy_placement,
-    quadratic_placement, render_svg, run_timberwolf, run_timberwolf_with, shelf_placement,
-    ParallelParams, RenderOptions, Strategy, TimberWolfConfig,
+    quadratic_placement, render_svg, run_timberwolf, run_timberwolf_resilient, shelf_placement,
+    ParallelParams, RenderOptions, RunOptions, RunOutcome, Strategy, TimberWolfConfig,
 };
 use timberwolfmc::estimator::EstimatorParams;
 use timberwolfmc::netlist::{
     paper_circuit, parse_netlist, synthesize, synthesize_profile, write_netlist, Netlist,
     SynthParams,
 };
-use timberwolfmc::obs::{JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
+use timberwolfmc::obs::{CancelToken, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
 use timberwolfmc::place::PlaceParams;
+use timberwolfmc::resume::{read_checkpoint, CheckpointWriter};
+
+/// Exit code of an interrupted-but-checkpointed run.
+const EXIT_INTERRUPTED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -30,7 +40,9 @@ fn usage() -> ExitCode {
          twmc synth [--circuit NAME | --cells N --nets N --pins N] [--seed N] [--custom F] --out FILE\n  \
          twmc place FILE [--seed N] [--ac N] [--svg FILE] [--placement FILE]\n              \
          [--replicas N] [--threads N] [--strategy multistart|tempering] [--swap-interval N]\n              \
-         [--telemetry FILE.jsonl] [--telemetry-overwrite] [--telemetry-summary]\n  \
+         [--telemetry FILE.jsonl] [--telemetry-overwrite] [--telemetry-summary]\n              \
+         [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n              \
+         [--max-wall-secs F] [--max-moves N]\n  \
          twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n  \
          twmc report RUN.jsonl [--json]\n  \
          twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
@@ -39,6 +51,9 @@ fn usage() -> ExitCode {
          --replicas N runs N annealing replicas (deterministic per seed);\n\
          --threads 0 uses one thread per replica\n\
          --telemetry FILE streams JSONL events; --telemetry-summary prints a table\n\
+         --checkpoint FILE writes an atomic resume checkpoint every N steps (default 10);\n\
+         --resume FILE continues a checkpointed run bit-identically; Ctrl-C / SIGTERM,\n\
+         --max-wall-secs, and --max-moves stop gracefully (exit 3, checkpoint flushed)\n\
          report checks a recorded run against the paper's control laws (exit 1 if\n\
          unhealthy); diff compares two runs' headline metrics (exit 2 on regression)"
     );
@@ -70,6 +85,11 @@ const PLACE_FLAGS: FlagSpec = &[
     ("telemetry", true),
     ("telemetry-overwrite", false),
     ("telemetry-summary", false),
+    ("checkpoint", true),
+    ("checkpoint-every", true),
+    ("resume", true),
+    ("max-wall-secs", true),
+    ("max-moves", true),
 ];
 
 const REPORT_FLAGS: FlagSpec = &[("json", false)];
@@ -152,6 +172,35 @@ impl Flags {
     }
 }
 
+/// SIGINT/SIGTERM land in a flag the annealing loops poll at step
+/// boundaries — no asynchronous teardown; the run winds down
+/// cooperatively, flushes its checkpoint and telemetry, and exits 3.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set from the handler, polled by the run's cancel token.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A plain atomic store is async-signal-safe: no allocation,
+        // no locks.
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+}
+
 fn load_netlist(path: &str) -> Result<Netlist, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.to_ascii_lowercase().ends_with(".yal") {
@@ -211,13 +260,86 @@ fn config_from(flags: &Flags) -> Result<TimberWolfConfig, String> {
     })
 }
 
-fn cmd_place(flags: &Flags) -> Result<(), String> {
+/// Builds the resilience options (signals, budgets, checkpoint writer,
+/// resume payload) from the `place` flags. Returns the options plus
+/// whether this run resumes an earlier one.
+fn run_options_from(flags: &Flags) -> Result<(RunOptions, bool), String> {
+    #[allow(unused_mut)]
+    let mut cancel = CancelToken::new();
+    #[cfg(unix)]
+    {
+        sig::install();
+        cancel = cancel.with_signal_flag(&sig::INTERRUPTED);
+    }
+    if let Some(raw) = flags.get_str("max-wall-secs") {
+        let secs: f64 = raw
+            .parse()
+            .map_err(|_| format!("--max-wall-secs needs a number, got `{raw}`"))?;
+        if secs.is_nan() || secs <= 0.0 {
+            return Err(format!("--max-wall-secs must be positive, got `{raw}`"));
+        }
+        cancel = cancel
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(raw) = flags.get_str("max-moves") {
+        let moves: u64 = raw
+            .parse()
+            .map_err(|_| format!("--max-moves needs an integer, got `{raw}`"))?;
+        cancel = cancel.with_max_moves(moves);
+    }
+    let resume = match flags.get_str("resume") {
+        Some(path) => {
+            Some(read_checkpoint(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let resuming = resume.is_some();
+    let checkpoint = match flags.get_str("checkpoint") {
+        Some(path) => {
+            let every: u64 = flags.get("checkpoint-every", 10);
+            if every == 0 {
+                return Err("--checkpoint-every must be at least 1".to_owned());
+            }
+            Some(CheckpointWriter::new(path, every))
+        }
+        None => None,
+    };
+    Ok((
+        RunOptions {
+            cancel,
+            checkpoint,
+            resume,
+        },
+        resuming,
+    ))
+}
+
+fn write_placement_file(
+    path: &str,
+    cells: &[timberwolfmc::core::PlacedCellRecord],
+) -> Result<(), String> {
+    let mut text = String::new();
+    for c in cells {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            text,
+            "{} {} {} {:?} instance={} aspect={:.3}",
+            c.name, c.pos.x, c.pos.y, c.orientation, c.instance, c.aspect
+        );
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn cmd_place(flags: &Flags) -> Result<ExitCode, String> {
     let path = flags
         .positional
         .first()
         .ok_or_else(|| "place needs a netlist file".to_owned())?;
     let nl = load_netlist(path)?;
     let config = config_from(flags)?;
+    let (opts, resuming) = run_options_from(flags)?;
     if config.parallel.replicas > 1 {
         eprintln!(
             "placing {} ({} cells, {} nets, A_c = {}, {} x{} replicas)...",
@@ -238,15 +360,23 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
         );
     }
     // Telemetry sinks: a JSONL file, an in-memory summary, both, or none.
-    let mut jsonl = match flags.get_str("telemetry") {
+    let telemetry_path = flags.get_str("telemetry");
+    let mut jsonl = match telemetry_path {
         Some(path) => {
-            if std::path::Path::new(path).exists() && !flags.has("telemetry-overwrite") {
+            let exists = std::path::Path::new(path).exists();
+            let recorder = if exists && resuming {
+                // A resumed run's events are the exact suffix of the
+                // uninterrupted stream; appending completes the file.
+                JsonlRecorder::append(path)
+            } else if exists && !flags.has("telemetry-overwrite") {
                 return Err(format!(
                     "telemetry file `{path}` already exists; pass --telemetry-overwrite \
-                     to replace it"
+                     to replace it (or --resume to append a continuation)"
                 ));
-            }
-            Some(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+            } else {
+                JsonlRecorder::create(path)
+            };
+            Some(recorder.map_err(|e| format!("cannot open {path}: {e}"))?)
         }
         None => None,
     };
@@ -254,7 +384,7 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
     let mut null = NullRecorder;
 
     let t0 = std::time::Instant::now();
-    let result = {
+    let outcome = {
         let mut tee;
         let rec: &mut dyn Recorder = match (jsonl.as_mut(), summary.as_mut()) {
             (Some(j), Some(s)) => {
@@ -265,11 +395,10 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
             (None, Some(s)) => s,
             (None, None) => &mut null,
         };
-        run_timberwolf_with(&nl, &config, rec)
+        run_timberwolf_resilient(&nl, &config, opts, rec).map_err(|e| e.to_string())?
     };
-    if let Some(j) = jsonl {
+    if let (Some(j), Some(path)) = (jsonl, telemetry_path) {
         let events = j.events();
-        let path = flags.get_str("telemetry").expect("jsonl implies the flag");
         j.finish()
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {events} telemetry events to {path}");
@@ -277,6 +406,27 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
     if let Some(s) = &summary {
         print!("{}", format_telemetry_summary(s.events()));
     }
+    let result = match outcome {
+        RunOutcome::Complete(result) => result,
+        RunOutcome::Interrupted(cut) => {
+            eprintln!(
+                "interrupted ({}) during {} after {:.1}s; best-so-far TEIL {:.0} (cost {:.0})",
+                cut.reason.as_str(),
+                cut.stage,
+                t0.elapsed().as_secs_f64(),
+                cut.teil,
+                cut.cost,
+            );
+            match flags.get_str("checkpoint") {
+                Some(ck) => eprintln!("resume with: twmc place {path} --resume {ck}"),
+                None => eprintln!("no --checkpoint file was set; the run cannot be resumed"),
+            }
+            if let Some(pl_path) = flags.get_str("placement") {
+                write_placement_file(pl_path, &cut.placement)?;
+            }
+            return Ok(ExitCode::from(EXIT_INTERRUPTED));
+        }
+    };
     if let Some(report) = &result.parallel {
         print!("{}", format_parallel_report(report));
     }
@@ -305,19 +455,9 @@ fn cmd_place(flags: &Flags) -> Result<(), String> {
         println!("wrote {svg_path}");
     }
     if let Some(pl_path) = flags.get_str("placement") {
-        let mut text = String::new();
-        for c in &result.placement {
-            use std::fmt::Write as _;
-            let _ = writeln!(
-                text,
-                "{} {} {} {:?} instance={} aspect={:.3}",
-                c.name, c.pos.x, c.pos.y, c.orientation, c.instance, c.aspect
-            );
-        }
-        std::fs::write(pl_path, text).map_err(|e| format!("cannot write {pl_path}: {e}"))?;
-        println!("wrote {pl_path}");
+        write_placement_file(pl_path, &result.placement)?;
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_compare(flags: &Flags) -> Result<(), String> {
@@ -424,7 +564,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "synth" => cmd_synth(&flags).map(|()| ExitCode::SUCCESS),
-        "place" => cmd_place(&flags).map(|()| ExitCode::SUCCESS),
+        "place" => cmd_place(&flags),
         "compare" => cmd_compare(&flags).map(|()| ExitCode::SUCCESS),
         "report" => cmd_report(&flags),
         "diff" => cmd_diff(&flags),

@@ -50,4 +50,5 @@ pub use twmc_obs as obs;
 pub use twmc_parallel as parallel;
 pub use twmc_place as place;
 pub use twmc_refine as refine;
+pub use twmc_resume as resume;
 pub use twmc_route as route;

@@ -242,6 +242,163 @@ fn telemetry_files_are_not_overwritten_silently() {
 }
 
 #[test]
+fn interrupted_runs_checkpoint_and_resume_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("twmc-cli-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let netlist = dir.join("tiny.twn");
+    let ckpt = dir.join("run.ckpt");
+    let telemetry = dir.join("run.jsonl");
+    let ref_place = dir.join("ref.place");
+    let cut_place = dir.join("cut.place");
+    let res_place = dir.join("resumed.place");
+
+    let out = twmc()
+        .args([
+            "synth", "--cells", "6", "--nets", "12", "--pins", "40", "--seed", "3", "--out",
+        ])
+        .arg(&netlist)
+        .output()
+        .expect("run twmc synth");
+    assert!(out.status.success());
+
+    // Reference: the same run, uninterrupted.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "3", "--placement"])
+        .arg(&ref_place)
+        .output()
+        .expect("reference place");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A move budget interrupts with exit 3, flushing a checkpoint, the
+    // telemetry prefix, and the best-so-far placement.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "3", "--max-moves", "500"])
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "2", "--telemetry"])
+        .arg(&telemetry)
+        .arg("--placement")
+        .arg(&cut_place)
+        .output()
+        .expect("interrupted place");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interrupted (move_budget)"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+    assert!(ckpt.exists(), "no checkpoint written");
+    assert!(cut_place.exists(), "no best-so-far placement written");
+
+    // Resuming continues to the reference result, appending the
+    // telemetry suffix onto the interrupted prefix.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "3", "--resume"])
+        .arg(&ckpt)
+        .arg("--telemetry")
+        .arg(&telemetry)
+        .arg("--placement")
+        .arg(&res_place)
+        .output()
+        .expect("resumed place");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = std::fs::read_to_string(&ref_place).expect("reference placement");
+    let resumed = std::fs::read_to_string(&res_place).expect("resumed placement");
+    assert_eq!(resumed, reference, "resume diverged from the clean run");
+
+    // The stitched telemetry file is one coherent, healthy stream.
+    let out = twmc()
+        .arg("report")
+        .arg(&telemetry)
+        .output()
+        .expect("report on stitched stream");
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A checkpoint for a different configuration is rejected cleanly.
+    let out = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "8", "--seed", "4", "--resume"])
+        .arg(&ckpt)
+        .output()
+        .expect("mismatched resume");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not match"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_stops_the_run_with_a_resumable_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("twmc-cli-signal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let netlist = dir.join("mid.twn");
+    let ckpt = dir.join("sig.ckpt");
+
+    let out = twmc()
+        .args([
+            "synth", "--cells", "20", "--nets", "60", "--pins", "200", "--seed", "5", "--out",
+        ])
+        .arg(&netlist)
+        .output()
+        .expect("run twmc synth");
+    assert!(out.status.success());
+
+    // A run sized to take far longer than the signal delay.
+    let child = twmc()
+        .arg("place")
+        .arg(&netlist)
+        .args(["--ac", "60", "--seed", "5", "--checkpoint"])
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn twmc place");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success(), "kill failed (run finished early?)");
+    let out = child.wait_with_output().expect("wait for twmc");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interrupted (signal)"), "{stderr}");
+    assert!(ckpt.exists(), "no checkpoint flushed on SIGTERM");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn yal_input_is_accepted() {
     let dir = std::env::temp_dir().join(format!("twmc-cli-yal-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
