@@ -148,6 +148,7 @@ pub fn analyze(stream: &RunStream) -> HealthReport {
     findings.push(check_window(&stage1));
     findings.push(check_cost(&stage1));
     findings.push(check_moves(&stage1));
+    findings.extend(check_swaps(stream));
     findings.extend(check_routes(stream));
     HealthReport {
         findings,
@@ -534,6 +535,85 @@ fn check_moves(stage1: &[&TempRec]) -> Finding {
 }
 
 /// Routing health over the recorded `route_iter` executions.
+/// Healthy band for parallel-tempering replica-exchange acceptance.
+/// The tempering literature targets roughly 20–40%: below it the
+/// temperature rungs barely communicate (the ladder degenerates into
+/// independent runs — exactly the "tempering loses to multistart"
+/// failure mode), above it adjacent rungs are so close that replicas
+/// are redundant.
+const SWAP_RATE_LOW: f64 = 0.20;
+const SWAP_RATE_HIGH: f64 = 0.40;
+/// Exchange attempts below this make the rate statistically mute.
+const SWAP_MIN_SAMPLE: u64 = 10;
+
+/// Checks the replica-exchange acceptance rate of a tempering run.
+/// Non-tempering runs (no swap events, strategy != tempering) produce
+/// no finding at all.
+fn check_swaps(stream: &RunStream) -> Option<Finding> {
+    let tempering = stream
+        .start
+        .as_ref()
+        .is_some_and(|s| s.strategy == "tempering");
+    if !tempering && stream.swap_attempts == 0 {
+        return None;
+    }
+    if stream.swap_attempts == 0 {
+        return Some(finding(
+            "tempering.swap_rate",
+            Severity::Warn,
+            "tempering run recorded no replica-exchange attempts (swap_interval longer \
+             than the run, or a single rung?)"
+                .to_owned(),
+        ));
+    }
+    let rate = stream.swap_accepts as f64 / stream.swap_attempts as f64;
+    let evidence = format!(
+        "{}/{} exchanges accepted ({:.0}%)",
+        stream.swap_accepts,
+        stream.swap_attempts,
+        rate * 100.0
+    );
+    Some(if stream.swap_attempts < SWAP_MIN_SAMPLE {
+        finding(
+            "tempering.swap_rate",
+            Severity::Warn,
+            format!("{evidence}; fewer than {SWAP_MIN_SAMPLE} attempts — rate not meaningful"),
+        )
+    } else if rate < SWAP_RATE_LOW {
+        finding(
+            "tempering.swap_rate",
+            Severity::Warn,
+            format!(
+                "{evidence}; below the ~{:.0}-{:.0}% band — rungs too far apart, replicas \
+                 barely exchange (narrow the temperature ladder or add replicas)",
+                SWAP_RATE_LOW * 100.0,
+                SWAP_RATE_HIGH * 100.0
+            ),
+        )
+    } else if rate > SWAP_RATE_HIGH {
+        finding(
+            "tempering.swap_rate",
+            Severity::Warn,
+            format!(
+                "{evidence}; above the ~{:.0}-{:.0}% band — rungs too close together, \
+                 replicas are redundant (widen the ladder or spend them on multistart)",
+                SWAP_RATE_LOW * 100.0,
+                SWAP_RATE_HIGH * 100.0
+            ),
+        )
+    } else {
+        finding(
+            "tempering.swap_rate",
+            Severity::Pass,
+            format!(
+                "{evidence}; inside the healthy ~{:.0}-{:.0}% band",
+                SWAP_RATE_LOW * 100.0,
+                SWAP_RATE_HIGH * 100.0
+            ),
+        )
+    })
+}
+
 fn check_routes(stream: &RunStream) -> Vec<Finding> {
     if stream.routes.is_empty() {
         return vec![finding(
@@ -667,6 +747,71 @@ mod tests {
             .unwrap();
         assert_eq!(sched.severity, Severity::Fail, "{}", sched.detail);
         assert!(format_report(&report).contains("UNHEALTHY"));
+    }
+
+    /// A minimal tempering stream with the given exchange tallies.
+    fn tempering_stream(attempts: u64, accepts: u64) -> RunStream {
+        let mut jsonl = String::from(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,\
+             \"replicas\":3,\"strategy\":\"tempering\"}\n",
+        );
+        for i in 0..attempts {
+            jsonl.push_str(&format!(
+                "{{\"kind\":\"swap\",\"round\":{i},\"lower\":0,\"upper\":1,\
+                 \"t_lower\":2.0,\"t_upper\":1.0,\"accepted\":{}}}\n",
+                i < accepts
+            ));
+        }
+        jsonl.push_str(
+            "{\"kind\":\"run_end\",\"teil\":430.0,\"chip_width\":60,\"chip_height\":50,\
+             \"routed_length\":118,\"wall_us\":12345}\n",
+        );
+        parse_stream(&jsonl).unwrap()
+    }
+
+    fn swap_finding(stream: &RunStream) -> Option<Finding> {
+        analyze(stream)
+            .findings
+            .into_iter()
+            .find(|f| f.check == "tempering.swap_rate")
+    }
+
+    #[test]
+    fn swap_rate_inside_band_passes() {
+        let f = swap_finding(&tempering_stream(40, 12)).unwrap(); // 30%
+        assert_eq!(f.severity, Severity::Pass, "{}", f.detail);
+        assert!(f.detail.contains("12/40"), "{}", f.detail);
+    }
+
+    #[test]
+    fn swap_rate_outside_band_warns_with_direction() {
+        let low = swap_finding(&tempering_stream(40, 2)).unwrap(); // 5%
+        assert_eq!(low.severity, Severity::Warn, "{}", low.detail);
+        assert!(low.detail.contains("too far apart"), "{}", low.detail);
+
+        let high = swap_finding(&tempering_stream(40, 36)).unwrap(); // 90%
+        assert_eq!(high.severity, Severity::Warn, "{}", high.detail);
+        assert!(high.detail.contains("too close"), "{}", high.detail);
+    }
+
+    #[test]
+    fn swap_rate_small_samples_and_silent_runs() {
+        // Tempering with no exchanges at all: warn.
+        let none = swap_finding(&tempering_stream(0, 0)).unwrap();
+        assert_eq!(none.severity, Severity::Warn, "{}", none.detail);
+        assert!(
+            none.detail.contains("no replica-exchange"),
+            "{}",
+            none.detail
+        );
+        // A handful of attempts: warn, rate not meaningful.
+        let few = swap_finding(&tempering_stream(4, 2)).unwrap();
+        assert_eq!(few.severity, Severity::Warn, "{}", few.detail);
+        assert!(few.detail.contains("not meaningful"), "{}", few.detail);
+        // Non-tempering runs produce no finding.
+        let jsonl = synth_stream(&SynthSpec::default());
+        let stream = parse_stream(&jsonl).unwrap();
+        assert!(swap_finding(&stream).is_none());
     }
 
     #[test]

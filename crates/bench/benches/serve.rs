@@ -1,0 +1,193 @@
+//! Throughput/latency bench of the placement daemon (`twmc serve`).
+//!
+//! Drives a batch of small synthetic jobs through a real daemon + HTTP
+//! server on a loopback port at 1, 2, and 4 workers, measuring
+//! end-to-end latency per job (POST accepted → state `done`, polled
+//! over HTTP) and aggregate jobs/sec. A measurement run (`cargo
+//! bench`) writes `BENCH_serve.json` at the workspace root; the quick
+//! test-mode pass (`cargo test`) only checks the harness works.
+//!
+//! Placement jobs are CPU-bound and independent, so on a multi-core
+//! host jobs/sec should improve with worker count; on a single-core
+//! host the three configurations mostly measure scheduling overhead.
+//! Each row records `host_threads` so the numbers can be read in
+//! context.
+
+use criterion::{criterion_group, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use twmc_netlist::{synthesize, write_netlist, SynthParams};
+use twmc_serve::{client, json, Daemon, ServeOptions, Server};
+
+fn job_netlist(seed: u64) -> String {
+    write_netlist(&synthesize(&SynthParams {
+        cells: 4,
+        nets: 6,
+        pins: 18,
+        seed,
+        ..Default::default()
+    }))
+}
+
+/// Starts a daemon + server over a fresh spool; returns the address,
+/// the stop flag, the join handle, and the spool path for cleanup.
+fn start(workers: usize, tag: &str) -> StartedServer {
+    let spool = std::env::temp_dir().join(format!(
+        "twmc-bench-serve-{tag}-{workers}w-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&spool);
+    let daemon = Daemon::start(ServeOptions {
+        workers,
+        spool: spool.clone(),
+        ..Default::default()
+    })
+    .expect("daemon starts");
+    let server = Server::bind("127.0.0.1:0", daemon).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(&flag));
+    StartedServer {
+        addr,
+        stop,
+        handle,
+        spool,
+    }
+}
+
+struct StartedServer {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+    spool: std::path::PathBuf,
+}
+
+impl StartedServer {
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap().expect("clean drain");
+        let _ = std::fs::remove_dir_all(&self.spool);
+    }
+}
+
+#[derive(Serialize)]
+struct ServeRow {
+    /// Daemon worker threads.
+    workers: usize,
+    /// Hardware threads available on the bench host.
+    host_threads: usize,
+    /// Jobs in the batch.
+    jobs: usize,
+    /// Batch wall-clock (first submit to last completion), seconds.
+    wall_secs: f64,
+    /// Aggregate throughput.
+    jobs_per_sec: f64,
+    /// Median end-to-end latency (submit → done), milliseconds.
+    p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    p95_ms: f64,
+}
+
+/// Runs one batch at the given worker count, one client thread per
+/// job, measuring each job's submit→done latency over HTTP.
+fn batch_row(workers: usize, jobs: usize, ac: usize) -> ServeRow {
+    let server = start(workers, "batch");
+    let addr = server.addr.clone();
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..jobs)
+        .map(|j| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let netlist = job_netlist(j as u64 + 1);
+                let submitted = Instant::now();
+                let resp =
+                    client::post_raw(&addr, &format!("/jobs?seed={}&ac={ac}", j + 1), &netlist)
+                        .expect("submit");
+                assert_eq!(resp.status, 201, "{}", resp.body);
+                let id = json::get_str(&resp.json().unwrap(), "id")
+                    .expect("id")
+                    .to_owned();
+                loop {
+                    let state = client::get(&addr, &format!("/jobs/{id}")).expect("poll");
+                    match json::get_str(&state.json().unwrap(), "state") {
+                        Some("done") => break,
+                        Some("failed") | Some("cancelled") => {
+                            panic!("job {id} ended badly: {}", state.body)
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                submitted.elapsed().as_secs_f64() * 1e3
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    ServeRow {
+        workers,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        jobs,
+        wall_secs,
+        jobs_per_sec: jobs as f64 / wall_secs,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+    }
+}
+
+/// The 1/2/4-worker sweep, dumped as `BENCH_serve.json` on a
+/// measurement run.
+fn serve_summary(test_mode: bool) {
+    let (jobs, ac, worker_counts): (usize, usize, &[usize]) = if test_mode {
+        (4, 2, &[2])
+    } else {
+        (24, 3, &[1, 2, 4])
+    };
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let row = batch_row(workers, jobs, ac);
+        eprintln!(
+            "serve/batch {} worker(s): {} jobs in {:.2}s = {:.2} jobs/s, \
+             latency p50 {:.0}ms p95 {:.0}ms",
+            row.workers, row.jobs, row.wall_secs, row.jobs_per_sec, row.p50_ms, row.p95_ms
+        );
+        rows.push(row);
+    }
+    if !test_mode {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        let text = serde_json::to_string_pretty(&rows).expect("serializable rows");
+        std::fs::write(out, text).expect("writable workspace root");
+        eprintln!("wrote {out}");
+    }
+}
+
+/// Criterion view of the HTTP layer alone: a healthz round trip —
+/// connection, request parse, routing, response — with no placement
+/// work behind it.
+fn bench_http_roundtrip(c: &mut Criterion) {
+    let server = start(1, "criterion");
+    let addr = server.addr.clone();
+    c.bench_function("serve/healthz_roundtrip", |bench| {
+        bench.iter(|| {
+            let resp = client::get(&addr, "/healthz").expect("healthz");
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_http_roundtrip);
+
+fn main() {
+    serve_summary(!criterion::bench_mode());
+    benches();
+}

@@ -44,6 +44,17 @@ pub const VERSION: u64 = 1;
 pub enum CheckpointError {
     /// Filesystem failure (open/read/write/rename).
     Io(io::Error),
+    /// No checkpoint file exists at the given path — almost always a
+    /// mistyped `--resume` argument.
+    Missing(PathBuf),
+    /// The checkpoint file exists but could not be read (permissions,
+    /// a directory instead of a file, …).
+    Unreadable {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: io::Error,
+    },
     /// The file parsed but does not carry the `twmc-ckpt` magic.
     BadMagic(String),
     /// The file's format version is not [`VERSION`].
@@ -68,6 +79,17 @@ impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Missing(path) => write!(
+                f,
+                "no checkpoint at `{}` — check the path (the file a `--checkpoint` run \
+                 writes is what `--resume` expects)",
+                path.display()
+            ),
+            CheckpointError::Unreadable { path, source } => write!(
+                f,
+                "checkpoint `{}` exists but cannot be read: {source}",
+                path.display()
+            ),
             CheckpointError::BadMagic(m) => {
                 write!(f, "not a twmc checkpoint (magic `{m}`)")
             }
@@ -171,8 +193,24 @@ pub fn write_checkpoint(path: &Path, payload: &Value) -> Result<(), CheckpointEr
 }
 
 /// Reads and fully verifies the checkpoint at `path`.
+///
+/// Filesystem failures come back typed — [`CheckpointError::Missing`]
+/// for a path with no file behind it, [`CheckpointError::Unreadable`]
+/// for one that exists but cannot be read — so callers (the CLI's
+/// `--resume`, the daemon's preempted-job resume) report an actionable
+/// operational error instead of a raw OS string.
 pub fn read_checkpoint(path: &Path) -> Result<Value, CheckpointError> {
-    decode(&std::fs::read_to_string(path)?)
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        if e.kind() == io::ErrorKind::NotFound {
+            CheckpointError::Missing(path.to_path_buf())
+        } else {
+            CheckpointError::Unreadable {
+                path: path.to_path_buf(),
+                source: e,
+            }
+        }
+    })?;
+    decode(&text)
 }
 
 /// Periodic checkpoint sink: owns the target path and the
@@ -306,11 +344,24 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_an_io_error() {
-        assert!(matches!(
-            read_checkpoint(Path::new("/nonexistent/run.ckpt")),
-            Err(CheckpointError::Io(_))
-        ));
+    fn missing_file_is_typed_and_names_the_path() {
+        let err = read_checkpoint(Path::new("/nonexistent/run.ckpt")).unwrap_err();
+        assert!(matches!(&err, CheckpointError::Missing(p) if p.ends_with("run.ckpt")));
+        let msg = err.to_string();
+        assert!(msg.contains("/nonexistent/run.ckpt"), "{msg}");
+        assert!(msg.contains("--resume"), "{msg}");
+    }
+
+    #[test]
+    fn unreadable_file_is_typed() {
+        // A directory where a file is expected: read_to_string fails
+        // with something other than NotFound on every platform.
+        let dir = std::env::temp_dir().join(format!("twmc-resume-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(matches!(&err, CheckpointError::Unreadable { path, .. } if path == &dir));
+        assert!(err.to_string().contains("cannot be read"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! A minimal blocking HTTP client for the daemon's API — used by the
+//! integration tests, the load harness, and the benchmark so none of
+//! them needs an external HTTP tool.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response from the daemon.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parses the body as JSON (the API's usual payload).
+    pub fn json(&self) -> Result<serde::Value, String> {
+        twmc_obs::validate::parse_json(&self.body)
+    }
+}
+
+/// Issues one request against `addr` (e.g. `"127.0.0.1:7171"`).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("Content-Type: {ct}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path`.
+pub fn get(addr: &str, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None, b"")
+}
+
+/// `POST path` with a JSON body.
+pub fn post_json(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(
+        addr,
+        "POST",
+        path,
+        Some("application/json"),
+        body.as_bytes(),
+    )
+}
+
+/// `POST path` with a raw (netlist) body.
+pub fn post_raw(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some("text/plain"), body.as_bytes())
+}
+
+/// `DELETE path`.
+pub fn delete(addr: &str, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "DELETE", path, None, b"")
+}
+
+/// Splits a raw HTTP/1.1 response into status + body.
+fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let text = String::from_utf8_lossy(raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response lacks a header/body separator",
+        ));
+    };
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response lacks a status"))?;
+    Ok(ClientResponse {
+        status,
+        body: body.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\n\
+                    Content-Length: 11\r\n\r\n{\"id\":\"j1\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body, "{\"id\":\"j1\"}");
+        let v = resp.json().unwrap();
+        assert_eq!(crate::json::get_str(&v, "id"), Some("j1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+    }
+}

@@ -1,0 +1,776 @@
+//! The daemon core: a priority job queue drained by a worker pool,
+//! with checkpoint-based preemption and a graceful drain protocol.
+//!
+//! Scheduling: highest priority first, FIFO within a priority class
+//! (by submission sequence). When every worker is busy and a strictly
+//! higher-priority job arrives, the lowest-priority running job is
+//! *preempted*: its [`CancelToken`] is tripped, the orchestrator stops
+//! at the next round boundary and flushes a checkpoint, and the job
+//! goes back into the queue in `preempted` state. When a worker picks
+//! it up again it resumes from that checkpoint — the interrupt→resume
+//! contract guarantees the final placement is bit-identical to an
+//! uninterrupted run, so preemption trades only latency, never quality.
+//!
+//! Drain (SIGTERM): stop accepting submissions, trip every running
+//! job's token with a `drain` disposition (checkpoint + persist as
+//! `preempted`, but do *not* re-enqueue), keep answering status polls
+//! until the workers exit, then return. A daemon restarted over the
+//! same spool re-enqueues the preempted jobs and finishes them.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use twmc_analyze::{analyze, parse_stream};
+use twmc_core::{run_timberwolf_resilient, RunOptions, RunOutcome, TimberWolfResult};
+use twmc_obs::{CancelToken, JsonlRecorder, Recorder};
+use twmc_resume::{read_checkpoint, CheckpointWriter};
+
+use crate::job::{placement_text, JobSpec, JobState};
+use crate::json::obj;
+use crate::spool::{JobStatus, Spool};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Maximum jobs waiting or preempted before submissions get 429.
+    pub queue_cap: usize,
+    /// Checkpoint cadence (temperature steps) for running jobs.
+    pub checkpoint_every: u64,
+    /// Spool directory (created if absent).
+    pub spool: PathBuf,
+    /// After the workers drain, how long the server keeps answering
+    /// status polls before closing the listener.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_cap: 256,
+            checkpoint_every: 10,
+            spool: PathBuf::from("twmc-spool"),
+            drain_grace: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why a submission was turned away.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The daemon is draining and accepts no new work (503).
+    Draining,
+    /// The bounded queue is full — backpressure (429).
+    QueueFull,
+    /// The spool could not persist the job (500).
+    Spool(io::Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Draining => write!(f, "daemon is draining; not accepting jobs"),
+            SubmitError::QueueFull => write!(f, "job queue is full; retry later"),
+            SubmitError::Spool(e) => write!(f, "cannot persist job: {e}"),
+        }
+    }
+}
+
+/// What the daemon should do with a running job once it stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopCause {
+    /// Nothing pending — the job runs to completion.
+    None,
+    /// A higher-priority arrival: checkpoint, re-enqueue.
+    Preempt,
+    /// `DELETE /jobs/<id>`: terminal `cancelled`.
+    Cancel,
+    /// SIGTERM drain: checkpoint, persist `preempted`, don't re-enqueue.
+    Drain,
+}
+
+/// Heap entry; `BinaryHeap` pops the max, so the derived order (higher
+/// priority, then *lower* sequence via `Reverse`) runs the oldest job
+/// of the highest class first.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct QueueEntry {
+    priority: i64,
+    order: std::cmp::Reverse<u64>,
+    id: String,
+}
+
+#[derive(Debug)]
+struct RunningJob {
+    cancel: CancelToken,
+    priority: i64,
+    seq: u64,
+    cause: StopCause,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+}
+
+/// Monotonic service counters (the `/stats` payload).
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that errored or panicked.
+    pub failed: u64,
+    /// Jobs cancelled by clients.
+    pub cancelled: u64,
+    /// Preemption events (one job can contribute several).
+    pub preemptions: u64,
+    /// Checkpoint resumes (after preemption or daemon restart).
+    pub resumes: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: BinaryHeap<QueueEntry>,
+    jobs: HashMap<String, JobRecord>,
+    running: HashMap<String, RunningJob>,
+    accepting: bool,
+    shutdown: bool,
+    next_id: u64,
+    next_seq: u64,
+    live_workers: usize,
+    stats: Stats,
+}
+
+impl Inner {
+    /// Jobs waiting to run (queued + preempted).
+    fn backlog(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| matches!(j.status.state, JobState::Queued | JobState::Preempted))
+            .count()
+    }
+}
+
+/// The placement daemon. Create with [`Daemon::start`]; share via
+/// `Arc` between the HTTP server and the worker pool it spawns.
+pub struct Daemon {
+    state: Mutex<Inner>,
+    /// Wakes workers when the queue gains a runnable job or drain starts.
+    work: Condvar,
+    /// Wakes status waiters when a job reaches a new state or a worker
+    /// exits.
+    change: Condvar,
+    spool: Spool,
+    opts: ServeOptions,
+}
+
+impl Daemon {
+    /// Opens the spool, recovers persisted jobs, and spawns the worker
+    /// pool.
+    pub fn start(opts: ServeOptions) -> io::Result<Arc<Daemon>> {
+        let spool = Spool::open(&opts.spool)?;
+        let mut inner = Inner {
+            queue: BinaryHeap::new(),
+            jobs: HashMap::new(),
+            running: HashMap::new(),
+            accepting: true,
+            shutdown: false,
+            next_id: 1,
+            next_seq: 1,
+            live_workers: opts.workers.max(1),
+            stats: Stats::default(),
+        };
+        for recovered in spool.scan()? {
+            let mut status = recovered.status;
+            // A `running` record means the previous daemon died
+            // mid-run; demote to the resumable/queued state.
+            if status.state == JobState::Running {
+                status.state = if recovered.has_checkpoint {
+                    JobState::Preempted
+                } else {
+                    JobState::Queued
+                };
+                let _ = spool.write_status(&recovered.spec.id, &status);
+            }
+            if let Some(n) = recovered
+                .spec
+                .id
+                .strip_prefix('j')
+                .and_then(|n| n.parse::<u64>().ok())
+            {
+                inner.next_id = inner.next_id.max(n + 1);
+            }
+            inner.next_seq = inner.next_seq.max(recovered.spec.seq + 1);
+            if !status.state.terminal() {
+                inner.queue.push(QueueEntry {
+                    priority: recovered.spec.priority,
+                    order: std::cmp::Reverse(recovered.spec.seq),
+                    id: recovered.spec.id.clone(),
+                });
+            }
+            inner.jobs.insert(
+                recovered.spec.id.clone(),
+                JobRecord {
+                    spec: recovered.spec,
+                    status,
+                },
+            );
+        }
+        let workers = inner.live_workers;
+        let daemon = Arc::new(Daemon {
+            state: Mutex::new(inner),
+            work: Condvar::new(),
+            change: Condvar::new(),
+            spool,
+            opts,
+        });
+        for _ in 0..workers {
+            let d = Arc::clone(&daemon);
+            std::thread::spawn(move || d.worker_loop());
+        }
+        Ok(daemon)
+    }
+
+    /// The daemon's options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// The daemon's spool.
+    pub fn spool(&self) -> &Spool {
+        &self.spool
+    }
+
+    /// Accepts a job: assigns an id, persists it, enqueues it, and —
+    /// when all workers are busy with lower-priority work — preempts
+    /// the lowest-priority running job to make room.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<String, SubmitError> {
+        let mut inner = self.state.lock().unwrap();
+        if !inner.accepting {
+            return Err(SubmitError::Draining);
+        }
+        if inner.backlog() >= self.opts.queue_cap {
+            inner.stats.rejected += 1;
+            return Err(SubmitError::QueueFull);
+        }
+        spec.id = format!("j{}", inner.next_id);
+        spec.seq = inner.next_seq;
+        inner.next_id += 1;
+        inner.next_seq += 1;
+        self.spool.create_job(&spec).map_err(SubmitError::Spool)?;
+        inner.stats.submitted += 1;
+        inner.queue.push(QueueEntry {
+            priority: spec.priority,
+            order: std::cmp::Reverse(spec.seq),
+            id: spec.id.clone(),
+        });
+        let id = spec.id.clone();
+        let priority = spec.priority;
+        inner.jobs.insert(
+            spec.id.clone(),
+            JobRecord {
+                spec,
+                status: JobStatus::default(),
+            },
+        );
+        self.maybe_preempt(&mut inner, priority);
+        drop(inner);
+        self.work.notify_all();
+        Ok(id)
+    }
+
+    /// Trips the lowest-priority running job's token when `arriving`
+    /// outranks it and no worker is idle.
+    fn maybe_preempt(&self, inner: &mut Inner, arriving: i64) {
+        if inner.running.len() < inner.live_workers {
+            return; // an idle worker will pick the job up directly
+        }
+        let victim = inner
+            .running
+            .iter()
+            .filter(|(_, r)| r.cause == StopCause::None)
+            // Preempt the lowest priority; among equals the youngest
+            // (largest seq), which has lost the least work.
+            .min_by_key(|(_, r)| (r.priority, std::cmp::Reverse(r.seq)))
+            .map(|(id, r)| (id.clone(), r.priority));
+        if let Some((id, priority)) = victim {
+            if arriving > priority {
+                let running = inner.running.get_mut(&id).expect("victim is running");
+                running.cause = StopCause::Preempt;
+                running.cancel.cancel();
+                inner.stats.preemptions += 1;
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.status.preemptions += 1;
+                }
+            }
+        }
+    }
+
+    /// Cancels a job. Queued/preempted jobs become `cancelled` at
+    /// once; running jobs are tripped and become `cancelled` at the
+    /// next round boundary. Returns the state the job is now headed
+    /// for, or `None` for unknown ids.
+    pub fn cancel(&self, id: &str) -> Option<JobState> {
+        let mut inner = self.state.lock().unwrap();
+        let state = inner.jobs.get(id)?.status.state;
+        match state {
+            JobState::Queued | JobState::Preempted => {
+                let job = inner.jobs.get_mut(id).expect("checked above");
+                job.status.state = JobState::Cancelled;
+                let status = job.status.clone();
+                inner.stats.cancelled += 1;
+                let _ = self.spool.write_status(id, &status);
+                drop(inner);
+                self.change.notify_all();
+                Some(JobState::Cancelled)
+            }
+            JobState::Running => {
+                let running = inner.running.get_mut(id).expect("running set");
+                running.cause = StopCause::Cancel;
+                running.cancel.cancel();
+                Some(JobState::Running)
+            }
+            terminal => Some(terminal),
+        }
+    }
+
+    /// The status payload of one job (`GET /jobs/<id>`).
+    pub fn status(&self, id: &str) -> Option<Value> {
+        let inner = self.state.lock().unwrap();
+        let job = inner.jobs.get(id)?;
+        let mut fields = vec![
+            ("id", Value::Str(job.spec.id.clone())),
+            ("state", Value::Str(job.status.state.as_str().to_owned())),
+            ("priority", Value::Int(job.spec.priority)),
+            ("preemptions", Value::UInt(job.status.preemptions)),
+            ("resumes", Value::UInt(job.status.resumes)),
+        ];
+        if !job.spec.label.is_empty() {
+            fields.push(("label", Value::Str(job.spec.label.clone())));
+        }
+        if !job.status.error.is_empty() {
+            fields.push(("error", Value::Str(job.status.error.clone())));
+        }
+        if job.status.teil.is_finite() {
+            fields.push(("teil", Value::Float(job.status.teil)));
+        }
+        Some(obj(fields))
+    }
+
+    /// The job's current lifecycle state.
+    pub fn job_state(&self, id: &str) -> Option<JobState> {
+        let inner = self.state.lock().unwrap();
+        Some(inner.jobs.get(id)?.status.state)
+    }
+
+    /// The job's telemetry stream (`GET /jobs/<id>/events`).
+    pub fn events(&self, id: &str) -> Option<String> {
+        {
+            let inner = self.state.lock().unwrap();
+            inner.jobs.get(id)?;
+        }
+        Some(self.spool.read_events(id).unwrap_or_default())
+    }
+
+    /// The final report of a done job (`GET /jobs/<id>/result`).
+    pub fn result(&self, id: &str) -> Option<String> {
+        self.spool.read_result(id)
+    }
+
+    /// The final placement of a done job (`GET /jobs/<id>/placement`).
+    pub fn placement(&self, id: &str) -> Option<String> {
+        self.spool.read_placement(id)
+    }
+
+    /// The `/stats` payload.
+    pub fn stats_value(&self) -> Value {
+        let inner = self.state.lock().unwrap();
+        obj(vec![
+            ("queue_depth", Value::UInt(inner.backlog() as u64)),
+            ("workers", Value::UInt(self.opts.workers.max(1) as u64)),
+            ("workers_busy", Value::UInt(inner.running.len() as u64)),
+            ("accepting", Value::Bool(inner.accepting)),
+            ("draining", Value::Bool(inner.shutdown)),
+            ("submitted", Value::UInt(inner.stats.submitted)),
+            ("completed", Value::UInt(inner.stats.completed)),
+            ("failed", Value::UInt(inner.stats.failed)),
+            ("cancelled", Value::UInt(inner.stats.cancelled)),
+            ("preemptions", Value::UInt(inner.stats.preemptions)),
+            ("resumes", Value::UInt(inner.stats.resumes)),
+            ("rejected", Value::UInt(inner.stats.rejected)),
+        ])
+    }
+
+    /// A copy of the monotonic counters.
+    pub fn stats(&self) -> Stats {
+        self.state.lock().unwrap().stats.clone()
+    }
+
+    /// Whether submissions are currently accepted.
+    pub fn accepting(&self) -> bool {
+        self.state.lock().unwrap().accepting
+    }
+
+    /// Starts the drain: refuse new jobs, trip running jobs with the
+    /// `drain` disposition, and let the workers exit. Status endpoints
+    /// stay live; call [`Daemon::wait_drained`] to block until the
+    /// workers have checkpointed everything.
+    pub fn begin_drain(&self) {
+        let mut inner = self.state.lock().unwrap();
+        inner.accepting = false;
+        inner.shutdown = true;
+        for running in inner.running.values_mut() {
+            // A client cancel in flight keeps its disposition.
+            if running.cause == StopCause::None || running.cause == StopCause::Preempt {
+                running.cause = StopCause::Drain;
+            }
+            running.cancel.cancel();
+        }
+        drop(inner);
+        self.work.notify_all();
+        self.change.notify_all();
+    }
+
+    /// Whether the drain has finished (all workers exited).
+    pub fn drained(&self) -> bool {
+        let inner = self.state.lock().unwrap();
+        inner.shutdown && inner.live_workers == 0
+    }
+
+    /// Blocks until the drain completes or `timeout` passes; returns
+    /// whether it completed.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.state.lock().unwrap();
+        while !(inner.shutdown && inner.live_workers == 0) {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self.change.wait_timeout(inner, left).unwrap();
+            inner = guard;
+        }
+        true
+    }
+
+    /// Blocks until `id` reaches a terminal state or `timeout` passes.
+    pub fn wait_terminal(&self, id: &str, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.state.lock().unwrap();
+        loop {
+            let state = inner.jobs.get(id)?.status.state;
+            if state.terminal() {
+                return Some(state);
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, _) = self.change.wait_timeout(inner, left).unwrap();
+            inner = guard;
+        }
+    }
+
+    // ---- worker side ----------------------------------------------------
+
+    fn worker_loop(self: Arc<Daemon>) {
+        loop {
+            let claimed = {
+                let mut inner = self.state.lock().unwrap();
+                loop {
+                    if inner.shutdown {
+                        inner.live_workers -= 1;
+                        drop(inner);
+                        self.change.notify_all();
+                        return;
+                    }
+                    if let Some(claim) = self.claim_next(&mut inner) {
+                        break claim;
+                    }
+                    inner = self.work.wait(inner).unwrap();
+                }
+            };
+            self.run_job(claimed);
+        }
+    }
+
+    /// Pops heap entries until one refers to a job still waiting to
+    /// run, and transitions it to `running`. Stale entries (cancelled
+    /// jobs, duplicates) are discarded.
+    fn claim_next(&self, inner: &mut Inner) -> Option<(JobSpec, CancelToken)> {
+        while let Some(entry) = inner.queue.pop() {
+            let Some(job) = inner.jobs.get_mut(&entry.id) else {
+                continue;
+            };
+            if !matches!(job.status.state, JobState::Queued | JobState::Preempted) {
+                continue;
+            }
+            job.status.state = JobState::Running;
+            let spec = job.spec.clone();
+            let status = job.status.clone();
+            let cancel = CancelToken::new();
+            inner.running.insert(
+                entry.id.clone(),
+                RunningJob {
+                    cancel: cancel.clone(),
+                    priority: spec.priority,
+                    seq: spec.seq,
+                    cause: StopCause::None,
+                },
+            );
+            let _ = self.spool.write_status(&entry.id, &status);
+            return Some((spec, cancel));
+        }
+        None
+    }
+
+    /// Runs one claimed job to its next boundary (completion or
+    /// interrupt) and disposes of the outcome.
+    fn run_job(&self, (spec, cancel): (JobSpec, CancelToken)) {
+        let id = spec.id.clone();
+        let ckpt_path = self.spool.checkpoint_path(&id);
+        let events_path = self.spool.events_path(&id);
+
+        // Resume from the preemption checkpoint when one exists. A
+        // checkpoint that fails to decode is discarded — the job
+        // restarts from scratch rather than failing outright.
+        let resume = if ckpt_path.exists() {
+            match read_checkpoint(&ckpt_path) {
+                Ok(payload) => Some(payload),
+                Err(e) => {
+                    eprintln!("twmc serve: {id}: discarding bad checkpoint: {e}");
+                    let _ = std::fs::remove_file(&ckpt_path);
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let resuming = resume.is_some();
+        if resuming {
+            let mut inner = self.state.lock().unwrap();
+            inner.stats.resumes += 1;
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.status.resumes += 1;
+            }
+        }
+
+        // The telemetry stream: a resumed run appends its exact suffix
+        // to the interrupted prefix; a fresh run starts a new file.
+        let events_str = events_path.to_string_lossy().into_owned();
+        let recorder = if resuming && events_path.exists() {
+            JsonlRecorder::append(&events_str)
+        } else {
+            JsonlRecorder::create(&events_str)
+        };
+        let mut recorder = match recorder {
+            Ok(r) => r,
+            Err(e) => {
+                self.dispose_failed(&id, format!("cannot open telemetry stream: {e}"));
+                return;
+            }
+        };
+
+        let nl = match spec.parse_netlist() {
+            Ok(nl) => nl,
+            Err(e) => {
+                self.dispose_failed(&id, e);
+                return;
+            }
+        };
+        let config = spec.config();
+        let run_opts = RunOptions {
+            cancel: cancel.clone(),
+            checkpoint: Some(CheckpointWriter::new(
+                ckpt_path.clone(),
+                self.opts.checkpoint_every.max(1),
+            )),
+            resume,
+        };
+
+        // Fault isolation: a panic anywhere in the pipeline fails this
+        // job, not the daemon.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_timberwolf_resilient(&nl, &config, run_opts, &mut recorder as &mut dyn Recorder)
+        }));
+        let _ = recorder.finish();
+
+        match outcome {
+            Err(panic) => self.dispose_failed(&id, panic_text(panic)),
+            Ok(Err(e)) => self.dispose_failed(&id, e.to_string()),
+            Ok(Ok(RunOutcome::Complete(result))) => self.dispose_complete(&id, &result),
+            Ok(Ok(RunOutcome::Interrupted(_))) => self.dispose_interrupted(&id),
+        }
+    }
+
+    fn dispose_failed(&self, id: &str, error: String) {
+        let mut inner = self.state.lock().unwrap();
+        inner.running.remove(id);
+        inner.stats.failed += 1;
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.status.state = JobState::Failed;
+            job.status.error = error;
+            let status = job.status.clone();
+            let _ = self.spool.write_status(id, &status);
+        }
+        drop(inner);
+        self.change.notify_all();
+    }
+
+    fn dispose_complete(&self, id: &str, result: &TimberWolfResult) {
+        // Build the report (placement + health) before taking the lock.
+        let placement = placement_text(&result.placement);
+        let report = self.report_value(id, result);
+        let _ = self.spool.write_placement(id, &placement);
+        let _ = self.spool.write_result(id, &report);
+        self.spool.remove_checkpoint(id);
+
+        let mut inner = self.state.lock().unwrap();
+        inner.running.remove(id);
+        inner.stats.completed += 1;
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.status.state = JobState::Done;
+            job.status.teil = result.teil;
+            let status = job.status.clone();
+            let _ = self.spool.write_status(id, &status);
+        }
+        drop(inner);
+        self.change.notify_all();
+    }
+
+    fn dispose_interrupted(&self, id: &str) {
+        let mut inner = self.state.lock().unwrap();
+        let cause = inner
+            .running
+            .remove(id)
+            .map(|r| r.cause)
+            .unwrap_or(StopCause::None);
+        match cause {
+            StopCause::Cancel => {
+                inner.stats.cancelled += 1;
+                if let Some(job) = inner.jobs.get_mut(id) {
+                    job.status.state = JobState::Cancelled;
+                    let status = job.status.clone();
+                    let _ = self.spool.write_status(id, &status);
+                }
+                self.spool.remove_checkpoint(id);
+            }
+            StopCause::Drain => {
+                // Persist as preempted; the next daemon over this
+                // spool re-enqueues and resumes it.
+                if let Some(job) = inner.jobs.get_mut(id) {
+                    job.status.state = JobState::Preempted;
+                    let status = job.status.clone();
+                    let _ = self.spool.write_status(id, &status);
+                }
+            }
+            StopCause::Preempt | StopCause::None => {
+                let requeue = inner.jobs.get_mut(id).map(|job| {
+                    job.status.state = JobState::Preempted;
+                    let _ = self.spool.write_status(id, &job.status);
+                    (job.spec.priority, job.spec.seq)
+                });
+                if let Some((priority, seq)) = requeue {
+                    inner.queue.push(QueueEntry {
+                        priority,
+                        order: std::cmp::Reverse(seq),
+                        id: id.to_owned(),
+                    });
+                }
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+        self.change.notify_all();
+    }
+
+    /// The `result.json` payload: headline numbers plus the analyzer's
+    /// health verdict over the job's own telemetry stream.
+    fn report_value(&self, id: &str, result: &TimberWolfResult) -> Value {
+        let mut fields = vec![
+            ("id", Value::Str(id.to_owned())),
+            ("teil", Value::Float(result.teil)),
+            ("chip_area", Value::Int(result.chip_area())),
+            ("routed_length", Value::Int(result.routed_length)),
+            (
+                "stage2_teil_change",
+                Value::Float(result.stage2_teil_change()),
+            ),
+        ];
+        if let Ok(events) = self.spool.read_events(id) {
+            if let Ok(stream) = parse_stream(&events) {
+                let health = analyze(&stream);
+                let findings: Vec<Value> = health
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        obj(vec![
+                            ("check", Value::Str(f.check.clone())),
+                            (
+                                "severity",
+                                Value::Str(format!("{:?}", f.severity).to_lowercase()),
+                            ),
+                            ("detail", Value::Str(f.detail.clone())),
+                        ])
+                    })
+                    .collect();
+                fields.push(("healthy", Value::Bool(health.healthy())));
+                fields.push(("findings", Value::Array(findings)));
+            }
+        }
+        obj(fields)
+    }
+}
+
+/// Renders a panic payload into the job's error text.
+fn panic_text(panic: Box<dyn std::any::Any + Send>) -> String {
+    let msg = panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned());
+    format!("pipeline panicked: {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        for (priority, seq, id) in [(0, 1, "a"), (5, 3, "c"), (0, 2, "b"), (5, 4, "d")] {
+            heap.push(QueueEntry {
+                priority,
+                order: Reverse(seq),
+                id: id.into(),
+            });
+        }
+        let order: Vec<String> = std::iter::from_fn(|| heap.pop().map(|e| e.id)).collect();
+        assert_eq!(order, ["c", "d", "a", "b"]);
+    }
+
+    #[test]
+    fn panic_text_handles_both_payload_kinds() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("str panic");
+        assert_eq!(panic_text(boxed), "pipeline panicked: str panic");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("string panic".to_owned());
+        assert_eq!(panic_text(boxed), "pipeline panicked: string panic");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_text(boxed), "pipeline panicked: opaque panic payload");
+    }
+
+    #[test]
+    fn submit_error_messages() {
+        assert!(SubmitError::Draining.to_string().contains("draining"));
+        assert!(SubmitError::QueueFull.to_string().contains("full"));
+    }
+}

@@ -1,0 +1,283 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net` — just enough wire
+//! protocol for the placement daemon's JSON API.
+//!
+//! The vendored dependencies are offline stand-ins, so there is no
+//! tokio/hyper to lean on; like the obs crate hand-rolled its JSON
+//! parser, this module hand-rolls a small, strict request reader and
+//! response writer. One request per connection (`Connection: close`),
+//! bounded header and body sizes, and typed parse errors that the
+//! server maps to `400`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body (netlists are text; 16 MiB is ample).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, `DELETE`, …), uppercased.
+    pub method: String,
+    /// Decoded path without the query string (`/jobs/j1/events`).
+    pub path: String,
+    /// Raw query string without the `?` (may be empty).
+    pub query: String,
+    /// `Content-Type` header value, lowercased (may be empty).
+    pub content_type: String,
+    /// Request body bytes (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a query parameter (`?seed=7&yal=1`), percent-decoding
+    /// not included — the API uses plain tokens only.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(n) => {
+                write!(
+                    f,
+                    "request body of {n} bytes exceeds the {MAX_BODY}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    read_line(&mut reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line lacks a target".into()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        read_line(&mut reader, &mut line)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
+            }
+            "content-type" => content_type = value.to_ascii_lowercase(),
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        content_type,
+        body,
+    })
+}
+
+/// Reads one CRLF-terminated line, stripping the terminator.
+fn read_line<R: BufRead>(reader: &mut R, line: &mut String) -> Result<(), HttpError> {
+    line.clear();
+    let n = reader.read_line(line)?;
+    if n == 0 {
+        return Err(HttpError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a full request arrived",
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+/// One response to send back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A newline-delimited-JSON (telemetry stream) response.
+    pub fn ndjson(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body,
+        }
+    }
+}
+
+/// The reason phrase of the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` to `stream` and flushes it.
+pub fn write_response<W: Write>(mut stream: W, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /jobs?seed=7 HTTP/1.1\r\nHost: x\r\nContent-Type: Application/JSON\r\n\
+             Content-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "seed=7");
+        assert_eq!(req.query_param("seed"), Some("7"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.content_type, "application/json");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty() && req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(parse("\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(parse(raw), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(201, "{\"id\":\"j1\"}".into())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.ends_with("{\"id\":\"j1\"}"), "{text}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The HTTP front end: a `std::net` accept loop that routes requests
+//! onto the [`Daemon`].
+//!
+//! | Route                      | Meaning                                  |
+//! |----------------------------|------------------------------------------|
+//! | `POST /jobs`               | submit a job (201 + id)                  |
+//! | `GET /jobs/<id>`           | job status (state machine)               |
+//! | `GET /jobs/<id>/events`    | the job's JSONL telemetry stream         |
+//! | `GET /jobs/<id>/result`    | final report (done jobs)                 |
+//! | `GET /jobs/<id>/placement` | final placement text (done jobs)         |
+//! | `DELETE /jobs/<id>`        | cancel                                   |
+//! | `GET /healthz`             | liveness                                 |
+//! | `GET /stats`               | queue depth, busy workers, counters      |
+//!
+//! Connections are one-request (`Connection: close`) and each is served
+//! on its own short-lived thread, so a slow client never blocks the
+//! accept loop or the drain. The listener itself is non-blocking; the
+//! loop polls a stop flag (the SIGTERM bridge) between accepts and runs
+//! the drain protocol when it flips.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::daemon::{Daemon, SubmitError};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::job::JobSpec;
+use crate::json::{self, obj};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+
+/// The daemon's HTTP listener.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7171`; port 0 picks a free port).
+    pub fn bind(addr: &str, daemon: Arc<Daemon>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            daemon,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until `stop` flips, then runs the graceful drain: refuse
+    /// new jobs, checkpoint running ones, keep answering polls until
+    /// the workers exit plus a grace window, and return.
+    pub fn run(&self, stop: &AtomicBool) -> io::Result<()> {
+        let mut draining = false;
+        let mut grace_until: Option<Instant> = None;
+        loop {
+            if !draining && stop.load(Ordering::Relaxed) {
+                draining = true;
+                self.daemon.begin_drain();
+            }
+            if draining && grace_until.is_none() && self.daemon.drained() {
+                grace_until = Some(Instant::now() + self.daemon.options().drain_grace);
+            }
+            if let Some(t) = grace_until {
+                if Instant::now() >= t {
+                    return Ok(());
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = Arc::clone(&self.daemon);
+                    std::thread::spawn(move || serve_connection(&daemon, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_IDLE);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Reads one request off `stream`, routes it, writes the response.
+fn serve_connection(daemon: &Daemon, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&stream) {
+        Ok(req) => handle_request(daemon, &req),
+        Err(HttpError::Io(_)) => return, // client went away; nothing to say
+        Err(e @ HttpError::Malformed(_)) => error_response(400, &e.to_string()),
+        Err(e @ HttpError::TooLarge(_)) => error_response(400, &e.to_string()),
+    };
+    let _ = write_response(&stream, &response);
+}
+
+/// A JSON error body (`{"error": "..."}`).
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        json::to_text(&obj(vec![("error", Value::Str(message.to_owned()))])),
+    )
+}
+
+/// Pure request router — all state lives in the daemon, which makes
+/// this directly testable without sockets.
+pub fn handle_request(daemon: &Daemon, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            json::to_text(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("accepting", Value::Bool(daemon.accepting())),
+            ])),
+        ),
+        ("GET", ["stats"]) => Response::json(200, json::to_text(&daemon.stats_value())),
+        ("POST", ["jobs"]) => match JobSpec::from_request(req) {
+            Ok(spec) => match daemon.submit(spec) {
+                Ok(id) => Response::json(
+                    201,
+                    json::to_text(&obj(vec![
+                        ("id", Value::Str(id)),
+                        ("state", Value::Str("queued".to_owned())),
+                    ])),
+                ),
+                Err(e @ SubmitError::QueueFull) => error_response(429, &e.to_string()),
+                Err(e @ SubmitError::Draining) => error_response(503, &e.to_string()),
+                Err(e @ SubmitError::Spool(_)) => error_response(500, &e.to_string()),
+            },
+            Err(e) => error_response(400, &e),
+        },
+        ("GET", ["jobs", id]) => match daemon.status(id) {
+            Some(status) => Response::json(200, json::to_text(&status)),
+            None => error_response(404, &format!("no job `{id}`")),
+        },
+        ("GET", ["jobs", id, "events"]) => match daemon.events(id) {
+            Some(events) => Response::ndjson(events.into_bytes()),
+            None => error_response(404, &format!("no job `{id}`")),
+        },
+        ("GET", ["jobs", id, "result"]) => match daemon.result(id) {
+            Some(report) => Response::json(200, report),
+            None => error_response(404, &format!("no result for job `{id}` (not done?)")),
+        },
+        ("GET", ["jobs", id, "placement"]) => match daemon.placement(id) {
+            Some(text) => Response {
+                status: 200,
+                content_type: "text/plain",
+                body: text.into_bytes(),
+            },
+            None => error_response(404, &format!("no placement for job `{id}` (not done?)")),
+        },
+        ("DELETE", ["jobs", id]) => match daemon.cancel(id) {
+            Some(state) => Response::json(
+                200,
+                json::to_text(&obj(vec![
+                    ("id", Value::Str((*id).to_owned())),
+                    ("state", Value::Str(state.as_str().to_owned())),
+                ])),
+            ),
+            None => error_response(404, &format!("no job `{id}`")),
+        },
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) => {
+            error_response(405, &format!("{} not allowed here", req.method))
+        }
+        _ => error_response(404, &format!("no route for `{}`", req.path)),
+    }
+}

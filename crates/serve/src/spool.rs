@@ -1,0 +1,328 @@
+//! The spool: one directory per job holding everything the daemon
+//! knows about it, so queued and preempted work survives a restart.
+//!
+//! Layout under the spool root:
+//!
+//! ```text
+//! <root>/<job id>/
+//!   spec.json       submission (netlist + knobs), written once
+//!   state.json      lifecycle state + counters, rewritten atomically
+//!   events.jsonl    the job's telemetry stream (append-only)
+//!   job.ckpt        preemption checkpoint (absent unless interrupted)
+//!   result.json     final report (done jobs only)
+//!   placement.txt   final placement (done jobs only)
+//! ```
+//!
+//! All JSON writes go through tmp-file + rename, the same discipline as
+//! the checkpoint crate, so a crash mid-write never leaves a torn file.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use crate::job::{JobSpec, JobState};
+use crate::json::{self, obj};
+
+/// Handle to the daemon's spool directory.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+/// Everything `state.json` records about a job's progress.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// How many times the job was preempted.
+    pub preemptions: u64,
+    /// How many times a worker resumed it from its checkpoint.
+    pub resumes: u64,
+    /// Error text (failed jobs only).
+    pub error: String,
+    /// Final TEIL (done jobs only; NaN until then).
+    pub teil: f64,
+}
+
+impl Default for JobStatus {
+    fn default() -> Self {
+        JobStatus {
+            state: JobState::Queued,
+            preemptions: 0,
+            resumes: 0,
+            error: String::new(),
+            teil: f64::NAN,
+        }
+    }
+}
+
+impl JobStatus {
+    /// Serializes for `state.json` and the status endpoint.
+    pub fn value(&self) -> Value {
+        let mut fields = vec![
+            ("state", Value::Str(self.state.as_str().to_owned())),
+            ("preemptions", Value::UInt(self.preemptions)),
+            ("resumes", Value::UInt(self.resumes)),
+        ];
+        if !self.error.is_empty() {
+            fields.push(("error", Value::Str(self.error.clone())));
+        }
+        if self.teil.is_finite() {
+            fields.push(("teil", Value::Float(self.teil)));
+        }
+        obj(fields)
+    }
+
+    /// Decodes a [`JobStatus::value`] tree.
+    pub fn from_value(v: &Value) -> Result<JobStatus, String> {
+        let state = json::get_str(v, "state")
+            .and_then(JobState::parse)
+            .ok_or_else(|| "state.json lacks a valid `state`".to_owned())?;
+        Ok(JobStatus {
+            state,
+            preemptions: json::get_u64(v, "preemptions").unwrap_or(0),
+            resumes: json::get_u64(v, "resumes").unwrap_or(0),
+            error: json::get_str(v, "error").unwrap_or("").to_owned(),
+            teil: json::get_f64(v, "teil").unwrap_or(f64::NAN),
+        })
+    }
+}
+
+/// One job recovered by the startup scan.
+#[derive(Debug)]
+pub struct RecoveredJob {
+    /// The persisted submission.
+    pub spec: JobSpec,
+    /// Its persisted status (a `running` state means the previous
+    /// daemon died mid-run; the caller demotes it to `preempted` if a
+    /// checkpoint exists, else back to `queued`).
+    pub status: JobStatus,
+    /// Whether `job.ckpt` exists.
+    pub has_checkpoint: bool,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Spool> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Spool { root })
+    }
+
+    /// The spool root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// Path of the job's telemetry stream.
+    pub fn events_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("events.jsonl")
+    }
+
+    /// Path of the job's preemption checkpoint.
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("job.ckpt")
+    }
+
+    /// Creates the job directory and persists its spec and initial
+    /// status.
+    pub fn create_job(&self, spec: &JobSpec) -> io::Result<()> {
+        let dir = self.dir(&spec.id);
+        fs::create_dir_all(&dir)?;
+        atomic_write(
+            &dir.join("spec.json"),
+            json::to_text(&spec.value()).as_bytes(),
+        )?;
+        self.write_status(&spec.id, &JobStatus::default())
+    }
+
+    /// Atomically rewrites the job's `state.json`.
+    pub fn write_status(&self, id: &str, status: &JobStatus) -> io::Result<()> {
+        atomic_write(
+            &self.dir(id).join("state.json"),
+            json::to_text(&status.value()).as_bytes(),
+        )
+    }
+
+    /// Writes the final report of a completed job.
+    pub fn write_result(&self, id: &str, report: &Value) -> io::Result<()> {
+        atomic_write(
+            &self.dir(id).join("result.json"),
+            serde_json::to_string_pretty(report)
+                .expect("value trees always serialize")
+                .as_bytes(),
+        )
+    }
+
+    /// Reads the final report of a completed job, if present.
+    pub fn read_result(&self, id: &str) -> Option<String> {
+        fs::read_to_string(self.dir(id).join("result.json")).ok()
+    }
+
+    /// Writes the final placement of a completed job.
+    pub fn write_placement(&self, id: &str, text: &str) -> io::Result<()> {
+        atomic_write(&self.dir(id).join("placement.txt"), text.as_bytes())
+    }
+
+    /// Reads the final placement of a completed job, if present.
+    pub fn read_placement(&self, id: &str) -> Option<String> {
+        fs::read_to_string(self.dir(id).join("placement.txt")).ok()
+    }
+
+    /// Reads the job's telemetry stream, truncated at the last newline
+    /// so a concurrent buffered write never yields a torn final line.
+    pub fn read_events(&self, id: &str) -> io::Result<String> {
+        let mut text = fs::read_to_string(self.events_path(id))?;
+        match text.rfind('\n') {
+            Some(cut) => text.truncate(cut + 1),
+            None => text.clear(),
+        }
+        Ok(text)
+    }
+
+    /// Removes the job's checkpoint (after successful completion).
+    pub fn remove_checkpoint(&self, id: &str) {
+        let _ = fs::remove_file(self.checkpoint_path(id));
+    }
+
+    /// Scans the spool for persisted jobs, ordered by submission
+    /// sequence. Unreadable entries are skipped (reported to stderr)
+    /// rather than wedging startup.
+    pub fn scan(&self) -> io::Result<Vec<RecoveredJob>> {
+        let mut jobs = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let dir = entry.path();
+            match read_job(&dir) {
+                Ok(Some(mut job)) => {
+                    job.has_checkpoint = dir.join("job.ckpt").exists();
+                    jobs.push(job);
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("twmc serve: skipping spool entry {}: {e}", dir.display()),
+            }
+        }
+        jobs.sort_by_key(|j| j.spec.seq);
+        Ok(jobs)
+    }
+}
+
+/// Reads one spool directory; `Ok(None)` when it holds no `spec.json`
+/// (a foreign directory, not an error).
+fn read_job(dir: &Path) -> Result<Option<RecoveredJob>, String> {
+    let spec_path = dir.join("spec.json");
+    if !spec_path.exists() {
+        return Ok(None);
+    }
+    let spec_text = fs::read_to_string(&spec_path).map_err(|e| format!("spec.json: {e}"))?;
+    let spec = JobSpec::from_value(
+        &twmc_obs::validate::parse_json(&spec_text).map_err(|e| format!("spec.json: {e}"))?,
+    )?;
+    let status = match fs::read_to_string(dir.join("state.json")) {
+        Ok(text) => JobStatus::from_value(
+            &twmc_obs::validate::parse_json(&text).map_err(|e| format!("state.json: {e}"))?,
+        )?,
+        Err(_) => JobStatus::default(),
+    };
+    Ok(Some(RecoveredJob {
+        spec,
+        status,
+        has_checkpoint: false,
+    }))
+}
+
+/// Writes `bytes` to `path` atomically (tmp file + rename).
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twmc_netlist::{synthesize, write_netlist, SynthParams};
+
+    fn spec(id: &str, seq: u64) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            seq,
+            netlist: write_netlist(&synthesize(&SynthParams {
+                cells: 4,
+                nets: 6,
+                pins: 18,
+                seed: seq,
+                ..Default::default()
+            })),
+            ..Default::default()
+        }
+    }
+
+    fn temp_spool(tag: &str) -> Spool {
+        let dir = std::env::temp_dir().join(format!("twmc-spool-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Spool::open(dir).unwrap()
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        let status = JobStatus {
+            state: JobState::Preempted,
+            preemptions: 2,
+            resumes: 1,
+            error: String::new(),
+            teil: 123.5,
+        };
+        let text = json::to_text(&status.value());
+        let back = JobStatus::from_value(&twmc_obs::validate::parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back.state, JobState::Preempted);
+        assert_eq!((back.preemptions, back.resumes), (2, 1));
+        assert_eq!(back.teil, 123.5);
+    }
+
+    #[test]
+    fn create_scan_recovers_in_seq_order() {
+        let spool = temp_spool("scan");
+        for (id, seq) in [("j2", 2), ("j1", 1), ("j3", 3)] {
+            spool.create_job(&spec(id, seq)).unwrap();
+        }
+        let st = JobStatus {
+            state: JobState::Preempted,
+            preemptions: 1,
+            ..Default::default()
+        };
+        spool.write_status("j2", &st).unwrap();
+        fs::write(spool.checkpoint_path("j2"), b"x").unwrap();
+        // A foreign directory without spec.json is ignored.
+        fs::create_dir_all(spool.root().join("not-a-job")).unwrap();
+
+        let jobs = spool.scan().unwrap();
+        let ids: Vec<&str> = jobs.iter().map(|j| j.spec.id.as_str()).collect();
+        assert_eq!(ids, ["j1", "j2", "j3"]);
+        assert_eq!(jobs[1].status.state, JobState::Preempted);
+        assert!(jobs[1].has_checkpoint && !jobs[0].has_checkpoint);
+        let _ = fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn events_read_cuts_torn_tail() {
+        let spool = temp_spool("events");
+        spool.create_job(&spec("j1", 1)).unwrap();
+        fs::write(spool.events_path("j1"), "{\"a\":1}\n{\"b\":2}\n{\"tor").unwrap();
+        assert_eq!(spool.read_events("j1").unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+        let _ = fs::remove_dir_all(spool.root());
+    }
+}

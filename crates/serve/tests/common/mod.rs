@@ -1,0 +1,101 @@
+//! Shared fixtures for the daemon integration tests.
+
+// Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use twmc_netlist::{synthesize, write_netlist, SynthParams};
+use twmc_serve::{Daemon, JobSpec, ServeOptions, Server};
+
+/// A tiny circuit: fast enough that a full debug-mode run is well
+/// under a second.
+pub fn tiny_netlist(seed: u64) -> String {
+    write_netlist(&synthesize(&SynthParams {
+        cells: 4,
+        nets: 6,
+        pins: 18,
+        seed,
+        ..Default::default()
+    }))
+}
+
+/// A circuit + `ac` sized to run several seconds in debug mode — long
+/// enough that a preemption reliably lands mid-run.
+pub fn long_netlist(seed: u64) -> String {
+    write_netlist(&synthesize(&SynthParams {
+        cells: 8,
+        nets: 14,
+        pins: 44,
+        seed,
+        ..Default::default()
+    }))
+}
+
+/// Attempts-per-cell for [`long_netlist`] jobs.
+pub const LONG_AC: usize = 60;
+
+/// A fresh per-test spool directory.
+pub fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twmc-serve-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts a daemon over a fresh spool.
+pub fn start_daemon(tag: &str, workers: usize) -> Arc<Daemon> {
+    Daemon::start(ServeOptions {
+        workers,
+        spool: temp_spool(tag),
+        ..Default::default()
+    })
+    .expect("daemon starts")
+}
+
+/// Binds the daemon on a loopback port and serves it from a thread.
+/// Returns the address, the stop flag (flip to drain), and the join
+/// handle (resolves once the drain completes).
+pub fn start_server(
+    daemon: Arc<Daemon>,
+) -> (
+    String,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", daemon).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(&flag));
+    (addr, stop, handle)
+}
+
+/// A job spec for direct (non-HTTP) submission.
+pub fn spec(netlist: String, seed: u64, ac: usize, priority: i64) -> JobSpec {
+    JobSpec {
+        netlist,
+        seed,
+        ac,
+        priority,
+        ..Default::default()
+    }
+}
+
+/// Polls `f` every 10 ms until it returns true or `timeout` passes.
+pub fn wait_for(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}

@@ -44,6 +44,8 @@ fn usage() -> ExitCode {
          [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n              \
          [--max-wall-secs F] [--max-moves N]\n  \
          twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n  \
+         twmc serve [--listen ADDR] [--workers N] [--queue-cap N] [--spool DIR]\n              \
+         [--checkpoint-every N] [--drain-grace-ms N]\n  \
          twmc report RUN.jsonl [--json]\n  \
          twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
          [--max-length-pct F] [--max-area-pct F] [--max-overflow N] [--max-unrouted N]\n\n\
@@ -54,6 +56,10 @@ fn usage() -> ExitCode {
          --checkpoint FILE writes an atomic resume checkpoint every N steps (default 10);\n\
          --resume FILE continues a checkpointed run bit-identically; Ctrl-C / SIGTERM,\n\
          --max-wall-secs, and --max-moves stop gracefully (exit 3, checkpoint flushed)\n\
+         serve runs the placement daemon: POST /jobs, GET /jobs/ID[/events|/result|\n\
+         /placement], DELETE /jobs/ID, GET /healthz, GET /stats; higher-priority jobs\n\
+         preempt running ones at round boundaries (checkpoint + bit-identical resume);\n\
+         SIGTERM drains gracefully (default --listen 127.0.0.1:7171, --spool twmc-spool)\n\
          report checks a recorded run against the paper's control laws (exit 1 if\n\
          unhealthy); diff compares two runs' headline metrics (exit 2 on regression)"
     );
@@ -90,6 +96,15 @@ const PLACE_FLAGS: FlagSpec = &[
     ("resume", true),
     ("max-wall-secs", true),
     ("max-moves", true),
+];
+
+const SERVE_FLAGS: FlagSpec = &[
+    ("listen", true),
+    ("workers", true),
+    ("queue-cap", true),
+    ("spool", true),
+    ("checkpoint-every", true),
+    ("drain-grace-ms", true),
 ];
 
 const REPORT_FLAGS: FlagSpec = &[("json", false)];
@@ -288,9 +303,16 @@ fn run_options_from(flags: &Flags) -> Result<(RunOptions, bool), String> {
         cancel = cancel.with_max_moves(moves);
     }
     let resume = match flags.get_str("resume") {
-        Some(path) => {
-            Some(read_checkpoint(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?)
-        }
+        // The typed CheckpointError messages already name the path
+        // (Missing/Unreadable) or describe the defect, so they pass
+        // through verbatim onto the exit-1 operational-error path.
+        Some(path) => Some(
+            read_checkpoint(std::path::Path::new(path)).map_err(|e| match e {
+                e @ (timberwolfmc::resume::CheckpointError::Missing(_)
+                | timberwolfmc::resume::CheckpointError::Unreadable { .. }) => e.to_string(),
+                e => format!("{path}: {e}"),
+            })?,
+        ),
         None => None,
     };
     let resuming = resume.is_some();
@@ -486,6 +508,46 @@ fn load_stream(path: &str) -> Result<timberwolfmc::analyze::RunStream, String> {
     parse_stream(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// `twmc serve`: runs the placement daemon until SIGINT/SIGTERM, then
+/// drains gracefully — stops accepting jobs, checkpoints running ones
+/// at their next round boundary, and exits 0 once everything is
+/// persisted. A daemon restarted over the same spool resumes the
+/// checkpointed jobs bit-identically.
+fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
+    let listen = flags.get_str("listen").unwrap_or("127.0.0.1:7171");
+    let opts = timberwolfmc::serve::ServeOptions {
+        workers: flags.get("workers", 2usize).max(1),
+        queue_cap: flags.get("queue-cap", 256usize).max(1),
+        checkpoint_every: flags.get("checkpoint-every", 10u64).max(1),
+        spool: std::path::PathBuf::from(flags.get_str("spool").unwrap_or("twmc-spool")),
+        drain_grace: std::time::Duration::from_millis(flags.get("drain-grace-ms", 250u64)),
+    };
+    let workers = opts.workers;
+    let spool_display = opts.spool.display().to_string();
+    let daemon = timberwolfmc::serve::Daemon::start(opts)
+        .map_err(|e| format!("cannot start daemon: {e}"))?;
+    let server = timberwolfmc::serve::Server::bind(listen, daemon)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    #[cfg(unix)]
+    sig::install();
+    #[cfg(unix)]
+    let stop = &sig::INTERRUPTED;
+    #[cfg(not(unix))]
+    let stop = {
+        static NEVER: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        &NEVER
+    };
+    eprintln!(
+        "twmc serve: listening on {} ({workers} workers, spool {spool_display})",
+        server.local_addr()
+    );
+    server
+        .run(stop)
+        .map_err(|e| format!("server failed: {e}"))?;
+    eprintln!("twmc serve: drained cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `twmc report RUN.jsonl`: health-checks a recorded run against the
 /// paper's control laws. Exits non-zero when any check fails.
 fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
@@ -551,6 +613,7 @@ fn main() -> ExitCode {
         "synth" => SYNTH_FLAGS,
         "place" => PLACE_FLAGS,
         "compare" => COMPARE_FLAGS,
+        "serve" => SERVE_FLAGS,
         "report" => REPORT_FLAGS,
         "diff" => DIFF_FLAGS,
         _ => return usage(),
@@ -566,6 +629,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(&flags).map(|()| ExitCode::SUCCESS),
         "place" => cmd_place(&flags),
         "compare" => cmd_compare(&flags).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&flags),
         "report" => cmd_report(&flags),
         "diff" => cmd_diff(&flags),
         _ => return usage(),

@@ -23,7 +23,10 @@
 //!   schema, and stream validation;
 //! * [`analyze`] — offline run-health diagnostics over recorded
 //!   telemetry and cross-run regression diffs (`twmc report` / `twmc
-//!   diff`).
+//!   diff`);
+//! * [`serve`] — the multi-tenant placement daemon (`twmc serve`): an
+//!   HTTP/1.1 JSON job API with a priority queue, checkpoint-based
+//!   preemption, and per-job telemetry streams.
 //!
 //! # Quickstart
 //!
@@ -52,3 +55,4 @@ pub use twmc_place as place;
 pub use twmc_refine as refine;
 pub use twmc_resume as resume;
 pub use twmc_route as route;
+pub use twmc_serve as serve;
