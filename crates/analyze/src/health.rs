@@ -545,73 +545,136 @@ const SWAP_RATE_LOW: f64 = 0.20;
 const SWAP_RATE_HIGH: f64 = 0.40;
 /// Exchange attempts below this make the rate statistically mute.
 const SWAP_MIN_SAMPLE: u64 = 10;
+/// Scaled temperature (`T / S_T`) above which the Metropolis exchange
+/// rule accepts nearly everything regardless of rung spacing (the
+/// paper's first Table-1 breakpoint, where annealing itself accepts
+/// freely). The adaptive controller counts these free accepts — they
+/// widen the young ladder toward its cold-regime equilibrium — so the
+/// band verdict counts them too; the per-pair hot tally is reported
+/// alongside so a rate carried entirely by free exchanges stays
+/// visible. Shared with the orchestrator via `twmc_anneal`.
+const SWAP_HOT_SCALED_T: f64 = twmc_anneal::SWAP_HOT_SCALED_T;
 
-/// Checks the replica-exchange acceptance rate of a tempering run.
-/// Non-tempering runs (no swap events, strategy != tempering) produce
-/// no finding at all.
-fn check_swaps(stream: &RunStream) -> Option<Finding> {
+/// Checks the replica-exchange acceptance rate of a tempering run, one
+/// verdict per adjacent rung pair. Judging only the aggregate would
+/// false-pass a ladder with one hot pair at ~90% and one frozen pair at
+/// ~0% (they average into the band), so every pair is held to the band
+/// separately and the verdict names the offending pair. The rate is
+/// taken over *all* of a pair's attempts — the same population the
+/// adaptive gap controller steers toward [`twmc_anneal::SWAP_TARGET`]
+/// — so the check verifies the controller actually converged rather
+/// than measuring a quantity nothing controls. Non-tempering runs (no
+/// swap events, strategy != tempering) produce no finding at all.
+fn check_swaps(stream: &RunStream) -> Vec<Finding> {
     let tempering = stream
         .start
         .as_ref()
         .is_some_and(|s| s.strategy == "tempering");
     if !tempering && stream.swap_attempts == 0 {
-        return None;
+        return Vec::new();
     }
     if stream.swap_attempts == 0 {
-        return Some(finding(
+        return vec![finding(
             "tempering.swap_rate",
             Severity::Warn,
             "tempering run recorded no replica-exchange attempts (swap_interval longer \
              than the run, or a single rung?)"
                 .to_owned(),
-        ));
+        )];
     }
-    let rate = stream.swap_accepts as f64 / stream.swap_attempts as f64;
-    let evidence = format!(
-        "{}/{} exchanges accepted ({:.0}%)",
-        stream.swap_accepts,
-        stream.swap_attempts,
-        rate * 100.0
-    );
-    Some(if stream.swap_attempts < SWAP_MIN_SAMPLE {
-        finding(
-            "tempering.swap_rate",
-            Severity::Warn,
-            format!("{evidence}; fewer than {SWAP_MIN_SAMPLE} attempts — rate not meaningful"),
-        )
-    } else if rate < SWAP_RATE_LOW {
-        finding(
-            "tempering.swap_rate",
-            Severity::Warn,
+    // Tally per adjacent pair; `hot` counts free-accept-regime attempts
+    // (reported as evidence, still judged).
+    #[derive(Default)]
+    struct Tally {
+        attempts: u64,
+        accepts: u64,
+        hot: u64,
+    }
+    let mut pairs: std::collections::BTreeMap<(u64, u64), Tally> =
+        std::collections::BTreeMap::new();
+    for s in &stream.swaps {
+        let tally = pairs.entry((s.lower, s.upper)).or_default();
+        tally.attempts += 1;
+        if s.accepted {
+            tally.accepts += 1;
+        }
+        if s.s_t > 0.0 && s.t_upper / s.s_t >= SWAP_HOT_SCALED_T {
+            tally.hot += 1;
+        }
+    }
+    let mut findings = Vec::new();
+    for ((lower, upper), tally) in &pairs {
+        let hot_note = if tally.hot > 0 {
             format!(
-                "{evidence}; below the ~{:.0}-{:.0}% band — rungs too far apart, replicas \
-                 barely exchange (narrow the temperature ladder or add replicas)",
-                SWAP_RATE_LOW * 100.0,
-                SWAP_RATE_HIGH * 100.0
-            ),
-        )
-    } else if rate > SWAP_RATE_HIGH {
-        finding(
-            "tempering.swap_rate",
-            Severity::Warn,
-            format!(
-                "{evidence}; above the ~{:.0}-{:.0}% band — rungs too close together, \
-                 replicas are redundant (widen the ladder or spend them on multistart)",
-                SWAP_RATE_LOW * 100.0,
-                SWAP_RATE_HIGH * 100.0
-            ),
-        )
-    } else {
-        finding(
-            "tempering.swap_rate",
-            Severity::Pass,
-            format!(
-                "{evidence}; inside the healthy ~{:.0}-{:.0}% band",
-                SWAP_RATE_LOW * 100.0,
-                SWAP_RATE_HIGH * 100.0
-            ),
-        )
-    })
+                " ({} in the hot free-accept regime, T/S_T ≥ {SWAP_HOT_SCALED_T:.0})",
+                tally.hot
+            )
+        } else {
+            String::new()
+        };
+        if tally.hot == tally.attempts {
+            findings.push(finding(
+                "tempering.swap_rate",
+                Severity::Warn,
+                format!(
+                    "pair {lower}-{upper}: all {} exchanges in the hot free-swap regime \
+                     (T/S_T ≥ {SWAP_HOT_SCALED_T:.0}) — the pair never reached the \
+                     cold regime; rate not meaningful",
+                    tally.attempts
+                ),
+            ));
+            continue;
+        }
+        let rate = tally.accepts as f64 / tally.attempts as f64;
+        let evidence = format!(
+            "pair {lower}-{upper}: {}/{} exchanges accepted ({:.0}%){hot_note}",
+            tally.accepts,
+            tally.attempts,
+            rate * 100.0
+        );
+        findings.push(if tally.attempts < SWAP_MIN_SAMPLE {
+            finding(
+                "tempering.swap_rate",
+                Severity::Warn,
+                format!("{evidence}; fewer than {SWAP_MIN_SAMPLE} attempts — rate not meaningful"),
+            )
+        } else if rate < SWAP_RATE_LOW {
+            finding(
+                "tempering.swap_rate",
+                Severity::Warn,
+                format!(
+                    "{evidence}; below the ~{:.0}-{:.0}% band — rungs too far apart, replicas \
+                     barely exchange (the adaptive gap should pull them together; check \
+                     swap_interval and round count)",
+                    SWAP_RATE_LOW * 100.0,
+                    SWAP_RATE_HIGH * 100.0
+                ),
+            )
+        } else if rate > SWAP_RATE_HIGH {
+            finding(
+                "tempering.swap_rate",
+                Severity::Warn,
+                format!(
+                    "{evidence}; above the ~{:.0}-{:.0}% band — rungs too close together, \
+                     replicas are redundant (the adaptive gap should push them apart; check \
+                     the gap ceiling)",
+                    SWAP_RATE_LOW * 100.0,
+                    SWAP_RATE_HIGH * 100.0
+                ),
+            )
+        } else {
+            finding(
+                "tempering.swap_rate",
+                Severity::Pass,
+                format!(
+                    "{evidence}; inside the healthy ~{:.0}-{:.0}% band",
+                    SWAP_RATE_LOW * 100.0,
+                    SWAP_RATE_HIGH * 100.0
+                ),
+            )
+        });
+    }
+    findings
 }
 
 fn check_routes(stream: &RunStream) -> Vec<Finding> {
@@ -758,7 +821,7 @@ mod tests {
         for i in 0..attempts {
             jsonl.push_str(&format!(
                 "{{\"kind\":\"swap\",\"round\":{i},\"lower\":0,\"upper\":1,\
-                 \"t_lower\":2.0,\"t_upper\":1.0,\"accepted\":{}}}\n",
+                 \"t_lower\":2.0,\"t_upper\":1.0,\"s_t\":1.0,\"accepted\":{}}}\n",
                 i < accepts
             ));
         }
@@ -792,6 +855,86 @@ mod tests {
         let high = swap_finding(&tempering_stream(40, 36)).unwrap(); // 90%
         assert_eq!(high.severity, Severity::Warn, "{}", high.detail);
         assert!(high.detail.contains("too close"), "{}", high.detail);
+    }
+
+    /// Builds a tempering stream with one swap line per `(lower, t_upper,
+    /// accepted)` tuple (upper = lower + 1, s_t = 1).
+    fn tempering_pairs_stream(swaps: &[(u64, f64, bool)]) -> RunStream {
+        let mut jsonl = String::from(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,\
+             \"replicas\":3,\"strategy\":\"tempering\"}\n",
+        );
+        for (i, (lower, t_upper, accepted)) in swaps.iter().enumerate() {
+            jsonl.push_str(&format!(
+                "{{\"kind\":\"swap\",\"round\":{i},\"lower\":{lower},\"upper\":{},\
+                 \"t_lower\":{},\"t_upper\":{t_upper},\"s_t\":1.0,\"accepted\":{accepted}}}\n",
+                lower + 1,
+                t_upper * 2.0,
+            ));
+        }
+        jsonl.push_str(
+            "{\"kind\":\"run_end\",\"teil\":430.0,\"chip_width\":60,\"chip_height\":50,\
+             \"routed_length\":118,\"wall_us\":12345}\n",
+        );
+        parse_stream(&jsonl).unwrap()
+    }
+
+    #[test]
+    fn per_pair_rates_catch_a_false_pass_average() {
+        // One pair at 90%, one at 0%: the aggregate (45%…) used to be the
+        // only verdict, and mixes like 90/0 can average into the band.
+        // Per-pair judgment must warn on both and pass neither.
+        let mut swaps = Vec::new();
+        for i in 0..20 {
+            swaps.push((0, 100.0, i < 18)); // pair 0-1: 18/20 = 90%
+            swaps.push((1, 10.0, false)); // pair 1-2: 0/20 = 0%
+        }
+        let fs: Vec<Finding> = analyze(&tempering_pairs_stream(&swaps))
+            .findings
+            .into_iter()
+            .filter(|f| f.check == "tempering.swap_rate")
+            .collect();
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.severity == Severity::Warn), "{fs:?}");
+        let hot = fs.iter().find(|f| f.detail.contains("pair 0-1")).unwrap();
+        assert!(hot.detail.contains("too close"), "{}", hot.detail);
+        let frozen = fs.iter().find(|f| f.detail.contains("pair 1-2")).unwrap();
+        assert!(frozen.detail.contains("too far apart"), "{}", frozen.detail);
+    }
+
+    #[test]
+    fn hot_regime_attempts_count_toward_the_band_and_are_annotated() {
+        // 6 free accepts while the colder rung is still above T/S_T =
+        // 7000 plus 24 cold attempts at 1/8: the adaptive controller
+        // steers the rate over ALL attempts, so the verdict judges the
+        // same population — 9/30 = 30%, in band — and the evidence
+        // names the hot count so a rate carried by free exchanges
+        // stays visible.
+        let mut swaps = Vec::new();
+        for _ in 0..6 {
+            swaps.push((0, 50_000.0, true));
+        }
+        for i in 0..24 {
+            swaps.push((0, 10.0, i % 8 == 0));
+        }
+        let f = swap_finding(&tempering_pairs_stream(&swaps)).unwrap();
+        assert_eq!(f.severity, Severity::Pass, "{}", f.detail);
+        assert!(f.detail.contains("9/30"), "{}", f.detail);
+        assert!(
+            f.detail.contains("6 in the hot free-accept regime"),
+            "{}",
+            f.detail
+        );
+        // All attempts hot: the pair never saw the cold regime, so the
+        // rate says nothing about its final spacing — warn, not pass.
+        let all_hot =
+            swap_finding(&tempering_pairs_stream(&vec![(0, 50_000.0, true); 15])).unwrap();
+        assert_eq!(all_hot.severity, Severity::Warn, "{}", all_hot.detail);
+        assert!(
+            all_hot.detail.contains("not meaningful"),
+            "{}",
+            all_hot.detail
+        );
     }
 
     #[test]

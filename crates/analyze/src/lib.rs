@@ -17,6 +17,10 @@
 //! * [`diff_runs`] — compares two runs' headline [`Metrics`] under
 //!   configurable thresholds; quality regressions gate, wall-clock is
 //!   informational;
+//! * [`check_bench_parallel`] — the equal-wall-clock bench gate over
+//!   `BENCH_parallel.json` (`twmc diff --bench-parallel`): tempering
+//!   must beat best-of-N multistart on the same CPU budget at ≥ 4
+//!   replicas, and must not regress against a baseline summary;
 //! * [`testgen`] — deterministic synthetic streams that follow (or
 //!   deliberately bend) the laws, for tests and CI fixtures.
 //!
@@ -37,11 +41,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bench;
 mod diff;
 mod health;
 mod stream;
 pub mod testgen;
 
+pub use bench::{
+    check_bench_parallel, format_bench_gate, parse_equal_wall, BenchGateReport, EqualWallRec,
+};
 pub use diff::{diff_runs, format_diff, DiffReport, DiffThresholds, MetricDelta};
 pub use health::{analyze, format_report, metrics, Finding, HealthReport, Metrics, Severity};
 pub use stream::{

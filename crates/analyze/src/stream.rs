@@ -140,6 +140,25 @@ pub struct SpanRec {
     pub wall_us: u64,
 }
 
+/// One `swap` replica-exchange attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapRec {
+    /// Round the sweep ran after.
+    pub round: u64,
+    /// Hotter rung index.
+    pub lower: u64,
+    /// Colder rung index (`lower + 1`).
+    pub upper: u64,
+    /// Temperature of the hotter rung.
+    pub t_lower: f64,
+    /// Temperature of the colder rung.
+    pub t_upper: f64,
+    /// Temperature scale factor `S_T`.
+    pub s_t: f64,
+    /// Whether the exchange was accepted.
+    pub accepted: bool,
+}
+
 /// One `replica_failed` fault-isolation record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaFailedRec {
@@ -185,6 +204,9 @@ pub struct RunStream {
     pub swap_attempts: u64,
     /// Accepted swaps.
     pub swap_accepts: u64,
+    /// All `swap` exchange attempts, in stream order (per-pair rates
+    /// come from these).
+    pub swaps: Vec<SwapRec>,
     /// `replica_failed` fault records, in stream order.
     pub failures: Vec<ReplicaFailedRec>,
     /// `run_interrupted` footer, if the run stopped early.
@@ -366,10 +388,20 @@ pub fn parse_stream(jsonl: &str) -> Result<RunStream, String> {
                 });
             }
             "swap" => {
+                let accepted = matches!(field(&entries, "accepted"), Some(Value::Bool(true)));
                 out.swap_attempts += 1;
-                if matches!(field(&entries, "accepted"), Some(Value::Bool(true))) {
+                if accepted {
                     out.swap_accepts += 1;
                 }
+                out.swaps.push(SwapRec {
+                    round: uint(&entries, "round"),
+                    lower: uint(&entries, "lower"),
+                    upper: uint(&entries, "upper"),
+                    t_lower: num(&entries, "t_lower"),
+                    t_upper: num(&entries, "t_upper"),
+                    s_t: num(&entries, "s_t"),
+                    accepted,
+                });
             }
             "replica_failed" => {
                 out.failures.push(ReplicaFailedRec {
@@ -417,7 +449,7 @@ mod tests {
             "\"usage_total\":30,\"util_hist\":[2,3,1,0,0]}\n",
             "{\"kind\":\"stage_span\",\"stage\":\"stage1\",\"iteration\":0,\"wall_us\":99}\n",
             "{\"kind\":\"swap\",\"round\":0,\"lower\":0,\"upper\":1,\"t_lower\":2.0,",
-            "\"t_upper\":1.0,\"accepted\":true}\n",
+            "\"t_upper\":1.0,\"s_t\":1.0,\"accepted\":true}\n",
             "{\"kind\":\"run_end\",\"teil\":430.0,\"chip_width\":60,\"chip_height\":50,",
             "\"routed_length\":118,\"wall_us\":12345}\n",
         );
@@ -431,6 +463,10 @@ mod tests {
         assert_eq!(s.routes[0].util_hist, vec![2, 3, 1, 0, 0]);
         assert_eq!(s.spans.len(), 1);
         assert_eq!((s.swap_attempts, s.swap_accepts), (1, 1));
+        assert_eq!(s.swaps.len(), 1);
+        assert_eq!((s.swaps[0].lower, s.swaps[0].upper), (0, 1));
+        assert_eq!(s.swaps[0].s_t, 1.0);
+        assert!(s.swaps[0].accepted);
         assert_eq!(s.stage1_temps().len(), 1);
     }
 

@@ -37,7 +37,10 @@ pub use engine::{
     anneal, anneal_inner_loop, anneal_with, AnnealConfig, AnnealContext, AnnealState, AnnealStats,
     StoppingCriterion, TemperatureStats,
 };
-pub use parallel::{derive_seed, swap_probability, temperature_rungs};
+pub use parallel::{
+    adapt_gap, cool_ladder, derive_seed, initial_gaps, ladder_landed, swap_probability,
+    temperature_rungs, GAP_ETA, GAP_INIT, GAP_MAX, GAP_MIN, SWAP_HOT_SCALED_T, SWAP_TARGET,
+};
 pub use range_limiter::{RangeLimiter, DEFAULT_RHO, MIN_WINDOW_SPAN};
 pub use schedule::{
     t_infinity, temperature_scale, CoolingSchedule, REF_AVG_CELL_AREA, REF_T_INFINITY,

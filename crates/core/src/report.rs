@@ -136,6 +136,16 @@ pub fn format_parallel_report(report: &ParallelReport) -> String {
             report.swaps.attempts,
             100.0 * report.swaps.acceptance_rate(),
         ));
+        for (i, p) in report.swaps.pairs.iter().enumerate() {
+            out.push_str(&format!(
+                "    pair {}-{}: {}/{} accepted ({:.0}%)\n",
+                i,
+                i + 1,
+                p.accepts,
+                p.attempts,
+                100.0 * p.acceptance_rate(),
+            ));
+        }
     }
     out
 }
@@ -365,11 +375,16 @@ mod tests {
         report.swaps = SwapReport {
             attempts: 10,
             accepts: 3,
+            pairs: vec![twmc_parallel::PairSwap {
+                attempts: 10,
+                accepts: 3,
+            }],
         };
         let text = format_parallel_report(&report);
         assert!(text.contains("tempering x2"), "{text}");
         assert!(text.contains("T(rung)"), "{text}");
         assert!(text.contains("swaps: 3/10"), "{text}");
+        assert!(text.contains("pair 0-1: 3/10"), "{text}");
     }
 
     #[test]
@@ -423,6 +438,7 @@ mod tests {
                 upper: 1,
                 t_lower: 2.0,
                 t_upper: 1.0,
+                s_t: 1.0,
                 accepted: true,
             }),
             Event::RunEnd(RunEnd {

@@ -207,6 +207,10 @@ pub struct Swap {
     pub t_lower: f64,
     /// Temperature of the colder rung.
     pub t_upper: f64,
+    /// Temperature scale factor `S_T`, so analyzers can place the pair
+    /// on the paper's scaled-temperature axis (`T / S_T`) and separate
+    /// hot-regime free swaps from the controlled middle regime.
+    pub s_t: f64,
     /// Whether the Metropolis exchange rule accepted the swap.
     pub accepted: bool,
 }
@@ -483,6 +487,7 @@ mod tests {
                 upper: 1,
                 t_lower: 2.0,
                 t_upper: 1.0,
+                s_t: 1.0,
                 accepted: true,
             }),
             Event::ReplicaFailed(ReplicaFailed {

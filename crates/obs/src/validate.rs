@@ -50,7 +50,7 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
             "util_hist",
         ],
         "replica_summary" => &["phase", "replica", "seed", "teil", "cost"],
-        "swap" => &["round", "lower", "upper", "accepted"],
+        "swap" => &["round", "lower", "upper", "s_t", "accepted"],
         "replica_failed" => &["phase", "replica", "round", "error"],
         "run_interrupted" => &["reason", "stage", "teil", "cost", "wall_us"],
         "run_end" => &[

@@ -10,14 +10,16 @@
 //!   ([`twmc_anneal::derive_seed`]); the best final TEIL wins. Replica 0
 //!   uses the master seed itself, so the winner is never worse than the
 //!   single-replica run with the same seed.
-//! * **Parallel tempering** ([`Strategy::Tempering`]) — N replicas
-//!   pinned to fixed temperature rungs sampled from the Table-1
-//!   trajectory ([`twmc_anneal::temperature_rungs`]); between rounds of
-//!   inner loops, adjacent rungs exchange configurations under the
-//!   Metropolis rule ([`twmc_anneal::swap_probability`]), letting good
-//!   configurations migrate cold while stuck ones re-heat. The best
-//!   rung's configuration is then quenched through the remaining
-//!   schedule.
+//! * **Parallel tempering** ([`Strategy::Tempering`]) — N replicas on a
+//!   cooling adaptive temperature ladder: the coldest rung follows the
+//!   Table-1 trajectory ([`twmc_anneal::cool_ladder`]) while per-pair
+//!   gap ratios adapt toward the 20–40% swap-acceptance band
+//!   ([`twmc_anneal::adapt_gap`]); between rounds of inner loops,
+//!   adjacent rungs exchange configurations under the Metropolis rule
+//!   ([`twmc_anneal::swap_probability`]), letting good configurations
+//!   migrate cold while stuck ones re-heat. Every surviving rung is then
+//!   quenched through the remaining schedule and the best post-quench
+//!   TEIL wins.
 //!
 //! # Determinism
 //!
@@ -67,7 +69,10 @@ use twmc_place::{PlaceParams, PlacementState, Stage1Result};
 use twmc_resume::{CheckpointError, CheckpointWriter};
 
 pub use pool::{run_indexed, run_mut, try_run_indexed, try_run_mut, ReplicaError};
-pub use resume::{check_config, config_value, parallel_report_from, parallel_report_value};
+pub use resume::{
+    check_config, config_value, ladder_temps_from, ladder_temps_value, parallel_report_from,
+    parallel_report_value,
+};
 
 /// How the replicas cooperate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,7 +118,10 @@ pub struct ParallelParams {
     pub threads: usize,
     /// Cooperation mode.
     pub strategy: Strategy,
-    /// Tempering: rounds of inner loops between swap sweeps.
+    /// Tempering: rounds of inner loops between swap sweeps. Each round
+    /// is already one full eq.-17 inner loop per rung, so the default of
+    /// 1 sweeps after every round (the textbook cadence); larger values
+    /// trade ladder mixing for fewer orchestrator barriers. Must be ≥ 1.
     pub swap_interval: usize,
     /// Tempering: total rounds before the final quench; 0 sizes this to
     /// the Table-1 trajectory length (matching a full run per replica).
@@ -126,7 +134,7 @@ impl Default for ParallelParams {
             replicas: 1,
             threads: 1,
             strategy: Strategy::MultiStart,
-            swap_interval: 4,
+            swap_interval: 1,
             rounds: 0,
         }
     }
@@ -141,6 +149,33 @@ impl ParallelParams {
             self.threads
         };
         t.clamp(1, jobs.max(1))
+    }
+
+    /// Validates the orchestration shape, returning a message naming the
+    /// offending knob and its valid range. Tempering needs a ladder (at
+    /// least two rungs) and a positive sweep cadence — silently clamping
+    /// either would run a different experiment than the one requested.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replicas == 0 {
+            return Err(
+                "`replicas` must be at least 1 (got 0); valid range: --replicas 1..".into(),
+            );
+        }
+        if self.swap_interval == 0 {
+            return Err(
+                "`swap_interval` must be at least 1 (got 0); valid range: --swap-interval 1.."
+                    .into(),
+            );
+        }
+        if self.strategy == Strategy::Tempering && self.replicas < 2 {
+            return Err(format!(
+                "`--strategy tempering` needs at least 2 replicas (got {}); \
+                 valid range: --replicas 2.. (use --strategy multistart for \
+                 single-replica runs)",
+                self.replicas
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -177,12 +212,35 @@ impl ReplicaReport {
 }
 
 /// Replica-exchange statistics (all zero for multi-start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SwapReport {
     /// Swap attempts between adjacent rungs.
     pub attempts: usize,
     /// Swaps accepted.
     pub accepts: usize,
+    /// Per-adjacent-pair counters: `pairs[i]` covers exchanges between
+    /// rung `i` and rung `i + 1`. Empty for multi-start.
+    pub pairs: Vec<PairSwap>,
+}
+
+/// Exchange counters for one adjacent rung pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairSwap {
+    /// Swap attempts between this pair.
+    pub attempts: usize,
+    /// Swaps accepted.
+    pub accepts: usize,
+}
+
+impl PairSwap {
+    /// Fraction of this pair's attempts accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.attempts as f64
+        }
+    }
 }
 
 impl SwapReport {
@@ -239,6 +297,9 @@ pub struct ReplicaFailure {
 /// Errors the resilient orchestrator can surface instead of panicking.
 #[derive(Debug)]
 pub enum OrchestratorError {
+    /// The orchestration parameters are invalid (e.g. a tempering ladder
+    /// with fewer than two rungs or a zero swap interval).
+    Config(String),
     /// Every replica died; there is no survivor to return.
     AllReplicasFailed(Vec<ReplicaFailure>),
     /// Writing or decoding a checkpoint failed.
@@ -248,6 +309,7 @@ pub enum OrchestratorError {
 impl std::fmt::Display for OrchestratorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            OrchestratorError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             OrchestratorError::AllReplicasFailed(fs) => {
                 write!(f, "all {} replicas failed", fs.len())?;
                 if let Some(first) = fs.first() {
@@ -415,6 +477,7 @@ pub fn parallel_stage1_resilient<'a>(
     rec: &mut dyn Recorder,
     ctrl: &mut RunCtrl,
 ) -> Result<Stage1Outcome<'a>, OrchestratorError> {
+    params.validate().map_err(OrchestratorError::Config)?;
     let resume_payload = ctrl.resume.take();
     if let Some(payload) = &resume_payload {
         let stats = nl.stats();

@@ -18,7 +18,7 @@ use twmc_resume::codec::{
 };
 use twmc_resume::CheckpointError;
 
-use crate::{ParallelParams, ReplicaFailure, ReplicaReport, SwapReport};
+use crate::{PairSwap, ParallelParams, ReplicaFailure, ReplicaReport, SwapReport};
 
 fn corrupt(msg: &str) -> CheckpointError {
     CheckpointError::Corrupt(msg.to_owned())
@@ -186,6 +186,41 @@ pub(crate) fn rung_from(v: &Value) -> Result<RungCk, CheckpointError> {
     })
 }
 
+/// Pre-quench elite configurations: each live rung's ladder-end
+/// snapshot and TEIL (`Null` for rungs already dead at quench start).
+/// They travel in the quench payload so the elitist rollback after a
+/// resumed quench compares against the same baselines the
+/// uninterrupted run would have used.
+pub(crate) fn elites_value(elites: &[Option<(PlacementSnapshot, f64)>]) -> Value {
+    Value::Array(
+        elites
+            .iter()
+            .map(|e| match e {
+                None => Value::Null,
+                Some((snap, teil)) => codec::object(vec![
+                    ("snap", persist::snapshot_value(snap)),
+                    ("teil", codec::f64_bits(*teil)),
+                ]),
+            })
+            .collect(),
+    )
+}
+
+pub(crate) fn elites_from(
+    v: &Value,
+) -> Result<Vec<Option<(PlacementSnapshot, f64)>>, CheckpointError> {
+    codec::items(v, "elites")?
+        .iter()
+        .map(|e| match e {
+            Value::Null => Ok(None),
+            other => Ok(Some((
+                persist::snapshot_from(field(other, "snap")?)?,
+                f64_field(other, "teil")?,
+            ))),
+        })
+        .collect()
+}
+
 // --- reports and failures ------------------------------------------------
 
 pub(crate) fn report_value(r: &ReplicaReport) -> Value {
@@ -256,6 +291,20 @@ pub(crate) fn swaps_value(s: &SwapReport) -> Value {
     codec::object(vec![
         ("attempts", Value::UInt(s.attempts as u64)),
         ("accepts", Value::UInt(s.accepts as u64)),
+        (
+            "pairs",
+            Value::Array(
+                s.pairs
+                    .iter()
+                    .map(|p| {
+                        codec::object(vec![
+                            ("attempts", Value::UInt(p.attempts as u64)),
+                            ("accepts", Value::UInt(p.accepts as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -263,6 +312,15 @@ pub(crate) fn swaps_from(v: &Value) -> Result<SwapReport, CheckpointError> {
     Ok(SwapReport {
         attempts: usize_field(v, "attempts")?,
         accepts: usize_field(v, "accepts")?,
+        pairs: codec::items(field(v, "pairs")?, "pairs")?
+            .iter()
+            .map(|p| {
+                Ok(PairSwap {
+                    attempts: usize_field(p, "attempts")?,
+                    accepts: usize_field(p, "accepts")?,
+                })
+            })
+            .collect::<Result<Vec<_>, CheckpointError>>()?,
     })
 }
 
@@ -331,11 +389,26 @@ pub(crate) fn multistart_replicas(payload: &Value) -> Result<Vec<ReplicaCk>, Che
         .collect()
 }
 
-/// Decoded body of a `tempering` payload.
+/// Exposes the ladder-temperature vector codec for tests: rung
+/// temperatures roundtrip through f64-as-bits exactly.
+pub fn ladder_temps_value(temps: &[f64]) -> Value {
+    f64s_value(temps)
+}
+
+/// Decodes [`ladder_temps_value`].
+pub fn ladder_temps_from(v: &Value) -> Result<Vec<f64>, CheckpointError> {
+    f64s_from(v, "temps")
+}
+
+/// Decoded body of a `tempering` payload: the ladder's adaptive state
+/// (per-rung temperatures and per-pair gap ratios) travels alongside the
+/// rung snapshots so a resumed run re-enters the exact ladder geometry.
 pub(crate) struct TemperingCk {
     pub round: usize,
     pub sweep: usize,
     pub orch_rng: [u64; 4],
+    pub temps: Vec<f64>,
+    pub gaps: Vec<f64>,
     pub swaps: SwapReport,
     pub rungs: Vec<RungCk>,
     pub failures: Vec<ReplicaFailure>,
@@ -346,6 +419,8 @@ pub(crate) fn tempering_from(payload: &Value) -> Result<TemperingCk, CheckpointE
         round: usize_field(payload, "round")?,
         sweep: usize_field(payload, "sweep")?,
         orch_rng: u64x4_field(payload, "orch_rng")?,
+        temps: f64s_from(field(payload, "temps")?, "temps")?,
+        gaps: f64s_from(field(payload, "gaps")?, "gaps")?,
         swaps: swaps_from(field(payload, "swaps")?)?,
         rungs: array_field(payload, "rungs")?
             .iter()
@@ -355,26 +430,29 @@ pub(crate) fn tempering_from(payload: &Value) -> Result<TemperingCk, CheckpointE
     })
 }
 
-/// Decoded body of a `quench` payload.
+/// Decoded body of a `quench` payload: every rung (dead ones included,
+/// so indices stay aligned) mid-quench, plus the already-final ladder
+/// reports and exchange statistics.
 pub(crate) struct QuenchCk {
-    pub best: usize,
-    pub t_start: f64,
-    pub winner: ReplicaCk,
+    pub rungs: Vec<ReplicaCk>,
     pub reports: Vec<ReplicaReport>,
     pub swaps: SwapReport,
     pub failures: Vec<ReplicaFailure>,
+    pub elites: Vec<Option<(PlacementSnapshot, f64)>>,
 }
 
 pub(crate) fn quench_from(payload: &Value) -> Result<QuenchCk, CheckpointError> {
     Ok(QuenchCk {
-        best: usize_field(payload, "best")?,
-        t_start: f64_field(payload, "t_start")?,
-        winner: replica_from(field(payload, "winner")?)?,
+        rungs: array_field(payload, "rungs")?
+            .iter()
+            .map(replica_from)
+            .collect::<Result<Vec<_>, _>>()?,
         reports: array_field(payload, "reports")?
             .iter()
             .map(report_from)
             .collect::<Result<Vec<_>, _>>()?,
         swaps: swaps_from(field(payload, "swaps")?)?,
         failures: failures_from(field(payload, "failed")?)?,
+        elites: elites_from(field(payload, "elites")?)?,
     })
 }

@@ -1,13 +1,41 @@
-//! Parallel tempering: replicas pinned to Table-1 temperature rungs with
-//! Metropolis configuration exchanges between adjacent rungs.
+//! Parallel tempering: replicas on an adaptive, cooling temperature
+//! ladder with Metropolis configuration exchanges between adjacent
+//! rungs.
+//!
+//! The ladder is *not* static: every rung starts at `T∞` and performs
+//! its own complete Table-1 descent, staggered cold-end-first. The
+//! coldest rung (the anchor) steps every round; each hotter rung waits
+//! at `T∞` until its colder neighbour has pulled a full gap ratio
+//! ahead, then descends at its own schedule pace
+//! ([`twmc_anneal::cool_ladder`]) — so every rung spends the
+//! experimentally tuned dwell time in its own critical region instead
+//! of sprinting through it on a scaled copy of the anchor's
+//! trajectory. The gap ratios adapt after every swap attempt toward
+//! the 20–40% acceptance band ([`twmc_anneal::adapt_gap`]): accepted
+//! swaps widen a pair, rejected swaps pull it together, so spacing
+//! tracks the circuit's actual energy fluctuations instead of a
+//! geometric guess. A rung only burns moves while its temperature is
+//! in transit (waiting at `T∞` it already holds an equilibrium sample;
+//! once landed, its polish comes from the quench), which keeps the
+//! ensemble's move budget near one multi-start batch. Ensembles wider
+//! than [`MAX_LADDER_RUNGS`] split into a pack of independent ladders
+//! (`8 = 4 + 4`): a swap chain propagates a discovery one rung per
+//! sweep, so past about four rungs the hot end cannot reach the anchor
+//! before it freezes, and the pack keeps multi-start's best-of-N order
+//! statistics instead. After the ladder lands, **every** surviving
+//! rung is quenched through the tail of the schedule from a short
+//! reheat under its own overlap calibration, with an elitist rollback
+//! guaranteeing no rung ends worse than it started; the best
+//! post-quench TEIL wins.
 //!
 //! Rounds are the orchestration quantum: each round every live rung runs
 //! one inner loop in parallel, then the orchestrator emits telemetry,
-//! runs any swap sweep, probes the cancellation token, and writes a
-//! checkpoint when due — so a round boundary is a consistent cut of the
-//! ladder (rung states, per-rung RNG streams, the orchestrator's swap
-//! stream, and the sweep parity), and interrupt/resume is exact. A rung
-//! whose worker panics is retired: it stops stepping, is skipped by swap
+//! runs any swap sweep, cools the ladder, probes the cancellation token,
+//! and writes a checkpoint when due — so a round boundary is a
+//! consistent cut of the ladder (rung states, per-rung RNG streams, the
+//! orchestrator's swap stream, the sweep parity, and the adaptive
+//! temperatures/gaps), and interrupt/resume is exact. A rung whose
+//! worker panics is retired: it stops stepping, is skipped by swap
 //! pairing (no orchestrator RNG draw for a dead pair), and is excluded
 //! from winner selection; the survivors complete the run.
 
@@ -15,25 +43,64 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Value;
 
-use twmc_anneal::{derive_seed, swap_probability, temperature_rungs, CoolingSchedule};
+use twmc_anneal::{
+    adapt_gap, cool_ladder, derive_seed, initial_gaps, ladder_landed, swap_probability,
+    CoolingSchedule,
+};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
 use twmc_obs::{
-    ClassCount, CostBreakdown, Event, PlaceTemp, Recorder, ReplicaFailed, RunScope, Swap,
+    ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, ReplicaFailed, RunScope,
+    SummaryRecorder, Swap,
 };
 use twmc_place::{
     generate, CoolingRun, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context,
 };
 
 use crate::{
-    fault, multistart, pool, resume, OrchestratorError, ParallelParams, ParallelReport,
+    fault, multistart, pool, resume, OrchestratorError, PairSwap, ParallelParams, ParallelReport,
     ReplicaFailure, ReplicaReport, RunCtrl, Stage1Outcome, SwapReport,
 };
 
-/// One rung's worker: the configuration currently at this temperature,
-/// the rung's RNG stream, its accumulated statistics, and the failure
-/// note that retires it. Swaps exchange `state` between rungs;
-/// everything else stays with the rung.
+/// Longest ladder a single exchange chain is allowed to span. A swap
+/// moves a configuration one rung per sweep at the target acceptance
+/// rate, so a discovery at the hot end of an `n`-rung ladder needs
+/// `O(n / rate)` sweeps to reach the anchor — past about four rungs it
+/// cannot arrive before the cold end freezes. Wider ensembles therefore
+/// run as a pack of independent adaptive ladders (`8 = 4 + 4`): each
+/// keeps the fast in-ladder exchange, and the pack keeps the
+/// best-of-N order statistics that made multi-start strong.
+const MAX_LADDER_RUNGS: usize = 4;
+
+/// Quench restart temperature as a multiple of the stage-1 floor. The
+/// post-ladder quench re-starts every rung a few schedule steps above
+/// the floor rather than at it: the brief reheat lets a configuration
+/// shed strain accumulated under the ladder's shared overlap penalty
+/// before the final descent, and the elitist harvest in `quench_all`
+/// makes the reheat risk-free (a rung that ends worse than it started
+/// is rolled back to its pre-quench configuration).
+const QUENCH_REHEAT: f64 = 4.0;
+
+/// Splits `replicas` rungs into balanced contiguous ladders of at most
+/// [`MAX_LADDER_RUNGS`] each (`6 → 3 + 3`, `8 → 4 + 4`).
+pub(crate) fn ladder_partitions(replicas: usize) -> Vec<std::ops::Range<usize>> {
+    let n = replicas.div_ceil(MAX_LADDER_RUNGS).max(1);
+    let base = replicas / n;
+    let rem = replicas % n;
+    let mut parts = Vec::with_capacity(n);
+    let mut start = 0;
+    for p in 0..n {
+        let len = base + usize::from(p < rem);
+        parts.push(start..start + len);
+        start += len;
+    }
+    parts
+}
+
+/// One rung's worker during the ladder phase: the configuration
+/// currently at this temperature, the rung's RNG stream, its accumulated
+/// statistics, and the failure note that retires it. Swaps exchange
+/// `state` between rungs; everything else stays with the rung.
 struct Rung<'a> {
     index: usize,
     seed: u64,
@@ -72,20 +139,63 @@ impl Rung<'_> {
     }
 }
 
-/// Runs the tempering ladder under the run controller and quenches the
-/// best surviving rung's configuration through the rest of the schedule.
+/// One rung's worker during the quench phase: the same configuration and
+/// RNG stream continuing into a plain stage-1 cooling run from the
+/// rung's ladder-end temperature, with a private telemetry buffer
+/// drained by the orchestrator after each round (the same
+/// step-synchronized scheme multi-start uses).
+struct QuenchRep<'a> {
+    index: usize,
+    seed: u64,
+    state: PlacementState<'a>,
+    rng: StdRng,
+    run: CoolingRun,
+    local: SummaryRecorder,
+    failed: Option<String>,
+}
+
+impl QuenchRep<'_> {
+    fn live(&self) -> bool {
+        self.failed.is_none()
+    }
+
+    fn checkpoint(&self) -> resume::ReplicaCk {
+        resume::ReplicaCk {
+            seed: self.seed,
+            failed: self.failed.clone(),
+            rng: self.rng.state(),
+            run: self.run.clone(),
+            snap: self.state.snapshot(),
+            rebuilds: self.state.index_rebuilds(),
+            updates: self.state.index_updates(),
+        }
+    }
+
+    fn restore(&mut self, ck: &resume::ReplicaCk) {
+        self.state.restore(&ck.snap);
+        self.state.force_index_counters(ck.rebuilds, ck.updates);
+        self.rng = StdRng::from_state(ck.rng);
+        self.run = ck.run.clone();
+        self.failed = ck.failed.clone();
+    }
+}
+
+/// Runs the tempering ladder under the run controller and quenches every
+/// surviving rung's configuration through the rest of the schedule,
+/// keeping the lowest post-quench TEIL.
 ///
 /// Per round, every live rung performs one inner loop (`A_c · N_c`
-/// attempts, eq. 17) at its pinned temperature — rounds run in parallel,
-/// swap sweeps are sequential on the orchestrator's own RNG stream so
-/// the outcome is independent of the thread count.
+/// attempts, eq. 17) at its current ladder temperature — rounds run in
+/// parallel, swap sweeps are sequential on the orchestrator's own RNG
+/// stream so the outcome is independent of the thread count. Between
+/// rounds the whole ladder advances: the anchor takes one Table-1 step
+/// and the per-pair gaps adapt toward the target swap-acceptance band.
 ///
-/// Telemetry (all on the orchestrator thread, so event order is
-/// deterministic): one `tempering`-phase [`PlaceTemp`] per live rung per
-/// round, one [`Swap`] per exchange attempt, a
-/// [`twmc_obs::ReplicaFailed`] when a rung dies, one
-/// [`twmc_obs::ReplicaSummary`] per surviving rung, then the winner's
-/// quench stream under phase `quench`.
+/// Telemetry (deterministic event order for any thread count): one
+/// `tempering`-phase [`PlaceTemp`] per live rung per round, one
+/// [`Swap`] per exchange attempt, a [`twmc_obs::ReplicaFailed`] when a
+/// rung dies, one [`twmc_obs::ReplicaSummary`] per surviving rung at
+/// ladder end, then the per-rung quench streams under phase `quench`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_controlled<'a>(
     nl: &'a Netlist,
@@ -100,7 +210,8 @@ pub(crate) fn run_controlled<'a>(
 ) -> Result<Stage1Outcome<'a>, OrchestratorError> {
     let replicas = params.replicas;
     let threads = params.effective_threads(replicas);
-    let swap_interval = params.swap_interval.max(1);
+    let swap_interval = params.swap_interval;
+    debug_assert!(swap_interval >= 1, "validated by parallel_stage1_resilient");
     let stats = nl.stats();
     let config = resume::config_value(
         master_seed,
@@ -109,69 +220,107 @@ pub(crate) fn run_controlled<'a>(
         (stats.cells, stats.nets, stats.pins),
     );
     let ctx = Stage1Context::new(nl, place, est);
-    let rung_temps = temperature_rungs(
-        schedule,
-        ctx.t_infinity,
-        ctx.s_t,
-        ctx.final_temperature(),
-        replicas,
-    );
-    // Default round count: the Table-1 trajectory length, so each rung
-    // does about as many inner loops as one full stage-1 run.
-    let rounds = if params.rounds > 0 {
-        params.rounds
-    } else {
-        schedule
-            .steps_between(ctx.t_infinity, ctx.final_temperature(), ctx.s_t)
-            .max(1)
-    };
+    let t_floor = ctx.final_temperature();
+    // A fixed round budget truncates the ladder (the quench below then
+    // harvests rungs stranded mid-air); the default (0) runs the ladder
+    // until every rung has completed its own staggered descent to the
+    // floor, so the ensemble ends with `replicas` finished anneals.
+    let fixed_rounds = (params.rounds > 0).then_some(params.rounds);
+    // The Table-1 trajectory length — the anchor's landing time and the
+    // round-numbering base a resumed quench continues from.
+    let schedule_len = schedule
+        .steps_between(ctx.t_infinity, t_floor, ctx.s_t)
+        .max(1);
 
-    // Resuming a quench needs no ladder at all — only the winner.
-    if let Some(payload) = resume_payload {
-        if resume::payload_phase(payload)? == "quench" {
-            let ck = resume::quench_from(payload)?;
-            let mut winner = ctx.random_state(place, &mut StdRng::seed_from_u64(0));
-            winner.restore(&ck.winner.snap);
-            winner.force_index_counters(ck.winner.rebuilds, ck.winner.updates);
-            return quench(
-                &ctx,
-                nl,
-                place,
-                schedule,
-                params,
-                rec,
-                ctrl,
-                &config,
-                ck.best,
-                ck.t_start,
-                winner,
-                StdRng::from_state(ck.winner.rng),
-                ck.winner.run.clone(),
-                ck.reports,
-                ck.swaps,
-                ck.failures,
-                threads,
-            );
-        }
-    }
-
-    // Independent random starting configurations, one RNG stream per rung.
+    // Independent random starting configurations, one RNG stream per
+    // rung — identical for fresh and resumed runs (restores below
+    // overwrite everything construction consumed).
     let seeds: Vec<u64> = (0..replicas).map(|i| derive_seed(master_seed, i)).collect();
     let init = pool::try_run_indexed(replicas, threads, |i| {
         let mut rng = StdRng::seed_from_u64(seeds[i]);
         let state = ctx.random_state(place, &mut rng);
         (state, rng)
     });
-    let mut rungs: Vec<Rung<'a>> = Vec::with_capacity(replicas);
-    for (i, r) in init.into_iter().enumerate() {
-        let (state, rng) = r.map_err(|e| {
+    let mut states: Vec<(PlacementState<'a>, StdRng)> = Vec::with_capacity(replicas);
+    for r in init {
+        let pair = r.map_err(|e| {
             OrchestratorError::AllReplicasFailed(vec![ReplicaFailure {
                 replica: e.index,
                 round: 0,
                 error: e.message,
             }])
         })?;
-        rungs.push(Rung {
+        states.push(pair);
+    }
+    // The `p₂` overlap normalization is calibrated per random start; the
+    // exchange rule compares energies across rungs, so every rung of a
+    // ladder must price overlap identically — the ladder's first rung
+    // calibrates its whole ladder. Each rung's own calibration is kept
+    // for the quench, where no exchanges happen and per-replica pricing
+    // is legitimate again.
+    let parts = ladder_partitions(replicas);
+    let own_p2: Vec<f64> = states.iter().map(|(s, _)| s.p2()).collect();
+    for part in &parts {
+        let p2 = own_p2[part.start];
+        for (state, _) in &mut states[part.start + 1..part.end] {
+            state.set_p2(p2);
+        }
+    }
+    // A pair is exchangeable only inside one ladder; the pair that
+    // straddles two ladders of the pack never swaps.
+    let intra: Vec<bool> = (0..replicas.saturating_sub(1))
+        .map(|i| parts.iter().any(|p| p.start <= i && i + 1 < p.end))
+        .collect();
+
+    // Resuming a quench skips the ladder: rebuild the rungs and drop
+    // straight back into the per-rung cooling runs.
+    if let Some(payload) = resume_payload {
+        if resume::payload_phase(payload)? == "quench" {
+            let ck = resume::quench_from(payload)?;
+            if ck.rungs.len() != replicas || ck.elites.len() != replicas {
+                return Err(OrchestratorError::Checkpoint(
+                    twmc_resume::CheckpointError::Corrupt("checkpoint rung count differs".into()),
+                ));
+            }
+            let mut reps: Vec<QuenchRep<'a>> = states
+                .into_iter()
+                .enumerate()
+                .map(|(i, (state, rng))| QuenchRep {
+                    index: i,
+                    seed: seeds[i],
+                    state,
+                    rng,
+                    run: CoolingRun::new(ctx.t_infinity),
+                    local: SummaryRecorder::new(),
+                    failed: None,
+                })
+                .collect();
+            for (rep, rck) in reps.iter_mut().zip(&ck.rungs) {
+                rep.restore(rck);
+            }
+            return quench_all(
+                &ctx,
+                place,
+                schedule,
+                params,
+                rec,
+                ctrl,
+                &config,
+                reps,
+                ck.reports,
+                ck.swaps,
+                ck.failures,
+                ck.elites,
+                threads,
+                fixed_rounds.unwrap_or(schedule_len),
+            );
+        }
+    }
+
+    let mut rungs: Vec<Rung<'a>> = states
+        .into_iter()
+        .enumerate()
+        .map(|(i, (state, rng))| Rung {
             index: i,
             seed: seeds[i],
             state,
@@ -179,25 +328,26 @@ pub(crate) fn run_controlled<'a>(
             stats: MoveStats::default(),
             trajectory: Vec::new(),
             failed: None,
-        });
-    }
-    // The `p₂` overlap normalization is calibrated per random start; the
-    // exchange rule compares energies across rungs, so all rungs must
-    // price overlap identically — rung 0's calibration wins.
-    let p2 = rungs[0].state.p2();
-    for rung in &mut rungs[1..] {
-        rung.state.set_p2(p2);
-    }
+        })
+        .collect();
 
+    // Adaptive ladder state: every rung starts at T∞ (the fan opens from
+    // the cold end as the anchor descends) with uniform initial gaps.
+    let mut temps: Vec<f64> = vec![ctx.t_infinity; replicas];
+    let mut gaps: Vec<f64> = initial_gaps(replicas);
     let mut orch_rng = StdRng::seed_from_u64(derive_seed(master_seed, replicas));
-    let mut swaps = SwapReport::default();
+    let mut swaps = SwapReport {
+        pairs: vec![PairSwap::default(); replicas - 1],
+        ..SwapReport::default()
+    };
     let mut sweep = 0usize;
     let mut start_round = 0usize;
     let mut failures: Vec<ReplicaFailure> = Vec::new();
 
     if let Some(payload) = resume_payload {
         let ck = resume::tempering_from(payload)?;
-        if ck.rungs.len() != replicas {
+        if ck.rungs.len() != replicas || ck.temps.len() != replicas || ck.gaps.len() != replicas - 1
+        {
             return Err(OrchestratorError::Checkpoint(
                 twmc_resume::CheckpointError::Corrupt("checkpoint rung count differs".into()),
             ));
@@ -206,6 +356,8 @@ pub(crate) fn run_controlled<'a>(
             rung.restore(rck);
         }
         orch_rng = StdRng::from_state(ck.orch_rng);
+        temps = ck.temps;
+        gaps = ck.gaps;
         swaps = ck.swaps;
         sweep = ck.sweep;
         start_round = ck.round;
@@ -215,7 +367,24 @@ pub(crate) fn run_controlled<'a>(
     let inner = place.attempts_per_cell * nl.cells().len();
     let enabled = rec.enabled();
 
-    for round in start_round..rounds {
+    // A rung moves only while its temperature is in transit. Waiting at
+    // `T∞` it already holds an equilibrium sample (any configuration
+    // is), and once landed its floor polish comes from the quench — so
+    // skipping both dwells costs nothing in quality while keeping the
+    // ensemble's total move budget near `replicas × schedule length`,
+    // the same budget a multi-start batch spends.
+    let in_transit = |t: f64| t > t_floor && t < ctx.t_infinity;
+
+    // Backstop for pathological schedules that never land; the quench
+    // harvests whatever is still mid-air if it ever triggers.
+    let round_cap = fixed_rounds.unwrap_or_else(|| schedule_len.saturating_mul(replicas.max(2)));
+    let mut round = start_round;
+    while round < round_cap {
+        // With no fixed budget, the ladder ends once every rung has
+        // completed its staggered descent to the floor.
+        if fixed_rounds.is_none() && ladder_landed(&temps, t_floor) {
+            break;
+        }
         // Snapshot per-rung counters so the round's deltas can be
         // reported after the join (workers cannot share `rec`).
         let stats_before: Vec<MoveStats> = if enabled {
@@ -225,11 +394,11 @@ pub(crate) fn run_controlled<'a>(
         };
         let before: usize = rungs.iter().map(|r| r.stats.attempts()).sum();
         let outcomes = pool::try_run_mut(&mut rungs, threads, |_, rung| {
-            if !rung.live() {
+            if !rung.live() || !in_transit(temps[rung.index]) {
                 return;
             }
             fault::maybe_fail(rung.index, round);
-            let t = rung_temps[rung.index];
+            let t = temps[rung.index];
             let wx = ctx.limiter.window_x(t);
             let wy = ctx.limiter.window_y(t);
             for _ in 0..inner {
@@ -267,8 +436,12 @@ pub(crate) fn run_controlled<'a>(
             }
         }
         if enabled {
-            for (i, rung) in rungs.iter().enumerate().filter(|(_, r)| r.live()) {
-                let t = rung_temps[i];
+            for (i, rung) in rungs
+                .iter()
+                .enumerate()
+                .filter(|&(i, r)| r.live() && in_transit(temps[i]))
+            {
+                let t = temps[i];
                 let delta = rung.stats.since(&stats_before[i]);
                 rec.record(&Event::PlaceTemp(PlaceTemp {
                     phase: "tempering",
@@ -307,39 +480,61 @@ pub(crate) fn run_controlled<'a>(
         let after: usize = rungs.iter().map(|r| r.stats.attempts()).sum();
         ctrl.cancel.add_moves((after - before) as u64);
 
-        if (round + 1) % swap_interval == 0 {
+        if (round + 1).is_multiple_of(swap_interval) {
             // Alternate even/odd adjacent pairs per sweep, the standard
             // scheme that lets a configuration traverse the ladder.
             let start = sweep % 2;
             sweep += 1;
             for i in (start..replicas.saturating_sub(1)).step_by(2) {
-                if !rungs[i].live() || !rungs[i + 1].live() {
+                if !intra[i] || !rungs[i].live() || !rungs[i + 1].live() {
+                    continue;
+                }
+                // Before the fan reaches a pair both rungs sit at the
+                // same temperature; exchanging them is a no-op, so skip
+                // deterministically (no orchestrator RNG draw, no
+                // counters) instead of logging a meaningless free swap.
+                if temps[i] <= temps[i + 1] {
                     continue;
                 }
                 let p = swap_probability(
-                    rung_temps[i],
-                    rung_temps[i + 1],
+                    temps[i],
+                    temps[i + 1],
                     rungs[i].state.cost(),
                     rungs[i + 1].state.cost(),
                 );
                 swaps.attempts += 1;
+                swaps.pairs[i].attempts += 1;
                 let accepted = orch_rng.random::<f64>() < p;
                 if accepted {
                     let (a, b) = rungs.split_at_mut(i + 1);
                     std::mem::swap(&mut a[i].state, &mut b[0].state);
                     swaps.accepts += 1;
+                    swaps.pairs[i].accepts += 1;
                 }
+                gaps[i] = adapt_gap(gaps[i], accepted);
                 if enabled {
                     rec.record(&Event::Swap(Swap {
                         round: round as u64,
                         lower: i,
                         upper: i + 1,
-                        t_lower: rung_temps[i],
-                        t_upper: rung_temps[i + 1],
+                        t_lower: temps[i],
+                        t_upper: temps[i + 1],
+                        s_t: ctx.s_t,
                         accepted,
                     }));
                 }
             }
+        }
+        // Advance every ladder of the pack one cooling step under the
+        // freshly adapted gaps; rungs never re-heat and stay ordered.
+        for part in &parts {
+            cool_ladder(
+                schedule,
+                &mut temps[part.clone()],
+                &gaps[part.start..part.end - 1],
+                ctx.s_t,
+                t_floor,
+            );
         }
 
         if rungs.iter().all(|r| !r.live()) {
@@ -353,6 +548,8 @@ pub(crate) fn run_controlled<'a>(
                     ("round", Value::UInt(round as u64 + 1)),
                     ("sweep", Value::UInt(sweep as u64)),
                     ("orch_rng", twmc_resume::codec::u64x4(orch_rng.state())),
+                    ("temps", resume::ladder_temps_value(&temps)),
+                    ("gaps", resume::ladder_temps_value(&gaps)),
                     ("swaps", resume::swaps_value(&swaps)),
                     (
                         "rungs",
@@ -389,16 +586,18 @@ pub(crate) fn run_controlled<'a>(
         if ctrl.checkpoint_due(round as u64) {
             ctrl.write_checkpoint(&ladder_payload(&rungs))?;
         }
+        round += 1;
     }
+    let ladder_rounds = round;
 
-    // Report the ladder phase before the quench mutates the winner.
+    // Report the ladder phase before the quench mutates the rungs.
     let replica_reports: Vec<ReplicaReport> = rungs
         .iter()
         .filter(|r| r.live())
         .map(|rung| ReplicaReport {
             replica: rung.index,
             seed: rung.seed,
-            rung_temperature: Some(rung_temps[rung.index]),
+            rung_temperature: Some(temps[rung.index]),
             teil: rung.state.teil(),
             cost: rung.state.cost(),
             attempts: rung.stats.attempts(),
@@ -415,144 +614,227 @@ pub(crate) fn run_controlled<'a>(
         }
     }
 
-    // Quench the best configuration (usually the coldest rung, but a
-    // warmer rung can hold the minimum right after an exchange sweep)
-    // through the rest of the schedule from its rung temperature.
-    let mut best = 0;
-    let mut seen = false;
-    for (i, rung) in rungs.iter().enumerate() {
-        if rung.live() && (!seen || rung.state.cost() < rungs[best].state.cost()) {
-            best = i;
-            seen = true;
-        }
-    }
-    let winner = rungs.swap_remove(best);
-    let best_index = winner.index;
-    quench(
+    // Quench every surviving rung through the tail of the schedule.
+    // Each rung re-starts from a few steps above the floor
+    // (`QUENCH_REHEAT × t_floor`) under its own calibrated overlap
+    // penalty: the short reheat lets a configuration shed the strain
+    // the ladder's shared penalty left in it, and every rung carries a
+    // distinct basin, multiplying the chances one anneals out ahead of
+    // the single-quench baseline. The elitist harvest in `quench_all`
+    // guarantees the reheat can never end worse than it started.
+    let reps: Vec<QuenchRep<'a>> = rungs
+        .into_iter()
+        .map(|r| {
+            let mut state = r.state;
+            state.set_p2(own_p2[r.index]);
+            QuenchRep {
+                run: CoolingRun::new(temps[r.index].max(t_floor * QUENCH_REHEAT)),
+                index: r.index,
+                seed: r.seed,
+                state,
+                rng: r.rng,
+                local: SummaryRecorder::new(),
+                failed: r.failed,
+            }
+        })
+        .collect();
+    // Elitist baselines: each live rung's pre-quench configuration and
+    // TEIL. They ride in every quench checkpoint so a resumed quench
+    // rolls back against the exact baselines of the uninterrupted run.
+    let elites: Vec<Option<(twmc_place::PlacementSnapshot, f64)>> = reps
+        .iter()
+        .map(|r| r.live().then(|| (r.state.snapshot(), r.state.teil())))
+        .collect();
+    quench_all(
         &ctx,
-        nl,
         place,
         schedule,
         params,
         rec,
         ctrl,
         &config,
-        best_index,
-        rung_temps[best_index],
-        winner.state,
-        winner.rng,
-        CoolingRun::new(rung_temps[best_index]),
+        reps,
         replica_reports,
         swaps,
         failures,
+        elites,
         threads,
+        ladder_rounds,
     )
 }
 
-/// Drives the winner's quench (a plain stage-1 cooling run from its rung
-/// temperature) with cancellation and checkpointing at every step.
+/// Drives every surviving rung's quench (a plain stage-1 cooling run
+/// from its reheated ladder-end temperature, under the rung's own
+/// overlap calibration) in step-synchronized rounds with cancellation
+/// and checkpointing. Rungs that end above their pre-quench `elites`
+/// baseline are rolled back to it; the lowest post-quench TEIL wins
+/// (ties go to the lowest rung index).
 #[allow(clippy::too_many_arguments)]
-fn quench<'a>(
+fn quench_all<'a>(
     ctx: &Stage1Context<'a>,
-    _nl: &'a Netlist,
     place: &PlaceParams,
     schedule: &CoolingSchedule,
     params: &ParallelParams,
     rec: &mut dyn Recorder,
     ctrl: &mut RunCtrl,
     config: &Value,
-    best: usize,
-    t_start: f64,
-    mut state: PlacementState<'a>,
-    mut rng: StdRng,
-    mut run: CoolingRun,
+    mut reps: Vec<QuenchRep<'a>>,
     reports: Vec<ReplicaReport>,
     swaps: SwapReport,
-    failures: Vec<ReplicaFailure>,
+    mut failures: Vec<ReplicaFailure>,
+    elites: Vec<Option<(twmc_place::PlacementSnapshot, f64)>>,
     threads: usize,
+    ladder_rounds: usize,
 ) -> Result<Stage1Outcome<'a>, OrchestratorError> {
-    let scope = RunScope {
-        phase: "quench",
-        iteration: 0,
-        replica: best as i64,
+    let enabled = rec.enabled();
+    let build_payload = |reps: &[QuenchRep<'a>], failures: &[ReplicaFailure]| {
+        resume::phase_payload(
+            "quench",
+            config.clone(),
+            vec![
+                (
+                    "rungs",
+                    Value::Array(
+                        reps.iter()
+                            .map(|r| resume::replica_value(&r.checkpoint()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "reports",
+                    Value::Array(reports.iter().map(resume::report_value).collect()),
+                ),
+                ("swaps", resume::swaps_value(&swaps)),
+                ("failed", resume::failures_value(failures)),
+                ("elites", resume::elites_value(&elites)),
+            ],
+        )
     };
     loop {
-        if run.done {
+        if !reps.iter().any(|r| r.live() && !r.run.done) {
             break;
         }
-        let before = run.moves.attempts();
-        let finished = run.step(
-            &mut state,
-            place,
-            MoveSet::Full,
-            schedule,
-            &ctx.limiter,
-            ctx.s_t,
-            None,
-            &mut rng,
-            rec,
-            scope,
-        );
-        ctrl.cancel
-            .add_moves((run.moves.attempts() - before) as u64);
-        if finished {
-            break;
+        let before: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
+        let outcomes = pool::try_run_mut(&mut reps, threads, |_, rep| {
+            if !rep.live() || rep.run.done {
+                return;
+            }
+            fault::maybe_fail(rep.index, ladder_rounds + rep.run.steps());
+            let mut null = NullRecorder;
+            let sink: &mut dyn Recorder = if enabled { &mut rep.local } else { &mut null };
+            rep.run.step(
+                &mut rep.state,
+                place,
+                MoveSet::Full,
+                schedule,
+                &ctx.limiter,
+                ctx.s_t,
+                None,
+                &mut rep.rng,
+                sink,
+                RunScope {
+                    phase: "quench",
+                    iteration: 0,
+                    replica: rep.index as i64,
+                },
+            );
+        });
+        for (rep, out) in reps.iter_mut().zip(&outcomes) {
+            if let Err(e) = out {
+                if rep.live() {
+                    rep.failed = Some(e.message.clone());
+                    let round = (ladder_rounds + rep.run.steps()) as u64;
+                    failures.push(ReplicaFailure {
+                        replica: rep.index,
+                        round,
+                        error: e.message.clone(),
+                    });
+                    if enabled {
+                        rec.record(&Event::ReplicaFailed(ReplicaFailed {
+                            phase: "quench",
+                            replica: rep.index,
+                            round,
+                            error: e.message.clone(),
+                        }));
+                    }
+                }
+            }
         }
-        let payload = |state: &PlacementState<'a>, rng: &StdRng, run: &CoolingRun| {
-            resume::phase_payload(
-                "quench",
-                config.clone(),
-                vec![
-                    ("best", Value::UInt(best as u64)),
-                    ("t_start", twmc_resume::codec::f64_bits(t_start)),
-                    (
-                        "winner",
-                        resume::replica_value(&resume::ReplicaCk {
-                            seed: best as u64,
-                            failed: None,
-                            rng: rng.state(),
-                            run: run.clone(),
-                            snap: state.snapshot(),
-                            rebuilds: state.index_rebuilds(),
-                            updates: state.index_updates(),
-                        }),
-                    ),
-                    (
-                        "reports",
-                        Value::Array(reports.iter().map(resume::report_value).collect()),
-                    ),
-                    ("swaps", resume::swaps_value(&swaps)),
-                    ("failed", resume::failures_value(&failures)),
-                ],
-            )
-        };
+        if enabled {
+            for rep in &mut reps {
+                for e in std::mem::take(&mut rep.local).into_events() {
+                    rec.record(&e);
+                }
+            }
+        }
+        let after: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
+        ctrl.cancel.add_moves((after - before) as u64);
+
         if let Some(reason) = ctrl.cancel.check() {
-            ctrl.write_checkpoint(&payload(&state, &rng, &run))?;
+            ctrl.write_checkpoint(&build_payload(&reps, &failures))?;
+            // Best live configuration so far by TEIL (costs are also
+            // comparable here — shared `p₂` — but TEIL matches the final
+            // winner rule).
+            let mut best = usize::MAX;
+            for (i, rep) in reps.iter().enumerate() {
+                if rep.live() && (best == usize::MAX || rep.state.teil() < reps[best].state.teil())
+                {
+                    best = i;
+                }
+            }
+            let pick = if best == usize::MAX { 0 } else { best };
+            let rep = reps.swap_remove(pick);
             return Ok(Stage1Outcome::Interrupted {
                 reason,
-                teil: state.teil(),
-                cost: state.cost(),
-                state,
+                teil: rep.state.teil(),
+                cost: rep.state.cost(),
+                state: rep.state,
             });
         }
-        let step = run.steps() as u64;
-        if step > 0 && ctrl.checkpoint_due(step - 1) {
-            ctrl.write_checkpoint(&payload(&state, &rng, &run))?;
+        let step = reps
+            .iter()
+            .filter(|r| r.live())
+            .map(|r| r.run.steps())
+            .max()
+            .unwrap_or(0);
+        if step > 0 && ctrl.checkpoint_due((ladder_rounds + step) as u64 - 1) {
+            ctrl.write_checkpoint(&build_payload(&reps, &failures))?;
         }
     }
-    let mut result = run.into_result(&state, t_start, ctx.s_t);
+
+    if reps.iter().all(|r| !r.live()) {
+        return Err(OrchestratorError::AllReplicasFailed(failures));
+    }
+    // A quench that ended above its own starting point is rolled back.
+    for (rep, elite) in reps.iter_mut().zip(&elites) {
+        if let Some((snap, teil)) = elite {
+            if rep.live() && *teil < rep.state.teil() {
+                rep.state.restore(snap);
+            }
+        }
+    }
+    // Lowest post-quench TEIL wins; first minimum, so the selection is
+    // total and deterministic.
+    let mut best = usize::MAX;
+    for (i, rep) in reps.iter().enumerate() {
+        if rep.live() && (best == usize::MAX || rep.state.teil() < reps[best].state.teil()) {
+            best = i;
+        }
+    }
+    let rep = reps.swap_remove(best);
+    let mut result = rep.run.into_result(&rep.state, ctx.t_infinity, ctx.s_t);
     result.t_infinity = ctx.t_infinity;
     let report = ParallelReport {
         strategy: params.strategy,
         replicas: params.replicas,
         threads,
-        best_replica: best,
+        best_replica: rep.index,
         replica_reports: reports,
         swaps,
         failed: failures,
     };
     Ok(Stage1Outcome::Complete {
-        state,
+        state: rep.state,
         result,
         report,
     })

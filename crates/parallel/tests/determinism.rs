@@ -38,12 +38,8 @@ fn run(
         replicas,
         threads,
         strategy,
-        // Keep tempering affordable in tests.
-        rounds: if strategy == Strategy::Tempering {
-            24
-        } else {
-            0
-        },
+        // Dynamic ladder: tempering runs until every rung lands.
+        rounds: 0,
         swap_interval: 2,
     };
     let (state, result, report) = parallel_stage1(
@@ -136,19 +132,26 @@ fn tempering_exchanges_and_improves_over_ladder() {
     assert!(teil > 0.0);
     assert!(report.swaps.attempts > 0, "no swap sweeps ran");
     assert!(report.swaps.accepts <= report.swaps.attempts);
-    // Rungs are reported hottest to coldest.
-    let temps: Vec<f64> = report
-        .replica_reports
-        .iter()
-        .map(|r| r.rung_temperature.expect("tempering sets rung temps"))
-        .collect();
-    for pair in temps.windows(2) {
-        assert!(pair[0] > pair[1], "{temps:?}");
+    // Every rung completes its own staggered descent: all have landed
+    // at the stage-1 floor by the time the ladder phase reports.
+    let floor = twmc_place::Stage1Context::new(&nl, &fast_params(), &EstimatorParams::default())
+        .final_temperature();
+    for r in &report.replica_reports {
+        let t = r.rung_temperature.expect("tempering sets rung temps");
+        assert!(
+            t <= floor * (1.0 + 1e-9),
+            "rung {} still mid-air at {t} (floor {floor})",
+            r.replica
+        );
     }
-    // Every rung did real work.
+    // Every rung did real work while its temperature was in transit.
     for r in &report.replica_reports {
         assert!(r.attempts > 0);
-        assert_eq!(r.teil_trajectory.len(), 24);
+        assert!(
+            !r.teil_trajectory.is_empty(),
+            "rung {} never entered transit",
+            r.replica
+        );
     }
 }
 

@@ -215,6 +215,16 @@ fn tempering_resumes_bit_identically_from_the_ladder() {
 }
 
 #[test]
+fn tempering_resumes_bit_identically_mid_adaptation() {
+    let _guard = serial();
+    // A mid-run cut lands after several swap sweeps have already moved
+    // the adaptive gaps and rung temperatures away from their initial
+    // values — the resumed run must reload that ladder state exactly,
+    // not re-derive it from the schedule.
+    assert_resume_bit_identical(Strategy::Tempering, 4, 0.45, "pt-adapt");
+}
+
+#[test]
 fn tempering_resumes_bit_identically_from_the_quench() {
     let _guard = serial();
     // The quench is the tail of the run; a 95% cut lands inside it.

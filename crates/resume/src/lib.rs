@@ -36,8 +36,12 @@ pub mod codec;
 
 /// Leading tag every checkpoint file carries.
 pub const MAGIC: &str = "twmc-ckpt";
-/// Current checkpoint format version.
-pub const VERSION: u64 = 1;
+/// Current checkpoint format version. Version 2 added the adaptive
+/// tempering-ladder state (per-rung temperatures, per-pair gap ratios,
+/// per-pair swap counters) and the all-rung quench payload; version-1
+/// checkpoints carry a static ladder that no longer exists, so they are
+/// rejected rather than silently misresumed.
+pub const VERSION: u64 = 2;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]
@@ -277,7 +281,7 @@ mod tests {
     fn encode_decode_roundtrip() {
         let payload = sample_payload();
         let text = encode(&payload);
-        assert!(text.starts_with("{\"magic\":\"twmc-ckpt\",\"version\":1,"));
+        assert!(text.starts_with("{\"magic\":\"twmc-ckpt\",\"version\":2,"));
         let back = decode(&text).unwrap();
         assert_eq!(serde_json::to_string(&back).unwrap(), {
             serde_json::to_string(&payload).unwrap()
@@ -311,11 +315,16 @@ mod tests {
             Err(CheckpointError::BadMagic(m)) if m == "not-a-ckpt"
         ));
 
-        let wrong_version = text.replace("\"version\":1", "\"version\":99");
+        let wrong_version = text.replace("\"version\":2", "\"version\":99");
         assert!(matches!(
             decode(&wrong_version),
             Err(CheckpointError::BadVersion(99))
         ));
+
+        // A version-1 envelope (the pre-adaptive-ladder format) is
+        // rejected as version skew, not misread.
+        let v1 = text.replace("\"version\":2", "\"version\":1");
+        assert!(matches!(decode(&v1), Err(CheckpointError::BadVersion(1))));
 
         let tampered = text.replace("\"step\":17", "\"step\":18");
         assert!(matches!(

@@ -119,7 +119,7 @@ impl Default for JobSpec {
             replicas: 1,
             threads: 1,
             strategy: Strategy::MultiStart,
-            swap_interval: 4,
+            swap_interval: 1,
         }
     }
 }
@@ -186,10 +186,10 @@ impl JobSpec {
                 spec.seed = s as u64;
             }
             if let Some(n) = num("ac", "attempts per cell")? {
-                spec.ac = n.max(1) as usize;
+                spec.ac = n.max(0) as usize;
             }
             if let Some(n) = num("replicas", "replica count")? {
-                spec.replicas = n.max(1) as usize;
+                spec.replicas = n.max(0) as usize;
             }
             if let Some(n) = num("threads", "job threads")? {
                 spec.threads = n.max(0) as usize;
@@ -198,15 +198,19 @@ impl JobSpec {
                 spec.strategy = s.parse()?;
             }
             if let Some(n) = num("swap-interval", "swap interval")? {
-                spec.swap_interval = n.max(1) as usize;
+                spec.swap_interval = n.max(0) as usize;
             }
         }
         if spec.netlist.trim().is_empty() {
             return Err("job has an empty netlist".to_owned());
         }
-        if spec.ac == 0 || spec.replicas == 0 {
-            return Err("`ac` and `replicas` must be at least 1".to_owned());
+        if spec.ac == 0 {
+            return Err("`ac` must be at least 1".to_owned());
         }
+        // Replica-count and swap-interval constraints are owned by the
+        // orchestrator; reject here so a bad spec is a clean 400 at
+        // submission time, not a failed job.
+        spec.config().parallel.validate()?;
         // Fail bad circuits at submission time (a clean 400), not in a
         // worker (an opaque `failed` job).
         spec.parse_netlist()?;
@@ -281,7 +285,7 @@ impl JobSpec {
             replicas: json::get_u64(v, "replicas").unwrap_or(1) as usize,
             threads: json::get_u64(v, "threads").unwrap_or(1) as usize,
             strategy,
-            swap_interval: json::get_u64(v, "swap_interval").unwrap_or(4) as usize,
+            swap_interval: json::get_u64(v, "swap_interval").unwrap_or(1) as usize,
         })
     }
 }
@@ -386,6 +390,21 @@ mod tests {
         req.content_type = "application/json".into();
         let err = JobSpec::from_request(&req).unwrap_err();
         assert!(err.contains("netlist"), "{err}");
+    }
+
+    #[test]
+    fn rejects_degenerate_parallel_knobs() {
+        let text = tiny_netlist_text();
+        let err = JobSpec::from_request(&raw_request("swap-interval=0", &text)).unwrap_err();
+        assert!(
+            err.contains("swap_interval") && err.contains("valid range"),
+            "{err}"
+        );
+        let err = JobSpec::from_request(&raw_request("strategy=tempering&replicas=1", &text))
+            .unwrap_err();
+        assert!(err.contains("at least 2 replicas"), "{err}");
+        let err = JobSpec::from_request(&raw_request("replicas=0", &text)).unwrap_err();
+        assert!(err.contains("replicas"), "{err}");
     }
 
     #[test]

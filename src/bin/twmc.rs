@@ -48,10 +48,13 @@ fn usage() -> ExitCode {
          [--checkpoint-every N] [--drain-grace-ms N]\n  \
          twmc report RUN.jsonl [--json]\n  \
          twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
-         [--max-length-pct F] [--max-area-pct F] [--max-overflow N] [--max-unrouted N]\n\n\
+         [--max-length-pct F] [--max-area-pct F] [--max-overflow N] [--max-unrouted N]\n  \
+         twmc diff --bench-parallel [BASELINE.json] BENCH_parallel.json [--json]\n\n\
          NAME is one of the paper's circuits: i1 p1 x1 i2 i3 l1 d2 d1 d3\n\
          --replicas N runs N annealing replicas (deterministic per seed);\n\
-         --threads 0 uses one thread per replica\n\
+         --threads 0 uses one thread per replica; --strategy tempering needs\n\
+         --replicas 2.. and exchanges rungs every --swap-interval N rounds (N >= 1,\n\
+         default 1)\n\
          --telemetry FILE streams JSONL events; --telemetry-summary prints a table\n\
          --checkpoint FILE writes an atomic resume checkpoint every N steps (default 10);\n\
          --resume FILE continues a checkpointed run bit-identically; Ctrl-C / SIGTERM,\n\
@@ -61,7 +64,9 @@ fn usage() -> ExitCode {
          preempt running ones at round boundaries (checkpoint + bit-identical resume);\n\
          SIGTERM drains gracefully (default --listen 127.0.0.1:7171, --spool twmc-spool)\n\
          report checks a recorded run against the paper's control laws (exit 1 if\n\
-         unhealthy); diff compares two runs' headline metrics (exit 2 on regression)"
+         unhealthy); diff compares two runs' headline metrics (exit 2 on regression);\n\
+         diff --bench-parallel gates the equal-wall-clock bench summary (exit 2 when\n\
+         tempering loses to multistart at >= 4 replicas or regresses vs the baseline)"
     );
     ExitCode::FAILURE
 }
@@ -111,6 +116,7 @@ const REPORT_FLAGS: FlagSpec = &[("json", false)];
 
 const DIFF_FLAGS: FlagSpec = &[
     ("json", false),
+    ("bench-parallel", false),
     ("max-teil-pct", true),
     ("max-length-pct", true),
     ("max-area-pct", true),
@@ -258,7 +264,7 @@ fn config_from(flags: &Flags) -> Result<TimberWolfConfig, String> {
         Some(s) => s.parse()?,
         None => Strategy::default(),
     };
-    Ok(TimberWolfConfig {
+    let config = TimberWolfConfig {
         place: PlaceParams {
             attempts_per_cell: flags.get("ac", 60),
             ..Default::default()
@@ -267,12 +273,17 @@ fn config_from(flags: &Flags) -> Result<TimberWolfConfig, String> {
             replicas: flags.get("replicas", 1),
             threads: flags.get("threads", 0),
             strategy,
-            swap_interval: flags.get("swap-interval", 4),
+            swap_interval: flags.get("swap-interval", 1),
             ..Default::default()
         },
         seed: flags.get("seed", 42),
         ..Default::default()
-    })
+    };
+    // Degenerate knob combinations (0 replicas, tempering with one
+    // replica, swap interval 0) are typed errors naming the valid
+    // range, not silent clamps.
+    config.parallel.validate()?;
+    Ok(config)
 }
 
 /// Builds the resilience options (signals, budgets, checkpoint writer,
@@ -575,6 +586,9 @@ fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
 /// metrics under configurable thresholds. Exits 2 on regression so CI
 /// can distinguish a quality regression from an operational error.
 fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
+    if flags.has("bench-parallel") {
+        return cmd_diff_bench(flags);
+    }
     let [base_path, cand_path] = flags.positional.as_slice() else {
         return Err("diff needs two telemetry JSONL files (baseline, candidate)".to_owned());
     };
@@ -596,6 +610,44 @@ fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
         );
     } else {
         print!("{}", format_diff(&report));
+    }
+    Ok(if report.regressed() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `twmc diff --bench-parallel BENCH.json [BASELINE.json]`: gates the
+/// equal-wall-clock bench summary — tempering must beat best-of-N
+/// multistart on the same CPU budget at ≥ 4 replicas, and (with a
+/// baseline) must not regress its best TEIL. Exits 2 on failure.
+fn cmd_diff_bench(flags: &Flags) -> Result<ExitCode, String> {
+    let (cand_path, base_path) = match flags.positional.as_slice() {
+        [cand] => (cand, None),
+        [base, cand] => (cand, Some(base)),
+        _ => {
+            return Err(
+                "diff --bench-parallel needs a BENCH_parallel.json (optionally preceded \
+                 by a baseline summary)"
+                    .to_owned(),
+            )
+        }
+    };
+    let read = |path: &String| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let candidate = read(cand_path)?;
+    let baseline = base_path.map(read).transpose()?;
+    let report = timberwolfmc::analyze::check_bench_parallel(&candidate, baseline.as_deref())
+        .map_err(|e| format!("{cand_path}: {e}"))?;
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report.findings).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", timberwolfmc::analyze::format_bench_gate(&report));
     }
     Ok(if report.regressed() {
         ExitCode::from(2)
