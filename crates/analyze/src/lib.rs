@@ -17,6 +17,9 @@
 //! * [`diff_runs`] — compares two runs' headline [`Metrics`] under
 //!   configurable thresholds; quality regressions gate, wall-clock is
 //!   informational;
+//! * [`check_metrics_snapshot`] — judges a scraped `/metrics`
+//!   exposition offline against operational thresholds (the engine
+//!   behind `twmc report --metrics-snapshot`, same exit-2 convention);
 //! * [`check_bench_parallel`] — the equal-wall-clock bench gate over
 //!   `BENCH_parallel.json` (`twmc diff --bench-parallel`): tempering
 //!   must beat best-of-N multistart on the same CPU budget at ≥ 4
@@ -44,6 +47,7 @@
 mod bench;
 mod diff;
 mod health;
+mod promsnap;
 mod stream;
 pub mod testgen;
 
@@ -52,6 +56,10 @@ pub use bench::{
 };
 pub use diff::{diff_runs, format_diff, DiffReport, DiffThresholds, MetricDelta};
 pub use health::{analyze, format_report, metrics, Finding, HealthReport, Metrics, Severity};
+pub use promsnap::{
+    check_metrics_snapshot, format_snapshot_report, SnapshotCheck, SnapshotReport,
+    SnapshotThresholds,
+};
 pub use stream::{
     parse_stream, ClassRec, ReplicaFailedRec, RouteRec, RunEndRec, RunInterruptedRec, RunStartRec,
     RunStream, SpanRec, TempRec,

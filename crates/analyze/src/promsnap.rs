@@ -1,0 +1,253 @@
+//! Offline health judgment of a scraped `/metrics` exposition.
+//!
+//! `twmc report --metrics-snapshot SNAPSHOT.prom` feeds a file captured
+//! with `curl /metrics` through the [`twmc_metrics::expo`] parser and
+//! checks the live-plane families against operational thresholds — the
+//! same exit-2 gating convention as `twmc diff`, so CI can tell "the
+//! daemon is unhealthy" (2) apart from "the snapshot is unreadable"
+//! (1). Every check names the family it read, the value it saw, and
+//! the bound it applied; a family the daemon always pre-registers
+//! being *absent* is an operational error (wrong file), not a breach.
+
+use serde::Serialize;
+
+use twmc_metrics::expo::{self, Snapshot};
+
+/// Operational bounds for a `/metrics` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotThresholds {
+    /// Max jobs allowed in the failed state-counter.
+    pub max_failed_jobs: u64,
+    /// Max replica failures absorbed by the fault-isolation layer.
+    pub max_replica_failures: u64,
+    /// Max queued + preempted jobs waiting for a worker.
+    pub max_queue_depth: i64,
+    /// Max routing overflow on the most recent route iteration.
+    pub max_route_overflow: i64,
+    /// Max p50 of the sampled per-move evaluation latency, in
+    /// nanoseconds (ROADMAP's sub-microsecond gate). `0` disables the
+    /// check — a snapshot scraped before any job ran has no samples.
+    pub max_move_eval_p50_ns: f64,
+}
+
+impl Default for SnapshotThresholds {
+    fn default() -> Self {
+        SnapshotThresholds {
+            max_failed_jobs: 0,
+            max_replica_failures: 0,
+            max_queue_depth: 64,
+            max_route_overflow: 0,
+            max_move_eval_p50_ns: 0.0,
+        }
+    }
+}
+
+/// One threshold check over one family.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SnapshotCheck {
+    /// The family (plus derivation, e.g. a quantile) that was read.
+    pub metric: String,
+    /// The value the snapshot holds.
+    pub value: f64,
+    /// The bound it was held to.
+    pub threshold: f64,
+    /// Whether the value breaches the bound.
+    pub regressed: bool,
+}
+
+/// Outcome of judging one snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SnapshotReport {
+    /// One row per checked family, in fixed order.
+    pub checks: Vec<SnapshotCheck>,
+    /// Number of breached checks.
+    pub regressions: u64,
+}
+
+impl SnapshotReport {
+    /// Whether any check breached its bound.
+    pub fn regressed(&self) -> bool {
+        self.regressions > 0
+    }
+}
+
+/// Reads a required scalar family, erroring when it is absent — the
+/// daemon pre-registers every family, so absence means the file is not
+/// a twmc `/metrics` scrape.
+fn required(snap: &Snapshot, name: &str) -> Result<f64, String> {
+    snap.scalar(name)
+        .ok_or_else(|| format!("snapshot lacks required family `{name}`"))
+}
+
+/// Parses and judges a scraped exposition against the thresholds.
+pub fn check_metrics_snapshot(
+    text: &str,
+    th: &SnapshotThresholds,
+) -> Result<SnapshotReport, String> {
+    let snap = expo::parse(text)?;
+    let le = |metric: &str, value: f64, threshold: f64| SnapshotCheck {
+        metric: metric.to_owned(),
+        value,
+        threshold,
+        regressed: value > threshold,
+    };
+
+    let mut checks = vec![
+        le(
+            "twmc_jobs_failed_total",
+            required(&snap, "twmc_jobs_failed_total")?,
+            th.max_failed_jobs as f64,
+        ),
+        le(
+            "twmc_replica_failures_total",
+            required(&snap, "twmc_replica_failures_total")?,
+            th.max_replica_failures as f64,
+        ),
+        le(
+            "twmc_queue_depth",
+            required(&snap, "twmc_queue_depth")?,
+            th.max_queue_depth as f64,
+        ),
+        le(
+            "twmc_route_overflow",
+            required(&snap, "twmc_route_overflow")?,
+            th.max_route_overflow as f64,
+        ),
+    ];
+    // Busy workers beyond the pool size means the gauges are corrupt —
+    // always a breach, never configurable.
+    let workers = required(&snap, "twmc_workers")?;
+    checks.push(le(
+        "twmc_workers_busy",
+        required(&snap, "twmc_workers_busy")?,
+        workers,
+    ));
+    if th.max_move_eval_p50_ns > 0.0 {
+        let hist = snap
+            .histogram("twmc_move_eval_ns")
+            .ok_or_else(|| "snapshot lacks required family `twmc_move_eval_ns`".to_owned())?;
+        // No samples yet (no job has run) is vacuously healthy.
+        if let Some(p50) = hist.quantile(0.5) {
+            checks.push(le("twmc_move_eval_ns{p50}", p50, th.max_move_eval_p50_ns));
+        }
+    }
+
+    let regressions = checks.iter().filter(|c| c.regressed).count() as u64;
+    Ok(SnapshotReport {
+        checks,
+        regressions,
+    })
+}
+
+/// Renders a snapshot report as the terminal table behind
+/// `twmc report --metrics-snapshot`.
+pub fn format_snapshot_report(report: &SnapshotReport) -> String {
+    let mut out = String::new();
+    out.push_str("family                            value    threshold\n");
+    for c in &report.checks {
+        let marker = if c.regressed { "  BREACHED" } else { "" };
+        out.push_str(&format!(
+            "{:<30} {:>10.0} {:>12.0}{marker}\n",
+            c.metric, c.value, c.threshold
+        ));
+    }
+    out.push_str(&if report.regressed() {
+        format!("snapshot: {} check(s) BREACHED\n", report.regressions)
+    } else {
+        "snapshot: healthy\n".to_owned()
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twmc_metrics::MetricsHub;
+
+    fn healthy_scrape() -> String {
+        let hub = MetricsHub::new();
+        hub.workers.set(2);
+        hub.jobs_submitted_total.inc();
+        hub.jobs_completed_total.inc();
+        hub.render()
+    }
+
+    #[test]
+    fn a_fresh_daemon_scrape_is_healthy() {
+        let report =
+            check_metrics_snapshot(&healthy_scrape(), &SnapshotThresholds::default()).unwrap();
+        assert!(!report.regressed(), "{}", format_snapshot_report(&report));
+        assert!(format_snapshot_report(&report).contains("healthy"));
+    }
+
+    #[test]
+    fn failed_jobs_breach_the_default_bound() {
+        let hub = MetricsHub::new();
+        hub.jobs_failed_total.inc();
+        let report = check_metrics_snapshot(&hub.render(), &SnapshotThresholds::default()).unwrap();
+        assert!(report.regressed());
+        let row = &report.checks[0];
+        assert_eq!(row.metric, "twmc_jobs_failed_total");
+        assert!(row.regressed);
+        assert!(format_snapshot_report(&report).contains("BREACHED"));
+
+        // A looser bound absorbs it.
+        let th = SnapshotThresholds {
+            max_failed_jobs: 1,
+            ..SnapshotThresholds::default()
+        };
+        assert!(!check_metrics_snapshot(&hub.render(), &th)
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn busy_beyond_pool_size_always_breaches() {
+        let hub = MetricsHub::new();
+        hub.workers.set(2);
+        hub.workers_busy.set(3);
+        let report = check_metrics_snapshot(&hub.render(), &SnapshotThresholds::default()).unwrap();
+        assert!(report.regressed());
+    }
+
+    #[test]
+    fn move_latency_gate_is_opt_in_and_judges_the_p50() {
+        let hub = MetricsHub::new();
+        for _ in 0..100 {
+            hub.move_eval_ns.observe(50_000.0);
+        }
+        // Off by default: slow moves alone do not breach.
+        let report = check_metrics_snapshot(&hub.render(), &SnapshotThresholds::default()).unwrap();
+        assert!(!report.regressed());
+        // Gated at 1 µs, a 50 µs p50 breaches.
+        let th = SnapshotThresholds {
+            max_move_eval_p50_ns: 1_000.0,
+            ..SnapshotThresholds::default()
+        };
+        let report = check_metrics_snapshot(&hub.render(), &th).unwrap();
+        assert!(report.regressed(), "{}", format_snapshot_report(&report));
+        // An empty histogram is vacuously healthy under the same gate.
+        let empty = check_metrics_snapshot(&MetricsHub::new().render(), &th).unwrap();
+        assert!(!empty.regressed());
+    }
+
+    #[test]
+    fn a_foreign_file_is_an_operational_error() {
+        let err = check_metrics_snapshot("up 1\n", &SnapshotThresholds::default()).unwrap_err();
+        assert!(err.contains("twmc_jobs_failed_total"), "{err}");
+        assert!(check_metrics_snapshot(
+            "garbage without value-lines that parse? no:",
+            &SnapshotThresholds::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report =
+            check_metrics_snapshot(&healthy_scrape(), &SnapshotThresholds::default()).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"checks\""), "{json}");
+        twmc_obs::validate::parse_json(&json).unwrap();
+    }
+}

@@ -14,9 +14,12 @@
 //!    JSONL path adds well under 2% per move; the disabled
 //!    (`NullRecorder`) path is one always-false branch per step.
 //!
-//! The sweep covers two scopes: bare stage-1 placement, and the full
-//! pipeline (stage 1 + stage 2 + finalize) whose stream additionally
-//! carries the `route_iter` events — the bound must hold with routing
+//! The sweep covers three scopes: bare stage-1 placement, the same
+//! stage-1 run with the live metrics hub attached (sharded counters
+//! plus the stride-sampled per-move latency histogram, no events —
+//! the always-on `/metrics` configuration), and the full pipeline
+//! (stage 1 + stage 2 + finalize) whose stream additionally carries
+//! the `route_iter` events — the bound must hold with routing
 //! telemetry included.
 
 use criterion::{criterion_group, Criterion};
@@ -28,7 +31,7 @@ use twmc_core::{run_timberwolf_with, TimberWolfConfig, TimberWolfResult};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::{synthesize, Netlist, SynthParams};
 use twmc_obs::validate::validate_jsonl;
-use twmc_obs::{JsonlRecorder, NullRecorder, Recorder};
+use twmc_obs::{Instrumented, JsonlRecorder, MetricsHub, NullRecorder, Recorder};
 use twmc_place::{place_stage1_with, PlaceParams, Stage1Result};
 use twmc_route::RouterParams;
 
@@ -89,9 +92,11 @@ struct ObsRow {
     route_iters: usize,
     jsonl_bytes: usize,
     disabled_ns_per_move: f64,
+    /// Per-move cost with the scope's instrumentation enabled (a JSONL
+    /// sink for the event scopes, the live metrics hub for `metrics`).
     jsonl_ns_per_move: f64,
-    /// Extra per-move cost of the fully enabled JSONL path over the
-    /// disabled path, in percent. The acceptance bar is < 2%.
+    /// Extra per-move cost of the enabled path over the disabled path,
+    /// in percent. The acceptance bar is < 2%.
     overhead_pct: f64,
     /// Whether the recorded run reproduced the disabled run bit for bit
     /// (final TEIL, per-step costs/attempts/accepts, move counters).
@@ -137,6 +142,64 @@ fn stage1_row(test_mode: bool) -> ObsRow {
         disabled_ns_per_move: disabled_ns,
         jsonl_ns_per_move: jsonl_ns,
         overhead_pct: 100.0 * (jsonl_ns - disabled_ns) / disabled_ns.max(1e-12),
+        bit_identical,
+    }
+}
+
+/// Live-metrics sweep: a stage-1 run with the [`MetricsHub`] attached
+/// but JSONL events off — the hot loop ticks the sharded move counters
+/// and the stride-sampled per-move latency histogram on every
+/// temperature step. This is the "always-on" configuration the live
+/// `/metrics` plane runs in, so it carries the same <2% bound.
+fn metrics_row(test_mode: bool) -> ObsRow {
+    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 3) };
+    let nl = circuit(cells);
+    let pp = params(ac);
+
+    // Correctness: the instrumented run must reproduce the disabled
+    // run — the hub only ever reads clocks and ticks atomics, never an
+    // RNG stream.
+    let (reference, _) = timed_run(&nl, &pp, &mut NullRecorder);
+    let hub = MetricsHub::new();
+    let mut instrumented = Instrumented::new(NullRecorder, std::sync::Arc::clone(&hub));
+    let (recorded, _) = timed_run(&nl, &pp, &mut instrumented);
+    let bit_identical = identical(&reference, &recorded);
+    let moves = reference.moves.attempts();
+    assert_eq!(
+        hub.moves_total.value(),
+        moves as u64,
+        "the hub missed move attempts"
+    );
+    assert!(
+        hub.registry()
+            .histogram_snapshot("twmc_move_eval_ns")
+            .map_or(0, |h| h.count)
+            > 0,
+        "no per-move latencies were sampled"
+    );
+
+    let mut disabled_best = f64::INFINITY;
+    let mut metrics_best = f64::INFINITY;
+    for _ in 0..trials {
+        let (_, secs) = timed_run(&nl, &pp, &mut NullRecorder);
+        disabled_best = disabled_best.min(secs);
+        let mut rec = Instrumented::new(NullRecorder, MetricsHub::new());
+        let (_, secs) = timed_run(&nl, &pp, &mut rec);
+        black_box(rec.hub().map(|h| h.render().len()));
+        metrics_best = metrics_best.min(secs);
+    }
+    let disabled_ns = disabled_best * 1e9 / moves.max(1) as f64;
+    let metrics_ns = metrics_best * 1e9 / moves.max(1) as f64;
+    ObsRow {
+        scope: "metrics",
+        cells,
+        moves,
+        events: 0,
+        route_iters: 0,
+        jsonl_bytes: 0,
+        disabled_ns_per_move: disabled_ns,
+        jsonl_ns_per_move: metrics_ns,
+        overhead_pct: 100.0 * (metrics_ns - disabled_ns) / disabled_ns.max(1e-12),
         bit_identical,
     }
 }
@@ -220,13 +283,18 @@ fn pipeline_row(test_mode: bool) -> ObsRow {
     }
 }
 
-/// Runs both sweeps, dumped as `BENCH_obs.json` on a measurement run.
+/// Runs the three sweeps, dumped as `BENCH_obs.json` on a measurement
+/// run.
 fn obs_summary(test_mode: bool) {
-    let rows = [stage1_row(test_mode), pipeline_row(test_mode)];
+    let rows = [
+        stage1_row(test_mode),
+        metrics_row(test_mode),
+        pipeline_row(test_mode),
+    ];
     for row in &rows {
         eprintln!(
             "obs/overhead {} {} cells: {} moves, {} events ({} route_iter, {} bytes), \
-             disabled {:.0}ns/move, jsonl {:.0}ns/move ({:+.2}%), bit-identical: {}",
+             disabled {:.0}ns/move, enabled {:.0}ns/move ({:+.2}%), bit-identical: {}",
             row.scope,
             row.cells,
             row.moves,
@@ -244,19 +312,26 @@ fn obs_summary(test_mode: bool) {
             row.scope
         );
     }
-    let pipeline = &rows[1];
+    let pipeline = &rows[2];
     assert!(
         pipeline.route_iters > 0,
         "pipeline stream carried no route_iter events"
     );
     if !test_mode {
         // The acceptance bar: streaming telemetry — route_iter emission
-        // included — stays under 2% per move. Only enforced on a
-        // measurement run; single-trial test-mode timings are noise.
+        // included — stays under 2% per move, and so does the live
+        // metrics hub. Only enforced on a measurement run; single-trial
+        // test-mode timings are noise.
         assert!(
             pipeline.overhead_pct < 2.0,
             "route_iter telemetry overhead {:.2}% exceeds the 2% bound",
             pipeline.overhead_pct
+        );
+        let metrics = &rows[1];
+        assert!(
+            metrics.overhead_pct < 2.0,
+            "live-metrics overhead {:.2}% exceeds the 2% bound",
+            metrics.overhead_pct
         );
         let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
         let text = serde_json::to_string_pretty(&rows).expect("serializable rows");

@@ -181,6 +181,7 @@ pub fn run_timberwolf_resilient(
             cancel: opts.cancel.clone(),
             writer: opts.checkpoint.take(),
             resume: opts.resume.take(),
+            hub: rec.hub().cloned(),
         };
         let outcome = parallel_stage1_resilient(
             nl,
@@ -244,7 +245,13 @@ pub fn run_timberwolf_resilient(
             ("updates", Value::UInt(state.index_updates())),
         ]);
         if let Some(w) = opts.checkpoint.as_mut() {
+            let t0 = Instant::now();
             w.write(&payload)?;
+            if let Some(hub) = rec.hub() {
+                hub.checkpoint_writes_total.inc();
+                hub.checkpoint_write_ms
+                    .observe(t0.elapsed().as_secs_f64() * 1e3);
+            }
         }
     }
 

@@ -54,4 +54,5 @@ pub use event::{
     AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaFailed, ReplicaSummary,
     RouteIter, RunEnd, RunInterrupted, RunScope, RunStart, StageSpan, Swap, EVENT_KINDS,
 };
-pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
+pub use recorder::{Instrumented, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
+pub use twmc_metrics::{MetricsHub, MOVE_EVAL_SAMPLE};

@@ -1,6 +1,9 @@
 //! Event sinks: the [`Recorder`] trait and its implementations.
 
 use std::io::{self, BufWriter, Write};
+use std::sync::Arc;
+
+use twmc_metrics::MetricsHub;
 
 use crate::Event;
 
@@ -32,6 +35,35 @@ pub trait Recorder {
 
     /// Flushes any buffered output (no-op for in-memory sinks).
     fn flush(&mut self) {}
+
+    /// The live metrics hub riding this recorder, if any.
+    ///
+    /// Metrics are orthogonal to events: producers update hub counters
+    /// and histograms whenever a hub is present, even when `enabled()`
+    /// is `false` (a [`NullRecorder`] wrapped in [`Instrumented`]
+    /// yields metrics without any event stream). Like event recording,
+    /// metric updates must never touch an RNG.
+    fn hub(&self) -> Option<&Arc<MetricsHub>> {
+        None
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: &Event) {
+        (**self).record(event)
+    }
+
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+
+    fn hub(&self) -> Option<&Arc<MetricsHub>> {
+        (**self).hub()
+    }
 }
 
 /// The disabled sink: `enabled()` is `false`, `record` is a no-op.
@@ -57,6 +89,7 @@ pub struct JsonlRecorder<W: Write> {
     out: BufWriter<W>,
     events: usize,
     error: Option<io::Error>,
+    autoflush: bool,
 }
 
 impl JsonlRecorder<std::fs::File> {
@@ -84,7 +117,17 @@ impl<W: Write> JsonlRecorder<W> {
             out: BufWriter::new(writer),
             events: 0,
             error: None,
+            autoflush: false,
         }
+    }
+
+    /// Flush after every event so tailing readers see each line as soon
+    /// as it is recorded. Required for live streaming (`GET
+    /// /jobs/<id>/events?follow=1`), where a buffered suffix would be
+    /// invisible to followers until the run ended.
+    pub fn with_autoflush(mut self) -> Self {
+        self.autoflush = true;
+        self
     }
 
     /// Events recorded so far (counted even if a later write failed).
@@ -118,6 +161,13 @@ impl<W: Write> Recorder for JsonlRecorder<W> {
             .out
             .write_all(line.as_bytes())
             .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| {
+                if self.autoflush {
+                    self.out.flush()
+                } else {
+                    Ok(())
+                }
+            })
         {
             self.error = Some(e);
         }
@@ -201,6 +251,64 @@ impl Recorder for Tee<'_> {
         self.a.flush();
         self.b.flush();
     }
+
+    fn hub(&self) -> Option<&Arc<MetricsHub>> {
+        self.a.hub().or_else(|| self.b.hub())
+    }
+}
+
+/// Pairs any event sink with a [`MetricsHub`] so metric-producing
+/// layers see the hub through [`Recorder::hub`] without new plumbing.
+///
+/// The inner recorder keeps full control of the event stream —
+/// `Instrumented<NullRecorder>` yields live metrics with zero events.
+pub struct Instrumented<R: Recorder> {
+    inner: R,
+    hub: Option<Arc<MetricsHub>>,
+}
+
+impl<R: Recorder> Instrumented<R> {
+    /// Attaches `hub` to `inner`.
+    pub fn new(inner: R, hub: Arc<MetricsHub>) -> Self {
+        Instrumented {
+            inner,
+            hub: Some(hub),
+        }
+    }
+
+    /// Attaches an optional hub — the forwarding adapter for worker
+    /// threads, where the orchestrator may or may not carry one.
+    pub fn maybe(inner: R, hub: Option<Arc<MetricsHub>>) -> Self {
+        Instrumented { inner, hub }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Unwraps back into the inner sink.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Recorder> Recorder for Instrumented<R> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, event: &Event) {
+        self.inner.record(event);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    fn hub(&self) -> Option<&Arc<MetricsHub>> {
+        self.hub.as_ref().or_else(|| self.inner.hub())
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +363,7 @@ mod tests {
             out: BufWriter::with_capacity(0, Failing),
             events: 0,
             error: None,
+            autoflush: false,
         };
         r.record(&span(1));
         r.record(&span(2)); // must not panic after the first failure

@@ -343,6 +343,8 @@ pub struct RunCtrl {
     pub writer: Option<CheckpointWriter>,
     /// Decoded checkpoint payload to resume from.
     pub resume: Option<Value>,
+    /// Live metrics hub (checkpoint-write counters and latency).
+    pub hub: Option<std::sync::Arc<twmc_obs::MetricsHub>>,
 }
 
 impl RunCtrl {
@@ -352,7 +354,16 @@ impl RunCtrl {
 
     fn write_checkpoint(&mut self, payload: &Value) -> Result<(), CheckpointError> {
         match self.writer.as_mut() {
-            Some(w) => w.write(payload),
+            Some(w) => {
+                let t0 = std::time::Instant::now();
+                let result = w.write(payload);
+                if let Some(hub) = &self.hub {
+                    hub.checkpoint_writes_total.inc();
+                    hub.checkpoint_write_ms
+                        .observe(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                result
+            }
             None => Ok(()),
         }
     }

@@ -18,7 +18,8 @@ use twmc_anneal::{derive_seed, CoolingSchedule};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
 use twmc_obs::{
-    Event, NullRecorder, Recorder, ReplicaFailed, ReplicaSummary, RunScope, SummaryRecorder,
+    Event, Instrumented, NullRecorder, Recorder, ReplicaFailed, ReplicaSummary, RunScope,
+    SummaryRecorder,
 };
 use twmc_place::{CoolingRun, MoveSet, PlaceParams, PlacementState, Stage1Context, Stage1Result};
 
@@ -216,6 +217,7 @@ pub(crate) fn run_controlled<'a>(
             break;
         }
         let before: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
+        let round_hub = rec.hub().cloned();
         let outcomes = pool::try_run_mut(&mut reps, threads, |_, rep| {
             if !rep.live() || rep.run.done {
                 return;
@@ -223,6 +225,9 @@ pub(crate) fn run_controlled<'a>(
             fault::maybe_fail(rep.index, rep.run.steps());
             let mut null = NullRecorder;
             let sink: &mut dyn Recorder = if enabled { &mut rep.local } else { &mut null };
+            // Forward the orchestrator's hub into the worker thread so
+            // hot-path metrics fill from multi-start rounds.
+            let mut sink = Instrumented::maybe(sink, round_hub.clone());
             rep.run.step(
                 &mut rep.state,
                 place,
@@ -232,7 +237,7 @@ pub(crate) fn run_controlled<'a>(
                 ctx.s_t,
                 None,
                 &mut rep.rng,
-                sink,
+                &mut sink,
                 scope_for(rep.index),
             );
         });
@@ -246,6 +251,9 @@ pub(crate) fn run_controlled<'a>(
                         round,
                         error: e.message.clone(),
                     });
+                    if let Some(hub) = rec.hub() {
+                        hub.replica_failures_total.inc();
+                    }
                     if enabled {
                         rec.record(&Event::ReplicaFailed(ReplicaFailed {
                             phase: summary_phase,

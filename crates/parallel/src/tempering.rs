@@ -50,8 +50,8 @@ use twmc_anneal::{
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::Netlist;
 use twmc_obs::{
-    ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, ReplicaFailed, RunScope,
-    SummaryRecorder, Swap,
+    ClassCount, CostBreakdown, Event, Instrumented, NullRecorder, PlaceTemp, Recorder,
+    ReplicaFailed, RunScope, SummaryRecorder, Swap, MOVE_EVAL_SAMPLE,
 };
 use twmc_place::{
     generate, CoolingRun, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context,
@@ -393,6 +393,7 @@ pub(crate) fn run_controlled<'a>(
             Vec::new()
         };
         let before: usize = rungs.iter().map(|r| r.stats.attempts()).sum();
+        let round_hub = rec.hub().cloned();
         let outcomes = pool::try_run_mut(&mut rungs, threads, |_, rung| {
             if !rung.live() || !in_transit(temps[rung.index]) {
                 return;
@@ -401,17 +402,49 @@ pub(crate) fn run_controlled<'a>(
             let t = temps[rung.index];
             let wx = ctx.limiter.window_x(t);
             let wy = ctx.limiter.window_y(t);
-            for _ in 0..inner {
-                generate(
-                    &mut rung.state,
-                    place,
-                    MoveSet::Full,
-                    wx,
-                    wy,
-                    t,
-                    &mut rung.rng,
-                    &mut rung.stats,
-                );
+            if let Some(hub) = &round_hub {
+                // Metrics-enabled rung round: block-averaged move
+                // timing plus per-rung counter deltas (hub handles are
+                // atomic, so concurrent rungs fold in safely). RNG use
+                // is identical to the plain loop below.
+                let (a0, c0) = (rung.stats.attempts(), rung.stats.accepts());
+                let mut done = 0usize;
+                while done < inner {
+                    let n = MOVE_EVAL_SAMPLE.min(inner - done);
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..n {
+                        generate(
+                            &mut rung.state,
+                            place,
+                            MoveSet::Full,
+                            wx,
+                            wy,
+                            t,
+                            &mut rung.rng,
+                            &mut rung.stats,
+                        );
+                    }
+                    hub.move_eval_ns
+                        .observe(t0.elapsed().as_nanos() as f64 / n as f64);
+                    done += n;
+                }
+                hub.moves_total.add((rung.stats.attempts() - a0) as u64);
+                hub.moves_accepted_total
+                    .add((rung.stats.accepts() - c0) as u64);
+                hub.temp_steps_total.inc();
+            } else {
+                for _ in 0..inner {
+                    generate(
+                        &mut rung.state,
+                        place,
+                        MoveSet::Full,
+                        wx,
+                        wy,
+                        t,
+                        &mut rung.rng,
+                        &mut rung.stats,
+                    );
+                }
             }
             rung.trajectory.push(rung.state.teil());
         });
@@ -424,6 +457,9 @@ pub(crate) fn run_controlled<'a>(
                         round: round as u64,
                         error: e.message.clone(),
                     });
+                    if let Some(hub) = rec.hub() {
+                        hub.replica_failures_total.inc();
+                    }
                     if enabled {
                         rec.record(&Event::ReplicaFailed(ReplicaFailed {
                             phase: "tempering",
@@ -512,6 +548,12 @@ pub(crate) fn run_controlled<'a>(
                     swaps.pairs[i].accepts += 1;
                 }
                 gaps[i] = adapt_gap(gaps[i], accepted);
+                if let Some(hub) = rec.hub() {
+                    hub.swap_attempts_total.inc();
+                    if accepted {
+                        hub.swaps_accepted_total.inc();
+                    }
+                }
                 if enabled {
                     rec.record(&Event::Swap(Swap {
                         round: round as u64,
@@ -715,6 +757,7 @@ fn quench_all<'a>(
             break;
         }
         let before: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
+        let round_hub = rec.hub().cloned();
         let outcomes = pool::try_run_mut(&mut reps, threads, |_, rep| {
             if !rep.live() || rep.run.done {
                 return;
@@ -722,6 +765,9 @@ fn quench_all<'a>(
             fault::maybe_fail(rep.index, ladder_rounds + rep.run.steps());
             let mut null = NullRecorder;
             let sink: &mut dyn Recorder = if enabled { &mut rep.local } else { &mut null };
+            // Forward the orchestrator's hub into the worker thread so
+            // the per-move histogram fills from quench rounds too.
+            let mut sink = Instrumented::maybe(sink, round_hub.clone());
             rep.run.step(
                 &mut rep.state,
                 place,
@@ -731,7 +777,7 @@ fn quench_all<'a>(
                 ctx.s_t,
                 None,
                 &mut rep.rng,
-                sink,
+                &mut sink,
                 RunScope {
                     phase: "quench",
                     iteration: 0,
@@ -749,6 +795,9 @@ fn quench_all<'a>(
                         round,
                         error: e.message.clone(),
                     });
+                    if let Some(hub) = rec.hub() {
+                        hub.replica_failures_total.inc();
+                    }
                     if enabled {
                         rec.record(&Event::ReplicaFailed(ReplicaFailed {
                             phase: "quench",

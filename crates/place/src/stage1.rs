@@ -14,7 +14,7 @@ use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams, PinD
 use twmc_netlist::Netlist;
 use twmc_obs::{
     CancelToken, ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, RunScope,
-    StopReason,
+    StopReason, MOVE_EVAL_SAMPLE,
 };
 
 use crate::{generate, MoveSet, MoveStats, PlaceParams, PlacementState};
@@ -378,8 +378,33 @@ impl CoolingRun {
         let wx = limiter.window_x(t);
         let wy = limiter.window_y(t);
         let before = self.moves;
-        for _ in 0..inner {
-            generate(state, params, move_set, wx, wy, t, rng, &mut self.moves);
+        if let Some(hub) = rec.hub() {
+            // Metrics-enabled inner loop: time MOVE_EVAL_SAMPLE-move
+            // blocks and record the per-move average, so the clock is
+            // read twice per block — a fraction of a nanosecond per
+            // move — and the block body stays branch-free, identical
+            // to the metrics-off loop. The hub never sees the RNG, so
+            // results are bit-identical either way.
+            let hub = hub.clone();
+            let mut done = 0usize;
+            while done < inner {
+                let n = MOVE_EVAL_SAMPLE.min(inner - done);
+                let t0 = std::time::Instant::now();
+                for _ in 0..n {
+                    generate(state, params, move_set, wx, wy, t, rng, &mut self.moves);
+                }
+                hub.move_eval_ns
+                    .observe(t0.elapsed().as_nanos() as f64 / n as f64);
+                done += n;
+            }
+            let delta = self.moves.since(&before);
+            hub.moves_total.add(delta.attempts() as u64);
+            hub.moves_accepted_total.add(delta.accepts() as u64);
+            hub.temp_steps_total.inc();
+        } else {
+            for _ in 0..inner {
+                generate(state, params, move_set, wx, wy, t, rng, &mut self.moves);
+            }
         }
         self.history.push(TempRecord {
             temperature: t,

@@ -170,6 +170,7 @@ fn route_inner(
     iteration: u64,
     cancel: Option<&CancelToken>,
 ) -> Result<GlobalRouting, StopReason> {
+    let route_t0 = std::time::Instant::now();
     let graph = build_channel_graph(geometry, params.track_spacing);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -306,6 +307,13 @@ fn route_inner(
             usage_total,
             util_hist,
         }));
+    }
+
+    if let Some(hub) = rec.hub() {
+        hub.route_iters_total.inc();
+        hub.route_iter_ms
+            .observe(route_t0.elapsed().as_secs_f64() * 1e3);
+        hub.route_overflow.set(assignment.overflow);
     }
 
     Ok(GlobalRouting {

@@ -1,10 +1,14 @@
 //! A minimal blocking HTTP client for the daemon's API — used by the
 //! integration tests, the load harness, and the benchmark so none of
-//! them needs an external HTTP tool.
+//! them needs an external HTTP tool. [`Conn`] reuses one keep-alive
+//! connection across requests; [`follow`] consumes a chunked
+//! streaming event tail, surfacing each chunk as it lands.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+use crate::http::read_chunk_frame;
 
 /// One response from the daemon.
 #[derive(Debug, Clone)]
@@ -74,6 +78,136 @@ pub fn post_raw(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse
 /// `DELETE path`.
 pub fn delete(addr: &str, path: &str) -> io::Result<ClientResponse> {
     request(addr, "DELETE", path, None, b"")
+}
+
+/// How a [`follow`] stream ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FollowEnd {
+    /// The server wrote the terminating chunk — the job is terminal
+    /// and every event was delivered.
+    Complete,
+    /// The chunk callback asked to stop; the connection was dropped
+    /// mid-stream (the simulated client disconnect).
+    ClientStopped,
+}
+
+/// Follows `path` (e.g. `/jobs/j1/events?follow=1`) as a chunked
+/// stream. `on_chunk` sees each data chunk as it arrives and returns
+/// whether to keep following; returning `false` severs the connection
+/// immediately, exactly like a client vanishing mid-stream. Returns
+/// how the stream ended plus everything received.
+pub fn follow(
+    addr: &str,
+    path: &str,
+    mut on_chunk: impl FnMut(&[u8]) -> bool,
+) -> io::Result<(FollowEnd, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let head = read_response_head(&mut reader)?;
+    if head.status != 200 {
+        return Err(io::Error::other(format!(
+            "follow got status {}",
+            head.status
+        )));
+    }
+    if !head.chunked {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "follow response is not chunked",
+        ));
+    }
+    let mut received = Vec::new();
+    while let Some(chunk) = read_chunk_frame(&mut reader)? {
+        received.extend_from_slice(&chunk);
+        if !on_chunk(&chunk) {
+            return Ok((FollowEnd::ClientStopped, received));
+        }
+    }
+    Ok((FollowEnd::Complete, received))
+}
+
+/// A persistent keep-alive connection issuing sequential requests.
+pub struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    /// Connects to `addr`.
+    pub fn connect(addr: &str) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn { stream, reader })
+    }
+
+    /// Issues `GET path` over the persistent connection. Errors with
+    /// `UnexpectedEof` once the server has closed it (request-budget
+    /// exhaustion or an earlier `Connection: close`).
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: conn\r\nConnection: keep-alive\r\n\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.flush()?;
+        let head = read_response_head(&mut self.reader)?;
+        let mut body = vec![0u8; head.content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status: head.status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}
+
+/// Parsed response head fields the client cares about.
+struct ResponseHead {
+    status: u16,
+    content_length: usize,
+    chunked: bool,
+}
+
+/// Reads a status line plus headers off a buffered response stream.
+fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<ResponseHead> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response arrived",
+        ));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response lacks a status"))?;
+    let mut head = ResponseHead {
+        status,
+        content_length: 0,
+        chunked: false,
+    };
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            return Ok(head);
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => head.content_length = value.parse().unwrap_or(0),
+            "transfer-encoding" => head.chunked = value.eq_ignore_ascii_case("chunked"),
+            _ => {}
+        }
+    }
 }
 
 /// Splits a raw HTTP/1.1 response into status + body.

@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use serde::Value;
 use twmc_analyze::{analyze, parse_stream};
 use twmc_core::{run_timberwolf_resilient, RunOptions, RunOutcome, TimberWolfResult};
-use twmc_obs::{CancelToken, JsonlRecorder, Recorder};
+use twmc_obs::{CancelToken, Instrumented, JsonlRecorder, MetricsHub, Recorder};
 use twmc_resume::{read_checkpoint, CheckpointWriter};
 
 use crate::job::{placement_text, JobSpec, JobState};
@@ -118,6 +118,9 @@ struct RunningJob {
 struct JobRecord {
     spec: JobSpec,
     status: JobStatus,
+    /// When the job last entered the wait queue (set on submit and on
+    /// every re-enqueue) — the start point of the queue-wait histogram.
+    enqueued_at: Option<Instant>,
 }
 
 /// Monotonic service counters (the `/stats` payload).
@@ -173,6 +176,9 @@ pub struct Daemon {
     change: Condvar,
     spool: Spool,
     opts: ServeOptions,
+    /// Live metrics plane, shared with running jobs (hot-path families)
+    /// and `GET /metrics`.
+    hub: Arc<MetricsHub>,
 }
 
 impl Daemon {
@@ -219,27 +225,62 @@ impl Daemon {
                     id: recovered.spec.id.clone(),
                 });
             }
+            let waiting = !status.state.terminal();
             inner.jobs.insert(
                 recovered.spec.id.clone(),
                 JobRecord {
                     spec: recovered.spec,
                     status,
+                    enqueued_at: waiting.then(Instant::now),
                 },
             );
         }
         let workers = inner.live_workers;
+        let hub = MetricsHub::new();
+        hub.workers.set(workers as i64);
         let daemon = Arc::new(Daemon {
             state: Mutex::new(inner),
             work: Condvar::new(),
             change: Condvar::new(),
             spool,
             opts,
+            hub,
         });
+        daemon.sync_gauges(&daemon.state.lock().unwrap());
         for _ in 0..workers {
             let d = Arc::clone(&daemon);
             std::thread::spawn(move || d.worker_loop());
         }
         Ok(daemon)
+    }
+
+    /// The daemon's live metrics plane.
+    pub fn hub(&self) -> &Arc<MetricsHub> {
+        &self.hub
+    }
+
+    /// Recomputes the state-shaped gauges from the job table. Called
+    /// with the state lock held, after every lifecycle transition —
+    /// gauges always reflect the table, counters tick at the
+    /// transitions themselves.
+    fn sync_gauges(&self, inner: &Inner) {
+        let mut by_state = [0i64; 6];
+        for job in inner.jobs.values() {
+            let slot = match job.status.state {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Preempted => 2,
+                JobState::Done => 3,
+                JobState::Failed => 4,
+                JobState::Cancelled => 5,
+            };
+            by_state[slot] += 1;
+        }
+        for (state, count) in twmc_metrics::JOB_STATES.iter().zip(by_state) {
+            self.hub.jobs.with(state).set(count);
+        }
+        self.hub.queue_depth.set(by_state[0] + by_state[2]);
+        self.hub.workers_busy.set(inner.running.len() as i64);
     }
 
     /// The daemon's options.
@@ -262,6 +303,7 @@ impl Daemon {
         }
         if inner.backlog() >= self.opts.queue_cap {
             inner.stats.rejected += 1;
+            self.hub.rejected_total.inc();
             return Err(SubmitError::QueueFull);
         }
         spec.id = format!("j{}", inner.next_id);
@@ -270,6 +312,7 @@ impl Daemon {
         inner.next_seq += 1;
         self.spool.create_job(&spec).map_err(SubmitError::Spool)?;
         inner.stats.submitted += 1;
+        self.hub.jobs_submitted_total.inc();
         inner.queue.push(QueueEntry {
             priority: spec.priority,
             order: std::cmp::Reverse(spec.seq),
@@ -282,9 +325,11 @@ impl Daemon {
             JobRecord {
                 spec,
                 status: JobStatus::default(),
+                enqueued_at: Some(Instant::now()),
             },
         );
         self.maybe_preempt(&mut inner, priority);
+        self.sync_gauges(&inner);
         drop(inner);
         self.work.notify_all();
         Ok(id)
@@ -310,6 +355,7 @@ impl Daemon {
                 running.cause = StopCause::Preempt;
                 running.cancel.cancel();
                 inner.stats.preemptions += 1;
+                self.hub.preemptions_total.inc();
                 if let Some(job) = inner.jobs.get_mut(&id) {
                     job.status.preemptions += 1;
                 }
@@ -330,7 +376,9 @@ impl Daemon {
                 job.status.state = JobState::Cancelled;
                 let status = job.status.clone();
                 inner.stats.cancelled += 1;
+                self.hub.jobs_cancelled_total.inc();
                 let _ = self.spool.write_status(id, &status);
+                self.sync_gauges(&inner);
                 drop(inner);
                 self.change.notify_all();
                 Some(JobState::Cancelled)
@@ -513,6 +561,11 @@ impl Daemon {
                 continue;
             }
             job.status.state = JobState::Running;
+            if let Some(t0) = job.enqueued_at.take() {
+                self.hub
+                    .queue_wait_ms
+                    .observe(t0.elapsed().as_secs_f64() * 1e3);
+            }
             let spec = job.spec.clone();
             let status = job.status.clone();
             let cancel = CancelToken::new();
@@ -526,6 +579,7 @@ impl Daemon {
                 },
             );
             let _ = self.spool.write_status(&entry.id, &status);
+            self.sync_gauges(inner);
             return Some((spec, cancel));
         }
         None
@@ -557,6 +611,7 @@ impl Daemon {
         if resuming {
             let mut inner = self.state.lock().unwrap();
             inner.stats.resumes += 1;
+            self.hub.resumes_total.inc();
             if let Some(job) = inner.jobs.get_mut(&id) {
                 job.status.resumes += 1;
             }
@@ -570,13 +625,17 @@ impl Daemon {
         } else {
             JsonlRecorder::create(&events_str)
         };
-        let mut recorder = match recorder {
-            Ok(r) => r,
+        // Autoflush so `GET /jobs/<id>/events?follow=1` tails see each
+        // event the moment it is recorded; the hub rides along so the
+        // pipeline's hot-path families fill while the job runs.
+        let recorder = match recorder {
+            Ok(r) => r.with_autoflush(),
             Err(e) => {
                 self.dispose_failed(&id, format!("cannot open telemetry stream: {e}"));
                 return;
             }
         };
+        let mut recorder = Instrumented::new(recorder, Arc::clone(&self.hub));
 
         let nl = match spec.parse_netlist() {
             Ok(nl) => nl,
@@ -600,7 +659,7 @@ impl Daemon {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run_timberwolf_resilient(&nl, &config, run_opts, &mut recorder as &mut dyn Recorder)
         }));
-        let _ = recorder.finish();
+        let _ = recorder.into_inner().finish();
 
         match outcome {
             Err(panic) => self.dispose_failed(&id, panic_text(panic)),
@@ -614,12 +673,14 @@ impl Daemon {
         let mut inner = self.state.lock().unwrap();
         inner.running.remove(id);
         inner.stats.failed += 1;
+        self.hub.jobs_failed_total.inc();
         if let Some(job) = inner.jobs.get_mut(id) {
             job.status.state = JobState::Failed;
             job.status.error = error;
             let status = job.status.clone();
             let _ = self.spool.write_status(id, &status);
         }
+        self.sync_gauges(&inner);
         drop(inner);
         self.change.notify_all();
     }
@@ -635,12 +696,14 @@ impl Daemon {
         let mut inner = self.state.lock().unwrap();
         inner.running.remove(id);
         inner.stats.completed += 1;
+        self.hub.jobs_completed_total.inc();
         if let Some(job) = inner.jobs.get_mut(id) {
             job.status.state = JobState::Done;
             job.status.teil = result.teil;
             let status = job.status.clone();
             let _ = self.spool.write_status(id, &status);
         }
+        self.sync_gauges(&inner);
         drop(inner);
         self.change.notify_all();
     }
@@ -655,6 +718,7 @@ impl Daemon {
         match cause {
             StopCause::Cancel => {
                 inner.stats.cancelled += 1;
+                self.hub.jobs_cancelled_total.inc();
                 if let Some(job) = inner.jobs.get_mut(id) {
                     job.status.state = JobState::Cancelled;
                     let status = job.status.clone();
@@ -674,6 +738,7 @@ impl Daemon {
             StopCause::Preempt | StopCause::None => {
                 let requeue = inner.jobs.get_mut(id).map(|job| {
                     job.status.state = JobState::Preempted;
+                    job.enqueued_at = Some(Instant::now());
                     let _ = self.spool.write_status(id, &job.status);
                     (job.spec.priority, job.spec.seq)
                 });
@@ -686,6 +751,7 @@ impl Daemon {
                 }
             }
         }
+        self.sync_gauges(&inner);
         drop(inner);
         self.work.notify_all();
         self.change.notify_all();

@@ -4,9 +4,11 @@
 //! The vendored dependencies are offline stand-ins, so there is no
 //! tokio/hyper to lean on; like the obs crate hand-rolled its JSON
 //! parser, this module hand-rolls a small, strict request reader and
-//! response writer. One request per connection (`Connection: close`),
-//! bounded header and body sizes, and typed parse errors that the
-//! server maps to `400`.
+//! response writer. Connections are persistent by HTTP/1.1 default
+//! (`Connection: close` or the server's per-connection request bound
+//! ends them), header and body sizes are bounded, and typed parse
+//! errors map to `400`. Streaming responses (`?follow=1` event tails)
+//! use `Transfer-Encoding: chunked` via the codec at the bottom.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 
@@ -28,6 +30,10 @@ pub struct Request {
     pub content_type: String,
     /// Request body bytes (empty unless `Content-Length` was given).
     pub body: Vec<u8>,
+    /// Whether the client allows the connection to be reused after
+    /// this exchange: the HTTP/1.1 default unless `Connection: close`,
+    /// opt-in via `Connection: keep-alive` for HTTP/1.0.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -73,11 +79,17 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one request from `stream`.
+/// Reads one request from `stream` (convenience for single-shot use;
+/// keep-alive loops hold their own [`BufReader`] and call
+/// [`read_request_buffered`] so pipelined bytes are not dropped).
 pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
+    read_request_buffered(&mut BufReader::new(stream))
+}
+
+/// Reads one request from an existing buffered reader.
+pub fn read_request_buffered<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpError> {
     let mut line = String::new();
-    read_line(&mut reader, &mut line)?;
+    read_line(reader, &mut line)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -99,10 +111,13 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
 
     let mut content_length = 0usize;
     let mut content_type = String::new();
+    // HTTP/1.1 connections persist unless told otherwise; HTTP/1.0
+    // needs the explicit keep-alive opt-in.
+    let mut keep_alive = version == "HTTP/1.1";
     let mut head_bytes = line.len();
     loop {
         line.clear();
-        read_line(&mut reader, &mut line)?;
+        read_line(reader, &mut line)?;
         head_bytes += line.len() + 2;
         if head_bytes > MAX_HEAD {
             return Err(HttpError::Malformed("request head too large".into()));
@@ -121,6 +136,11 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
                     .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
             }
             "content-type" => content_type = value.to_ascii_lowercase(),
+            "connection" => match value.to_ascii_lowercase().as_str() {
+                "close" => keep_alive = false,
+                "keep-alive" => keep_alive = true,
+                _ => {}
+            },
             _ => {}
         }
     }
@@ -135,6 +155,7 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
         query,
         content_type,
         body,
+        keep_alive,
     })
 }
 
@@ -183,6 +204,15 @@ impl Response {
             body,
         }
     }
+
+    /// A plain-text response (the Prometheus exposition).
+    pub fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
 }
 
 /// The reason phrase of the status codes the daemon emits.
@@ -201,18 +231,123 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `response` to `stream` and flushes it.
-pub fn write_response<W: Write>(mut stream: W, response: &Response) -> io::Result<()> {
+/// Writes `response` to `stream` and flushes it (closing semantics).
+pub fn write_response<W: Write>(stream: W, response: &Response) -> io::Result<()> {
+    write_response_conn(stream, response, false)
+}
+
+/// Writes `response`, advertising whether the server will keep the
+/// connection open for another request.
+pub fn write_response_conn<W: Write>(
+    mut stream: W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
+}
+
+// ---- chunked transfer encoding (streaming event tails) ----------------
+
+/// Writes the head of a chunked streaming response. The body follows
+/// as [`write_chunk`] calls, ended by [`write_last_chunk`]. Streaming
+/// responses always close the connection — their length is unknowable
+/// up front and the terminator doubles as the end-of-stream signal.
+pub fn write_stream_head<W: Write>(
+    mut stream: W,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one non-empty chunk (`<hex-size>\r\n<data>\r\n`) and flushes
+/// so followers see it immediately. Empty data is skipped — a
+/// zero-length chunk is the terminator, written by
+/// [`write_last_chunk`] only.
+pub fn write_chunk<W: Write>(mut stream: W, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Writes the zero-length terminating chunk.
+pub fn write_last_chunk<W: Write>(mut stream: W) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Decodes a complete chunked body from `reader` (positioned just
+/// after the response head). Used by the blocking test client; the
+/// reader may deliver bytes in arbitrary splits — chunk headers and
+/// payloads spanning reads reassemble correctly because every piece is
+/// pulled through the buffered reader.
+pub fn read_chunked<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    while let Some(chunk) = read_chunk_frame(reader)? {
+        body.extend_from_slice(&chunk);
+    }
+    Ok(body)
+}
+
+/// Reads one chunk frame: `Some(data)` for a data chunk, `None` once
+/// the zero-length terminator arrives. Followers call this in a loop
+/// to see each flushed chunk as it lands.
+pub fn read_chunk_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut size_line = String::new();
+    if reader.read_line(&mut size_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended before the terminating chunk",
+        ));
+    }
+    let size_str = size_line.trim_end();
+    // Chunk extensions (`;name=value`) are legal; ignore them.
+    let size_str = size_str.split(';').next().unwrap_or(size_str);
+    let size = usize::from_str_radix(size_str, 16).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad chunk size line `{size_str}`"),
+        )
+    })?;
+    if size == 0 {
+        // Consume the trailing CRLF after the last chunk (no trailers
+        // in this dialect).
+        let mut crlf = String::new();
+        let _ = reader.read_line(&mut crlf)?;
+        return Ok(None);
+    }
+    let mut data = vec![0u8; size];
+    reader.read_exact(&mut data)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chunk data not followed by CRLF",
+        ));
+    }
+    Ok(Some(data))
 }
 
 #[cfg(test)]
@@ -278,6 +413,86 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 201 Created\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("{\"id\":\"j1\"}"), "{text}");
+    }
+
+    #[test]
+    fn connection_header_sets_keep_alive() {
+        // HTTP/1.1 default: persistent.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        // Explicit close wins.
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // HTTP/1.0 closes unless it opts in.
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn keep_alive_response_advertises_it() {
+        let mut out = Vec::new();
+        write_response_conn(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn buffered_reader_serves_pipelined_requests() {
+        let wire = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        let first = read_request_buffered(&mut reader).unwrap();
+        let second = read_request_buffered(&mut reader).unwrap();
+        assert_eq!(first.path, "/a");
+        assert!(first.keep_alive);
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+    }
+
+    #[test]
+    fn chunked_roundtrip() {
+        let mut wire = Vec::new();
+        write_chunk(&mut wire, b"{\"a\":1}\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"{\"b\":2}\n").unwrap();
+        write_last_chunk(&mut wire).unwrap();
+        let body = read_chunked(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(body, b"{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn chunked_decoder_handles_split_headers() {
+        // A one-byte buffer forces every chunk-size line, payload, and
+        // CRLF to arrive fragmented across reads.
+        let wire = b"10\r\nsixteen byte str\r\n3;ext=1\r\nabc\r\n0\r\n\r\n";
+        let mut reader = BufReader::with_capacity(1, wire.as_slice());
+        let body = read_chunked(&mut reader).unwrap();
+        assert_eq!(body, b"sixteen byte strabc");
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_garbage() {
+        let mut reader = BufReader::new(b"zz\r\n\r\n".as_slice());
+        assert!(read_chunked(&mut reader).is_err());
+        // Truncation before the zero chunk is an error, not EOF-success.
+        let mut reader = BufReader::new(b"3\r\nabc\r\n".as_slice());
+        assert!(read_chunked(&mut reader).is_err());
+    }
+
+    #[test]
+    fn stream_head_is_chunked_and_closing() {
+        let mut out = Vec::new();
+        write_stream_head(&mut out, 200, "application/x-ndjson").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n"), "{text}");
     }
 }

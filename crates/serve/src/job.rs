@@ -328,6 +328,7 @@ mod tests {
             query: query.into(),
             content_type: String::new(),
             body: body.as_bytes().to_vec(),
+            keep_alive: true,
         }
     }
 

@@ -12,8 +12,12 @@
 //!
 //! The stack is plain `std`: the vendored async runtimes are offline
 //! stand-ins, so the HTTP layer is a hand-rolled subset over
-//! `std::net::TcpListener` (one request per connection), mirroring how
-//! the obs crate hand-rolled its JSON parser.
+//! `std::net::TcpListener` (persistent keep-alive connections with a
+//! bounded request budget), mirroring how the obs crate hand-rolled
+//! its JSON parser. The live metrics plane ([`twmc_metrics`]) is
+//! exposed as a Prometheus text exposition at `GET /metrics`, and
+//! `GET /jobs/<id>/events?follow=1` streams a job's telemetry as
+//! chunked JSONL that flushes event-by-event while the job runs.
 //!
 //! Module map:
 //!

@@ -9,17 +9,24 @@
 //! | `GET /jobs/<id>/result`    | final report (done jobs)                 |
 //! | `GET /jobs/<id>/placement` | final placement text (done jobs)         |
 //! | `DELETE /jobs/<id>`        | cancel                                   |
-//! | `GET /healthz`             | liveness                                 |
+//! | `GET /healthz`             | liveness, version, uptime, load gauges   |
 //! | `GET /stats`               | queue depth, busy workers, counters      |
+//! | `GET /metrics`             | Prometheus text exposition               |
 //!
-//! Connections are one-request (`Connection: close`) and each is served
-//! on its own short-lived thread, so a slow client never blocks the
-//! accept loop or the drain. The listener itself is non-blocking; the
-//! loop polls a stop flag (the SIGTERM bridge) between accepts and runs
-//! the drain protocol when it flips.
+//! Connections are persistent (HTTP/1.1 keep-alive, bounded at
+//! [`MAX_REQUESTS_PER_CONN`] requests each) and each is served on its
+//! own thread, so a slow client never blocks the accept loop or the
+//! drain. `GET /jobs/<id>/events?follow=1` switches the connection to
+//! a chunked streaming tail: complete JSONL lines flush as chunks the
+//! moment the running job records them, and the stream terminates when
+//! the job reaches a terminal state (or the client goes away — the
+//! worker is unaffected either way). The listener itself is
+//! non-blocking; the loop polls a stop flag (the SIGTERM bridge)
+//! between accepts and runs the drain protocol when it flips.
 
-use std::io;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,12 +34,22 @@ use std::time::{Duration, Instant};
 use serde::Value;
 
 use crate::daemon::{Daemon, SubmitError};
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::http::{
+    read_request_buffered, write_chunk, write_last_chunk, write_response_conn, write_stream_head,
+    HttpError, Request, Response,
+};
 use crate::job::JobSpec;
 use crate::json::{self, obj};
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+
+/// Requests served per connection before the server closes it — a
+/// bound so one chatty client cannot pin a thread forever.
+pub const MAX_REQUESTS_PER_CONN: usize = 64;
+
+/// Poll cadence of a streaming tail waiting for new events.
+const FOLLOW_POLL: Duration = Duration::from_millis(20);
 
 /// The daemon's HTTP listener.
 pub struct Server {
@@ -93,16 +110,114 @@ impl Server {
     }
 }
 
-/// Reads one request off `stream`, routes it, writes the response.
+/// Serves requests off one connection until the client closes it, asks
+/// for `Connection: close`, errors, or exhausts the per-connection
+/// request budget. A `?follow=1` event tail takes over the connection
+/// and streams until the job ends.
 fn serve_connection(daemon: &Daemon, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let response = match read_request(&stream) {
-        Ok(req) => handle_request(daemon, &req),
-        Err(HttpError::Io(_)) => return, // client went away; nothing to say
-        Err(e @ HttpError::Malformed(_)) => error_response(400, &e.to_string()),
-        Err(e @ HttpError::TooLarge(_)) => error_response(400, &e.to_string()),
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    for served in 1..=MAX_REQUESTS_PER_CONN {
+        let req = match read_request_buffered(&mut reader) {
+            Ok(req) => req,
+            Err(HttpError::Io(_)) => return, // client went away; nothing to say
+            Err(e @ HttpError::Malformed(_)) | Err(e @ HttpError::TooLarge(_)) => {
+                let _ = write_response_conn(&stream, &error_response(400, &e.to_string()), false);
+                return;
+            }
+        };
+        daemon.hub().http_requests_total.inc();
+        if let Some(id) = follow_target(&req) {
+            // The tail owns the connection from here; its terminating
+            // chunk is the close signal.
+            stream_events(daemon, &stream, &id);
+            return;
+        }
+        let response = handle_request(daemon, &req);
+        let keep_alive = req.keep_alive && served < MAX_REQUESTS_PER_CONN;
+        if write_response_conn(&stream, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// The job id when the request is a `GET /jobs/<id>/events?follow=1`.
+fn follow_target(req: &Request) -> Option<String> {
+    if req.method != "GET" || req.query_param("follow") != Some("1") {
+        return None;
+    }
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["jobs", id, "events"] => Some((*id).to_owned()),
+        _ => None,
+    }
+}
+
+/// Streams a job's JSONL event file as live chunks: everything already
+/// on disk first, then each newly flushed suffix, whole lines only, so
+/// every chunk boundary is also a valid JSONL boundary. Ends with the
+/// chunked terminator once the job is terminal and the file is
+/// drained; a client disconnect surfaces as a write error and simply
+/// ends this thread — the worker running the job is untouched.
+fn stream_events(daemon: &Daemon, stream: &TcpStream, id: &str) {
+    if daemon.job_state(id).is_none() {
+        let _ = write_response_conn(
+            stream,
+            &error_response(404, &format!("no job `{id}`")),
+            false,
+        );
+        return;
+    }
+    if write_stream_head(stream, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    let path = daemon.spool().events_path(id);
+    let mut offset = 0u64;
+    loop {
+        // Order matters: sample the state *before* reading the file.
+        // The recorder finishes before the job turns terminal, so a
+        // terminal state plus an empty read proves the file is drained.
+        let state = daemon.job_state(id);
+        let chunk = read_new_lines(&path, &mut offset);
+        if write_chunk(stream, &chunk).is_err() {
+            return; // client disconnected mid-stream
+        }
+        match state {
+            Some(s) if !s.terminal() => std::thread::sleep(FOLLOW_POLL),
+            _ if !chunk.is_empty() => {} // drain the tail before closing
+            _ => {
+                let _ = write_last_chunk(stream);
+                return;
+            }
+        }
+    }
+}
+
+/// Reads the complete lines appended to `path` since `offset`,
+/// advancing `offset` past what was returned. A trailing partial line
+/// (an event mid-flush) stays on disk for the next poll.
+fn read_new_lines(path: &Path, offset: &mut u64) -> Vec<u8> {
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return Vec::new();
     };
-    let _ = write_response(&stream, &response);
+    if file.seek(SeekFrom::Start(*offset)).is_err() {
+        return Vec::new();
+    }
+    let mut buf = Vec::new();
+    if file.read_to_end(&mut buf).is_err() {
+        return Vec::new();
+    }
+    match buf.iter().rposition(|&b| b == b'\n') {
+        Some(last) => {
+            buf.truncate(last + 1);
+            *offset += buf.len() as u64;
+            buf
+        }
+        None => Vec::new(),
+    }
 }
 
 /// A JSON error body (`{"error": "..."}`).
@@ -118,14 +233,23 @@ fn error_response(status: u16, message: &str) -> Response {
 pub fn handle_request(daemon: &Daemon, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::json(
-            200,
-            json::to_text(&obj(vec![
-                ("ok", Value::Bool(true)),
-                ("accepting", Value::Bool(daemon.accepting())),
-            ])),
-        ),
+        ("GET", ["healthz"]) => {
+            let hub = daemon.hub();
+            Response::json(
+                200,
+                json::to_text(&obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("accepting", Value::Bool(daemon.accepting())),
+                    ("version", Value::Str(env!("CARGO_PKG_VERSION").to_owned())),
+                    ("uptime_secs", Value::UInt(hub.uptime_secs())),
+                    ("workers", Value::Int(hub.workers.value())),
+                    ("workers_busy", Value::Int(hub.workers_busy.value())),
+                    ("queue_depth", Value::Int(hub.queue_depth.value())),
+                ])),
+            )
+        }
         ("GET", ["stats"]) => Response::json(200, json::to_text(&daemon.stats_value())),
+        ("GET", ["metrics"]) => Response::text(daemon.hub().render()),
         ("POST", ["jobs"]) => match JobSpec::from_request(req) {
             Ok(spec) => match daemon.submit(spec) {
                 Ok(id) => Response::json(
@@ -171,7 +295,7 @@ pub fn handle_request(daemon: &Daemon, req: &Request) -> Response {
             ),
             None => error_response(404, &format!("no job `{id}`")),
         },
-        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) => {
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["metrics"]) => {
             error_response(405, &format!("{} not allowed here", req.method))
         }
         _ => error_response(404, &format!("no route for `{}`", req.path)),

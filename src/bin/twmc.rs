@@ -47,6 +47,9 @@ fn usage() -> ExitCode {
          twmc serve [--listen ADDR] [--workers N] [--queue-cap N] [--spool DIR]\n              \
          [--checkpoint-every N] [--drain-grace-ms N]\n  \
          twmc report RUN.jsonl [--json]\n  \
+         twmc report --metrics-snapshot SNAPSHOT.prom [--json] [--max-failed-jobs N]\n              \
+         [--max-replica-failures N] [--max-queue-depth N] [--max-route-overflow N]\n              \
+         [--max-move-p50-ns F]\n  \
          twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
          [--max-length-pct F] [--max-area-pct F] [--max-overflow N] [--max-unrouted N]\n  \
          twmc diff --bench-parallel [BASELINE.json] BENCH_parallel.json [--json]\n\n\
@@ -60,11 +63,15 @@ fn usage() -> ExitCode {
          --resume FILE continues a checkpointed run bit-identically; Ctrl-C / SIGTERM,\n\
          --max-wall-secs, and --max-moves stop gracefully (exit 3, checkpoint flushed)\n\
          serve runs the placement daemon: POST /jobs, GET /jobs/ID[/events|/result|\n\
-         /placement], DELETE /jobs/ID, GET /healthz, GET /stats; higher-priority jobs\n\
+         /placement], DELETE /jobs/ID, GET /healthz, GET /stats, GET /metrics\n\
+         (Prometheus text); GET /jobs/ID/events?follow=1 streams a live chunked\n\
+         JSONL tail until the job ends; higher-priority jobs\n\
          preempt running ones at round boundaries (checkpoint + bit-identical resume);\n\
          SIGTERM drains gracefully (default --listen 127.0.0.1:7171, --spool twmc-spool)\n\
          report checks a recorded run against the paper's control laws (exit 1 if\n\
-         unhealthy); diff compares two runs' headline metrics (exit 2 on regression);\n\
+         unhealthy); report --metrics-snapshot judges a scraped GET /metrics exposition\n\
+         against operational thresholds offline (exit 2 on breach);\n\
+         diff compares two runs' headline metrics (exit 2 on regression);\n\
          diff --bench-parallel gates the equal-wall-clock bench summary (exit 2 when\n\
          tempering loses to multistart at >= 4 replicas or regresses vs the baseline)"
     );
@@ -112,7 +119,15 @@ const SERVE_FLAGS: FlagSpec = &[
     ("drain-grace-ms", true),
 ];
 
-const REPORT_FLAGS: FlagSpec = &[("json", false)];
+const REPORT_FLAGS: FlagSpec = &[
+    ("json", false),
+    ("metrics-snapshot", false),
+    ("max-failed-jobs", true),
+    ("max-replica-failures", true),
+    ("max-queue-depth", true),
+    ("max-route-overflow", true),
+    ("max-move-p50-ns", true),
+];
 
 const DIFF_FLAGS: FlagSpec = &[
     ("json", false),
@@ -562,6 +577,9 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
 /// `twmc report RUN.jsonl`: health-checks a recorded run against the
 /// paper's control laws. Exits non-zero when any check fails.
 fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
+    if flags.has("metrics-snapshot") {
+        return cmd_report_snapshot(flags);
+    }
     let path = flags
         .positional
         .first()
@@ -579,6 +597,41 @@ fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+/// `twmc report --metrics-snapshot SNAPSHOT.prom`: judges a scraped
+/// `/metrics` exposition against operational thresholds offline.
+/// Exits 2 on a breach (the `twmc diff` regression convention) and 1
+/// when the file is unreadable or not a twmc scrape.
+fn cmd_report_snapshot(flags: &Flags) -> Result<ExitCode, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "report --metrics-snapshot needs a scraped /metrics file".to_owned())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let defaults = timberwolfmc::analyze::SnapshotThresholds::default();
+    let thresholds = timberwolfmc::analyze::SnapshotThresholds {
+        max_failed_jobs: flags.get("max-failed-jobs", defaults.max_failed_jobs),
+        max_replica_failures: flags.get("max-replica-failures", defaults.max_replica_failures),
+        max_queue_depth: flags.get("max-queue-depth", defaults.max_queue_depth),
+        max_route_overflow: flags.get("max-route-overflow", defaults.max_route_overflow),
+        max_move_eval_p50_ns: flags.get("max-move-p50-ns", defaults.max_move_eval_p50_ns),
+    };
+    let report = timberwolfmc::analyze::check_metrics_snapshot(&text, &thresholds)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", timberwolfmc::analyze::format_snapshot_report(&report));
+    }
+    Ok(if report.regressed() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     })
 }
 
