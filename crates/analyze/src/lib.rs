@@ -50,6 +50,7 @@ mod health;
 mod promsnap;
 mod stream;
 pub mod testgen;
+mod trace;
 
 pub use bench::{
     check_bench_parallel, format_bench_gate, parse_equal_wall, BenchGateReport, EqualWallRec,
@@ -63,4 +64,8 @@ pub use promsnap::{
 pub use stream::{
     parse_stream, ClassRec, ReplicaFailedRec, RouteRec, RunEndRec, RunInterruptedRec, RunStartRec,
     RunStream, SpanRec, TempRec,
+};
+pub use trace::{
+    check_trace, format_trace_report, parse_capture, TraceReport, CHECKPOINT_SHARE_WARN,
+    INDEX_SHARE_FAIL, MOVE_SHARE_WARN,
 };

@@ -14,13 +14,15 @@
 //!    JSONL path adds well under 2% per move; the disabled
 //!    (`NullRecorder`) path is one always-false branch per step.
 //!
-//! The sweep covers three scopes: bare stage-1 placement, the same
+//! The sweep covers four scopes: bare stage-1 placement, the same
 //! stage-1 run with the live metrics hub attached (sharded counters
 //! plus the stride-sampled per-move latency histogram, no events —
-//! the always-on `/metrics` configuration), and the full pipeline
-//! (stage 1 + stage 2 + finalize) whose stream additionally carries
-//! the `route_iter` events — the bound must hold with routing
-//! telemetry included.
+//! the always-on `/metrics` configuration), the same run with the
+//! span [`Tracer`] attached (per-block timing plus sampled cost-term
+//! attribution — the `twmc place --trace` configuration), and the
+//! full pipeline (stage 1 + stage 2 + finalize) whose stream
+//! additionally carries the `route_iter` events — the bound must hold
+//! with routing telemetry included.
 
 use criterion::{criterion_group, Criterion};
 use serde::Serialize;
@@ -30,8 +32,9 @@ use twmc_anneal::CoolingSchedule;
 use twmc_core::{run_timberwolf_with, TimberWolfConfig, TimberWolfResult};
 use twmc_estimator::EstimatorParams;
 use twmc_netlist::{synthesize, Netlist, SynthParams};
+use twmc_obs::trace::capture_to_string;
 use twmc_obs::validate::validate_jsonl;
-use twmc_obs::{Instrumented, JsonlRecorder, MetricsHub, NullRecorder, Recorder};
+use twmc_obs::{Instrumented, JsonlRecorder, MetricsHub, NullRecorder, Recorder, Tracer};
 use twmc_place::{place_stage1_with, PlaceParams, Stage1Result};
 use twmc_route::RouterParams;
 
@@ -105,7 +108,7 @@ struct ObsRow {
 
 /// Disabled-vs-JSONL stage-1 sweep: the original overhead row.
 fn stage1_row(test_mode: bool) -> ObsRow {
-    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 3) };
+    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 9) };
     let nl = circuit(cells);
     let pp = params(ac);
 
@@ -152,7 +155,7 @@ fn stage1_row(test_mode: bool) -> ObsRow {
 /// temperature step. This is the "always-on" configuration the live
 /// `/metrics` plane runs in, so it carries the same <2% bound.
 fn metrics_row(test_mode: bool) -> ObsRow {
-    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 3) };
+    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 9) };
     let nl = circuit(cells);
     let pp = params(ac);
 
@@ -200,6 +203,60 @@ fn metrics_row(test_mode: bool) -> ObsRow {
         disabled_ns_per_move: disabled_ns,
         jsonl_ns_per_move: metrics_ns,
         overhead_pct: 100.0 * (metrics_ns - disabled_ns) / disabled_ns.max(1e-12),
+        bit_identical,
+    }
+}
+
+/// Span-tracing sweep: a stage-1 run with a [`Tracer`] attached and no
+/// event sink — every temperature step opens a span, every 32-move
+/// block is timed into the per-thread ring, and the stride-sampled
+/// cost-term attribution runs. This is the `twmc place --trace`
+/// configuration, so it carries the same <2% per-move bound.
+fn trace_row(test_mode: bool) -> ObsRow {
+    let (cells, ac, trials) = if test_mode { (10, 6, 1) } else { (40, 30, 9) };
+    let nl = circuit(cells);
+    let pp = params(ac);
+
+    // Correctness: the traced run must reproduce the disabled run —
+    // spans only ever read clocks and write to the lock-free ring,
+    // never an RNG stream.
+    let (reference, _) = timed_run(&nl, &pp, &mut NullRecorder);
+    let tracer = Tracer::new();
+    let mut traced = Instrumented::maybe(NullRecorder, None).with_tracer(Some(tracer.clone()));
+    let (recorded, _) = timed_run(&nl, &pp, &mut traced);
+    let bit_identical = identical(&reference, &recorded);
+    let snap = tracer.collect();
+    let spans = snap.total_spans();
+    let move_blocks = snap.lane("main").map_or(0, |l| {
+        l.spans.iter().filter(|s| s.name == "move_block").count()
+    });
+    assert!(move_blocks > 0, "no move_block spans were recorded");
+    let capture_bytes = capture_to_string(&snap).len();
+
+    let moves = reference.moves.attempts();
+    let mut disabled_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    for _ in 0..trials {
+        let (_, secs) = timed_run(&nl, &pp, &mut NullRecorder);
+        disabled_best = disabled_best.min(secs);
+        let t = Tracer::new();
+        let mut rec = Instrumented::maybe(NullRecorder, None).with_tracer(Some(t.clone()));
+        let (_, secs) = timed_run(&nl, &pp, &mut rec);
+        black_box(t.collect().total_spans());
+        traced_best = traced_best.min(secs);
+    }
+    let disabled_ns = disabled_best * 1e9 / moves.max(1) as f64;
+    let traced_ns = traced_best * 1e9 / moves.max(1) as f64;
+    ObsRow {
+        scope: "trace",
+        cells,
+        moves,
+        events: spans,
+        route_iters: 0,
+        jsonl_bytes: capture_bytes,
+        disabled_ns_per_move: disabled_ns,
+        jsonl_ns_per_move: traced_ns,
+        overhead_pct: 100.0 * (traced_ns - disabled_ns) / disabled_ns.max(1e-12),
         bit_identical,
     }
 }
@@ -289,6 +346,7 @@ fn obs_summary(test_mode: bool) {
     let rows = [
         stage1_row(test_mode),
         metrics_row(test_mode),
+        trace_row(test_mode),
         pipeline_row(test_mode),
     ];
     for row in &rows {
@@ -312,16 +370,16 @@ fn obs_summary(test_mode: bool) {
             row.scope
         );
     }
-    let pipeline = &rows[2];
+    let pipeline = &rows[3];
     assert!(
         pipeline.route_iters > 0,
         "pipeline stream carried no route_iter events"
     );
     if !test_mode {
         // The acceptance bar: streaming telemetry — route_iter emission
-        // included — stays under 2% per move, and so does the live
-        // metrics hub. Only enforced on a measurement run; single-trial
-        // test-mode timings are noise.
+        // included — stays under 2% per move, and so do the live
+        // metrics hub and the span tracer. Only enforced on a
+        // measurement run; single-trial test-mode timings are noise.
         assert!(
             pipeline.overhead_pct < 2.0,
             "route_iter telemetry overhead {:.2}% exceeds the 2% bound",
@@ -332,6 +390,12 @@ fn obs_summary(test_mode: bool) {
             metrics.overhead_pct < 2.0,
             "live-metrics overhead {:.2}% exceeds the 2% bound",
             metrics.overhead_pct
+        );
+        let trace = &rows[2];
+        assert!(
+            trace.overhead_pct < 2.0,
+            "span-tracing overhead {:.2}% exceeds the 2% bound",
+            trace.overhead_pct
         );
         let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
         let text = serde_json::to_string_pretty(&rows).expect("serializable rows");

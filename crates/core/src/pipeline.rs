@@ -105,6 +105,15 @@ pub fn run_timberwolf_with(
     rec: &mut dyn Recorder,
 ) -> TimberWolfResult {
     let run_t0 = Instant::now();
+    // Pipeline-level trace spans land on the `main` lane, checked out
+    // per span so the stages' own spans share the ring and nest by
+    // containment: run → stage1/stage2/finalize → temp_step → ...
+    let tracer = rec.tracer().cloned();
+    let tspan = |name: &'static str, t0: Instant| {
+        if let Some(tr) = &tracer {
+            tr.lane("main").span(name, "run", t0, t0.elapsed());
+        }
+    };
     if rec.enabled() {
         let stats = nl.stats();
         rec.record(&Event::RunStart(RunStart {
@@ -149,6 +158,8 @@ pub fn run_timberwolf_with(
         (state, stage1, None)
     };
     span(rec, "stage1", t0);
+    tspan("stage1", t0);
+    let t0 = Instant::now();
     let stage2 = refine_placement_with(
         &mut state,
         nl,
@@ -159,6 +170,7 @@ pub fn run_timberwolf_with(
         config.seed.wrapping_add(0x5eed),
         rec,
     );
+    tspan("stage2", t0);
     // Finalize with routed channel widths enforced — the same yardstick
     // the baselines are measured with.
     let t0 = Instant::now();
@@ -170,6 +182,8 @@ pub fn run_timberwolf_with(
         rec,
     );
     span(rec, "finalize", t0);
+    tspan("finalize", t0);
+    tspan("run", run_t0);
     let placement = snapshot_placement(nl, &state);
     if rec.enabled() {
         rec.record(&Event::RunEnd(RunEnd {

@@ -125,6 +125,15 @@ pub fn run_timberwolf_resilient(
     rec: &mut dyn Recorder,
 ) -> Result<RunOutcome, PipelineError> {
     let run_t0 = Instant::now();
+    // Pipeline-level trace spans, mirroring run_timberwolf_with: the
+    // `main` lane is checked out per span so stage-level spans contain
+    // the annealer's and router's own spans by time containment.
+    let tracer = rec.tracer().cloned();
+    let tspan = |name: &'static str, t0: Instant| {
+        if let Some(tr) = &tracer {
+            tr.lane("main").span(name, "run", t0, t0.elapsed());
+        }
+    };
     let resume_phase: Option<String> = match &opts.resume {
         Some(payload) => Some(str_field(payload, "phase")?.to_owned()),
         None => None,
@@ -182,6 +191,7 @@ pub fn run_timberwolf_resilient(
             writer: opts.checkpoint.take(),
             resume: opts.resume.take(),
             hub: rec.hub().cloned(),
+            tracer: rec.tracer().cloned(),
         };
         let outcome = parallel_stage1_resilient(
             nl,
@@ -201,6 +211,7 @@ pub fn run_timberwolf_resilient(
                 report,
             } => {
                 span(rec, "stage1", t0);
+                tspan("stage1", t0);
                 let parallel = (config.parallel.replicas > 1).then_some(report);
                 (state, result, parallel)
             }
@@ -211,6 +222,7 @@ pub fn run_timberwolf_resilient(
                 cost,
             } => {
                 // The orchestrator already flushed its final checkpoint.
+                tspan("run", run_t0);
                 return Ok(interrupted(
                     rec, run_t0, reason, "stage1", nl, &state, teil, cost,
                 ));
@@ -252,10 +264,16 @@ pub fn run_timberwolf_resilient(
                 hub.checkpoint_write_ms
                     .observe(t0.elapsed().as_secs_f64() * 1e3);
             }
+            if let Some(tracer) = rec.tracer() {
+                tracer
+                    .lane("ckpt")
+                    .span("checkpoint_write", "ckpt", t0, t0.elapsed());
+            }
         }
     }
 
     // --- stage 2 -------------------------------------------------------
+    let s2_t0 = Instant::now();
     let stage2 = match refine_placement_resilient(
         &mut state,
         nl,
@@ -267,11 +285,15 @@ pub fn run_timberwolf_resilient(
         rec,
         &opts.cancel,
     ) {
-        Ok(s2) => s2,
+        Ok(s2) => {
+            tspan("stage2", s2_t0);
+            s2
+        }
         Err(reason) => {
             // The stage2-phase checkpoint on disk stays authoritative —
             // stage 2 restarts from the stage-1 state by design.
             let (teil, cost) = (state.teil(), state.cost());
+            tspan("run", run_t0);
             return Ok(interrupted(
                 rec, run_t0, reason, "stage2", nl, &state, teil, cost,
             ));
@@ -281,6 +303,7 @@ pub fn run_timberwolf_resilient(
     // --- finalize ------------------------------------------------------
     if let Some(reason) = opts.cancel.check() {
         let (teil, cost) = (state.teil(), state.cost());
+        tspan("run", run_t0);
         return Ok(interrupted(
             rec, run_t0, reason, "finalize", nl, &state, teil, cost,
         ));
@@ -294,6 +317,8 @@ pub fn run_timberwolf_resilient(
         rec,
     );
     span(rec, "finalize", t0);
+    tspan("finalize", t0);
+    tspan("run", run_t0);
     let placement = snapshot_placement(nl, &state);
     if rec.enabled() {
         rec.record(&Event::RunEnd(twmc_obs::RunEnd {

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::registry::HistogramSnapshot;
+use crate::registry::{escape_label_value, HistogramSnapshot};
 
 /// One parsed sample family.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,65 @@ impl Snapshot {
             Sample::Scalar(_) => None,
         }
     }
+}
+
+/// Parses a rendered label set (`k="v",k2="v2"`) into pairs,
+/// escape-aware: `\\`, `\"`, and `\n` inside a quoted value decode to
+/// the characters they stand for. A bare (unquoted) value, an unknown
+/// escape, or an unterminated quote is an error — those are the
+/// corruptions a truncated scrape produces.
+fn parse_label_set(labels: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut chars = labels.chars().peekable();
+    while chars.peek().is_some() {
+        let mut name = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+        }
+        let name = name.trim().to_owned();
+        if name.is_empty() {
+            return Err("empty label name".to_owned());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{name}` value is not quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    Some(c) => return Err(format!("bad escape `\\{c}` in label `{name}`")),
+                    None => return Err(format!("unterminated value for label `{name}`")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated value for label `{name}`")),
+            }
+        }
+        pairs.push((name, value));
+        match chars.next() {
+            None | Some(',') => {} // trailing comma is tolerated
+            Some(c) => return Err(format!("unexpected `{c}` after a label value")),
+        }
+    }
+    Ok(pairs)
+}
+
+/// Re-renders parsed label pairs in the canonical form this crate's
+/// renderer emits, so [`Snapshot::labeled`] lookups written against
+/// rendered text keep matching even when a value needed escaping.
+fn canonical_label_set(labels: &str) -> Result<String, String> {
+    let pairs = parse_label_set(labels)?;
+    Ok(pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(","))
 }
 
 /// Intermediate histogram accumulation.
@@ -128,9 +187,12 @@ pub fn parse(text: &str) -> Result<Snapshot, String> {
                 let acc = hists.entry(base.to_owned()).or_default();
                 match suffix {
                     "_bucket" => {
-                        let le = labels
-                            .strip_prefix("le=\"")
-                            .and_then(|s| s.strip_suffix('"'))
+                        let pairs =
+                            parse_label_set(labels).map_err(|e| format!("line {lineno}: {e}"))?;
+                        let le = pairs
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.as_str())
                             .ok_or_else(|| format!("line {lineno}: bucket lacks an le label"))?;
                         if le == "+Inf" {
                             acc.inf = Some(value as u64);
@@ -148,13 +210,18 @@ pub fn parse(text: &str) -> Result<Snapshot, String> {
             }
         }
 
+        let labels = if labels.is_empty() {
+            String::new()
+        } else {
+            canonical_label_set(labels).map_err(|e| format!("line {lineno}: {e}"))?
+        };
         let entry = snapshot
             .families
             .entry(name.to_owned())
             .or_insert_with(|| Sample::Scalar(BTreeMap::new()));
         match entry {
             Sample::Scalar(values) => {
-                values.insert(labels.to_owned(), value);
+                values.insert(labels, value);
             }
             Sample::Histogram(_) => {
                 return Err(format!(
@@ -247,6 +314,77 @@ mod tests {
         let snap = parse("# a random comment\nup 1\nx +Inf\n").unwrap();
         assert_eq!(snap.scalar("up"), Some(1.0));
         assert_eq!(snap.scalar("x"), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn roundtrips_hostile_label_values() {
+        let registry = Registry::new();
+        let gv = registry.gauge_vec(
+            "weird",
+            "W",
+            "v",
+            &["back\\slash", "quo\"te", "new\nline", "sp ace,brace={}"],
+        );
+        gv.with("back\\slash").set(1);
+        gv.with("quo\"te").set(2);
+        gv.with("new\nline").set(3);
+        gv.with("sp ace,brace={}").set(4);
+        let text = registry.render();
+        // Line-per-sample survives: the newline inside a label value
+        // is escaped, not emitted raw.
+        assert_eq!(text.lines().count(), 2 + 4, "{text}");
+        assert!(text.contains("weird{v=\"back\\\\slash\"} 1"));
+        assert!(text.contains("weird{v=\"quo\\\"te\"} 2"));
+        assert!(text.contains("weird{v=\"new\\nline\"} 3"));
+        let snap = parse(&text).expect("escaped exposition parses");
+        assert_eq!(snap.labeled("weird", "v=\"back\\\\slash\""), Some(1.0));
+        assert_eq!(snap.labeled("weird", "v=\"quo\\\"te\""), Some(2.0));
+        assert_eq!(snap.labeled("weird", "v=\"new\\nline\""), Some(3.0));
+        assert_eq!(snap.labeled("weird", "v=\"sp ace,brace={}\""), Some(4.0));
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let registry = Registry::new();
+        registry.counter("c_total", "line one\nline \\two").inc();
+        let text = registry.render();
+        assert!(
+            text.contains("# HELP c_total line one\\nline \\\\two"),
+            "{text}"
+        );
+        let snap = parse(&text).unwrap();
+        assert_eq!(snap.scalar("c_total"), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_corrupt_label_sets() {
+        assert!(parse("x{v=unquoted} 1").is_err());
+        assert!(parse("x{v=\"open} 1").is_err(), "unterminated quote");
+        assert!(parse("x{v=\"bad\\qesc\"} 1").is_err(), "unknown escape");
+        assert!(parse("x{=\"y\"} 1").is_err(), "empty label name");
+        assert!(parse("x{v=\"a\"extra} 1").is_err(), "junk after value");
+    }
+
+    #[test]
+    fn negative_gauge_and_all_inf_histogram_roundtrip() {
+        let registry = Registry::new();
+        registry.gauge("delta", "D").set(-42);
+        let h = registry.histogram("all_inf", "H", &[1.0]);
+        h.observe(5.0);
+        h.observe(7.0);
+        let text = registry.render();
+        assert!(text.contains("all_inf_bucket{le=\"+Inf\"} 2"));
+        let snap = parse(&text).unwrap();
+        assert_eq!(snap.scalar("delta"), Some(-42.0));
+        let hist = snap.histogram("all_inf").unwrap();
+        assert_eq!(hist.buckets, vec![0, 2]);
+        assert_eq!(hist.count, 2);
+    }
+
+    #[test]
+    fn nan_scalar_parses() {
+        let snap = parse("x NaN\n").unwrap();
+        assert!(snap.scalar("x").unwrap().is_nan());
     }
 
     #[test]

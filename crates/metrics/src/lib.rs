@@ -51,4 +51,7 @@ mod families;
 mod registry;
 
 pub use families::{MetricsHub, JOB_STATES, MOVE_EVAL_SAMPLE};
-pub use registry::{Counter, Gauge, GaugeVec, Histogram, HistogramSnapshot, Registry};
+pub use registry::{
+    escape_help, escape_label_value, Counter, Gauge, GaugeVec, Histogram, HistogramSnapshot,
+    Registry,
+};

@@ -362,7 +362,7 @@ impl Registry {
                 Metric::Gauge(_) | Metric::GaugeVec(_) => "gauge",
                 Metric::Histogram(_) => "histogram",
             };
-            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(f.help));
             let _ = writeln!(out, "# TYPE {} {}", f.name, kind);
             match &f.metric {
                 Metric::Counter(c) => {
@@ -378,7 +378,7 @@ impl Registry {
                             "{}{{{}=\"{}\"}} {}",
                             f.name,
                             g.label,
-                            value,
+                            escape_label_value(value),
                             gauge.value()
                         );
                     }
@@ -414,6 +414,37 @@ impl Registry {
             }
         })
     }
+}
+
+/// Escapes `# HELP` text per exposition 0.0.4, which defines exactly
+/// two escapes there: backslash (`\\`) and line feed (`\n`). Without
+/// this, a help string containing a newline splits the comment into a
+/// second, malformed line.
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per exposition 0.0.4: backslash (`\\`),
+/// double quote (`\"`), and line feed (`\n`).
+pub fn escape_label_value(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a bound/sum compactly: integral values without a trailing

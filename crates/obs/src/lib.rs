@@ -56,3 +56,5 @@ pub use event::{
 };
 pub use recorder::{Instrumented, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
 pub use twmc_metrics::{MetricsHub, MOVE_EVAL_SAMPLE};
+pub use twmc_trace as trace;
+pub use twmc_trace::{Lane, TraceSnapshot, Tracer};

@@ -4,6 +4,7 @@ use std::io::{self, BufWriter, Write};
 use std::sync::Arc;
 
 use twmc_metrics::MetricsHub;
+use twmc_trace::Tracer;
 
 use crate::Event;
 
@@ -46,6 +47,17 @@ pub trait Recorder {
     fn hub(&self) -> Option<&Arc<MetricsHub>> {
         None
     }
+
+    /// The span tracer riding this recorder, if any.
+    ///
+    /// Mirrors [`Recorder::hub`]: tracing is orthogonal to events, and
+    /// instrumented layers check out a [`twmc_trace::Lane`] per scope
+    /// whenever a tracer is present, even with `enabled()` false. Like
+    /// events and metrics, span recording must never touch an RNG —
+    /// the traced path stays bit-identical to the untraced one.
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        None
+    }
 }
 
 impl<R: Recorder + ?Sized> Recorder for &mut R {
@@ -63,6 +75,10 @@ impl<R: Recorder + ?Sized> Recorder for &mut R {
 
     fn hub(&self) -> Option<&Arc<MetricsHub>> {
         (**self).hub()
+    }
+
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        (**self).tracer()
     }
 }
 
@@ -255,16 +271,23 @@ impl Recorder for Tee<'_> {
     fn hub(&self) -> Option<&Arc<MetricsHub>> {
         self.a.hub().or_else(|| self.b.hub())
     }
+
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.a.tracer().or_else(|| self.b.tracer())
+    }
 }
 
-/// Pairs any event sink with a [`MetricsHub`] so metric-producing
-/// layers see the hub through [`Recorder::hub`] without new plumbing.
+/// Pairs any event sink with a [`MetricsHub`] and/or a span
+/// [`Tracer`] so instrumentation-producing layers see them through
+/// [`Recorder::hub`] / [`Recorder::tracer`] without new plumbing.
 ///
 /// The inner recorder keeps full control of the event stream —
-/// `Instrumented<NullRecorder>` yields live metrics with zero events.
+/// `Instrumented<NullRecorder>` yields live metrics (or a trace) with
+/// zero events.
 pub struct Instrumented<R: Recorder> {
     inner: R,
     hub: Option<Arc<MetricsHub>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<R: Recorder> Instrumented<R> {
@@ -273,13 +296,24 @@ impl<R: Recorder> Instrumented<R> {
         Instrumented {
             inner,
             hub: Some(hub),
+            tracer: None,
         }
     }
 
     /// Attaches an optional hub — the forwarding adapter for worker
     /// threads, where the orchestrator may or may not carry one.
     pub fn maybe(inner: R, hub: Option<Arc<MetricsHub>>) -> Self {
-        Instrumented { inner, hub }
+        Instrumented {
+            inner,
+            hub,
+            tracer: None,
+        }
+    }
+
+    /// Attaches an optional span tracer as well.
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The wrapped sink.
@@ -308,6 +342,10 @@ impl<R: Recorder> Recorder for Instrumented<R> {
 
     fn hub(&self) -> Option<&Arc<MetricsHub>> {
         self.hub.as_ref().or_else(|| self.inner.hub())
+    }
+
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref().or_else(|| self.inner.tracer())
     }
 }
 

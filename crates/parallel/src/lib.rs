@@ -345,6 +345,8 @@ pub struct RunCtrl {
     pub resume: Option<Value>,
     /// Live metrics hub (checkpoint-write counters and latency).
     pub hub: Option<std::sync::Arc<twmc_obs::MetricsHub>>,
+    /// Span tracer (checkpoint-write spans on the `ckpt` lane).
+    pub tracer: Option<std::sync::Arc<twmc_obs::Tracer>>,
 }
 
 impl RunCtrl {
@@ -357,10 +359,15 @@ impl RunCtrl {
             Some(w) => {
                 let t0 = std::time::Instant::now();
                 let result = w.write(payload);
+                let elapsed = t0.elapsed();
                 if let Some(hub) = &self.hub {
                     hub.checkpoint_writes_total.inc();
-                    hub.checkpoint_write_ms
-                        .observe(t0.elapsed().as_secs_f64() * 1e3);
+                    hub.checkpoint_write_ms.observe(elapsed.as_secs_f64() * 1e3);
+                }
+                if let Some(tracer) = &self.tracer {
+                    tracer
+                        .lane("ckpt")
+                        .span("checkpoint_write", "ckpt", t0, elapsed);
                 }
                 result
             }

@@ -218,6 +218,7 @@ pub(crate) fn run_controlled<'a>(
         }
         let before: usize = reps.iter().map(|r| r.run.moves.attempts()).sum();
         let round_hub = rec.hub().cloned();
+        let round_tracer = rec.tracer().cloned();
         let outcomes = pool::try_run_mut(&mut reps, threads, |_, rep| {
             if !rep.live() || rep.run.done {
                 return;
@@ -225,9 +226,11 @@ pub(crate) fn run_controlled<'a>(
             fault::maybe_fail(rep.index, rep.run.steps());
             let mut null = NullRecorder;
             let sink: &mut dyn Recorder = if enabled { &mut rep.local } else { &mut null };
-            // Forward the orchestrator's hub into the worker thread so
-            // hot-path metrics fill from multi-start rounds.
-            let mut sink = Instrumented::maybe(sink, round_hub.clone());
+            // Forward the orchestrator's hub and tracer into the worker
+            // thread so hot-path metrics and spans fill from multi-start
+            // rounds (each replica writes its own `replica<k>` lane).
+            let mut sink =
+                Instrumented::maybe(sink, round_hub.clone()).with_tracer(round_tracer.clone());
             rep.run.step(
                 &mut rep.state,
                 place,

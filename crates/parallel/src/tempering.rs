@@ -54,7 +54,8 @@ use twmc_obs::{
     ReplicaFailed, RunScope, SummaryRecorder, Swap, MOVE_EVAL_SAMPLE,
 };
 use twmc_place::{
-    generate, CoolingRun, MoveSet, MoveStats, PlaceParams, PlacementState, Stage1Context,
+    attribute_cost_terms, generate, CoolingRun, MoveSet, MoveStats, PlaceParams, PlacementState,
+    Stage1Context, COST_ATTRIB_SAMPLE,
 };
 
 use crate::{
@@ -394,6 +395,7 @@ pub(crate) fn run_controlled<'a>(
         };
         let before: usize = rungs.iter().map(|r| r.stats.attempts()).sum();
         let round_hub = rec.hub().cloned();
+        let round_tracer = rec.tracer().cloned();
         let outcomes = pool::try_run_mut(&mut rungs, threads, |_, rung| {
             if !rung.live() || !in_transit(temps[rung.index]) {
                 return;
@@ -402,15 +404,27 @@ pub(crate) fn run_controlled<'a>(
             let t = temps[rung.index];
             let wx = ctx.limiter.window_x(t);
             let wy = ctx.limiter.window_y(t);
-            if let Some(hub) = &round_hub {
-                // Metrics-enabled rung round: block-averaged move
-                // timing plus per-rung counter deltas (hub handles are
-                // atomic, so concurrent rungs fold in safely). RNG use
-                // is identical to the plain loop below.
+            if round_hub.is_some() || round_tracer.is_some() {
+                // Instrumented rung round: block-averaged move timing
+                // shared between the hub histogram and the tracer's
+                // `move_block` spans (each rung writes its own
+                // `rung<k>` lane; hub handles are atomic, so
+                // concurrent rungs fold in safely), plus sampled
+                // cost-term attribution exactly as in the stage-1
+                // loop. RNG use is identical to the plain loop below.
+                let round_t0 = std::time::Instant::now();
+                let mut lane = round_tracer
+                    .as_ref()
+                    .map(|tr| tr.lane(&format!("rung{}", rung.index)));
                 let (a0, c0) = (rung.stats.attempts(), rung.stats.accepts());
                 let mut done = 0usize;
+                let mut block = 0usize;
                 while done < inner {
                     let n = MOVE_EVAL_SAMPLE.min(inner - done);
+                    let attributed = lane.is_some() && block.is_multiple_of(COST_ATTRIB_SAMPLE);
+                    if attributed {
+                        rung.state.cost_clock().start();
+                    }
                     let t0 = std::time::Instant::now();
                     for _ in 0..n {
                         generate(
@@ -424,14 +438,29 @@ pub(crate) fn run_controlled<'a>(
                             &mut rung.stats,
                         );
                     }
-                    hub.move_eval_ns
-                        .observe(t0.elapsed().as_nanos() as f64 / n as f64);
+                    let elapsed = t0.elapsed();
+                    if let Some(hub) = &round_hub {
+                        hub.move_eval_ns
+                            .observe(elapsed.as_nanos() as f64 / n as f64);
+                    }
+                    if let Some(lane) = &mut lane {
+                        lane.span("move_block", "place", t0, elapsed);
+                        if attributed {
+                            attribute_cost_terms(lane, t0, elapsed, rung.state.cost_clock().stop());
+                        }
+                    }
                     done += n;
+                    block += 1;
                 }
-                hub.moves_total.add((rung.stats.attempts() - a0) as u64);
-                hub.moves_accepted_total
-                    .add((rung.stats.accepts() - c0) as u64);
-                hub.temp_steps_total.inc();
+                if let Some(hub) = &round_hub {
+                    hub.moves_total.add((rung.stats.attempts() - a0) as u64);
+                    hub.moves_accepted_total
+                        .add((rung.stats.accepts() - c0) as u64);
+                    hub.temp_steps_total.inc();
+                }
+                if let Some(lane) = &mut lane {
+                    lane.span("temp_step", "place", round_t0, round_t0.elapsed());
+                }
             } else {
                 for _ in 0..inner {
                     generate(

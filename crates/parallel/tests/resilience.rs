@@ -115,6 +115,7 @@ fn interrupted_run(
         writer: Some(CheckpointWriter::new(path, 3)),
         resume: None,
         hub: None,
+        tracer: None,
     };
     let outcome = parallel_stage1_resilient(
         nl,
@@ -147,6 +148,7 @@ fn resumed_run(nl: &Netlist, params: &ParallelParams, path: &std::path::Path) ->
             writer: None,
             resume: Some(payload),
             hub: None,
+            tracer: None,
         },
     )
 }
@@ -250,6 +252,7 @@ fn wall_clock_budget_interrupts_with_a_final_checkpoint() {
         writer: Some(CheckpointWriter::new(&path, 1_000_000)),
         resume: None,
         hub: None,
+        tracer: None,
     };
     let outcome = parallel_stage1_resilient(
         &nl,
@@ -290,6 +293,7 @@ fn checkpoint_from_mismatched_config_is_rejected() {
         writer: None,
         resume: Some(payload),
         hub: None,
+        tracer: None,
     };
     let err = parallel_stage1_resilient(
         &nl,

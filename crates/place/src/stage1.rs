@@ -13,10 +13,11 @@ use twmc_anneal::{t_infinity, temperature_scale, CoolingSchedule, RangeLimiter};
 use twmc_estimator::{cell_density_factors, determine_core, EstimatorParams, PinDensityFactors};
 use twmc_netlist::Netlist;
 use twmc_obs::{
-    CancelToken, ClassCount, CostBreakdown, Event, NullRecorder, PlaceTemp, Recorder, RunScope,
-    StopReason, MOVE_EVAL_SAMPLE,
+    CancelToken, ClassCount, CostBreakdown, Event, Lane, NullRecorder, PlaceTemp, Recorder,
+    RunScope, StopReason, MOVE_EVAL_SAMPLE,
 };
 
+use crate::state::CostTimes;
 use crate::{generate, MoveSet, MoveStats, PlaceParams, PlacementState};
 
 /// Record of one temperature step of a placement run.
@@ -71,6 +72,47 @@ impl Stage1Result {
 
 /// Hard cap on temperature steps (a paper run is ≈120).
 const MAX_STEPS: usize = 1200;
+
+/// One move block in this many gets its cost terms attributed when a
+/// tracer is attached: the armed [`crate::CostClock`] adds ~12 clock
+/// reads per move, so sampling 1-in-16 blocks keeps the traced path
+/// within the benched <2% per-move overhead gate while still sampling
+/// hundreds of blocks per temperature step on real circuits.
+pub const COST_ATTRIB_SAMPLE: usize = 16;
+
+/// Lays the sampled block's cost-term times into the trace as
+/// synthetic children of its `move_block` span: consecutive spans from
+/// the block's start, one per cost term. Their sum is bounded by the
+/// block duration (they are measured subintervals of it), so time
+/// containment — which is how the profiler re-derives nesting — holds
+/// by construction; each span is clamped to the block end anyway in
+/// case clock granularity rounds the terms past it.
+///
+/// Shared with the tempering orchestrator, which runs its own inlined
+/// move loop per rung.
+pub fn attribute_cost_terms(
+    lane: &mut Lane,
+    t0: std::time::Instant,
+    elapsed: std::time::Duration,
+    times: CostTimes,
+) {
+    let block_ts = lane.rel_of(t0);
+    let block_end = block_ts + elapsed.as_nanos() as u64;
+    let mut at = block_ts;
+    for (name, dur) in [
+        ("net_span", times.net_ns),
+        ("overlap_index", times.overlap_ns),
+        ("penalty", times.penalty_ns),
+    ] {
+        if dur == 0 {
+            continue;
+        }
+        let start = at.min(block_end);
+        let dur = dur.min(block_end - start);
+        lane.span_rel(name, "cost", start, dur);
+        at = start + dur;
+    }
+}
 
 /// Scaled temperature floor: once the window is at its minimum span, keep
 /// cooling until `T ≤ 5 · S_T` so the cost firmly converges (the paper's
@@ -378,29 +420,56 @@ impl CoolingRun {
         let wx = limiter.window_x(t);
         let wy = limiter.window_y(t);
         let before = self.moves;
-        if let Some(hub) = rec.hub() {
-            // Metrics-enabled inner loop: time MOVE_EVAL_SAMPLE-move
-            // blocks and record the per-move average, so the clock is
-            // read twice per block — a fraction of a nanosecond per
-            // move — and the block body stays branch-free, identical
-            // to the metrics-off loop. The hub never sees the RNG, so
+        let hub = rec.hub().cloned();
+        let tracer = rec.tracer().cloned();
+        if hub.is_some() || tracer.is_some() {
+            // Instrumented inner loop: time MOVE_EVAL_SAMPLE-move
+            // blocks and share the two clock reads between the hub's
+            // per-move histogram and the tracer's `move_block` span —
+            // a fraction of a nanosecond per move — while the block
+            // body stays branch-free, identical to the plain loop.
+            // Every COST_ATTRIB_SAMPLE-th block additionally arms the
+            // state's cost stopwatch, whose synthetic child spans
+            // split move-eval time across the three cost terms.
+            // Neither the hub nor the tracer ever sees the RNG, so
             // results are bit-identical either way.
-            let hub = hub.clone();
+            let step_t0 = std::time::Instant::now();
+            let mut lane = tracer.as_ref().map(|tr| tr.lane(&scope.lane_name()));
             let mut done = 0usize;
+            let mut block = 0usize;
             while done < inner {
                 let n = MOVE_EVAL_SAMPLE.min(inner - done);
+                let attributed = lane.is_some() && block.is_multiple_of(COST_ATTRIB_SAMPLE);
+                if attributed {
+                    state.cost_clock().start();
+                }
                 let t0 = std::time::Instant::now();
                 for _ in 0..n {
                     generate(state, params, move_set, wx, wy, t, rng, &mut self.moves);
                 }
-                hub.move_eval_ns
-                    .observe(t0.elapsed().as_nanos() as f64 / n as f64);
+                let elapsed = t0.elapsed();
+                if let Some(hub) = &hub {
+                    hub.move_eval_ns
+                        .observe(elapsed.as_nanos() as f64 / n as f64);
+                }
+                if let Some(lane) = &mut lane {
+                    lane.span("move_block", "place", t0, elapsed);
+                    if attributed {
+                        attribute_cost_terms(lane, t0, elapsed, state.cost_clock().stop());
+                    }
+                }
                 done += n;
+                block += 1;
             }
-            let delta = self.moves.since(&before);
-            hub.moves_total.add(delta.attempts() as u64);
-            hub.moves_accepted_total.add(delta.accepts() as u64);
-            hub.temp_steps_total.inc();
+            if let Some(hub) = &hub {
+                let delta = self.moves.since(&before);
+                hub.moves_total.add(delta.attempts() as u64);
+                hub.moves_accepted_total.add(delta.accepts() as u64);
+                hub.temp_steps_total.inc();
+            }
+            if let Some(lane) = &mut lane {
+                lane.span("temp_step", "place", step_t0, step_t0.elapsed());
+            }
         } else {
             for _ in 0..inner {
                 generate(state, params, move_set, wx, wy, t, rng, &mut self.moves);

@@ -12,6 +12,9 @@
 //!   beyond the core boundary;
 //! * `C₃` — the pin-site over-capacity penalty (eqs. 10–11).
 
+use std::cell::Cell;
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -99,6 +102,70 @@ impl PlacementSnapshot {
     }
 }
 
+/// Wall time spent in the three cost terms of sampled move
+/// evaluations, nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostTimes {
+    /// Net bounding-span (`C₁`) evaluation time.
+    pub net_ns: u64,
+    /// Overlap-index (`C₂`) query time.
+    pub overlap_ns: u64,
+    /// Pin-site penalty (`C₃`) time.
+    pub penalty_ns: u64,
+}
+
+impl CostTimes {
+    /// Sum of all three terms.
+    pub fn total_ns(&self) -> u64 {
+        self.net_ns + self.overlap_ns + self.penalty_ns
+    }
+}
+
+/// Interior-mutable stopwatch splitting [`PlacementState::move_cost`]
+/// wall time across its three cost terms.
+///
+/// Armed by the tracing layer for sampled move blocks only; while
+/// disarmed, `move_cost` pays one predictable branch. Timing reads the
+/// clock around computations that are *identical* either way — it never
+/// touches the RNG or the arithmetic — so armed and disarmed runs place
+/// bit-identically. `Cell` keeps the accounting behind the `&self`
+/// cost-evaluation API.
+#[derive(Debug, Clone, Default)]
+pub struct CostClock {
+    armed: Cell<bool>,
+    net_ns: Cell<u64>,
+    overlap_ns: Cell<u64>,
+    penalty_ns: Cell<u64>,
+}
+
+impl CostClock {
+    /// Arms the clock and zeroes the accumulators.
+    pub fn start(&self) {
+        self.armed.set(true);
+        self.net_ns.set(0);
+        self.overlap_ns.set(0);
+        self.penalty_ns.set(0);
+    }
+
+    /// Disarms the clock and returns what it accumulated.
+    pub fn stop(&self) -> CostTimes {
+        self.armed.set(false);
+        CostTimes {
+            net_ns: self.net_ns.get(),
+            overlap_ns: self.overlap_ns.get(),
+            penalty_ns: self.penalty_ns.get(),
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.armed.get()
+    }
+
+    fn add(&self, cell: &Cell<u64>, from: Instant, to: Instant) {
+        cell.set(cell.get() + to.duration_since(from).as_nanos() as u64);
+    }
+}
+
 /// The full placement state.
 #[derive(Debug, Clone)]
 pub struct PlacementState<'a> {
@@ -133,6 +200,10 @@ pub struct PlacementState<'a> {
     /// routed channel densities (paper §4.3: "the amount of outward
     /// expansion of the cell edges is a static quantity" per refinement).
     static_expansions: Option<Vec<(i64, i64, i64, i64)>>,
+    /// Cost-term stopwatch for traced runs (disarmed: one branch per
+    /// `move_cost`). Deliberately not part of [`PlacementSnapshot`] —
+    /// timing is observation, not configuration.
+    cost_clock: CostClock,
 }
 
 impl<'a> PlacementState<'a> {
@@ -231,6 +302,7 @@ impl<'a> PlacementState<'a> {
             total_c3: 0.0,
             p2: 1.0,
             static_expansions: None,
+            cost_clock: CostClock::default(),
         };
 
         // Random sites for uncommitted pins.
@@ -866,11 +938,37 @@ impl<'a> PlacementState<'a> {
     /// Evaluates the cost pieces a move over `involved` cells would
     /// touch, using the *live* geometry (call before and after mutating).
     pub fn move_cost(&self, involved: &[usize], nets: &[NetId]) -> MoveCost {
+        if self.cost_clock.armed() {
+            return self.move_cost_timed(involved, nets);
+        }
         MoveCost {
             c1: nets.iter().map(|n| self.net_cost_live(n.index())).sum(),
             overlap: self.group_overlap(involved),
             c3: self.cells_c3(involved),
         }
+    }
+
+    /// The cost-term stopwatch (armed by the tracing layer for sampled
+    /// move blocks).
+    pub fn cost_clock(&self) -> &CostClock {
+        &self.cost_clock
+    }
+
+    /// [`PlacementState::move_cost`] with the stopwatch running: the
+    /// same three computations in the same order — the clock reads
+    /// around them cannot change a bit of the result.
+    fn move_cost_timed(&self, involved: &[usize], nets: &[NetId]) -> MoveCost {
+        let t0 = Instant::now();
+        let c1 = nets.iter().map(|n| self.net_cost_live(n.index())).sum();
+        let t1 = Instant::now();
+        let overlap = self.group_overlap(involved);
+        let t2 = Instant::now();
+        let c3 = self.cells_c3(involved);
+        let t3 = Instant::now();
+        self.cost_clock.add(&self.cost_clock.net_ns, t0, t1);
+        self.cost_clock.add(&self.cost_clock.overlap_ns, t1, t2);
+        self.cost_clock.add(&self.cost_clock.penalty_ns, t2, t3);
+        MoveCost { c1, overlap, c3 }
     }
 
     /// Reference implementation of [`PlacementState::move_cost`] without

@@ -195,6 +195,15 @@ pub fn refine_placement_resilient(
             }));
         }
     };
+    // Phase spans on the `main` lane. The lane is checked out per span
+    // (not held across the loop) so the annealer's own temp_step spans
+    // land on the same ring and nest inside these by containment.
+    let tracer = rec.tracer().cloned();
+    let tspan = |name: &'static str, cat: &'static str, t0: Instant| {
+        if let Some(tr) = &tracer {
+            tr.lane("main").span(name, cat, t0, t0.elapsed());
+        }
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let core = state.estimator().core();
     let limiter = RangeLimiter::new(
@@ -220,6 +229,7 @@ pub fn refine_placement_resilient(
         // (1) + (2): channel definition and global routing.
         let (geometry, nets) = routing_snapshot(state);
         span(rec, "channel_definition", k, t0);
+        tspan("channel_definition", "route", t0);
         let t0 = Instant::now();
         let routing = global_route_cancellable(
             &geometry,
@@ -237,6 +247,7 @@ pub fn refine_placement_resilient(
         let expansions = static_expansions(&routing, nl.cells().len(), params.router.track_spacing);
         state.set_static_expansions(expansions);
         span(rec, "global_routing", k, t0);
+        tspan("global_routing", "route", t0);
 
         // (3): low-temperature refinement.
         let t0 = Instant::now();
@@ -257,6 +268,7 @@ pub fn refine_placement_resilient(
             cancel,
         );
         span(rec, "refine_anneal", k, t0);
+        tspan("refine_anneal", "place", t0);
         records.push(RefinementRecord {
             teil_before,
             teil_after: state.teil(),
@@ -287,6 +299,7 @@ pub fn refine_placement_resilient(
         cancel,
     )?;
     span(rec, "final_routing", params.refinements, t0);
+    tspan("final_routing", "route", t0);
 
     Ok(Stage2Result {
         teil: state.teil(),

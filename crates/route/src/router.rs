@@ -171,6 +171,13 @@ fn route_inner(
     cancel: Option<&CancelToken>,
 ) -> Result<GlobalRouting, StopReason> {
     let route_t0 = std::time::Instant::now();
+    // Span lane for this routing execution: one `route_net` span per
+    // net's phase-1 enumeration, a `route_select` span for the phase-2
+    // interchange, and a `route_iter` parent covering the whole call.
+    // Clocks are read only when a tracer is attached; the RNG is never
+    // touched, so routing stays bit-identical.
+    let tracer = rec.tracer().cloned();
+    let mut lane = tracer.as_ref().map(|tr| tr.lane("route"));
     let graph = build_channel_graph(geometry, params.track_spacing);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -180,6 +187,7 @@ fn route_inner(
         if let Some(reason) = cancel.and_then(|c| c.check()) {
             return Err(reason);
         }
+        let net_t0 = lane.as_ref().map(|_| std::time::Instant::now());
         if graph.is_empty() {
             alternatives.push(Vec::new());
             net_points.push(Vec::new());
@@ -237,10 +245,17 @@ fn route_inner(
         trees.sort_by(|a, b| a.length.cmp(&b.length).then(a.edges.cmp(&b.edges)));
         alternatives.push(trees);
         net_points.push(points);
+        if let (Some(lane), Some(t0)) = (lane.as_mut(), net_t0) {
+            lane.span("route_net", "route", t0, t0.elapsed());
+        }
     }
 
+    let select_t0 = lane.as_ref().map(|_| std::time::Instant::now());
     let assignment = assign_routes(&graph, &alternatives, &mut rng)
         .expect("alternatives enumerated on this graph");
+    if let (Some(lane), Some(t0)) = (lane.as_mut(), select_t0) {
+        lane.span("route_select", "route", t0, t0.elapsed());
+    }
 
     // Node densities: distinct nets through each node; chosen pin
     // attachments per connection point.
@@ -314,6 +329,9 @@ fn route_inner(
         hub.route_iter_ms
             .observe(route_t0.elapsed().as_secs_f64() * 1e3);
         hub.route_overflow.set(assignment.overflow);
+    }
+    if let Some(lane) = &mut lane {
+        lane.span("route_iter", "route", route_t0, route_t0.elapsed());
     }
 
     Ok(GlobalRouting {

@@ -27,8 +27,9 @@ use std::time::{Duration, Instant};
 use serde::Value;
 use twmc_analyze::{analyze, parse_stream};
 use twmc_core::{run_timberwolf_resilient, RunOptions, RunOutcome, TimberWolfResult};
-use twmc_obs::{CancelToken, Instrumented, JsonlRecorder, MetricsHub, Recorder};
+use twmc_obs::{CancelToken, Instrumented, JsonlRecorder, MetricsHub, Recorder, Tracer};
 use twmc_resume::{read_checkpoint, CheckpointWriter};
+use twmc_trace::capture_to_string;
 
 use crate::job::{placement_text, JobSpec, JobState};
 use crate::json::obj;
@@ -121,6 +122,10 @@ struct JobRecord {
     /// When the job last entered the wait queue (set on submit and on
     /// every re-enqueue) — the start point of the queue-wait histogram.
     enqueued_at: Option<Instant>,
+    /// The job's span tracer: one timeline across every attempt, so
+    /// queued → running → preempted → resumed → done reads as one
+    /// trace. Persisted to the spool when the job goes terminal.
+    tracer: Arc<Tracer>,
 }
 
 /// Monotonic service counters (the `/stats` payload).
@@ -232,6 +237,7 @@ impl Daemon {
                     spec: recovered.spec,
                     status,
                     enqueued_at: waiting.then(Instant::now),
+                    tracer: Tracer::new(),
                 },
             );
         }
@@ -326,6 +332,7 @@ impl Daemon {
                 spec,
                 status: JobStatus::default(),
                 enqueued_at: Some(Instant::now()),
+                tracer: Tracer::new(),
             },
         );
         self.maybe_preempt(&mut inner, priority);
@@ -441,6 +448,21 @@ impl Daemon {
         self.spool.read_placement(id)
     }
 
+    /// The job's span trace as a JSONL capture (`GET /jobs/<id>/trace`).
+    /// Live jobs snapshot the tracer in flight (safe against the
+    /// worker's concurrent writes); terminal jobs read the capture
+    /// sealed into the spool at disposal.
+    pub fn trace(&self, id: &str) -> Option<String> {
+        let inner = self.state.lock().unwrap();
+        let job = inner.jobs.get(id)?;
+        if job.status.state.terminal() {
+            if let Some(text) = self.spool.read_trace(id) {
+                return Some(text);
+            }
+        }
+        Some(capture_to_string(&job.tracer.collect()))
+    }
+
     /// The `/stats` payload.
     pub fn stats_value(&self) -> Value {
         let inner = self.state.lock().unwrap();
@@ -552,7 +574,7 @@ impl Daemon {
     /// Pops heap entries until one refers to a job still waiting to
     /// run, and transitions it to `running`. Stale entries (cancelled
     /// jobs, duplicates) are discarded.
-    fn claim_next(&self, inner: &mut Inner) -> Option<(JobSpec, CancelToken)> {
+    fn claim_next(&self, inner: &mut Inner) -> Option<(JobSpec, CancelToken, Arc<Tracer>)> {
         while let Some(entry) = inner.queue.pop() {
             let Some(job) = inner.jobs.get_mut(&entry.id) else {
                 continue;
@@ -560,11 +582,22 @@ impl Daemon {
             if !matches!(job.status.state, JobState::Queued | JobState::Preempted) {
                 continue;
             }
+            let waited_as = job.status.state;
             job.status.state = JobState::Running;
+            let tracer = Arc::clone(&job.tracer);
             if let Some(t0) = job.enqueued_at.take() {
                 self.hub
                     .queue_wait_ms
                     .observe(t0.elapsed().as_secs_f64() * 1e3);
+                // The wait that just ended, named by what kind it was:
+                // the first wait is `queued`, every later one (between
+                // a preemption and its re-claim) is `preempted`.
+                let name = if waited_as == JobState::Preempted {
+                    "preempted"
+                } else {
+                    "queued"
+                };
+                tracer.lane("job").span(name, "serve", t0, t0.elapsed());
             }
             let spec = job.spec.clone();
             let status = job.status.clone();
@@ -580,14 +613,14 @@ impl Daemon {
             );
             let _ = self.spool.write_status(&entry.id, &status);
             self.sync_gauges(inner);
-            return Some((spec, cancel));
+            return Some((spec, cancel, tracer));
         }
         None
     }
 
     /// Runs one claimed job to its next boundary (completion or
     /// interrupt) and disposes of the outcome.
-    fn run_job(&self, (spec, cancel): (JobSpec, CancelToken)) {
+    fn run_job(&self, (spec, cancel, tracer): (JobSpec, CancelToken, Arc<Tracer>)) {
         let id = spec.id.clone();
         let ckpt_path = self.spool.checkpoint_path(&id);
         let events_path = self.spool.events_path(&id);
@@ -615,6 +648,7 @@ impl Daemon {
             if let Some(job) = inner.jobs.get_mut(&id) {
                 job.status.resumes += 1;
             }
+            tracer.lane("job").mark("resumed", "serve", Instant::now());
         }
 
         // The telemetry stream: a resumed run appends its exact suffix
@@ -635,7 +669,8 @@ impl Daemon {
                 return;
             }
         };
-        let mut recorder = Instrumented::new(recorder, Arc::clone(&self.hub));
+        let mut recorder = Instrumented::new(recorder, Arc::clone(&self.hub))
+            .with_tracer(Some(Arc::clone(&tracer)));
 
         let nl = match spec.parse_netlist() {
             Ok(nl) => nl,
@@ -656,16 +691,32 @@ impl Daemon {
 
         // Fault isolation: a panic anywhere in the pipeline fails this
         // job, not the daemon.
+        let attempt_t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run_timberwolf_resilient(&nl, &config, run_opts, &mut recorder as &mut dyn Recorder)
         }));
         let _ = recorder.into_inner().finish();
+        tracer
+            .lane("job")
+            .span("running", "serve", attempt_t0, attempt_t0.elapsed());
 
         match outcome {
             Err(panic) => self.dispose_failed(&id, panic_text(panic)),
             Ok(Err(e)) => self.dispose_failed(&id, e.to_string()),
             Ok(Ok(RunOutcome::Complete(result))) => self.dispose_complete(&id, &result),
             Ok(Ok(RunOutcome::Interrupted(_))) => self.dispose_interrupted(&id),
+        }
+    }
+
+    /// Stamps a terminal lifecycle mark on the job's trace and seals
+    /// the capture into the spool. Called with the state lock held.
+    fn seal_trace(&self, inner: &Inner, id: &str, terminal: &'static str) {
+        if let Some(job) = inner.jobs.get(id) {
+            job.tracer
+                .lane("job")
+                .mark(terminal, "serve", Instant::now());
+            let capture = capture_to_string(&job.tracer.collect());
+            let _ = self.spool.write_trace(id, &capture);
         }
     }
 
@@ -680,6 +731,7 @@ impl Daemon {
             let status = job.status.clone();
             let _ = self.spool.write_status(id, &status);
         }
+        self.seal_trace(&inner, id, "failed");
         self.sync_gauges(&inner);
         drop(inner);
         self.change.notify_all();
@@ -703,6 +755,7 @@ impl Daemon {
             let status = job.status.clone();
             let _ = self.spool.write_status(id, &status);
         }
+        self.seal_trace(&inner, id, "done");
         self.sync_gauges(&inner);
         drop(inner);
         self.change.notify_all();
@@ -724,16 +777,21 @@ impl Daemon {
                     let status = job.status.clone();
                     let _ = self.spool.write_status(id, &status);
                 }
+                self.seal_trace(&inner, id, "cancelled");
                 self.spool.remove_checkpoint(id);
             }
             StopCause::Drain => {
                 // Persist as preempted; the next daemon over this
-                // spool re-enqueues and resumes it.
+                // spool re-enqueues and resumes it. The trace capture
+                // is sealed too — the restarted daemon starts a fresh
+                // timeline, so this attempt's spans would otherwise
+                // be lost with the process.
                 if let Some(job) = inner.jobs.get_mut(id) {
                     job.status.state = JobState::Preempted;
                     let status = job.status.clone();
                     let _ = self.spool.write_status(id, &status);
                 }
+                self.seal_trace(&inner, id, "drained");
             }
             StopCause::Preempt | StopCause::None => {
                 let requeue = inner.jobs.get_mut(id).map(|job| {

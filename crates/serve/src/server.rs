@@ -8,6 +8,7 @@
 //! | `GET /jobs/<id>/events`    | the job's JSONL telemetry stream         |
 //! | `GET /jobs/<id>/result`    | final report (done jobs)                 |
 //! | `GET /jobs/<id>/placement` | final placement text (done jobs)         |
+//! | `GET /jobs/<id>/trace`     | span-trace capture (live or sealed)      |
 //! | `DELETE /jobs/<id>`        | cancel                                   |
 //! | `GET /healthz`             | liveness, version, uptime, load gauges   |
 //! | `GET /stats`               | queue depth, busy workers, counters      |
@@ -50,6 +51,17 @@ pub const MAX_REQUESTS_PER_CONN: usize = 64;
 
 /// Poll cadence of a streaming tail waiting for new events.
 const FOLLOW_POLL: Duration = Duration::from_millis(20);
+
+/// Per-write deadline on every connection. A follow-tail client that
+/// stops reading fills its socket buffer; without a deadline the next
+/// `write_chunk` blocks forever and pins this connection's thread
+/// through the drain. With it the stalled write errors out and the
+/// thread exits — the worker running the job is unaffected. Note the
+/// kernel often grants a blocked write a little buffer space per
+/// window (a timed-out `send` reports partial progress rather than an
+/// error), so a stalled tail is disconnected after a few windows, not
+/// exactly one.
+pub const WRITE_DEADLINE: Duration = Duration::from_secs(2);
 
 /// The daemon's HTTP listener.
 pub struct Server {
@@ -116,6 +128,7 @@ impl Server {
 /// and streams until the job ends.
 fn serve_connection(daemon: &Daemon, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(WRITE_DEADLINE));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -276,6 +289,10 @@ pub fn handle_request(daemon: &Daemon, req: &Request) -> Response {
         ("GET", ["jobs", id, "result"]) => match daemon.result(id) {
             Some(report) => Response::json(200, report),
             None => error_response(404, &format!("no result for job `{id}` (not done?)")),
+        },
+        ("GET", ["jobs", id, "trace"]) => match daemon.trace(id) {
+            Some(capture) => Response::ndjson(capture.into_bytes()),
+            None => error_response(404, &format!("no job `{id}`")),
         },
         ("GET", ["jobs", id, "placement"]) => match daemon.placement(id) {
             Some(text) => Response {

@@ -11,6 +11,7 @@
 //!   job.ckpt        preemption checkpoint (absent unless interrupted)
 //!   result.json     final report (done jobs only)
 //!   placement.txt   final placement (done jobs only)
+//!   trace.jsonl     span-trace capture (terminal jobs only)
 //! ```
 //!
 //! All JSON writes go through tmp-file + rename, the same discipline as
@@ -173,6 +174,21 @@ impl Spool {
     /// Reads the final placement of a completed job, if present.
     pub fn read_placement(&self, id: &str) -> Option<String> {
         fs::read_to_string(self.dir(id).join("placement.txt")).ok()
+    }
+
+    /// Path of the job's persisted span-trace capture.
+    pub fn trace_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("trace.jsonl")
+    }
+
+    /// Writes the span-trace capture of a terminal job.
+    pub fn write_trace(&self, id: &str, capture: &str) -> io::Result<()> {
+        atomic_write(&self.trace_path(id), capture.as_bytes())
+    }
+
+    /// Reads the persisted span-trace capture, if present.
+    pub fn read_trace(&self, id: &str) -> Option<String> {
+        fs::read_to_string(self.trace_path(id)).ok()
     }
 
     /// Reads the job's telemetry stream, truncated at the last newline

@@ -1,0 +1,94 @@
+//! Slow-consumer hardening: a follow-tail client that stops reading
+//! must not pin its connection thread. The per-write deadline
+//! ([`twmc_serve::server::WRITE_DEADLINE`]) turns the blocked write
+//! into an error, the thread exits, and the daemon stays responsive.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use common::*;
+use twmc_serve::client;
+use twmc_serve::json::get_str;
+use twmc_serve::server::WRITE_DEADLINE;
+use twmc_serve::JobState;
+
+/// Big enough to overflow the loopback socket buffers many times
+/// over, so the tail's writes genuinely block against a stalled
+/// reader instead of parking in kernel buffers.
+const FLOOD_BYTES: usize = 64 << 20;
+
+#[test]
+fn stalled_follow_reader_is_disconnected_not_pinned() {
+    let daemon = start_daemon("stall", 1);
+    let (addr, stop, handle) = start_server(daemon.clone());
+
+    // A finished job whose event file we then inflate far past any
+    // socket buffering: replaying it to a non-reading client forces
+    // the tail's writes to block.
+    let posted = client::post_raw(&addr, "/jobs?ac=10&seed=9", &tiny_netlist(9)).unwrap();
+    assert_eq!(posted.status, 201, "{}", posted.body);
+    let id = get_str(&posted.json().unwrap(), "id").unwrap().to_owned();
+    assert_eq!(
+        daemon.wait_terminal(&id, Duration::from_secs(60)),
+        Some(JobState::Done)
+    );
+    let line = format!("{{\"pad\":\"{}\"}}\n", "x".repeat(120));
+    let flood = line.repeat(FLOOD_BYTES / line.len());
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(daemon.spool().events_path(&id))
+            .unwrap();
+        f.write_all(flood.as_bytes()).unwrap();
+    }
+
+    // Open the tail by hand and then stop reading entirely.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(format!("GET /jobs/{id}/events?follow=1 HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    // A timed-out write that moved *some* bytes reports the partial
+    // count rather than an error, and the kernel tends to free a
+    // dribble of buffer space per window — the disconnect lands once
+    // a full window passes with zero progress, empirically within a
+    // handful of windows. Stall well past that point.
+    let stall = 5 * WRITE_DEADLINE + Duration::from_secs(2);
+    std::thread::sleep(stall);
+
+    // The daemon answered other clients the whole time.
+    let health = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    // The server gave up on us: draining the socket hits EOF (or a
+    // reset) long before the flood is fully delivered. Without the
+    // write deadline the tail would resume the moment we read and
+    // push all 64 MiB through.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let t0 = Instant::now();
+    let mut received = 0usize;
+    let mut buf = vec![0u8; 64 << 10];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => received += n,
+            Err(_) => break, // reset counts as disconnected too
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "drain did not terminate"
+        );
+    }
+    assert!(
+        received < flood.len(),
+        "stalled tail delivered the whole flood ({received} bytes) — write deadline not applied"
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    handle.join().unwrap().unwrap();
+}

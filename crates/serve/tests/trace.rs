@@ -1,0 +1,117 @@
+//! Span-trace integration tests: the `GET /jobs/<id>/trace` endpoint,
+//! live in-flight snapshots, and the one-timeline-per-job guarantee
+//! across preemption and resume.
+
+mod common;
+
+use std::time::Duration;
+
+use common::*;
+use twmc_obs::validate::parse_json;
+use twmc_serve::client;
+use twmc_serve::json::get_str;
+use twmc_serve::JobState;
+
+/// Every line of a capture must be standalone JSON, and the first
+/// must be the `trace_meta` header.
+fn assert_valid_capture(text: &str) {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let head = lines.next().expect("capture has a header line");
+    let head = parse_json(head).expect("header parses");
+    assert_eq!(get_str(&head, "kind"), Some("trace_meta"));
+    for line in lines {
+        let v = parse_json(line).unwrap_or_else(|e| panic!("bad capture line `{line}`: {e}"));
+        let kind = get_str(&v, "kind").expect("line has a kind");
+        assert!(
+            kind == "span" || kind == "trace_drop",
+            "unexpected capture kind `{kind}`"
+        );
+    }
+}
+
+#[test]
+fn trace_endpoint_serves_live_then_sealed_capture() {
+    let daemon = start_daemon("trace-endpoint", 1);
+    let (addr, stop, handle) = start_server(daemon.clone());
+
+    let posted = client::post_raw(&addr, "/jobs?ac=10&seed=7", &tiny_netlist(7)).unwrap();
+    assert_eq!(posted.status, 201, "{}", posted.body);
+    let id = get_str(&posted.json().unwrap(), "id").unwrap().to_owned();
+
+    // A snapshot is available the moment the job exists — queued or
+    // mid-run, the capture is always a complete, parseable document.
+    let live = client::get(&addr, &format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(live.status, 200);
+    assert_valid_capture(&live.body);
+
+    assert_eq!(
+        daemon.wait_terminal(&id, Duration::from_secs(60)),
+        Some(JobState::Done)
+    );
+
+    // Terminal jobs serve the capture sealed into the spool: the full
+    // lifecycle (queue wait, the running attempt, the terminal mark)
+    // plus the pipeline's own spans recorded through the job recorder.
+    let sealed = client::get(&addr, &format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(sealed.status, 200);
+    assert_valid_capture(&sealed.body);
+    for needle in [
+        "\"lane\":\"job\"",
+        "\"name\":\"queued\"",
+        "\"name\":\"running\"",
+        "\"name\":\"done\"",
+        "\"lane\":\"main\"",
+        "\"name\":\"run\"",
+        "\"name\":\"stage1\"",
+        "\"name\":\"temp_step\"",
+        "\"name\":\"move_block\"",
+    ] {
+        assert!(sealed.body.contains(needle), "capture lacks {needle}");
+    }
+    assert!(daemon.spool().trace_path(&id).exists());
+
+    let missing = client::get(&addr, "/jobs/zzz/trace").unwrap();
+    assert_eq!(missing.status, 404);
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn preempted_job_keeps_one_timeline_across_attempts() {
+    let daemon = start_daemon("trace-preempt", 1);
+
+    let low = daemon.submit(spec(long_netlist(3), 3, LONG_AC, 0)).unwrap();
+    assert!(wait_for(Duration::from_secs(30), || daemon.job_state(&low)
+        == Some(JobState::Running)));
+
+    // A higher-priority arrival preempts the running job; once both
+    // finish, the low job's capture shows the whole story in order:
+    // queued wait, first attempt, preempted wait, resume, second
+    // attempt, done.
+    let high = daemon.submit(spec(tiny_netlist(4), 4, 10, 5)).unwrap();
+    assert_eq!(
+        daemon.wait_terminal(&high, Duration::from_secs(60)),
+        Some(JobState::Done)
+    );
+    assert_eq!(
+        daemon.wait_terminal(&low, Duration::from_secs(120)),
+        Some(JobState::Done)
+    );
+
+    let capture = daemon.trace(&low).expect("terminal job has a capture");
+    assert_valid_capture(&capture);
+    for needle in [
+        "\"name\":\"queued\"",
+        "\"name\":\"preempted\"",
+        "\"name\":\"resumed\"",
+        "\"name\":\"done\"",
+    ] {
+        assert!(capture.contains(needle), "capture lacks {needle}");
+    }
+    assert_eq!(
+        capture.matches("\"name\":\"running\"").count(),
+        2,
+        "one running span per attempt"
+    );
+}

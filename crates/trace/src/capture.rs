@@ -1,0 +1,78 @@
+//! The on-disk capture format: JSONL, one object per line, in the
+//! same spirit as the telemetry event stream.
+//!
+//! ```text
+//! {"kind":"trace_meta","base_unix_ns":...,"lanes":2}
+//! {"kind":"span","lane":"main","name":"temp_step","cat":"place","ts_ns":...,"dur_ns":...}
+//! {"kind":"trace_drop","lane":"main","dropped":92}
+//! ```
+//!
+//! Timestamps are absolute Unix nanoseconds, so captures from a
+//! preempted job's separate attempts concatenate into one valid
+//! timeline. This crate only *writes* the format (it is
+//! dependency-free); parsing lives in `twmc-analyze`, next to the
+//! telemetry stream reader.
+
+use crate::chrome::json_escape;
+use crate::TraceSnapshot;
+
+/// Serializes a collected trace to capture JSONL.
+pub fn capture_to_string(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"kind\":\"trace_meta\",\"base_unix_ns\":{},\"lanes\":{}}}\n",
+        snap.base_unix_ns,
+        snap.lanes.len()
+    ));
+    for lane in &snap.lanes {
+        let lane_name = json_escape(&lane.name);
+        for span in &lane.spans {
+            out.push_str(&format!(
+                "{{\"kind\":\"span\",\"lane\":\"{lane_name}\",\"name\":\"{}\",\"cat\":\"{}\",\
+                 \"ts_ns\":{},\"dur_ns\":{}}}\n",
+                json_escape(&span.name),
+                json_escape(&span.cat),
+                span.ts_ns,
+                span.dur_ns,
+            ));
+        }
+        if lane.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"kind\":\"trace_drop\",\"lane\":\"{lane_name}\",\"dropped\":{}}}\n",
+                lane.dropped
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneSnapshot, SpanRecord};
+
+    #[test]
+    fn writes_meta_spans_and_drops() {
+        let snap = TraceSnapshot {
+            base_unix_ns: 42,
+            lanes: vec![LaneSnapshot {
+                name: "main".into(),
+                spans: vec![SpanRecord {
+                    name: "run".into(),
+                    cat: "run".into(),
+                    ts_ns: 100,
+                    dur_ns: 7,
+                }],
+                dropped: 3,
+            }],
+        };
+        let text = capture_to_string(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"trace_meta\""));
+        assert!(lines[0].contains("\"base_unix_ns\":42"));
+        assert!(lines[1].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("\"ts_ns\":100"));
+        assert!(lines[2].contains("\"dropped\":3"));
+    }
+}

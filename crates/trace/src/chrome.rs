@@ -1,0 +1,127 @@
+//! Chrome Trace Event Format export.
+//!
+//! Emits the JSON object form (`{"traceEvents": [...]}`) with
+//! complete ("X") events, one `tid` per lane, thread-name metadata,
+//! and an instant event per lane that dropped spans — loadable
+//! directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Timestamps are microseconds (fractional)
+//! relative to the earliest span, so the viewer timeline starts at 0.
+
+use crate::TraceSnapshot;
+
+/// Escapes `s` for a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with sub-ns-safe precision for the `ts`/`dur` fields.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// Converts a collected trace to Chrome Trace Event Format JSON.
+pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    let t0 = snap
+        .lanes
+        .iter()
+        .flat_map(|l| l.spans.iter().map(|s| s.ts_ns))
+        .min()
+        .unwrap_or(snap.base_unix_ns);
+
+    let mut events: Vec<String> = Vec::with_capacity(snap.total_spans() + snap.lanes.len() + 1);
+    events.push(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"twmc\"}}"
+            .to_owned(),
+    );
+    for (idx, lane) in snap.lanes.iter().enumerate() {
+        let tid = idx + 1;
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&lane.name)
+        ));
+        for span in &lane.spans {
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\
+                 \"ts\":{},\"dur\":{}}}",
+                json_escape(&span.name),
+                json_escape(&span.cat),
+                us(span.ts_ns.saturating_sub(t0)),
+                us(span.dur_ns),
+            ));
+        }
+        if lane.dropped > 0 {
+            // Flag the eviction where the surviving window begins.
+            let at = lane.spans.first().map(|s| s.ts_ns).unwrap_or(t0);
+            events.push(format!(
+                "{{\"ph\":\"I\",\"pid\":1,\"tid\":{tid},\"name\":\"dropped_spans\",\
+                 \"cat\":\"trace\",\"s\":\"t\",\"ts\":{},\"args\":{{\"count\":{}}}}}",
+                us(at.saturating_sub(t0)),
+                lane.dropped,
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneSnapshot, SpanRecord};
+
+    #[test]
+    fn exports_complete_events_with_thread_lanes() {
+        let snap = TraceSnapshot {
+            base_unix_ns: 1_000,
+            lanes: vec![LaneSnapshot {
+                name: "main".into(),
+                spans: vec![SpanRecord {
+                    name: "temp_step".into(),
+                    cat: "place".into(),
+                    ts_ns: 5_000,
+                    dur_ns: 2_500,
+                }],
+                dropped: 4,
+            }],
+        };
+        let json = chrome_trace_json(&snap);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"temp_step\""));
+        // Normalized to the earliest span; 2500 ns = 2.5 us.
+        assert!(json.contains("\"ts\":0.000,\"dur\":2.500"), "{json}");
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"dropped_spans\""));
+        assert!(json.contains("\"count\":4"));
+    }
+
+    #[test]
+    fn escapes_names() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -27,7 +27,9 @@ use timberwolfmc::netlist::{
     paper_circuit, parse_netlist, synthesize, synthesize_profile, write_netlist, Netlist,
     SynthParams,
 };
-use timberwolfmc::obs::{CancelToken, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
+use timberwolfmc::obs::{
+    CancelToken, Instrumented, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee, Tracer,
+};
 use timberwolfmc::place::PlaceParams;
 use timberwolfmc::resume::{read_checkpoint, CheckpointWriter};
 
@@ -42,7 +44,7 @@ fn usage() -> ExitCode {
          [--replicas N] [--threads N] [--strategy multistart|tempering] [--swap-interval N]\n              \
          [--telemetry FILE.jsonl] [--telemetry-overwrite] [--telemetry-summary]\n              \
          [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n              \
-         [--max-wall-secs F] [--max-moves N]\n  \
+         [--max-wall-secs F] [--max-moves N] [--trace FILE.jsonl]\n  \
          twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n  \
          twmc serve [--listen ADDR] [--workers N] [--queue-cap N] [--spool DIR]\n              \
          [--checkpoint-every N] [--drain-grace-ms N]\n  \
@@ -50,6 +52,8 @@ fn usage() -> ExitCode {
          twmc report --metrics-snapshot SNAPSHOT.prom [--json] [--max-failed-jobs N]\n              \
          [--max-replica-failures N] [--max-queue-depth N] [--max-route-overflow N]\n              \
          [--max-move-p50-ns F]\n  \
+         twmc report --trace CAPTURE.jsonl [--json] [--top N]\n  \
+         twmc trace CAPTURE.jsonl [--out CHROME.json] [--top N]\n  \
          twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
          [--max-length-pct F] [--max-area-pct F] [--max-overflow N] [--max-unrouted N]\n  \
          twmc diff --bench-parallel [BASELINE.json] BENCH_parallel.json [--json]\n\n\
@@ -63,11 +67,17 @@ fn usage() -> ExitCode {
          --resume FILE continues a checkpointed run bit-identically; Ctrl-C / SIGTERM,\n\
          --max-wall-secs, and --max-moves stop gracefully (exit 3, checkpoint flushed)\n\
          serve runs the placement daemon: POST /jobs, GET /jobs/ID[/events|/result|\n\
-         /placement], DELETE /jobs/ID, GET /healthz, GET /stats, GET /metrics\n\
+         /placement|/trace], DELETE /jobs/ID, GET /healthz, GET /stats, GET /metrics\n\
          (Prometheus text); GET /jobs/ID/events?follow=1 streams a live chunked\n\
          JSONL tail until the job ends; higher-priority jobs\n\
          preempt running ones at round boundaries (checkpoint + bit-identical resume);\n\
          SIGTERM drains gracefully (default --listen 127.0.0.1:7171, --spool twmc-spool)\n\
+         --trace FILE records a hierarchical span trace (run > stage > temp step >\n\
+         move block, cost-term self-time) with no effect on results; convert it with\n\
+         `twmc trace` to a Chrome Trace Event JSON for ui.perfetto.dev plus a\n\
+         terminal self-time table, and health-check it with `twmc report --trace`\n\
+         (exit 2 when the time distribution is pathological, e.g. overlap-index\n\
+         maintenance dominating move evaluation)\n\
          report checks a recorded run against the paper's control laws (exit 1 if\n\
          unhealthy); report --metrics-snapshot judges a scraped GET /metrics exposition\n\
          against operational thresholds offline (exit 2 on breach);\n\
@@ -108,6 +118,7 @@ const PLACE_FLAGS: FlagSpec = &[
     ("resume", true),
     ("max-wall-secs", true),
     ("max-moves", true),
+    ("trace", true),
 ];
 
 const SERVE_FLAGS: FlagSpec = &[
@@ -122,6 +133,8 @@ const SERVE_FLAGS: FlagSpec = &[
 const REPORT_FLAGS: FlagSpec = &[
     ("json", false),
     ("metrics-snapshot", false),
+    ("trace", false),
+    ("top", true),
     ("max-failed-jobs", true),
     ("max-replica-failures", true),
     ("max-queue-depth", true),
@@ -138,6 +151,8 @@ const DIFF_FLAGS: FlagSpec = &[
     ("max-overflow", true),
     ("max-unrouted", true),
 ];
+
+const TRACE_FLAGS: FlagSpec = &[("out", true), ("top", true)];
 
 const COMPARE_FLAGS: FlagSpec = &[
     ("seed", true),
@@ -430,6 +445,11 @@ fn cmd_place(flags: &Flags) -> Result<ExitCode, String> {
     };
     let mut summary = flags.has("telemetry-summary").then(SummaryRecorder::new);
     let mut null = NullRecorder;
+    // `--trace FILE` records a hierarchical span trace alongside the
+    // run. The tracer rides the recorder via `Recorder::tracer()`, so
+    // enabling it never touches the annealing RNG or results.
+    let trace_path = flags.get_str("trace");
+    let tracer = trace_path.map(|_| Tracer::new());
 
     let t0 = std::time::Instant::now();
     let outcome = {
@@ -443,6 +463,14 @@ fn cmd_place(flags: &Flags) -> Result<ExitCode, String> {
             (None, Some(s)) => s,
             (None, None) => &mut null,
         };
+        let mut traced;
+        let rec: &mut dyn Recorder = match &tracer {
+            Some(t) => {
+                traced = Instrumented::maybe(rec, None).with_tracer(Some(t.clone()));
+                &mut traced
+            }
+            None => rec,
+        };
         run_timberwolf_resilient(&nl, &config, opts, rec).map_err(|e| e.to_string())?
     };
     if let (Some(j), Some(path)) = (jsonl, telemetry_path) {
@@ -453,6 +481,16 @@ fn cmd_place(flags: &Flags) -> Result<ExitCode, String> {
     }
     if let Some(s) = &summary {
         print!("{}", format_telemetry_summary(s.events()));
+    }
+    // The capture is written on the interrupted path too — a span
+    // trace of a budget-cut run is exactly what a profiling session
+    // wants to look at.
+    if let (Some(t), Some(tpath)) = (&tracer, trace_path) {
+        let snap = t.collect();
+        let spans = snap.total_spans();
+        std::fs::write(tpath, timberwolfmc::obs::trace::capture_to_string(&snap))
+            .map_err(|e| format!("cannot write {tpath}: {e}"))?;
+        eprintln!("wrote {spans} spans to {tpath} (convert: twmc trace {tpath} --out chrome.json)");
     }
     let result = match outcome {
         RunOutcome::Complete(result) => result,
@@ -574,11 +612,40 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn load_capture(path: &str) -> Result<timberwolfmc::obs::TraceSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    timberwolfmc::analyze::parse_capture(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `twmc trace CAPTURE.jsonl [--out CHROME.json] [--top N]`: converts
+/// a span-trace capture (from `twmc place --trace` or a daemon's
+/// `GET /jobs/<id>/trace`) into a Chrome Trace Event JSON that loads
+/// in ui.perfetto.dev / chrome://tracing, and prints the self-time
+/// attribution table to stdout.
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "trace needs a span-trace capture file".to_owned())?;
+    let snap = load_capture(path)?;
+    if let Some(out) = flags.get_str("out") {
+        let json = timberwolfmc::obs::trace::chrome_trace_json(&snap);
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out} (load in ui.perfetto.dev or chrome://tracing)");
+    }
+    let prof = timberwolfmc::obs::trace::profile(&snap);
+    print!("{}", prof.format_table(flags.get("top", 20usize)));
+    Ok(())
+}
+
 /// `twmc report RUN.jsonl`: health-checks a recorded run against the
 /// paper's control laws. Exits non-zero when any check fails.
 fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
     if flags.has("metrics-snapshot") {
         return cmd_report_snapshot(flags);
+    }
+    if flags.has("trace") {
+        return cmd_report_trace(flags);
     }
     let path = flags
         .positional
@@ -632,6 +699,36 @@ fn cmd_report_snapshot(flags: &Flags) -> Result<ExitCode, String> {
         ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
+    })
+}
+
+/// `twmc report --trace CAPTURE.jsonl`: health-checks the wall-time
+/// distribution of a span-trace capture — flags pathological splits
+/// like overlap-index maintenance dominating move evaluation, or
+/// checkpoint writes eating a material slice of the run. Exits 2 on a
+/// breach (the `twmc diff` regression convention).
+fn cmd_report_trace(flags: &Flags) -> Result<ExitCode, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "report --trace needs a span-trace capture file".to_owned())?;
+    let snap = load_capture(path)?;
+    let report = timberwolfmc::analyze::check_trace(&snap);
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report.findings).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!(
+            "{}",
+            timberwolfmc::analyze::format_trace_report(&report, flags.get("top", 20usize))
+        );
+    }
+    Ok(if report.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     })
 }
 
@@ -720,6 +817,7 @@ fn main() -> ExitCode {
         "compare" => COMPARE_FLAGS,
         "serve" => SERVE_FLAGS,
         "report" => REPORT_FLAGS,
+        "trace" => TRACE_FLAGS,
         "diff" => DIFF_FLAGS,
         _ => return usage(),
     };
@@ -736,6 +834,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags).map(|()| ExitCode::SUCCESS),
         "serve" => cmd_serve(&flags),
         "report" => cmd_report(&flags),
+        "trace" => cmd_trace(&flags).map(|()| ExitCode::SUCCESS),
         "diff" => cmd_diff(&flags),
         _ => return usage(),
     };

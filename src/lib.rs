@@ -21,6 +21,9 @@
 //! * [`core`] — the full pipeline, baselines, and reports;
 //! * [`obs`] — dependency-light telemetry: recorders, the JSONL event
 //!   schema, and stream validation;
+//! * [`trace`] — hierarchical span tracing: per-thread lock-free span
+//!   rings, self-time profiles, and Chrome Trace Event export
+//!   (`twmc place --trace` / `twmc trace`);
 //! * [`analyze`] — offline run-health diagnostics over recorded
 //!   telemetry and cross-run regression diffs (`twmc report` / `twmc
 //!   diff`);
@@ -56,3 +59,4 @@ pub use twmc_refine as refine;
 pub use twmc_resume as resume;
 pub use twmc_route as route;
 pub use twmc_serve as serve;
+pub use twmc_trace as trace;
