@@ -141,6 +141,7 @@ pub fn metrics(stream: &RunStream) -> Metrics {
 pub fn analyze(stream: &RunStream) -> HealthReport {
     let stage1 = stream.stage1_temps();
     let mut findings = vec![check_envelope(stream)];
+    findings.extend(check_fault_resume(stream));
     findings.extend(check_resilience(stream));
     findings.push(check_scaling(&stage1));
     findings.push(check_schedule(&stage1));
@@ -197,6 +198,44 @@ fn check_envelope(stream: &RunStream) -> Finding {
             Severity::Warn,
             "stream fragment without a run_start/run_end envelope".to_owned(),
         ),
+    }
+}
+
+/// Crash-recovery record of an interrupted-and-resumed stream. The obs
+/// validator has already rejected a torn continuation (records after a
+/// `run_interrupted` with no `run_end` fail validation, so they never
+/// reach this check); here the stream either closed with `run_end` —
+/// the daemon resumed the checkpoint and completed end-to-end — or ends
+/// at the interrupt with a checkpoint still pending resume.
+fn check_fault_resume(stream: &RunStream) -> Vec<Finding> {
+    let Some(cut) = &stream.interrupted else {
+        return Vec::new();
+    };
+    let interrupts = stream
+        .stats
+        .kind_counts
+        .get("run_interrupted")
+        .copied()
+        .unwrap_or(1);
+    match &stream.end {
+        Some(end) => vec![finding(
+            "fault.resume",
+            Severity::Pass,
+            format!(
+                "resumed to completion across {interrupts} interruption(s) \
+                 (last: {} in {}); final TEIL {:.0}",
+                cut.reason, cut.stage, end.teil
+            ),
+        )],
+        None => vec![finding(
+            "fault.resume",
+            Severity::Warn,
+            format!(
+                "stream ends at a {} interrupt in {} ({interrupts} interruption(s) total); \
+                 checkpoint pending resume — re-check once the continuation lands",
+                cut.reason, cut.stage
+            ),
+        )],
     }
 }
 
@@ -996,6 +1035,66 @@ mod tests {
         );
         assert_eq!(report.metrics.teil, 512.0);
         assert_eq!(report.metrics.wall_us, 4200);
+    }
+
+    #[test]
+    fn resumed_stream_passes_the_fault_resume_check() {
+        let jsonl = concat!(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,",
+            "\"replicas\":1,\"strategy\":\"single\"}\n",
+            "{\"kind\":\"run_interrupted\",\"reason\":\"preempted\",\"stage\":\"stage1\",",
+            "\"teil\":512.0,\"cost\":600.0,\"wall_us\":4200}\n",
+            "{\"kind\":\"run_interrupted\",\"reason\":\"preempted\",\"stage\":\"stage1\",",
+            "\"teil\":500.0,\"cost\":590.0,\"wall_us\":5200}\n",
+            "{\"kind\":\"run_end\",\"teil\":430.0,\"chip_width\":60,\"chip_height\":50,",
+            "\"routed_length\":118,\"wall_us\":12345}\n",
+        );
+        let stream = parse_stream(jsonl).unwrap();
+        assert!(stream.trailing_after_interrupt);
+        let report = analyze(&stream);
+        let resume = report
+            .findings
+            .iter()
+            .find(|f| f.check == "fault.resume")
+            .unwrap();
+        assert_eq!(resume.severity, Severity::Pass, "{}", resume.detail);
+        assert!(
+            resume.detail.contains("2 interruption(s)"),
+            "{}",
+            resume.detail
+        );
+    }
+
+    #[test]
+    fn pending_resume_warns_on_the_fault_resume_check() {
+        let jsonl = concat!(
+            "{\"kind\":\"run_start\",\"seed\":7,\"cells\":4,\"nets\":8,\"pins\":20,",
+            "\"replicas\":1,\"strategy\":\"single\"}\n",
+            "{\"kind\":\"run_interrupted\",\"reason\":\"signal\",\"stage\":\"stage1\",",
+            "\"teil\":512.0,\"cost\":600.0,\"wall_us\":4200}\n",
+        );
+        let stream = parse_stream(jsonl).unwrap();
+        assert!(!stream.trailing_after_interrupt);
+        let report = analyze(&stream);
+        let resume = report
+            .findings
+            .iter()
+            .find(|f| f.check == "fault.resume")
+            .unwrap();
+        assert_eq!(resume.severity, Severity::Warn, "{}", resume.detail);
+        assert!(
+            resume.detail.contains("pending resume"),
+            "{}",
+            resume.detail
+        );
+        // Pending-resume is informational; the report stays healthy.
+        assert!(report.healthy(), "{}", format_report(&report));
+        // An uninterrupted run has no fault.resume finding at all.
+        let clean = parse_stream(&synth_stream(&SynthSpec::default())).unwrap();
+        assert!(!analyze(&clean)
+            .findings
+            .iter()
+            .any(|f| f.check == "fault.resume"));
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct SnapshotThresholds {
     /// nanoseconds (ROADMAP's sub-microsecond gate). `0` disables the
     /// check — a snapshot scraped before any job ran has no samples.
     pub max_move_eval_p50_ns: f64,
+    /// Max job directories the startup scan is allowed to have
+    /// quarantined. Any quarantined job means durable state was torn or
+    /// unreadable — the default of 0 treats that as a breach so an
+    /// operator looks at `spool/quarantine/` before trusting the fleet.
+    pub max_quarantined: i64,
 }
 
 impl Default for SnapshotThresholds {
@@ -38,6 +43,7 @@ impl Default for SnapshotThresholds {
             max_queue_depth: 64,
             max_route_overflow: 0,
             max_move_eval_p50_ns: 0.0,
+            max_quarantined: 0,
         }
     }
 }
@@ -112,6 +118,11 @@ pub fn check_metrics_snapshot(
             "twmc_route_overflow",
             required(&snap, "twmc_route_overflow")?,
             th.max_route_overflow as f64,
+        ),
+        le(
+            "twmc_spool_quarantined",
+            required(&snap, "twmc_spool_quarantined")?,
+            th.max_quarantined as f64,
         ),
     ];
     // Busy workers beyond the pool size means the gauges are corrupt —
@@ -194,6 +205,29 @@ mod tests {
         // A looser bound absorbs it.
         let th = SnapshotThresholds {
             max_failed_jobs: 1,
+            ..SnapshotThresholds::default()
+        };
+        assert!(!check_metrics_snapshot(&hub.render(), &th)
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn quarantined_jobs_breach_by_default() {
+        let hub = MetricsHub::new();
+        hub.spool_quarantined.set(1);
+        let report = check_metrics_snapshot(&hub.render(), &SnapshotThresholds::default()).unwrap();
+        assert!(report.regressed(), "{}", format_snapshot_report(&report));
+        let row = report
+            .checks
+            .iter()
+            .find(|c| c.metric == "twmc_spool_quarantined")
+            .unwrap();
+        assert!(row.regressed);
+
+        // An operator can acknowledge a known quarantine backlog.
+        let th = SnapshotThresholds {
+            max_quarantined: 1,
             ..SnapshotThresholds::default()
         };
         assert!(!check_metrics_snapshot(&hub.render(), &th)

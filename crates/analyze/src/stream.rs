@@ -211,6 +211,11 @@ pub struct RunStream {
     pub failures: Vec<ReplicaFailedRec>,
     /// `run_interrupted` footer, if the run stopped early.
     pub interrupted: Option<RunInterruptedRec>,
+    /// Whether any record follows the last `run_interrupted` — true for
+    /// a resumed continuation (which either reaches `run_end` or gets
+    /// interrupted again, resetting this), and the tell-tale of a torn
+    /// stream when no `run_end` ever arrives.
+    pub trailing_after_interrupt: bool,
     /// Validator statistics (line and per-kind counts).
     pub stats: StreamStats,
 }
@@ -288,6 +293,9 @@ pub fn parse_stream(jsonl: &str) -> Result<RunStream, String> {
         let Value::Object(entries) = parse_json(line).expect("validated above") else {
             unreachable!("validated as an object");
         };
+        if out.interrupted.is_some() {
+            out.trailing_after_interrupt = true;
+        }
         match text(&entries, "kind").as_str() {
             "run_start" => {
                 out.start = Some(RunStartRec {
@@ -412,6 +420,9 @@ pub fn parse_stream(jsonl: &str) -> Result<RunStream, String> {
                 });
             }
             "run_interrupted" => {
+                // A later interrupt starts a new resumable suffix: the
+                // continuation it cuts short was itself clean.
+                out.trailing_after_interrupt = false;
                 out.interrupted = Some(RunInterruptedRec {
                     reason: text(&entries, "reason"),
                     stage: text(&entries, "stage"),

@@ -100,6 +100,9 @@ pub struct MetricsHub {
     pub resumes_total: Counter,
     /// Submissions rejected by backpressure.
     pub rejected_total: Counter,
+    /// Job directories the startup scan moved into `spool/quarantine/`
+    /// because their metadata was unreadable or torn.
+    pub spool_quarantined: Gauge,
     /// HTTP requests served, by route class.
     pub http_requests_total: Counter,
     /// Daemon uptime in seconds (refreshed at scrape time).
@@ -203,6 +206,10 @@ impl MetricsHub {
                 "twmc_rejected_total",
                 "Submissions rejected by queue backpressure",
             ),
+            spool_quarantined: r.gauge(
+                "twmc_spool_quarantined",
+                "Job directories quarantined by the spool startup scan",
+            ),
             http_requests_total: r.counter("twmc_http_requests_total", "HTTP requests served"),
             uptime_seconds: r.gauge(
                 "twmc_uptime_seconds",
@@ -263,6 +270,7 @@ mod tests {
             "twmc_preemptions_total",
             "twmc_resumes_total",
             "twmc_rejected_total",
+            "twmc_spool_quarantined",
             "twmc_http_requests_total",
             "twmc_uptime_seconds",
         ] {

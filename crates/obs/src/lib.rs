@@ -54,7 +54,9 @@ pub use event::{
     AnnealTemp, ClassCount, CostBreakdown, Event, PlaceTemp, ReplicaFailed, ReplicaSummary,
     RouteIter, RunEnd, RunInterrupted, RunScope, RunStart, StageSpan, Swap, EVENT_KINDS,
 };
-pub use recorder::{Instrumented, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee};
+pub use recorder::{
+    DurableFile, Instrumented, JsonlRecorder, NullRecorder, Recorder, SummaryRecorder, Tee,
+};
 pub use twmc_metrics::{MetricsHub, MOVE_EVAL_SAMPLE};
 pub use twmc_trace as trace;
 pub use twmc_trace::{Lane, TraceSnapshot, Tracer};

@@ -126,6 +126,60 @@ impl JsonlRecorder<std::fs::File> {
     }
 }
 
+/// A file sink with an fsync cadence: every `every`-th flush also
+/// pushes the data to stable storage with `sync_data`, bounding how
+/// many telemetry events power loss can cost a long daemon job.
+/// `every = 0` disables the fsyncs (plain buffered file).
+#[derive(Debug)]
+pub struct DurableFile {
+    file: std::fs::File,
+    every: u64,
+    flushes: u64,
+}
+
+impl Write for DurableFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        if self.every > 0 {
+            self.flushes += 1;
+            if self.flushes.is_multiple_of(self.every) {
+                self.file.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl JsonlRecorder<DurableFile> {
+    /// [`JsonlRecorder::create`] with an fsync every `every` flushes
+    /// (0 = never fsync).
+    pub fn create_durable(path: &str, every: u64) -> io::Result<Self> {
+        Ok(JsonlRecorder::new(DurableFile {
+            file: std::fs::File::create(path)?,
+            every,
+            flushes: 0,
+        }))
+    }
+
+    /// [`JsonlRecorder::append`] with an fsync every `every` flushes
+    /// (0 = never fsync).
+    pub fn append_durable(path: &str, every: u64) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlRecorder::new(DurableFile {
+            file,
+            every,
+            flushes: 0,
+        }))
+    }
+}
+
 impl<W: Write> JsonlRecorder<W> {
     /// Wraps any writer.
     pub fn new(writer: W) -> Self {

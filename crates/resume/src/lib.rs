@@ -8,9 +8,13 @@
 //! {"magic":"twmc-ckpt","version":1,"checksum":<fnv1a64>,"payload":{…}}
 //! ```
 //!
-//! * Writes are **atomic**: the document is written to a `.tmp` sibling
-//!   and renamed over the target, so a crash mid-write never corrupts
-//!   an existing checkpoint ([`write_checkpoint`]).
+//! * Writes are **atomic and durable**: the document is written to a
+//!   `.tmp` sibling, fsynced, renamed over the target, and the parent
+//!   directory is fsynced, so a crash — including power loss — leaves
+//!   either the old checkpoint or the new one, never a torn file
+//!   ([`write_checkpoint`]; [`write_checkpoint_with`] exposes the
+//!   [`Vfs`]/[`Durability`] knobs for fault-injection tests and callers
+//!   that deliberately trade safety for speed).
 //! * Reads are **paranoid**: magic, version, and an FNV-1a checksum
 //!   over the serialized payload are all verified, and every failure is
 //!   a typed [`CheckpointError`] ([`read_checkpoint`]).
@@ -29,7 +33,10 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use std::sync::Arc;
+
 use serde::Value;
+use twmc_fault::{atomic_write_durable, Durability, RealVfs, Vfs};
 use twmc_obs::validate::parse_json;
 
 pub mod codec;
@@ -183,16 +190,29 @@ pub fn decode(text: &str) -> Result<Value, CheckpointError> {
     Ok(payload.clone())
 }
 
-/// Atomically writes `payload` as a checkpoint at `path`: the document
-/// goes to a `.tmp` sibling first and is renamed into place, so readers
-/// only ever observe a complete, verifiable file.
+/// Atomically and durably writes `payload` as a checkpoint at `path`:
+/// the document goes to a `.tmp` sibling, is fsynced, renamed into
+/// place, and the parent directory is fsynced ([`Durability::Full`]), so
+/// readers only ever observe a complete, verifiable file — even after
+/// power loss.
 pub fn write_checkpoint(path: &Path, payload: &Value) -> Result<(), CheckpointError> {
+    write_checkpoint_with(&RealVfs, path, payload, Durability::Full)
+}
+
+/// [`write_checkpoint`] with an explicit [`Vfs`] and [`Durability`].
+///
+/// The daemon's fault-injection tests route checkpoint writes through a
+/// `FaultVfs` here; throughput-sensitive callers that can afford to lose
+/// the latest checkpoint (it is only a restart accelerator for them) may
+/// drop to [`Durability::File`] or [`Durability::None`].
+pub fn write_checkpoint_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    payload: &Value,
+    durability: Durability,
+) -> Result<(), CheckpointError> {
     let text = encode(payload);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, text.as_bytes())?;
-    std::fs::rename(&tmp, path)?;
+    atomic_write_durable(vfs, path, text.as_bytes(), durability)?;
     Ok(())
 }
 
@@ -224,17 +244,34 @@ pub struct CheckpointWriter {
     path: PathBuf,
     every: u64,
     written: u64,
+    vfs: Arc<dyn Vfs>,
+    durability: Durability,
 }
 
 impl CheckpointWriter {
     /// A writer flushing to `path` every `every` temperature steps
-    /// (`every` is clamped to ≥ 1).
+    /// (`every` is clamped to ≥ 1). Writes go through [`RealVfs`] at
+    /// [`Durability::Full`] unless overridden.
     pub fn new(path: impl Into<PathBuf>, every: u64) -> Self {
         CheckpointWriter {
             path: path.into(),
             every: every.max(1),
             written: 0,
+            vfs: Arc::new(RealVfs),
+            durability: Durability::Full,
         }
+    }
+
+    /// Route writes through an explicit [`Vfs`] (fault injection).
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Override the fsync discipline of each write.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
     }
 
     /// Whether the 0-based step index `step` ends a cadence interval.
@@ -242,9 +279,10 @@ impl CheckpointWriter {
         (step + 1).is_multiple_of(self.every)
     }
 
-    /// Writes one checkpoint (atomic, see [`write_checkpoint`]).
+    /// Writes one checkpoint (atomic and durable, see
+    /// [`write_checkpoint_with`]).
     pub fn write(&mut self, payload: &Value) -> Result<(), CheckpointError> {
-        write_checkpoint(&self.path, payload)?;
+        write_checkpoint_with(self.vfs.as_ref(), &self.path, payload, self.durability)?;
         self.written += 1;
         Ok(())
     }

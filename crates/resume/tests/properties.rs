@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use serde::Value;
 use twmc_resume::codec::f64_bits;
-use twmc_resume::{decode, encode, CheckpointError};
+use twmc_resume::{decode, encode, read_checkpoint, write_checkpoint, CheckpointError};
 
 /// Lowercase identifier-like strings (the shape real payload keys and
 /// tags take; content is irrelevant to the corruption properties).
@@ -95,5 +95,111 @@ proptest! {
         // Random text is overwhelmingly Corrupt; the property under
         // test is simply that the decoder returns rather than panics.
         let _ = decode(&String::from_utf8_lossy(&junk));
+    }
+}
+
+/// On-disk damage the matrix below applies to `run.ckpt` or its
+/// `.tmp` sibling (the two files a crash mid-atomic-write can leave in
+/// any combination).
+#[derive(Debug, Clone, Copy)]
+enum Damage {
+    /// File does not exist.
+    Absent,
+    /// File is the intact encoding.
+    Intact,
+    /// File holds a prefix of the encoding (torn write).
+    Truncated,
+    /// One byte of the encoding is XOR-flipped.
+    BitFlipped,
+    /// File holds unrelated bytes.
+    Garbage,
+}
+
+fn arb_damage() -> impl Strategy<Value = Damage> {
+    prop_oneof![
+        Just(Damage::Absent),
+        Just(Damage::Intact),
+        Just(Damage::Truncated),
+        Just(Damage::BitFlipped),
+        Just(Damage::Garbage),
+    ]
+}
+
+/// Applies `damage` to `path`, deriving the torn/flipped variant from
+/// the intact encoding and the proptest-drawn knobs.
+fn apply_damage(path: &std::path::Path, text: &str, damage: Damage, pos: usize, flip: u8) {
+    let _ = std::fs::remove_file(path);
+    match damage {
+        Damage::Absent => {}
+        Damage::Intact => std::fs::write(path, text).unwrap(),
+        Damage::Truncated => std::fs::write(path, &text.as_bytes()[..pos % text.len()]).unwrap(),
+        Damage::BitFlipped => {
+            let mut bytes = text.as_bytes().to_vec();
+            let i = pos % bytes.len();
+            bytes[i] ^= flip;
+            std::fs::write(path, bytes).unwrap();
+        }
+        Damage::Garbage => std::fs::write(path, b"not a checkpoint at all").unwrap(),
+    }
+}
+
+proptest! {
+    // Filesystem cases are slower than pure decoding; 64 draws over a
+    // 5x5 damage matrix still covers every combination many times.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The crash-recovery contract of the on-disk format: whatever
+    /// combination of damage a crash left on `run.ckpt` *and* its
+    /// `.tmp` sibling, `read_checkpoint` either returns the intact
+    /// payload or a typed [`CheckpointError`] — never a panic, and
+    /// never a wrong payload that verifies. The `.tmp` sibling must
+    /// never influence the result: the atomic-write discipline only
+    /// ever publishes via rename, so the reader ignores it entirely.
+    #[test]
+    fn damaged_ckpt_and_tmp_sibling_never_panic_or_misverify(
+        payload in arb_payload(),
+        ckpt_damage in arb_damage(),
+        tmp_damage in arb_damage(),
+        pos in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "twmc-resume-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+
+        // The intact encoding, as write_checkpoint would publish it.
+        write_checkpoint(&path, &payload).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        apply_damage(&path, &text, ckpt_damage, pos, flip);
+        apply_damage(&twmc_fault::tmp_sibling(&path), &text, tmp_damage, pos, flip);
+
+        let result = read_checkpoint(&path);
+        match (ckpt_damage, &result) {
+            // An intact file decodes regardless of the sibling.
+            (Damage::Intact, Ok(back)) => prop_assert_eq!(encode(back), text),
+            (Damage::Intact, Err(e)) => prop_assert!(false, "intact ckpt failed: {e}"),
+            (Damage::Absent, Err(CheckpointError::Missing(_))) => {}
+            // Every other damage must surface as a typed error: a torn
+            // or garbage file decodes as Corrupt/BadMagic, a flipped
+            // byte fails the checksum (or breaks the UTF-8 and comes
+            // back Unreadable) — never a panic, never a wrong payload.
+            (_, Err(
+                CheckpointError::Corrupt(_)
+                | CheckpointError::BadMagic(_)
+                | CheckpointError::BadVersion(_)
+                | CheckpointError::BadChecksum { .. }
+                | CheckpointError::Unreadable { .. },
+            )) => {}
+            (d, r) => prop_assert!(
+                false,
+                "damage {d:?} produced unexpected result {r:?}"
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use serde::Value;
 use twmc_analyze::{analyze, parse_stream};
 use twmc_core::{run_timberwolf_resilient, RunOptions, RunOutcome, TimberWolfResult};
+use twmc_fault::{RealVfs, Vfs};
 use twmc_obs::{CancelToken, Instrumented, JsonlRecorder, MetricsHub, Recorder, Tracer};
 use twmc_resume::{read_checkpoint, CheckpointWriter};
 use twmc_trace::capture_to_string;
@@ -49,6 +50,15 @@ pub struct ServeOptions {
     /// After the workers drain, how long the server keeps answering
     /// status polls before closing the listener.
     pub drain_grace: Duration,
+    /// The [`Vfs`] every durable write (spool metadata, checkpoints)
+    /// goes through. [`RealVfs`] in production; the fault-injection
+    /// tests and `--fault-schedule` substitute a
+    /// [`twmc_fault::FaultVfs`].
+    pub vfs: Arc<dyn Vfs>,
+    /// Fsync the per-job telemetry stream every N events (0 = never;
+    /// the stream is repaired at resume either way, this only bounds
+    /// how many events power loss can cost).
+    pub event_fsync_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -59,8 +69,21 @@ impl Default for ServeOptions {
             checkpoint_every: 10,
             spool: PathBuf::from("twmc-spool"),
             drain_grace: Duration::from_millis(250),
+            vfs: Arc::new(RealVfs),
+            event_fsync_every: 0,
         }
     }
+}
+
+/// A successful submission: the job's id and whether it was a new job
+/// or an idempotent replay of one already accepted.
+#[derive(Debug, Clone)]
+pub struct Submitted {
+    /// The job id (assigned now, or recalled from the idempotency map).
+    pub id: String,
+    /// True when an `Idempotency-Key` matched a previous submission and
+    /// no new job was created.
+    pub deduped: bool,
 }
 
 /// Why a submission was turned away.
@@ -158,6 +181,9 @@ struct Inner {
     next_seq: u64,
     live_workers: usize,
     stats: Stats,
+    /// `Idempotency-Key` → job id, rebuilt from the spool at startup,
+    /// so client retries across a daemon restart still dedupe.
+    idem: HashMap<String, String>,
 }
 
 impl Inner {
@@ -190,7 +216,7 @@ impl Daemon {
     /// Opens the spool, recovers persisted jobs, and spawns the worker
     /// pool.
     pub fn start(opts: ServeOptions) -> io::Result<Arc<Daemon>> {
-        let spool = Spool::open(&opts.spool)?;
+        let spool = Spool::open_with(&opts.spool, Arc::clone(&opts.vfs))?;
         let mut inner = Inner {
             queue: BinaryHeap::new(),
             jobs: HashMap::new(),
@@ -201,8 +227,11 @@ impl Daemon {
             next_seq: 1,
             live_workers: opts.workers.max(1),
             stats: Stats::default(),
+            idem: HashMap::new(),
         };
-        for recovered in spool.scan()? {
+        let scan = spool.scan()?;
+        let quarantined = scan.quarantined.len();
+        for recovered in scan.jobs {
             let mut status = recovered.status;
             // A `running` record means the previous daemon died
             // mid-run; demote to the resumable/queued state.
@@ -223,6 +252,12 @@ impl Daemon {
                 inner.next_id = inner.next_id.max(n + 1);
             }
             inner.next_seq = inner.next_seq.max(recovered.spec.seq + 1);
+            if !recovered.spec.idempotency_key.is_empty() {
+                inner.idem.insert(
+                    recovered.spec.idempotency_key.clone(),
+                    recovered.spec.id.clone(),
+                );
+            }
             if !status.state.terminal() {
                 inner.queue.push(QueueEntry {
                     priority: recovered.spec.priority,
@@ -244,6 +279,7 @@ impl Daemon {
         let workers = inner.live_workers;
         let hub = MetricsHub::new();
         hub.workers.set(workers as i64);
+        hub.spool_quarantined.set(quarantined as i64);
         let daemon = Arc::new(Daemon {
             state: Mutex::new(inner),
             work: Condvar::new(),
@@ -302,8 +338,24 @@ impl Daemon {
     /// Accepts a job: assigns an id, persists it, enqueues it, and —
     /// when all workers are busy with lower-priority work — preempts
     /// the lowest-priority running job to make room.
-    pub fn submit(&self, mut spec: JobSpec) -> Result<String, SubmitError> {
+    ///
+    /// A non-empty `idempotency_key` that matches a previous submission
+    /// (including one recovered from the spool after a restart) returns
+    /// that job's id with `deduped = true` instead of creating a
+    /// duplicate — the contract that makes client retries safe. The
+    /// check and the map insert happen under the same state lock, so
+    /// two racing retries of the same submission can never both create
+    /// a job.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<Submitted, SubmitError> {
         let mut inner = self.state.lock().unwrap();
+        if !spec.idempotency_key.is_empty() {
+            if let Some(id) = inner.idem.get(&spec.idempotency_key) {
+                return Ok(Submitted {
+                    id: id.clone(),
+                    deduped: true,
+                });
+            }
+        }
         if !inner.accepting {
             return Err(SubmitError::Draining);
         }
@@ -326,6 +378,9 @@ impl Daemon {
         });
         let id = spec.id.clone();
         let priority = spec.priority;
+        if !spec.idempotency_key.is_empty() {
+            inner.idem.insert(spec.idempotency_key.clone(), id.clone());
+        }
         inner.jobs.insert(
             spec.id.clone(),
             JobRecord {
@@ -339,7 +394,7 @@ impl Daemon {
         self.sync_gauges(&inner);
         drop(inner);
         self.work.notify_all();
-        Ok(id)
+        Ok(Submitted { id, deduped: false })
     }
 
     /// Trips the lowest-priority running job's token when `arriving`
@@ -632,8 +687,11 @@ impl Daemon {
             match read_checkpoint(&ckpt_path) {
                 Ok(payload) => Some(payload),
                 Err(e) => {
+                    // Every decode failure is a typed CheckpointError;
+                    // the job is re-adopted as re-runnable, never
+                    // half-adopted or failed outright.
                     eprintln!("twmc serve: {id}: discarding bad checkpoint: {e}");
-                    let _ = std::fs::remove_file(&ckpt_path);
+                    self.spool.remove_checkpoint(&id);
                     None
                 }
             }
@@ -652,12 +710,20 @@ impl Daemon {
         }
 
         // The telemetry stream: a resumed run appends its exact suffix
-        // to the interrupted prefix; a fresh run starts a new file.
+        // to the interrupted prefix; a fresh run starts a new file. A
+        // crash mid-append can leave a torn final line, so the prefix
+        // is truncated to its last newline before re-opening — without
+        // this the first resumed record would glue onto the fragment
+        // and corrupt the whole stitched stream.
         let events_str = events_path.to_string_lossy().into_owned();
         let recorder = if resuming && events_path.exists() {
-            JsonlRecorder::append(&events_str)
+            self.spool
+                .truncate_events_to_last_newline(&id)
+                .and_then(|()| {
+                    JsonlRecorder::append_durable(&events_str, self.opts.event_fsync_every)
+                })
         } else {
-            JsonlRecorder::create(&events_str)
+            JsonlRecorder::create_durable(&events_str, self.opts.event_fsync_every)
         };
         // Autoflush so `GET /jobs/<id>/events?follow=1` tails see each
         // event the moment it is recorded; the hub rides along so the
@@ -682,10 +748,10 @@ impl Daemon {
         let config = spec.config();
         let run_opts = RunOptions {
             cancel: cancel.clone(),
-            checkpoint: Some(CheckpointWriter::new(
-                ckpt_path.clone(),
-                self.opts.checkpoint_every.max(1),
-            )),
+            checkpoint: Some(
+                CheckpointWriter::new(ckpt_path.clone(), self.opts.checkpoint_every.max(1))
+                    .with_vfs(Arc::clone(&self.opts.vfs)),
+            ),
             resume,
         };
 

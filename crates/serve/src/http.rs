@@ -28,6 +28,10 @@ pub struct Request {
     pub query: String,
     /// `Content-Type` header value, lowercased (may be empty).
     pub content_type: String,
+    /// `Idempotency-Key` header value, verbatim (empty when absent).
+    /// Carried so `POST /jobs` retries can dedupe instead of
+    /// double-submitting.
+    pub idempotency_key: String,
     /// Request body bytes (empty unless `Content-Length` was given).
     pub body: Vec<u8>,
     /// Whether the client allows the connection to be reused after
@@ -111,6 +115,7 @@ pub fn read_request_buffered<R: Read>(reader: &mut BufReader<R>) -> Result<Reque
 
     let mut content_length = 0usize;
     let mut content_type = String::new();
+    let mut idempotency_key = String::new();
     // HTTP/1.1 connections persist unless told otherwise; HTTP/1.0
     // needs the explicit keep-alive opt-in.
     let mut keep_alive = version == "HTTP/1.1";
@@ -136,6 +141,7 @@ pub fn read_request_buffered<R: Read>(reader: &mut BufReader<R>) -> Result<Reque
                     .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
             }
             "content-type" => content_type = value.to_ascii_lowercase(),
+            "idempotency-key" => idempotency_key = value.to_owned(),
             "connection" => match value.to_ascii_lowercase().as_str() {
                 "close" => keep_alive = false,
                 "keep-alive" => keep_alive = true,
@@ -154,6 +160,7 @@ pub fn read_request_buffered<R: Read>(reader: &mut BufReader<R>) -> Result<Reque
         path,
         query,
         content_type,
+        idempotency_key,
         body,
         keep_alive,
     })
@@ -372,6 +379,14 @@ mod tests {
         assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.content_type, "application/json");
         assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_idempotency_key_case_insensitively() {
+        let req = parse("POST /jobs HTTP/1.1\r\nIDEMPOTENCY-KEY: retry-abc-123\r\n\r\n").unwrap();
+        assert_eq!(req.idempotency_key, "retry-abc-123");
+        let bare = parse("POST /jobs HTTP/1.1\r\n\r\n").unwrap();
+        assert!(bare.idempotency_key.is_empty());
     }
 
     #[test]

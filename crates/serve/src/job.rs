@@ -103,6 +103,10 @@ pub struct JobSpec {
     pub strategy: Strategy,
     /// Tempering swap interval.
     pub swap_interval: usize,
+    /// Client-supplied `Idempotency-Key` (empty when none). Persisted
+    /// in `spec.json` so a retry after a daemon restart still dedupes
+    /// against the already-accepted job.
+    pub idempotency_key: String,
 }
 
 impl Default for JobSpec {
@@ -120,6 +124,7 @@ impl Default for JobSpec {
             threads: 1,
             strategy: Strategy::MultiStart,
             swap_interval: 1,
+            idempotency_key: String::new(),
         }
     }
 }
@@ -134,7 +139,10 @@ impl JobSpec {
             std::str::from_utf8(&req.body).map_err(|_| "request body is not UTF-8".to_owned())?;
         let json_body = req.content_type.contains("json")
             || (req.content_type.is_empty() && body.trim_start().starts_with('{'));
-        let mut spec = JobSpec::default();
+        let mut spec = JobSpec {
+            idempotency_key: req.idempotency_key.clone(),
+            ..JobSpec::default()
+        };
         if json_body {
             let v = twmc_obs::validate::parse_json(body)
                 .map_err(|e| format!("request body is not valid JSON: {e}"))?;
@@ -248,7 +256,7 @@ impl JobSpec {
 
     /// Serializes the spec for the spool (`spec.json`).
     pub fn value(&self) -> Value {
-        obj(vec![
+        let mut fields = vec![
             ("id", Value::Str(self.id.clone())),
             ("seq", Value::UInt(self.seq)),
             ("label", Value::Str(self.label.clone())),
@@ -261,7 +269,11 @@ impl JobSpec {
             ("threads", Value::UInt(self.threads as u64)),
             ("strategy", Value::Str(self.strategy.to_string())),
             ("swap_interval", Value::UInt(self.swap_interval as u64)),
-        ])
+        ];
+        if !self.idempotency_key.is_empty() {
+            fields.push(("idempotency_key", Value::Str(self.idempotency_key.clone())));
+        }
+        obj(fields)
     }
 
     /// Decodes a [`JobSpec::value`] tree.
@@ -286,6 +298,7 @@ impl JobSpec {
             threads: json::get_u64(v, "threads").unwrap_or(1) as usize,
             strategy,
             swap_interval: json::get_u64(v, "swap_interval").unwrap_or(1) as usize,
+            idempotency_key: json::get_str(v, "idempotency_key").unwrap_or("").to_owned(),
         })
     }
 }
@@ -327,6 +340,7 @@ mod tests {
             path: "/jobs".into(),
             query: query.into(),
             content_type: String::new(),
+            idempotency_key: String::new(),
             body: body.as_bytes().to_vec(),
             keep_alive: true,
         }
@@ -422,6 +436,26 @@ mod tests {
         let text = json::to_text(&spec.value());
         let back = JobSpec::from_value(&twmc_obs::validate::parse_json(&text).unwrap()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn idempotency_key_rides_request_and_spool() {
+        let text = tiny_netlist_text();
+        let mut req = raw_request("seed=3", &text);
+        req.idempotency_key = "retry-key-1".into();
+        let spec = JobSpec::from_request(&req).unwrap();
+        assert_eq!(spec.idempotency_key, "retry-key-1");
+        let back = JobSpec::from_value(
+            &twmc_obs::validate::parse_json(&json::to_text(&spec.value())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.idempotency_key, "retry-key-1");
+        // Absent key serializes to nothing and decodes to empty.
+        let plain = JobSpec {
+            netlist: text,
+            ..Default::default()
+        };
+        assert!(!json::to_text(&plain.value()).contains("idempotency_key"));
     }
 
     #[test]

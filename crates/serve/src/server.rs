@@ -3,7 +3,9 @@
 //!
 //! | Route                      | Meaning                                  |
 //! |----------------------------|------------------------------------------|
-//! | `POST /jobs`               | submit a job (201 + id)                  |
+//! | `POST /jobs`               | submit a job (201 + id; an
+//!   `Idempotency-Key` header replaying an earlier submission returns
+//!   the existing job with 200 instead of creating a duplicate)        |
 //! | `GET /jobs/<id>`           | job status (state machine)               |
 //! | `GET /jobs/<id>/events`    | the job's JSONL telemetry stream         |
 //! | `GET /jobs/<id>/result`    | final report (done jobs)                 |
@@ -265,11 +267,25 @@ pub fn handle_request(daemon: &Daemon, req: &Request) -> Response {
         ("GET", ["metrics"]) => Response::text(daemon.hub().render()),
         ("POST", ["jobs"]) => match JobSpec::from_request(req) {
             Ok(spec) => match daemon.submit(spec) {
-                Ok(id) => Response::json(
-                    201,
+                // 201 for a new job; 200 when an Idempotency-Key
+                // matched an earlier submission (a retry replay — the
+                // job already exists, nothing was created).
+                Ok(sub) => Response::json(
+                    if sub.deduped { 200 } else { 201 },
                     json::to_text(&obj(vec![
-                        ("id", Value::Str(id)),
-                        ("state", Value::Str("queued".to_owned())),
+                        ("id", Value::Str(sub.id.clone())),
+                        (
+                            "state",
+                            Value::Str(if sub.deduped {
+                                daemon
+                                    .job_state(&sub.id)
+                                    .map(|s| s.as_str().to_owned())
+                                    .unwrap_or_else(|| "queued".to_owned())
+                            } else {
+                                "queued".to_owned()
+                            }),
+                        ),
+                        ("deduped", Value::Bool(sub.deduped)),
                     ])),
                 ),
                 Err(e @ SubmitError::QueueFull) => error_response(429, &e.to_string()),

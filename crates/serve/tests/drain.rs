@@ -41,8 +41,8 @@ fn drain_checkpoints_then_restart_resumes() {
     };
 
     // One job running, one queued behind it.
-    let long_id = daemon.submit(long).unwrap();
-    let queued_id = daemon.submit(spec(tiny_netlist(12), 12, 2, 0)).unwrap();
+    let long_id = daemon.submit(long).unwrap().id;
+    let queued_id = daemon.submit(spec(tiny_netlist(12), 12, 2, 0)).unwrap().id;
     assert!(
         wait_for(Duration::from_secs(30), || {
             daemon.job_state(&long_id) == Some(JobState::Running)

@@ -42,7 +42,7 @@ fn fifty_concurrent_jobs_with_preemption() {
             RunOutcome::Interrupted(_) => unreachable!("no stop conditions armed"),
         }
     };
-    let long_id = daemon.submit(long).unwrap();
+    let long_id = daemon.submit(long).unwrap().id;
     assert!(
         wait_for(Duration::from_secs(30), || {
             daemon.job_state(&long_id) == Some(JobState::Running)

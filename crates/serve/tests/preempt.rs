@@ -39,7 +39,7 @@ fn preempted_job_resumes_bit_identical() {
     let long = spec(long_netlist(5), 5, LONG_AC, 0);
     let reference = uninterrupted_placement(&long);
 
-    let long_id = daemon.submit(long).unwrap();
+    let long_id = daemon.submit(long).unwrap().id;
     assert!(
         wait_for(Duration::from_secs(30), || {
             daemon.job_state(&long_id) == Some(JobState::Running)
@@ -49,7 +49,7 @@ fn preempted_job_resumes_bit_identical() {
 
     // A strictly higher-priority submission while the only worker is
     // busy trips the long job's token at the next round boundary.
-    let urgent_id = daemon.submit(spec(tiny_netlist(7), 7, 2, 10)).unwrap();
+    let urgent_id = daemon.submit(spec(tiny_netlist(7), 7, 2, 10)).unwrap().id;
     assert!(
         wait_for(Duration::from_secs(30), || {
             daemon.job_state(&urgent_id) == Some(JobState::Done)

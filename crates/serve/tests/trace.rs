@@ -81,7 +81,10 @@ fn trace_endpoint_serves_live_then_sealed_capture() {
 fn preempted_job_keeps_one_timeline_across_attempts() {
     let daemon = start_daemon("trace-preempt", 1);
 
-    let low = daemon.submit(spec(long_netlist(3), 3, LONG_AC, 0)).unwrap();
+    let low = daemon
+        .submit(spec(long_netlist(3), 3, LONG_AC, 0))
+        .unwrap()
+        .id;
     assert!(wait_for(Duration::from_secs(30), || daemon.job_state(&low)
         == Some(JobState::Running)));
 
@@ -89,7 +92,7 @@ fn preempted_job_keeps_one_timeline_across_attempts() {
     // finish, the low job's capture shows the whole story in order:
     // queued wait, first attempt, preempted wait, resume, second
     // attempt, done.
-    let high = daemon.submit(spec(tiny_netlist(4), 4, 10, 5)).unwrap();
+    let high = daemon.submit(spec(tiny_netlist(4), 4, 10, 5)).unwrap().id;
     assert_eq!(
         daemon.wait_terminal(&high, Duration::from_secs(60)),
         Some(JobState::Done)

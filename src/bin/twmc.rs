@@ -47,11 +47,12 @@ fn usage() -> ExitCode {
          [--max-wall-secs F] [--max-moves N] [--trace FILE.jsonl]\n  \
          twmc compare FILE [--seed N] [--ac N] [--replicas N] [--threads N]\n  \
          twmc serve [--listen ADDR] [--workers N] [--queue-cap N] [--spool DIR]\n              \
-         [--checkpoint-every N] [--drain-grace-ms N]\n  \
+         [--checkpoint-every N] [--drain-grace-ms N] [--event-fsync-every N]\n              \
+         [--fault-schedule SPEC]\n  \
          twmc report RUN.jsonl [--json]\n  \
          twmc report --metrics-snapshot SNAPSHOT.prom [--json] [--max-failed-jobs N]\n              \
          [--max-replica-failures N] [--max-queue-depth N] [--max-route-overflow N]\n              \
-         [--max-move-p50-ns F]\n  \
+         [--max-move-p50-ns F] [--max-quarantined N]\n  \
          twmc report --trace CAPTURE.jsonl [--json] [--top N]\n  \
          twmc trace CAPTURE.jsonl [--out CHROME.json] [--top N]\n  \
          twmc diff BASELINE.jsonl CANDIDATE.jsonl [--json] [--max-teil-pct F]\n              \
@@ -71,7 +72,12 @@ fn usage() -> ExitCode {
          (Prometheus text); GET /jobs/ID/events?follow=1 streams a live chunked\n\
          JSONL tail until the job ends; higher-priority jobs\n\
          preempt running ones at round boundaries (checkpoint + bit-identical resume);\n\
-         SIGTERM drains gracefully (default --listen 127.0.0.1:7171, --spool twmc-spool)\n\
+         SIGTERM drains gracefully (default --listen 127.0.0.1:7171, --spool twmc-spool);\n\
+         durable writes are fsynced (file + directory) and torn/unreadable job dirs are\n\
+         quarantined to SPOOL/quarantine at startup (twmc_spool_quarantined gauge);\n\
+         --event-fsync-every N fsyncs a job's event stream every N flushes (0 = off);\n\
+         --fault-schedule 'seed=N, eio=write:state.json@2, crash=job.ckpt:after_rename'\n\
+         injects deterministic I/O faults for chaos testing (crashpoints abort)\n\
          --trace FILE records a hierarchical span trace (run > stage > temp step >\n\
          move block, cost-term self-time) with no effect on results; convert it with\n\
          `twmc trace` to a Chrome Trace Event JSON for ui.perfetto.dev plus a\n\
@@ -128,6 +134,8 @@ const SERVE_FLAGS: FlagSpec = &[
     ("spool", true),
     ("checkpoint-every", true),
     ("drain-grace-ms", true),
+    ("event-fsync-every", true),
+    ("fault-schedule", true),
 ];
 
 const REPORT_FLAGS: FlagSpec = &[
@@ -140,6 +148,7 @@ const REPORT_FLAGS: FlagSpec = &[
     ("max-queue-depth", true),
     ("max-route-overflow", true),
     ("max-move-p50-ns", true),
+    ("max-quarantined", true),
 ];
 
 const DIFF_FLAGS: FlagSpec = &[
@@ -579,12 +588,26 @@ fn load_stream(path: &str) -> Result<timberwolfmc::analyze::RunStream, String> {
 /// checkpointed jobs bit-identically.
 fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
     let listen = flags.get_str("listen").unwrap_or("127.0.0.1:7171");
+    // `--fault-schedule` swaps the daemon's durable-write path for a
+    // deterministic fault injector (chaos testing only): injected
+    // crashpoints abort the process, so a supervisor/test harness can
+    // observe a genuine kill-and-restart cycle.
+    let vfs: std::sync::Arc<dyn timberwolfmc::fault::Vfs> = match flags.get_str("fault-schedule") {
+        Some(spec) => {
+            let sched = timberwolfmc::fault::FaultSchedule::parse(spec)
+                .map_err(|e| format!("--fault-schedule: {e}"))?;
+            std::sync::Arc::new(timberwolfmc::fault::FaultVfs::new(sched).with_abort())
+        }
+        None => std::sync::Arc::new(timberwolfmc::fault::RealVfs),
+    };
     let opts = timberwolfmc::serve::ServeOptions {
         workers: flags.get("workers", 2usize).max(1),
         queue_cap: flags.get("queue-cap", 256usize).max(1),
         checkpoint_every: flags.get("checkpoint-every", 10u64).max(1),
         spool: std::path::PathBuf::from(flags.get_str("spool").unwrap_or("twmc-spool")),
         drain_grace: std::time::Duration::from_millis(flags.get("drain-grace-ms", 250u64)),
+        event_fsync_every: flags.get("event-fsync-every", 0u64),
+        vfs,
     };
     let workers = opts.workers;
     let spool_display = opts.spool.display().to_string();
@@ -684,6 +707,7 @@ fn cmd_report_snapshot(flags: &Flags) -> Result<ExitCode, String> {
         max_queue_depth: flags.get("max-queue-depth", defaults.max_queue_depth),
         max_route_overflow: flags.get("max-route-overflow", defaults.max_route_overflow),
         max_move_eval_p50_ns: flags.get("max-move-p50-ns", defaults.max_move_eval_p50_ns),
+        max_quarantined: flags.get("max-quarantined", defaults.max_quarantined),
     };
     let report = timberwolfmc::analyze::check_metrics_snapshot(&text, &thresholds)
         .map_err(|e| format!("{path}: {e}"))?;

@@ -29,7 +29,10 @@
 //!   diff`);
 //! * [`serve`] — the multi-tenant placement daemon (`twmc serve`): an
 //!   HTTP/1.1 JSON job API with a priority queue, checkpoint-based
-//!   preemption, and per-job telemetry streams.
+//!   preemption, and per-job telemetry streams;
+//! * [`fault`] — the durable-write abstraction ([`fault::Vfs`]) and the
+//!   deterministic fault injector behind the crash-consistency test
+//!   harness (`twmc serve --fault-schedule`).
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use twmc_anneal as anneal;
 pub use twmc_channel as channel;
 pub use twmc_core as core;
 pub use twmc_estimator as estimator;
+pub use twmc_fault as fault;
 pub use twmc_geom as geom;
 pub use twmc_netlist as netlist;
 pub use twmc_obs as obs;
